@@ -1,0 +1,338 @@
+// Command isolevel regenerates the evaluation artifacts of "A Critique of
+// ANSI SQL Isolation Levels" (SIGMOD 1995) from live engines and analyzes
+// histories in the paper's notation.
+//
+// Usage:
+//
+//	isolevel tables            regenerate Tables 1, 2, 3 and 4
+//	isolevel table -n 4        regenerate one table (1, 2, 3 or 4)
+//	isolevel figure2           compute the measured isolation hierarchy
+//	isolevel check -history "w1[x] r2[x] c1 c2"
+//	                           classify a history: phenomena + serializability
+//	isolevel run -id A5B -level "SNAPSHOT ISOLATION"
+//	                           execute one anomaly scenario on a live engine
+//	isolevel scenarios         list the scenario catalog
+//	isolevel paper             replay the paper's H1-H5 analyses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"isolevel/internal/anomalies"
+	"isolevel/internal/ansi"
+	"isolevel/internal/deps"
+	"isolevel/internal/engine"
+	"isolevel/internal/history"
+	"isolevel/internal/matrix"
+	"isolevel/internal/phenomena"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tables":
+		err = cmdTables()
+	case "table":
+		err = cmdTable(os.Args[2:])
+	case "figure2":
+		err = cmdFigure2()
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "scenarios":
+		err = cmdScenarios()
+	case "paper":
+		err = cmdPaper()
+	case "remarks":
+		err = cmdRemarks()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "isolevel: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "isolevel:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `isolevel — reproduce "A Critique of ANSI SQL Isolation Levels" (SIGMOD 1995)
+
+commands:
+  tables                      regenerate Tables 1-4
+  table -n N                  regenerate one table (1, 2, 3 or 4)
+  figure2                     measured isolation hierarchy (Figure 2)
+  check -history "w1[x] ..."  classify a history in the paper's notation
+  run -id ID [-variant V] -level LEVEL   run one anomaly scenario live
+  scenarios                   list the anomaly scenario catalog
+  paper                       replay the paper's H1-H5 analyses
+  remarks                     verify Remarks 1-10 on the live engines
+`)
+}
+
+func cmdTables() error {
+	if err := cmdTableN(1); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := cmdTableN(2); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := cmdTableN(3); err != nil {
+		return err
+	}
+	fmt.Println()
+	return cmdTableN(4)
+}
+
+func cmdTable(args []string) error {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	n := fs.Int("n", 4, "table number (1-4)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return cmdTableN(*n)
+}
+
+func cmdTableN(n int) error {
+	switch n {
+	case 1:
+		fmt.Print(matrix.RunTable1())
+	case 2:
+		tbl, mismatches, err := matrix.RunTable2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl)
+		if len(mismatches) > 0 {
+			return fmt.Errorf("table 2 probe mismatches: %s", strings.Join(mismatches, "; "))
+		}
+	case 3:
+		fmt.Print(matrix.RunTable3())
+	case 4:
+		levels := append(append([]engine.Level{}, matrix.PaperLevels...), matrix.ExtensionLevels...)
+		res, err := matrix.RunTable4(levels...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Report())
+	default:
+		return fmt.Errorf("no table %d (the paper has tables 1-4)", n)
+	}
+	return nil
+}
+
+func cmdFigure2() error {
+	levels := append(append([]engine.Level{}, matrix.PaperLevels...), matrix.ExtensionLevels...)
+	res, err := matrix.RunTable4(levels...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(matrix.BuildHierarchy(res))
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	src := fs.String("history", "", "history in the paper's notation, e.g. \"w1[x] r2[x] c1 c2\"")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *src == "" {
+		return fmt.Errorf("check needs -history")
+	}
+	h, err := history.Parse(*src)
+	if err != nil {
+		return err
+	}
+	fmt.Println("history:", h)
+	fmt.Println()
+	prof := phenomena.Profile(h)
+	var ids []string
+	for id := range prof {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	if len(ids) == 0 {
+		fmt.Println("phenomena: none")
+	} else {
+		fmt.Println("phenomena:")
+		for _, id := range ids {
+			for _, m := range phenomena.Detect(phenomena.ID(id), h) {
+				fmt.Printf("  %-4s %-18s %s\n", id, phenomena.Name(phenomena.ID(id)), m.Comment)
+			}
+		}
+	}
+	fmt.Println()
+	if deps.Serializable(h) {
+		fmt.Println("conflict-serializable: yes; equivalent serial order:", fmtOrder(deps.EquivalentSerialOrder(h)))
+	} else {
+		g := deps.BuildGraph(h)
+		fmt.Println("conflict-serializable: NO; dependency cycle:", fmtOrder(g.Cycle()))
+	}
+	fmt.Println()
+	fmt.Println("admitted by (phenomenon-based levels, Table 3):")
+	for _, lvl := range ansi.Table3 {
+		verdict := "admitted"
+		if v := lvl.FirstViolation(h); v != "" {
+			verdict = "rejected (" + string(v) + ")"
+		}
+		fmt.Printf("  %-18s %s\n", lvl.Name, verdict)
+	}
+	return nil
+}
+
+func fmtOrder(order []int) string {
+	if order == nil {
+		return "-"
+	}
+	parts := make([]string, len(order))
+	for i, tx := range order {
+		parts[i] = fmt.Sprintf("T%d", tx)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func parseLevel(name string) (engine.Level, error) {
+	for _, lvl := range engine.Levels {
+		if strings.EqualFold(lvl.String(), name) {
+			return lvl, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown level %q (try one of: %s)", name, levelNames())
+}
+
+func levelNames() string {
+	var names []string
+	for _, lvl := range engine.Levels {
+		names = append(names, lvl.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	id := fs.String("id", "A5B", "anomaly id (P0, P1, P4C, P4, P2, P3, A5A, A5B)")
+	variant := fs.String("variant", "", "scenario variant (\"\", cursor, constraint, two-cursors)")
+	levelName := fs.String("level", "SNAPSHOT ISOLATION", "isolation level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	level, err := parseLevel(*levelName)
+	if err != nil {
+		return err
+	}
+	var sc *anomalies.Scenario
+	for _, cand := range anomalies.Catalog() {
+		if cand.ID == *id && cand.Variant == *variant {
+			c := cand
+			sc = &c
+			break
+		}
+	}
+	if sc == nil {
+		return fmt.Errorf("no scenario %s/%s (see `isolevel scenarios`)", *id, *variant)
+	}
+	fmt.Printf("scenario %s (%s) at %s\n", sc.ID, sc.Description, level)
+	out, res, err := anomalies.Run(*sc, level)
+	if err != nil {
+		return err
+	}
+	for _, st := range res.Steps {
+		status := "ok"
+		switch {
+		case st.Skipped:
+			status = "skipped"
+		case st.Err != nil:
+			status = st.Err.Error()
+		case st.Blocked:
+			status = "blocked, then completed"
+		}
+		val := ""
+		if st.Value != nil {
+			val = fmt.Sprintf(" -> %v", st.Value)
+		}
+		fmt.Printf("  %-24s %s%s\n", st.Name, status, val)
+	}
+	fmt.Println("verdict:", out)
+	if len(res.History) > 0 {
+		fmt.Println("recorded history:", res.History)
+	}
+	return nil
+}
+
+func cmdScenarios() error {
+	for _, sc := range anomalies.Catalog() {
+		v := sc.Variant
+		if v == "" {
+			v = "plain"
+		}
+		fmt.Printf("%-4s %-12s %s\n", sc.ID, v, sc.Description)
+	}
+	return nil
+}
+
+func cmdRemarks() error {
+	results, err := matrix.VerifyRemarks()
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, r := range results {
+		fmt.Println(r)
+		if !r.OK {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d remark(s) failed to reproduce", failed)
+	}
+	fmt.Println("\nAll 10 remarks reproduced on the live engines.")
+	return nil
+}
+
+func cmdPaper() error {
+	fmt.Println("Replaying the paper's Section 3 and 4 history analyses:")
+	cases := []struct {
+		name string
+		h    history.History
+		note string
+	}{
+		{"H1", history.H1(), "inconsistent analysis — violates broad P1 only"},
+		{"H2", history.H2(), "inconsistent analysis — violates broad P2 only"},
+		{"H3", history.H3(), "phantom — violates broad P3 only"},
+		{"H4", history.H4(), "lost update at READ COMMITTED"},
+		{"H5", history.H5(), "write skew — passes ANOMALY SERIALIZABLE, not serializable"},
+	}
+	for _, c := range cases {
+		fmt.Printf("\n%s: %s\n  (%s)\n", c.name, c.h, c.note)
+		var ids []string
+		for id := range phenomena.Profile(c.h) {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		fmt.Println("  phenomena:", strings.Join(ids, ", "))
+		fmt.Println("  serializable:", deps.Serializable(c.h))
+		fmt.Println("  ANOMALY SERIALIZABLE admits:", ansi.AnomalySerializable.Admits(c.h))
+	}
+	fmt.Println("\nH1.SI mapping (§4.2):")
+	txns := deps.FromMVHistory(history.H1SI())
+	sv := deps.MapToSV(txns)
+	fmt.Println("  H1.SI   :", history.H1SI())
+	fmt.Println("  maps to :", sv)
+	fmt.Println("  serializable:", deps.Serializable(sv))
+	return nil
+}

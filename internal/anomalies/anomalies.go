@@ -1,0 +1,228 @@
+// Package anomalies is the executable catalog of the paper's anomalies:
+// for every column of Table 4 (P0, P1, P4C, P4, P2, P3, A5A, A5B) it
+// provides a live scenario — initial data, a scripted interleaving taken
+// from the paper's own histories, and a detector that inspects the observed
+// reads and the final committed state to decide whether the anomaly
+// actually happened.
+//
+// Columns whose Table 4 cells say "Sometimes Possible" additionally carry a
+// guarded variant: the same anomaly attempted by a more careful client
+// (e.g. one that parks cursors on the rows it intends to update, the
+// technique §4.1 describes for parlaying Cursor Stability into effective
+// REPEATABLE READ). A level earns "Sometimes Possible" when the plain
+// variant succeeds but the guarded variant is prevented.
+package anomalies
+
+import (
+	"fmt"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+	"isolevel/internal/predicate"
+	"isolevel/internal/schedule"
+)
+
+// Outcome describes what happened when a scenario ran at some level.
+type Outcome struct {
+	// Anomaly reports whether the anomaly manifested (the detector's
+	// verdict on reads + final state).
+	Anomaly bool
+	// Mechanism explains how the engine prevented the anomaly (or "" when
+	// it occurred): "blocked", "aborted", "snapshot".
+	Mechanism string
+	// Details is a human-readable account for reports.
+	Details string
+}
+
+func (o Outcome) String() string {
+	if o.Anomaly {
+		return "ANOMALY: " + o.Details
+	}
+	return fmt.Sprintf("prevented (%s): %s", o.Mechanism, o.Details)
+}
+
+// Scenario is one runnable anomaly experiment.
+type Scenario struct {
+	// ID is the phenomenon this scenario witnesses (Table 4 column).
+	ID string
+	// Variant distinguishes plain from guarded scripts ("", "cursor",
+	// "constraint", "two-cursors").
+	Variant string
+	// Description quotes the shape of the history being run.
+	Description string
+	// Setup is the initial committed state.
+	Setup []data.Tuple
+	// Steps builds a fresh script (closures capture no cross-run state).
+	Steps func() []schedule.Step
+	// Check inspects the result.
+	Check func(db engine.DB, res *schedule.Result) Outcome
+}
+
+// mechanism classifies how a non-anomalous run was prevented.
+func mechanism(res *schedule.Result) string {
+	for _, a := range res.AutoAborted {
+		if a {
+			return "aborted"
+		}
+	}
+	if res.AnyBlocked() {
+		return "blocked"
+	}
+	return "snapshot"
+}
+
+// --- step helpers ---
+
+func scalarSetup(kv map[string]int64) []data.Tuple {
+	var out []data.Tuple
+	for k, v := range kv {
+		out = append(out, data.Tuple{Key: data.Key(k), Row: data.Scalar(v)})
+	}
+	data.SortTuples(out)
+	return out
+}
+
+// rd reads key and remembers the value under var name key.
+func rd(txn int, key string) schedule.Step {
+	name := fmt.Sprintf("r%d[%s]", txn, key)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		v, err := engine.GetVal(c.Tx, data.Key(key))
+		if err != nil {
+			return nil, err
+		}
+		c.Vars[key] = v
+		return v, nil
+	})
+}
+
+// wr writes a constant.
+func wr(txn int, key string, v int64) schedule.Step {
+	name := fmt.Sprintf("w%d[%s=%d]", txn, key, v)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		return nil, engine.PutVal(c.Tx, data.Key(key), v)
+	})
+}
+
+// wrDelta writes Vars[from] + delta into key (read-modify-write from the
+// transaction's own earlier read — the lost-update shape).
+func wrDelta(txn int, key, from string, delta int64) schedule.Step {
+	name := fmt.Sprintf("w%d[%s=%s%+d]", txn, key, from, delta)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		return nil, engine.PutVal(c.Tx, data.Key(key), c.Int(from)+delta)
+	})
+}
+
+// insert writes a full row.
+func insert(txn int, key string, row data.Row) schedule.Step {
+	name := fmt.Sprintf("w%d[insert %s]", txn, key)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		return nil, c.Tx.Put(data.Key(key), row)
+	})
+}
+
+// selCount evaluates pred and remembers the row count under varName.
+func selCount(txn int, varName, pred string) schedule.Step {
+	p := predicate.MustParse(pred)
+	name := fmt.Sprintf("r%d[P:%s]", txn, varName)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		rows, err := c.Tx.Select(p)
+		if err != nil {
+			return nil, err
+		}
+		c.Vars[varName] = int64(len(rows))
+		return int64(len(rows)), nil
+	})
+}
+
+// selSum evaluates pred and remembers sum(field) under varName.
+func selSum(txn int, varName, pred, field string) schedule.Step {
+	p := predicate.MustParse(pred)
+	name := fmt.Sprintf("r%d[P:%s]", txn, varName)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		rows, err := c.Tx.Select(p)
+		if err != nil {
+			return nil, err
+		}
+		var sum int64
+		for _, r := range rows {
+			v, _ := r.Row.Get(field)
+			sum += v
+		}
+		c.Vars[varName] = sum
+		return sum, nil
+	})
+}
+
+// openFetch opens a cursor on exactly key and fetches it (the paper's
+// rc action), remembering the cursor under curName and the value under key.
+func openFetch(txn int, curName, key string) schedule.Step {
+	name := fmt.Sprintf("rc%d[%s]", txn, key)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		cur, err := c.Tx.OpenCursor(predicate.KeyEq{Key: data.Key(key)})
+		if err != nil {
+			return nil, err
+		}
+		c.Vars[curName] = cur
+		tup, err := cur.Fetch()
+		if err != nil {
+			return nil, err
+		}
+		c.Vars[key] = tup.Row.Val()
+		return tup.Row.Val(), nil
+	})
+}
+
+// curRead re-reads the cursor's current row, remembering under varName.
+func curRead(txn int, curName, varName string) schedule.Step {
+	name := fmt.Sprintf("rc%d[%s again]", txn, varName)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		cur := c.Cursor(curName)
+		if cur == nil {
+			return nil, engine.ErrNoCursor
+		}
+		tup, err := cur.Current()
+		if err != nil {
+			return nil, err
+		}
+		c.Vars[varName] = tup.Row.Val()
+		return tup.Row.Val(), nil
+	})
+}
+
+// curUpdate writes v through the cursor (the paper's wc action).
+func curUpdate(txn int, curName string, v int64) schedule.Step {
+	name := fmt.Sprintf("wc%d[%s=%d]", txn, curName, v)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		cur := c.Cursor(curName)
+		if cur == nil {
+			return nil, engine.ErrNoCursor
+		}
+		return nil, cur.UpdateCurrent(data.Scalar(v))
+	})
+}
+
+// curUpdateDelta writes Vars[from]+delta through the cursor.
+func curUpdateDelta(txn int, curName, from string, delta int64) schedule.Step {
+	name := fmt.Sprintf("wc%d[%s=%s%+d]", txn, curName, from, delta)
+	return schedule.OpStep(txn, name, func(c *schedule.Ctx) (any, error) {
+		cur := c.Cursor(curName)
+		if cur == nil {
+			return nil, engine.ErrNoCursor
+		}
+		return nil, cur.UpdateCurrent(data.Scalar(c.Int(from) + delta))
+	})
+}
+
+func val(db engine.DB, key string) int64 {
+	row := db.ReadCommittedRow(data.Key(key))
+	return row.Val()
+}
+
+func stepInt(res *schedule.Result, name string) (int64, bool) {
+	sr, ok := res.StepByName(name)
+	if !ok || sr.Err != nil || sr.Value == nil {
+		return 0, false
+	}
+	v, ok := sr.Value.(int64)
+	return v, ok
+}

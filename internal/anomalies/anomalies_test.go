@@ -1,0 +1,309 @@
+package anomalies
+
+import (
+	"testing"
+
+	"isolevel/internal/engine"
+	"isolevel/internal/phenomena"
+)
+
+// expect runs scenario sc at level and asserts the anomaly verdict.
+func expect(t *testing.T, sc Scenario, level engine.Level, wantAnomaly bool) Outcome {
+	t.Helper()
+	out, res, err := Run(sc, level)
+	if err != nil {
+		t.Fatalf("%s/%s at %s: runner error: %v", sc.ID, sc.Variant, level, err)
+	}
+	if out.Anomaly != wantAnomaly {
+		t.Errorf("%s/%s at %s: anomaly=%v, want %v — %s\nsteps: %+v",
+			sc.ID, sc.Variant, level, out.Anomaly, wantAnomaly, out.Details, res.Steps)
+	}
+	return out
+}
+
+// --- P0 Dirty Write ---
+
+func TestP0OnlyAtDegree0(t *testing.T) {
+	sc := P0DirtyWrite()
+	expect(t, sc, engine.Degree0, true)
+	for _, lvl := range []engine.Level{
+		engine.ReadUncommitted, engine.ReadCommitted, engine.CursorStability,
+		engine.RepeatableRead, engine.Serializable,
+		engine.SnapshotIsolation, engine.ReadConsistency,
+	} {
+		expect(t, sc, lvl, false)
+	}
+}
+
+func TestP0PreventionMechanisms(t *testing.T) {
+	out := expect(t, P0DirtyWrite(), engine.ReadUncommitted, false)
+	if out.Mechanism != "blocked" {
+		t.Errorf("RU should prevent P0 by blocking, got %s", out.Mechanism)
+	}
+	out = expect(t, P0DirtyWrite(), engine.SnapshotIsolation, false)
+	if out.Mechanism != "aborted" {
+		t.Errorf("SI should prevent P0 by first-committer-wins abort, got %s", out.Mechanism)
+	}
+}
+
+// --- P1 Dirty Read ---
+
+func TestP1Matrix(t *testing.T) {
+	sc := P1DirtyRead()
+	expect(t, sc, engine.Degree0, true)
+	expect(t, sc, engine.ReadUncommitted, true)
+	for _, lvl := range []engine.Level{
+		engine.ReadCommitted, engine.CursorStability, engine.RepeatableRead,
+		engine.Serializable, engine.SnapshotIsolation, engine.ReadConsistency,
+	} {
+		expect(t, sc, lvl, false)
+	}
+}
+
+func TestP1SnapshotPreventionIsNonBlocking(t *testing.T) {
+	out := expect(t, P1DirtyRead(), engine.SnapshotIsolation, false)
+	if out.Mechanism != "snapshot" {
+		t.Errorf("SI prevents P1 without blocking, got %s", out.Mechanism)
+	}
+	out = expect(t, P1DirtyRead(), engine.ReadConsistency, false)
+	if out.Mechanism != "snapshot" {
+		t.Errorf("Read Consistency prevents P1 without blocking, got %s", out.Mechanism)
+	}
+	out = expect(t, P1DirtyRead(), engine.ReadCommitted, false)
+	if out.Mechanism != "blocked" {
+		t.Errorf("locking RC prevents P1 by blocking, got %s", out.Mechanism)
+	}
+}
+
+// --- P4C Cursor Lost Update ---
+
+func TestP4CMatrix(t *testing.T) {
+	sc := P4CCursorLostUpdate()
+	expect(t, sc, engine.ReadUncommitted, true)
+	expect(t, sc, engine.ReadCommitted, true)
+	for _, lvl := range []engine.Level{
+		engine.CursorStability, engine.RepeatableRead, engine.Serializable,
+		engine.SnapshotIsolation, engine.ReadConsistency,
+	} {
+		expect(t, sc, lvl, false)
+	}
+}
+
+func TestP4CPreventionMechanisms(t *testing.T) {
+	out := expect(t, P4CCursorLostUpdate(), engine.CursorStability, false)
+	if out.Mechanism != "blocked" {
+		t.Errorf("CS prevents P4C by holding the cursor lock, got %s", out.Mechanism)
+	}
+	out = expect(t, P4CCursorLostUpdate(), engine.ReadConsistency, false)
+	if out.Mechanism != "aborted" {
+		t.Errorf("Read Consistency prevents P4C via row-changed abort, got %s", out.Mechanism)
+	}
+	out = expect(t, P4CCursorLostUpdate(), engine.SnapshotIsolation, false)
+	if out.Mechanism != "aborted" {
+		t.Errorf("SI prevents P4C via first-committer-wins, got %s", out.Mechanism)
+	}
+}
+
+// --- P4 Lost Update ---
+
+func TestP4Matrix(t *testing.T) {
+	sc := P4LostUpdate()
+	expect(t, sc, engine.ReadUncommitted, true)
+	expect(t, sc, engine.ReadCommitted, true)
+	expect(t, sc, engine.CursorStability, true) // plain reads: the "sometimes" half
+	expect(t, sc, engine.ReadConsistency, true) // §4.3: P4 possible
+	expect(t, sc, engine.RepeatableRead, false) // upgrade deadlock
+	expect(t, sc, engine.Serializable, false)
+	expect(t, sc, engine.SnapshotIsolation, false) // FCW
+}
+
+func TestP4PreventionMechanisms(t *testing.T) {
+	out := expect(t, P4LostUpdate(), engine.RepeatableRead, false)
+	if out.Mechanism != "aborted" {
+		t.Errorf("RR prevents P4 via deadlock abort, got %s", out.Mechanism)
+	}
+	out = expect(t, P4LostUpdate(), engine.SnapshotIsolation, false)
+	if out.Mechanism != "aborted" {
+		t.Errorf("SI prevents P4 via FCW abort, got %s", out.Mechanism)
+	}
+}
+
+// The guarded (cursor) variant of the lost update is P4C — prevented at CS:
+// together these two results are Table 4's "Sometimes Possible".
+func TestP4SometimesPossibleAtCursorStability(t *testing.T) {
+	plain := expect(t, P4LostUpdate(), engine.CursorStability, true)
+	guarded := expect(t, P4CCursorLostUpdate(), engine.CursorStability, false)
+	if !plain.Anomaly || guarded.Anomaly {
+		t.Fatal("CS: plain lost update occurs, cursor-guarded is prevented")
+	}
+}
+
+// --- P2 Fuzzy Read ---
+
+func TestP2Matrix(t *testing.T) {
+	sc := P2FuzzyRead()
+	expect(t, sc, engine.ReadUncommitted, true)
+	expect(t, sc, engine.ReadCommitted, true)
+	expect(t, sc, engine.CursorStability, true) // plain reads
+	expect(t, sc, engine.ReadConsistency, true) // statement snapshots move
+	expect(t, sc, engine.RepeatableRead, false)
+	expect(t, sc, engine.Serializable, false)
+	expect(t, sc, engine.SnapshotIsolation, false)
+}
+
+func TestP2CursorGuardedAtCS(t *testing.T) {
+	guarded, _ := Guarded("P2")
+	expect(t, guarded, engine.CursorStability, false)
+	expect(t, guarded, engine.ReadCommitted, true) // short cursor locks don't help
+}
+
+// --- P3 Phantom ---
+
+func TestP3RereadMatrix(t *testing.T) {
+	sc := P3PhantomReread()
+	expect(t, sc, engine.ReadUncommitted, true)
+	expect(t, sc, engine.ReadCommitted, true)
+	expect(t, sc, engine.CursorStability, true)
+	expect(t, sc, engine.RepeatableRead, true) // short predicate locks: phantoms!
+	expect(t, sc, engine.ReadConsistency, true)
+	expect(t, sc, engine.Serializable, false)      // long predicate locks
+	expect(t, sc, engine.SnapshotIsolation, false) // stable snapshot: no A3
+}
+
+func TestP3ConstraintMatrix(t *testing.T) {
+	sc := P3PhantomConstraint()
+	expect(t, sc, engine.ReadCommitted, true)
+	expect(t, sc, engine.RepeatableRead, true)
+	expect(t, sc, engine.SnapshotIsolation, true) // the paper's SI phantom
+	expect(t, sc, engine.Serializable, false)
+}
+
+// --- A5A Read Skew ---
+
+func TestA5AMatrix(t *testing.T) {
+	sc := A5AReadSkew()
+	expect(t, sc, engine.ReadUncommitted, true)
+	expect(t, sc, engine.ReadCommitted, true)
+	expect(t, sc, engine.CursorStability, true)
+	expect(t, sc, engine.ReadConsistency, true)
+	expect(t, sc, engine.RepeatableRead, false)
+	expect(t, sc, engine.Serializable, false)
+	expect(t, sc, engine.SnapshotIsolation, false)
+}
+
+// --- A5B Write Skew ---
+
+func TestA5BMatrix(t *testing.T) {
+	sc := A5BWriteSkew()
+	expect(t, sc, engine.ReadUncommitted, true)
+	expect(t, sc, engine.ReadCommitted, true)
+	expect(t, sc, engine.CursorStability, true)   // plain reads
+	expect(t, sc, engine.ReadConsistency, true)   // disjoint write locks don't conflict
+	expect(t, sc, engine.SnapshotIsolation, true) // THE SI anomaly (H5)
+	expect(t, sc, engine.RepeatableRead, false)   // long read locks: deadlock
+	expect(t, sc, engine.Serializable, false)
+}
+
+func TestA5BTwoCursorGuardedAtCS(t *testing.T) {
+	guarded, ok := Guarded("A5B")
+	if !ok {
+		t.Fatal("no guarded A5B variant")
+	}
+	expect(t, guarded, engine.CursorStability, false) // upgrade deadlock
+	expect(t, guarded, engine.ReadUncommitted, true)  // no cursor locks at RU
+}
+
+// --- Cross-validation with the formal matchers ---
+
+// When an anomaly occurs on a locking engine, the recorded execution
+// history must exhibit the corresponding formal phenomenon.
+func TestRecordedHistoriesExhibitPhenomena(t *testing.T) {
+	cases := []struct {
+		sc    Scenario
+		level engine.Level
+		id    phenomena.ID
+	}{
+		{P0DirtyWrite(), engine.Degree0, phenomena.P0},
+		{P1DirtyRead(), engine.ReadUncommitted, phenomena.P1},
+		{P4LostUpdate(), engine.ReadCommitted, phenomena.P4},
+		{P4CCursorLostUpdate(), engine.ReadCommitted, phenomena.P4C},
+		{P2FuzzyRead(), engine.ReadCommitted, phenomena.A2},
+		{P3PhantomReread(), engine.RepeatableRead, phenomena.A3},
+		{A5AReadSkew(), engine.ReadCommitted, phenomena.A5A},
+		{A5BWriteSkew(), engine.ReadCommitted, phenomena.A5B},
+	}
+	for _, c := range cases {
+		out, res, err := Run(c.sc, c.level)
+		if err != nil {
+			t.Fatalf("%s at %s: %v", c.sc.ID, c.level, err)
+		}
+		if !out.Anomaly {
+			t.Fatalf("%s at %s should occur", c.sc.ID, c.level)
+		}
+		if len(res.History) == 0 {
+			t.Fatalf("%s at %s: no recorded history", c.sc.ID, c.level)
+		}
+		if !phenomena.Exhibits(c.id, res.History) {
+			t.Errorf("%s at %s: recorded history does not exhibit %s:\n%s",
+				c.sc.ID, c.level, c.id, res.History)
+		}
+	}
+}
+
+// And the converse: when the engine prevents the anomaly, the recorded
+// history must NOT exhibit the strict form of the phenomenon.
+func TestPreventedRunsAreClean(t *testing.T) {
+	cases := []struct {
+		sc    Scenario
+		level engine.Level
+		id    phenomena.ID
+	}{
+		{P1DirtyRead(), engine.ReadCommitted, phenomena.A1},
+		{P2FuzzyRead(), engine.RepeatableRead, phenomena.A2},
+		{P3PhantomReread(), engine.Serializable, phenomena.A3},
+		{P4LostUpdate(), engine.Serializable, phenomena.P4},
+	}
+	for _, c := range cases {
+		out, res, err := Run(c.sc, c.level)
+		if err != nil {
+			t.Fatalf("%s at %s: %v", c.sc.ID, c.level, err)
+		}
+		if out.Anomaly {
+			t.Fatalf("%s at %s should be prevented", c.sc.ID, c.level)
+		}
+		if phenomena.Exhibits(c.id, res.History) {
+			t.Errorf("%s at %s: prevented run still shows %s:\n%s",
+				c.sc.ID, c.level, c.id, res.History)
+		}
+	}
+}
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 11 {
+		t.Fatalf("catalog has %d scenarios", len(cat))
+	}
+	for _, id := range []string{"P0", "P1", "P4C", "P4", "P2", "P3", "A5A", "A5B"} {
+		sc := Primary(id)
+		if sc.ID != id || len(sc.Steps()) == 0 || sc.Check == nil {
+			t.Errorf("primary %s malformed", id)
+		}
+	}
+	for _, id := range []string{"P2", "A5B"} {
+		if _, ok := Guarded(id); !ok {
+			t.Errorf("missing guarded variant for %s", id)
+		}
+	}
+	if _, ok := Guarded("P1"); ok {
+		t.Error("P1 should have no guarded variant")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if (Outcome{Anomaly: true, Details: "boom"}).String() == "" {
+		t.Fatal("empty string")
+	}
+	if (Outcome{Mechanism: "blocked", Details: "ok"}).String() == "" {
+		t.Fatal("empty string")
+	}
+}

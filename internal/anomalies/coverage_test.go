@@ -1,0 +1,150 @@
+package anomalies
+
+import (
+	"testing"
+
+	"isolevel/internal/engine"
+	"isolevel/internal/phenomena"
+)
+
+// Exhaustive smoke: every scenario in the catalog runs at every level
+// without runner errors, and with structurally sane results — the full
+// 11 × 8 sweep behind Table 4 and its variants.
+func TestFullCatalogAcrossAllLevels(t *testing.T) {
+	for _, sc := range Catalog() {
+		for _, level := range engine.Levels {
+			out, res, err := Run(sc, level)
+			if err != nil {
+				t.Fatalf("%s/%s at %s: %v", sc.ID, sc.Variant, level, err)
+			}
+			if out.Anomaly && out.Mechanism != "" {
+				t.Errorf("%s/%s at %s: occurred outcome carries a mechanism %q", sc.ID, sc.Variant, level, out.Mechanism)
+			}
+			if !out.Anomaly && out.Mechanism == "" {
+				t.Errorf("%s/%s at %s: prevented outcome lacks a mechanism", sc.ID, sc.Variant, level)
+			}
+			// Every step is accounted for: completed, skipped, or blocked
+			// then completed; none left dangling.
+			for _, st := range res.Steps {
+				if !st.Skipped && st.Err == nil && st.Name == "" {
+					t.Errorf("%s/%s at %s: anonymous step result %+v", sc.ID, sc.Variant, level, st)
+				}
+			}
+			// The recorded history (when present) is structurally valid.
+			if len(res.History) > 0 {
+				if err := res.History.Validate(); err != nil {
+					t.Errorf("%s/%s at %s: invalid recorded history: %v\n%s", sc.ID, sc.Variant, level, err, res.History)
+				}
+			}
+		}
+	}
+}
+
+// Monotonicity across the locking chain: if a locking level prevents a
+// scenario, every stronger locking level prevents it too (Remark 1
+// operationally, over the whole catalog).
+func TestLockingChainMonotonicity(t *testing.T) {
+	chain := []engine.Level{
+		engine.Degree0, engine.ReadUncommitted, engine.ReadCommitted,
+		engine.CursorStability, engine.RepeatableRead, engine.Serializable,
+	}
+	for _, sc := range Catalog() {
+		prevented := false
+		for _, level := range chain {
+			out, _, err := Run(sc, level)
+			if err != nil {
+				t.Fatalf("%s/%s at %s: %v", sc.ID, sc.Variant, level, err)
+			}
+			if prevented && out.Anomaly {
+				t.Errorf("%s/%s: prevented at a weaker level but occurred at %s", sc.ID, sc.Variant, level)
+			}
+			if !out.Anomaly {
+				prevented = true
+			}
+		}
+	}
+}
+
+// SERIALIZABLE prevents every scenario in the catalog; Degree 0 prevents
+// none of them.
+func TestExtremesOfTheChain(t *testing.T) {
+	for _, sc := range Catalog() {
+		out, _, err := Run(sc, engine.Serializable)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", sc.ID, sc.Variant, err)
+		}
+		if out.Anomaly {
+			t.Errorf("%s/%s occurred at SERIALIZABLE: %s", sc.ID, sc.Variant, out.Details)
+		}
+		out, _, err = Run(sc, engine.Degree0)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", sc.ID, sc.Variant, err)
+		}
+		if !out.Anomaly {
+			t.Errorf("%s/%s prevented at Degree 0 (%s): the weakest level should allow it",
+				sc.ID, sc.Variant, out.Mechanism)
+		}
+	}
+}
+
+// Deterministic: the same scenario at the same level yields the same
+// verdict on repeated runs (the runner is observer-driven, not timing-
+// driven).
+func TestScenarioDeterminism(t *testing.T) {
+	interesting := []struct {
+		id    string
+		level engine.Level
+	}{
+		{"P4", engine.RepeatableRead},     // deadlock path
+		{"A5B", engine.SnapshotIsolation}, // FCW path
+		{"P4C", engine.CursorStability},   // blocking path
+		{"P3", engine.Serializable},       // predicate-lock path
+	}
+	for _, c := range interesting {
+		sc := Primary(c.id)
+		first, _, err := Run(sc, c.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			out, _, err := Run(sc, c.level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Anomaly != first.Anomaly || out.Mechanism != first.Mechanism {
+				t.Fatalf("%s at %s: run %d diverged: %v vs %v", c.id, c.level, i, out, first)
+			}
+		}
+	}
+}
+
+// The live scenarios and the syntactic paper histories agree: for each
+// locking level, the phenomena its Table 3 acceptor forbids are exactly
+// those whose scenarios it prevents (already covered per-cell in matrix;
+// here as a catalog-wide consistency pass over the strict manifestations).
+func TestScenarioVsMatcherConsistency(t *testing.T) {
+	cases := []struct {
+		id      string
+		level   engine.Level
+		matcher phenomena.ID
+	}{
+		{"P1", engine.ReadUncommitted, phenomena.P1},
+		{"P2", engine.ReadCommitted, phenomena.P2},
+		{"P4", engine.CursorStability, phenomena.P4},
+		{"A5A", engine.CursorStability, phenomena.A5A},
+		{"A5B", engine.ReadCommitted, phenomena.A5B},
+	}
+	for _, c := range cases {
+		out, res, err := Run(Primary(c.id), c.level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Anomaly {
+			t.Fatalf("%s at %s expected to occur", c.id, c.level)
+		}
+		if len(res.History) > 0 && !phenomena.Exhibits(c.matcher, res.History) {
+			t.Errorf("%s at %s: detector fired but matcher %s found nothing in:\n%s",
+				c.id, c.level, c.matcher, res.History)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package anomalies
+
+import (
+	"isolevel/internal/engine"
+	"isolevel/internal/locking"
+	"isolevel/internal/oraclerc"
+	"isolevel/internal/schedule"
+	"isolevel/internal/snapshot"
+)
+
+// NewDBFor instantiates the engine implementing the given isolation level:
+// the Table 2 locking scheduler for the locking levels, the §4.2
+// multiversion engine for SNAPSHOT ISOLATION, and the §4.3 statement-
+// snapshot engine for READ CONSISTENCY.
+func NewDBFor(level engine.Level) engine.DB {
+	switch level {
+	case engine.SnapshotIsolation:
+		return snapshot.NewDB()
+	case engine.ReadConsistency:
+		return oraclerc.NewDB()
+	default:
+		return locking.NewDB()
+	}
+}
+
+// Run executes the scenario on a fresh engine at the given level and
+// returns the detector's verdict alongside the raw schedule result.
+func Run(sc Scenario, level engine.Level) (Outcome, *schedule.Result, error) {
+	db := NewDBFor(level)
+	db.Load(sc.Setup...)
+	res, err := schedule.Run(db, schedule.Options{Level: level}, sc.Steps())
+	if err != nil {
+		return Outcome{}, res, err
+	}
+	return sc.Check(db, res), res, nil
+}

@@ -1,0 +1,153 @@
+package ansi
+
+import (
+	"testing"
+
+	"isolevel/internal/deps"
+	"isolevel/internal/history"
+	"isolevel/internal/phenomena"
+)
+
+// §3's central argument: H1 is admitted by every strict-reading level up to
+// ANOMALY SERIALIZABLE, despite being non-serializable — and rejected once
+// the broad P1 is forbidden.
+func TestH1SlipsThroughStrictButNotBroad(t *testing.T) {
+	h := history.H1()
+	if !AnomalySerializable.Admits(h) {
+		t.Fatalf("H1 must pass ANOMALY SERIALIZABLE; violations: %v", AnomalySerializable.Violations(h))
+	}
+	if deps.Serializable(h) {
+		t.Fatal("H1 is not serializable")
+	}
+	if ReadCommittedP.Admits(h) {
+		t.Fatal("broad READ COMMITTED (forbid P1) must reject H1")
+	}
+}
+
+// H2 slips through strict A2 but is rejected by broad P2.
+func TestH2SlipsThroughA2ButNotP2(t *testing.T) {
+	h := history.H2()
+	if !RepeatableReadA1.Admits(h) {
+		t.Fatalf("H2 must pass strict REPEATABLE READ; violations: %v", RepeatableReadA1.Violations(h))
+	}
+	if RepeatableReadP.Admits(h) {
+		t.Fatal("broad REPEATABLE READ (forbid P2) must reject H2")
+	}
+	if deps.Serializable(h) {
+		t.Fatal("H2 is not serializable")
+	}
+}
+
+// H3 slips through strict A3 but is rejected by broad P3.
+func TestH3SlipsThroughA3ButNotP3(t *testing.T) {
+	h := history.H3()
+	if !AnomalySerializable.Admits(h) {
+		t.Fatalf("H3 must pass ANOMALY SERIALIZABLE; violations: %v", AnomalySerializable.Violations(h))
+	}
+	if SerializableP.Admits(h) {
+		t.Fatal("broad phenomenon SERIALIZABLE (forbid P3) must reject H3")
+	}
+	if deps.Serializable(h) {
+		t.Fatal("H3 is not serializable")
+	}
+}
+
+// The paper's headline: ANOMALY SERIALIZABLE is not serializable. H5
+// (write skew) passes all of A1, A2, A3 yet has a dependency cycle.
+func TestAnomalySerializableIsNotSerializable(t *testing.T) {
+	h := history.H5()
+	if !AnomalySerializable.Admits(h) {
+		t.Fatalf("H5 must pass ANOMALY SERIALIZABLE; violations: %v", AnomalySerializable.Violations(h))
+	}
+	if deps.Serializable(h) {
+		t.Fatal("H5 must not be serializable")
+	}
+}
+
+// Remark 3 / Table 3: even READ UNCOMMITTED forbids P0.
+func TestTable3ReadUncommittedForbidsDirtyWrite(t *testing.T) {
+	h := history.DirtyWrite()
+	if ReadUncommitted.Admits(h) {
+		t.Fatal("Table 3 READ UNCOMMITTED must reject dirty writes")
+	}
+	if v := ReadUncommitted.FirstViolation(h); v != phenomena.P0 {
+		t.Fatalf("violation = %v, want P0", v)
+	}
+	// Table 1's ANSI levels, by contrast, do NOT exclude P0 below
+	// SERIALIZABLE ("ANSI SQL does not exclude this anomalous behavior").
+	if !ReadCommittedP.Admits(h) {
+		t.Fatal("Table 1 broad READ COMMITTED says nothing about P0 — DirtyWrite history has no dirty read")
+	}
+}
+
+// Table 3's levels are totally ordered by their forbidden sets; check the
+// chain on the canonical corpus.
+func TestTable3Chain(t *testing.T) {
+	corpus := []history.History{
+		history.H1(), history.H2(), history.H3(), history.H4(), history.H5(),
+		history.DirtyWrite(), history.ReadSkew(), history.WriteSkew(),
+		history.MustParse("w1[x] r2[x] a1 c2"),
+		history.MustParse("r1[P] w2[y in P] c2 r1[P] c1"),
+	}
+	levels := Table3
+	for i := 0; i+1 < len(levels); i++ {
+		if !Stronger(levels[i+1], levels[i], corpus) {
+			t.Errorf("%s should be stronger than %s on corpus", levels[i+1].Name, levels[i].Name)
+		}
+	}
+	// And strictly so: find a witness the weaker admits but stronger rejects.
+	witnesses := map[string]history.History{
+		"READ COMMITTED":  history.MustParse("w1[x] r2[x] c1 c2"),       // P1
+		"REPEATABLE READ": history.MustParse("r1[x] w2[x] c2 r1[x] c1"), // P2
+		"SERIALIZABLE":    history.MustParse("r1[P] w2[y in P] c2 c1"),  // P3
+	}
+	for i := 1; i < len(levels); i++ {
+		w := witnesses[levels[i].Name]
+		if !levels[i-1].Admits(w) || levels[i].Admits(w) {
+			t.Errorf("witness for %s vs %s wrong", levels[i].Name, levels[i-1].Name)
+		}
+	}
+}
+
+func TestTable1RowsMatchPaper(t *testing.T) {
+	// Row: READ UNCOMMITTED — P1, P2, P3 all possible.
+	p1 := history.MustParse("w1[x] r2[x] c1 c2")
+	p2 := history.MustParse("r1[x] w2[x] c1 c2")
+	p3 := history.MustParse("r1[P] w2[y in P] c1 c2")
+	if !ReadUncommittedP.Admits(p1) || !ReadUncommittedP.Admits(p2) || !ReadUncommittedP.Admits(p3) {
+		t.Error("READ UNCOMMITTED forbids nothing among P1-P3")
+	}
+	// Row: READ COMMITTED — P1 not possible, P2, P3 possible.
+	if ReadCommittedP.Admits(p1) {
+		t.Error("READ COMMITTED must reject P1 witness")
+	}
+	if !ReadCommittedP.Admits(p2) || !ReadCommittedP.Admits(p3) {
+		t.Error("READ COMMITTED allows P2 and P3")
+	}
+	// Row: REPEATABLE READ — P1, P2 not possible, P3 possible.
+	if RepeatableReadP.Admits(p2) {
+		t.Error("REPEATABLE READ must reject P2 witness")
+	}
+	if !RepeatableReadP.Admits(p3) {
+		t.Error("REPEATABLE READ allows P3")
+	}
+	// Row: SERIALIZABLE (phenomena) — all three rejected.
+	if SerializableP.Admits(p1) || SerializableP.Admits(p2) || SerializableP.Admits(p3) {
+		t.Error("phenomenon SERIALIZABLE rejects P1, P2, P3")
+	}
+}
+
+func TestViolationsLists(t *testing.T) {
+	h := history.MustParse("w1[x] r2[x] r1[y] w2[y] c1 c2") // P1 and P2
+	vs := Serializable.Violations(h)
+	if len(vs) < 2 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestFirstViolationEmptyOnClean(t *testing.T) {
+	h := history.MustParse("r1[x] c1 w2[x] c2")
+	if v := Serializable.FirstViolation(h); v != "" {
+		t.Fatalf("clean serial history flagged: %v", v)
+	}
+}

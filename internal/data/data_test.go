@@ -1,0 +1,149 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	r := Scalar(42)
+	if got := r.Val(); got != 42 {
+		t.Fatalf("Val() = %d, want 42", got)
+	}
+	if v, ok := r.Get(ValField); !ok || v != 42 {
+		t.Fatalf("Get(val) = %d,%v", v, ok)
+	}
+}
+
+func TestValOfNilRow(t *testing.T) {
+	var r Row
+	if got := r.Val(); got != 0 {
+		t.Fatalf("nil row Val() = %d, want 0", got)
+	}
+}
+
+func TestGetMissingField(t *testing.T) {
+	r := Row{"a": 1}
+	if _, ok := r.Get("b"); ok {
+		t.Fatal("Get of missing field reported ok")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := Row{"a": 1, "b": 2}
+	c := r.Clone()
+	c["a"] = 99
+	if r["a"] != 1 {
+		t.Fatalf("mutation of clone leaked into original: %v", r)
+	}
+	if !r.Equal(Row{"a": 1, "b": 2}) {
+		t.Fatalf("original changed: %v", r)
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var r Row
+	if r.Clone() != nil {
+		t.Fatal("Clone of nil row should be nil")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Row
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, Row{}, false},
+		{Row{}, Row{}, true},
+		{Row{"a": 1}, Row{"a": 1}, true},
+		{Row{"a": 1}, Row{"a": 2}, false},
+		{Row{"a": 1}, Row{"b": 1}, false},
+		{Row{"a": 1}, Row{"a": 1, "b": 2}, false},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal(%v,%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("case %d: Equal not symmetric", i)
+		}
+	}
+}
+
+func TestWithDoesNotMutate(t *testing.T) {
+	r := Row{"a": 1}
+	r2 := r.With("a", 5).With("b", 6)
+	if r["a"] != 1 {
+		t.Fatalf("With mutated receiver: %v", r)
+	}
+	if r2["a"] != 5 || r2["b"] != 6 {
+		t.Fatalf("With result wrong: %v", r2)
+	}
+}
+
+func TestWithOnNil(t *testing.T) {
+	var r Row
+	r2 := r.With("x", 1)
+	if r2["x"] != 1 {
+		t.Fatalf("With on nil row: %v", r2)
+	}
+}
+
+func TestRowStringDeterministic(t *testing.T) {
+	r := Row{"b": 2, "a": 1, "c": 3}
+	want := "{a:1, b:2, c:3}"
+	for i := 0; i < 10; i++ {
+		if got := r.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+	var nilRow Row
+	if nilRow.String() != "<nil>" {
+		t.Fatalf("nil row String() = %q", nilRow.String())
+	}
+}
+
+func TestTupleCloneAndString(t *testing.T) {
+	tp := Tuple{Key: "x", Row: Scalar(7)}
+	c := tp.Clone()
+	c.Row[ValField] = 9
+	if tp.Row.Val() != 7 {
+		t.Fatal("Tuple.Clone shares row storage")
+	}
+	if tp.String() != "x{val:7}" {
+		t.Fatalf("Tuple.String() = %q", tp.String())
+	}
+}
+
+func TestSortTuplesAndKeys(t *testing.T) {
+	ts := []Tuple{{Key: "c"}, {Key: "a"}, {Key: "b"}}
+	SortTuples(ts)
+	if ts[0].Key != "a" || ts[1].Key != "b" || ts[2].Key != "c" {
+		t.Fatalf("SortTuples order: %v", ts)
+	}
+	ks := Keys([]Tuple{{Key: "z"}, {Key: "m"}})
+	if len(ks) != 2 || ks[0] != "m" || ks[1] != "z" {
+		t.Fatalf("Keys: %v", ks)
+	}
+}
+
+func TestCloneEqualProperty(t *testing.T) {
+	f := func(m map[string]int64) bool {
+		r := Row(m)
+		return r.Clone().Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualReflexiveProperty(t *testing.T) {
+	f := func(m map[string]int64) bool {
+		r := Row(m)
+		return r.Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

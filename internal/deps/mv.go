@@ -1,0 +1,124 @@
+package deps
+
+import (
+	"sort"
+
+	"isolevel/internal/history"
+)
+
+// The paper (§4.2): "all Snapshot Isolation histories can be mapped to
+// single-valued histories while preserving dataflow dependencies", and
+// "Mapping of MV histories to SV histories is the only rigorous touchstone
+// needed to place Snapshot Isolation in the Isolation Hierarchy."
+//
+// Under SI a transaction's reads all happen (logically) at its start
+// timestamp and its writes become visible at its commit timestamp. The
+// mapping therefore places each committed transaction's reads at its start
+// timestamp and its writes (followed by its commit) at its commit
+// timestamp, ordering events by timestamp. H1.SI maps to H1.SI.SV exactly
+// this way.
+
+// MVTxn is one transaction of a multiversion (Snapshot Isolation)
+// execution: its interval timestamps and its read/write actions in program
+// order. Timestamps must be distinct across all events of an execution
+// (engines guarantee this; the syntactic converter synthesizes them from
+// history positions).
+type MVTxn struct {
+	Tx        int
+	Start     int64 // start timestamp (snapshot point)
+	Commit    int64 // commit timestamp; meaningful only if Committed
+	Committed bool
+	Reads     []history.Op // item and predicate reads, program order
+	Writes    []history.Op // item and predicate writes, program order
+}
+
+// MapToSV maps an SI execution to the paper's single-valued history:
+// committed transactions contribute their reads at Start and their writes
+// plus commit at Commit; aborted transactions contribute their reads at
+// Start and an abort (their writes never became visible to anyone). Events
+// are ordered by timestamp.
+func MapToSV(txns []MVTxn) history.History {
+	type event struct {
+		ts  int64
+		seq int
+		ops history.History
+	}
+	var events []event
+	seq := 0
+	for _, t := range txns {
+		reads := make(history.History, 0, len(t.Reads))
+		for _, op := range t.Reads {
+			op.Version = -1 // single-valued: drop version subscripts
+			reads = append(reads, op)
+		}
+		if t.Committed {
+			tail := make(history.History, 0, len(t.Writes)+1)
+			for _, op := range t.Writes {
+				op.Version = -1
+				tail = append(tail, op)
+			}
+			tail = append(tail, history.Op{Tx: t.Tx, Kind: history.Commit, Version: -1})
+			events = append(events,
+				event{t.Start, seq, reads},
+				event{t.Commit, seq + 1, tail})
+		} else {
+			tail := history.History{{Tx: t.Tx, Kind: history.Abort, Version: -1}}
+			events = append(events,
+				event{t.Start, seq, reads},
+				event{t.Start, seq + 1, tail})
+		}
+		seq += 2
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].ts != events[j].ts {
+			return events[i].ts < events[j].ts
+		}
+		return events[i].seq < events[j].seq
+	})
+	var out history.History
+	for _, e := range events {
+		out = append(out, e.ops...)
+	}
+	return out
+}
+
+// FromMVHistory converts a syntactic multiversion history (version
+// subscripts as in H1.SI) into MVTxn form, synthesizing timestamps from
+// history positions: a transaction's start timestamp is the position of its
+// first action, its commit timestamp the position of its terminal.
+func FromMVHistory(h history.History) []MVTxn {
+	byTx := map[int]*MVTxn{}
+	var order []int
+	for i, op := range h {
+		t, ok := byTx[op.Tx]
+		if !ok {
+			t = &MVTxn{Tx: op.Tx, Start: int64(i)}
+			byTx[op.Tx] = t
+			order = append(order, op.Tx)
+		}
+		switch {
+		case op.Kind == history.Commit:
+			t.Commit = int64(i)
+			t.Committed = true
+		case op.Kind == history.Abort:
+			t.Commit = int64(i)
+		case op.Kind.IsRead():
+			t.Reads = append(t.Reads, op)
+		case op.Kind.IsWrite():
+			t.Writes = append(t.Writes, op)
+		}
+	}
+	out := make([]MVTxn, 0, len(order))
+	for _, tx := range order {
+		out = append(out, *byTx[tx])
+	}
+	return out
+}
+
+// SISerializable reports whether the SI execution, mapped to its
+// single-valued form, is conflict-serializable. Per §4.2 this is the
+// touchstone for whether a particular SI execution had serializable
+// dataflows (H1.SI does; the write-skew execution H5 does not).
+func SISerializable(txns []MVTxn) bool {
+	return Serializable(MapToSV(txns))
+}

@@ -1,0 +1,147 @@
+package deps
+
+import (
+	"isolevel/internal/data"
+	"isolevel/internal/history"
+)
+
+// View-serializability machinery. The paper's §4.2 appeals to view
+// equivalence ("the MV histories are said to be View Equivalent with the
+// SV histories, an approach covered in [BHG], Chapter 5"); this file
+// implements the classical single-version notion so the repository can
+// check both characterizations:
+//
+//   - two histories are view equivalent if they have the same committed
+//     transactions, the same reads-from relation, and the same final
+//     writers per item;
+//   - a history is view serializable if it is view equivalent to some
+//     serial ordering of its committed transactions.
+//
+// View serializability is NP-complete in general; ViewSerializable does an
+// exact factorial search and is intended for the small (2–5 transaction)
+// histories of the paper and the test suite.
+
+// readsFrom computes, for each read in the committed projection, the
+// transaction whose write it reads (0 = the initial state). Reads index by
+// their position in the projected history.
+func readsFrom(h history.History) map[int]int {
+	out := map[int]int{}
+	lastWriter := map[data.Key]int{}
+	for i, op := range h {
+		switch {
+		case op.Kind.IsWrite() && op.Item != "":
+			lastWriter[op.Item] = op.Tx
+		case op.Kind.IsRead() && op.Item != "":
+			out[i] = lastWriter[op.Item] // 0 if never written
+		}
+	}
+	return out
+}
+
+// finalWriters returns the last committed writer of each item.
+func finalWriters(h history.History) map[data.Key]int {
+	out := map[data.Key]int{}
+	for _, op := range h {
+		if op.Kind.IsWrite() && op.Item != "" {
+			out[op.Item] = op.Tx
+		}
+	}
+	return out
+}
+
+// readsFromByOccurrence pairs each transaction's k-th read of item x with
+// its source writer, independent of absolute history positions, so the
+// relation can be compared across reorderings.
+type readKey struct {
+	tx    int
+	item  data.Key
+	index int // k-th read of item by tx
+}
+
+func readsFromRelation(h history.History) map[readKey]int {
+	rf := readsFrom(h)
+	counts := map[struct {
+		tx   int
+		item data.Key
+	}]int{}
+	out := map[readKey]int{}
+	for i, op := range h {
+		if !op.Kind.IsRead() || op.Item == "" {
+			continue
+		}
+		ck := struct {
+			tx   int
+			item data.Key
+		}{op.Tx, op.Item}
+		k := counts[ck]
+		counts[ck] = k + 1
+		out[readKey{op.Tx, op.Item, k}] = rf[i]
+	}
+	return out
+}
+
+// ViewEquivalent reports whether two histories over the same committed
+// transactions have identical reads-from relations and final writers.
+func ViewEquivalent(a, b history.History) bool {
+	ca, cb := a.Committed(), b.Committed()
+	if len(ca) != len(cb) {
+		return false
+	}
+	for tx := range ca {
+		if !cb[tx] {
+			return false
+		}
+	}
+	pa, pb := a.CommittedProjection(), b.CommittedProjection()
+	ra, rb := readsFromRelation(pa), readsFromRelation(pb)
+	if len(ra) != len(rb) {
+		return false
+	}
+	for k, v := range ra {
+		if rb[k] != v {
+			return false
+		}
+	}
+	fa, fb := finalWriters(pa), finalWriters(pb)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, v := range fa {
+		if fb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ViewSerializable reports whether h is view equivalent to some serial
+// order of its committed transactions. Exponential in the number of
+// committed transactions; intended for the paper's small histories.
+func ViewSerializable(h history.History) bool {
+	proj := h.CommittedProjection()
+	var txns []int
+	for _, tx := range proj.Txns() {
+		txns = append(txns, tx)
+	}
+	if len(txns) <= 1 {
+		return true
+	}
+	perm := make([]int, len(txns))
+	copy(perm, txns)
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == len(perm) {
+			serial := proj.SerialOrder(perm...)
+			return ViewEquivalent(proj, serial)
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if try(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return try(0)
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"sync"
+
+	"isolevel/internal/data"
+	"isolevel/internal/history"
+	"isolevel/internal/predicate"
+)
+
+// Recorder captures the history actually executed by an engine, in the
+// order operations took effect, so live runs can be fed to the same
+// phenomenon matchers and dependency-graph analyses as the paper's
+// hand-written histories.
+//
+// Engines record each operation while still holding the lock (or inside
+// the commit critical section) that orders it against conflicting
+// operations, so for locked operations the recorded order is a faithful
+// linearization of the conflict order. Unlocked dirty reads (Degree 0 /
+// READ UNCOMMITTED) are recorded at execution time on a best-effort basis.
+type Recorder struct {
+	mu    sync.Mutex
+	on    bool
+	ops   history.History
+	preds map[string]predicate.P // every predicate ever read, by name
+}
+
+// NewRecorder returns a disabled recorder; call Enable to start capturing.
+func NewRecorder() *Recorder {
+	return &Recorder{preds: map[string]predicate.P{}}
+}
+
+// Enable turns on capture.
+func (r *Recorder) Enable() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.on = true
+}
+
+// Enabled reports whether the recorder captures operations.
+func (r *Recorder) Enabled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.on
+}
+
+// Record appends an op if capture is enabled.
+func (r *Recorder) Record(op history.Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.on {
+		return
+	}
+	r.ops = append(r.ops, op)
+}
+
+// RecordPredRead appends a predicate read and registers the predicate so
+// later writes can be annotated with it.
+func (r *Recorder) RecordPredRead(tx int, p predicate.P) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.on {
+		return
+	}
+	name := p.String()
+	r.preds[name] = p
+	r.ops = append(r.ops, history.Op{Tx: tx, Kind: history.PredRead, Preds: []string{name}, Version: -1})
+}
+
+// RecordWrite appends a write annotated with every previously read
+// predicate that covers either image (this is what makes recorded
+// histories carry the paper's "w2[y in P]" information).
+func (r *Recorder) RecordWrite(tx int, key data.Key, before, after data.Row) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.on {
+		return
+	}
+	op := history.Op{Tx: tx, Kind: history.Write, Item: key, Version: -1}
+	if after != nil {
+		op.Value, op.HasValue = after.Val(), true
+	}
+	for name, p := range r.preds {
+		if predicate.MatchEither(p, key, before, after) {
+			op.Preds = append(op.Preds, name)
+		}
+	}
+	r.ops = append(r.ops, op)
+}
+
+// History returns a copy of the captured history.
+func (r *Recorder) History() history.History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(history.History, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Reset clears the captured ops (but keeps registered predicates).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = nil
+}

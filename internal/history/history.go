@@ -1,0 +1,331 @@
+// Package history implements the paper's history formalism (§2.1–2.2): a
+// history is a linear ordering of the actions of a set of transactions —
+// reads, writes, predicate reads, predicate-affecting writes, commits,
+// aborts, and (for Cursor Stability, §4.1) cursor reads and writes.
+//
+// Histories are both syntax (parsed from the paper's shorthand, e.g.
+// "w1[x] r2[x] c1 a2") and the trace format produced by live engine runs,
+// so the same phenomenon matchers and dependency-graph analyses apply to
+// hand-written counterexamples and to recorded executions.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"isolevel/internal/data"
+)
+
+// Kind enumerates the action kinds that may appear in a history.
+type Kind int
+
+// Action kinds. ReadCursor/WriteCursor are the rc/wc actions the paper
+// introduces for Cursor Stability (§4.1).
+const (
+	Read        Kind = iota // r1[x]    read of a data item
+	Write                   // w1[x=5]  write (insert, update, or delete) of a data item
+	PredRead                // r1[P]    read of the set of items satisfying predicate P
+	PredWrite               // w1[P]    write over a predicate (update/delete where P)
+	Commit                  // c1
+	Abort                   // a1
+	ReadCursor              // rc1[x]   read through a cursor, lock held while current
+	WriteCursor             // wc1[x]   write the current item of the cursor
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "r"
+	case Write:
+		return "w"
+	case PredRead:
+		return "rP"
+	case PredWrite:
+		return "wP"
+	case Commit:
+		return "c"
+	case Abort:
+		return "a"
+	case ReadCursor:
+		return "rc"
+	case WriteCursor:
+		return "wc"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsTerminal reports whether the kind ends a transaction.
+func (k Kind) IsTerminal() bool { return k == Commit || k == Abort }
+
+// IsRead reports whether the kind observes data (r, rP, rc).
+func (k Kind) IsRead() bool { return k == Read || k == PredRead || k == ReadCursor }
+
+// IsWrite reports whether the kind mutates data (w, wP, wc).
+func (k Kind) IsWrite() bool { return k == Write || k == PredWrite || k == WriteCursor }
+
+// Op is a single action in a history.
+type Op struct {
+	// Tx is the transaction number (the subscript in w1[x]).
+	Tx int
+	// Kind is the action kind.
+	Kind Kind
+	// Item is the data item for item actions (r, w, rc, wc) and for
+	// predicate-affecting writes ("w2[y in P]" has Item y).
+	Item data.Key
+	// Pred names the predicate for PredRead/PredWrite, and for item writes
+	// that are marked as falling inside previously read predicates
+	// (the "y in P" annotation). Multiple predicates may be affected.
+	Preds []string
+	// Value is the value annotation (w1[x=10], r2[x=50]); HasValue says
+	// whether one was given/observed.
+	Value    int64
+	HasValue bool
+	// Version is the version subscript in multiversion histories
+	// (r2[x0=50] reads version 0 of x): -1 when absent.
+	Version int
+}
+
+// NewOp builds an Op with no version annotation.
+func NewOp(tx int, kind Kind, item data.Key) Op {
+	return Op{Tx: tx, Kind: kind, Item: item, Version: -1}
+}
+
+// WithValue returns a copy of the op carrying a value annotation.
+func (o Op) WithValue(v int64) Op {
+	o.Value = v
+	o.HasValue = true
+	return o
+}
+
+// WithPreds returns a copy of the op annotated with predicate names.
+func (o Op) WithPreds(names ...string) Op {
+	o.Preds = append([]string(nil), names...)
+	return o
+}
+
+// WithVersion returns a copy of the op with a multiversion subscript.
+func (o Op) WithVersion(v int) Op {
+	o.Version = v
+	return o
+}
+
+// InPred reports whether the op is annotated as affecting predicate name.
+func (o Op) InPred(name string) bool {
+	for _, p := range o.Preds {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the op in the paper's shorthand. PredRead/PredWrite print
+// as r1[P]/w1[P] exactly as in the paper; the uppercase operand marks them
+// as predicate actions for the parser.
+func (o Op) String() string {
+	var b strings.Builder
+	switch o.Kind {
+	case PredRead:
+		b.WriteString("r")
+	case PredWrite:
+		b.WriteString("w")
+	default:
+		b.WriteString(o.Kind.String())
+	}
+	fmt.Fprintf(&b, "%d", o.Tx)
+	switch o.Kind {
+	case Commit, Abort:
+		return b.String()
+	case PredRead, PredWrite:
+		b.WriteByte('[')
+		if len(o.Preds) > 0 {
+			b.WriteString(o.Preds[0])
+		} else {
+			b.WriteString("P")
+		}
+		b.WriteByte(']')
+		return b.String()
+	}
+	b.WriteByte('[')
+	b.WriteString(string(o.Item))
+	if o.Version >= 0 {
+		fmt.Fprintf(&b, ".%d", o.Version)
+	}
+	if o.HasValue {
+		fmt.Fprintf(&b, "=%d", o.Value)
+	}
+	if len(o.Preds) > 0 {
+		fmt.Fprintf(&b, " in %s", strings.Join(o.Preds, ","))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// History is a linear ordering of actions.
+type History []Op
+
+// String renders the history in the paper's shorthand.
+func (h History) String() string {
+	parts := make([]string, len(h))
+	for i, op := range h {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Txns returns the sorted set of transaction numbers appearing in h.
+func (h History) Txns() []int {
+	seen := map[int]bool{}
+	for _, op := range h {
+		seen[op.Tx] = true
+	}
+	out := make([]int, 0, len(seen))
+	for tx := range seen {
+		out = append(out, tx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OpsOf returns the subsequence of ops belonging to tx.
+func (h History) OpsOf(tx int) History {
+	var out History
+	for _, op := range h {
+		if op.Tx == tx {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Committed returns the set of transactions that commit in h.
+func (h History) Committed() map[int]bool {
+	out := map[int]bool{}
+	for _, op := range h {
+		if op.Kind == Commit {
+			out[op.Tx] = true
+		}
+	}
+	return out
+}
+
+// Aborted returns the set of transactions that abort in h.
+func (h History) Aborted() map[int]bool {
+	out := map[int]bool{}
+	for _, op := range h {
+		if op.Kind == Abort {
+			out[op.Tx] = true
+		}
+	}
+	return out
+}
+
+// TerminalIndex returns the index of tx's commit/abort, or -1 if tx never
+// terminates in h.
+func (h History) TerminalIndex(tx int) int {
+	for i, op := range h {
+		if op.Tx == tx && op.Kind.IsTerminal() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Items returns the sorted set of data items touched by item actions.
+func (h History) Items() []data.Key {
+	seen := map[data.Key]bool{}
+	for _, op := range h {
+		if op.Item != "" {
+			seen[op.Item] = true
+		}
+	}
+	out := make([]data.Key, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WellFormedError describes a structural defect in a history.
+type WellFormedError struct {
+	Index int
+	Op    Op
+	Msg   string
+}
+
+func (e *WellFormedError) Error() string {
+	return fmt.Sprintf("history: op %d (%s): %s", e.Index, e.Op, e.Msg)
+}
+
+// Validate checks structural sanity: no actions after a transaction's
+// terminal, at most one terminal per transaction, ops have items/predicates
+// where required.
+func (h History) Validate() error {
+	done := map[int]bool{}
+	for i, op := range h {
+		if done[op.Tx] {
+			return &WellFormedError{i, op, "action after transaction terminated"}
+		}
+		switch op.Kind {
+		case Commit, Abort:
+			done[op.Tx] = true
+		case Read, Write, ReadCursor, WriteCursor:
+			if op.Item == "" {
+				return &WellFormedError{i, op, "item action without item"}
+			}
+		case PredRead, PredWrite:
+			if len(op.Preds) == 0 {
+				return &WellFormedError{i, op, "predicate action without predicate"}
+			}
+		default:
+			return &WellFormedError{i, op, "unknown kind"}
+		}
+	}
+	return nil
+}
+
+// CommittedProjection returns the history restricted to committed
+// transactions — the paper's dependency graphs are over committed
+// transactions only (§2.1).
+func (h History) CommittedProjection() History {
+	committed := h.Committed()
+	var out History
+	for _, op := range h {
+		if committed[op.Tx] {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Serial reports whether the history is serial: each transaction's actions
+// form a contiguous block.
+func (h History) Serial() bool {
+	seen := map[int]bool{}
+	cur := 0
+	started := false
+	for _, op := range h {
+		if !started || op.Tx != cur {
+			if seen[op.Tx] {
+				return false
+			}
+			seen[op.Tx] = true
+			cur = op.Tx
+			started = true
+		}
+	}
+	return true
+}
+
+// SerialOrder builds the serial history that runs the given transactions'
+// op-blocks one after another in the given order. Transactions keep their
+// internal op order from h. Transactions not listed are dropped.
+func (h History) SerialOrder(txOrder ...int) History {
+	var out History
+	for _, tx := range txOrder {
+		out = append(out, h.OpsOf(tx)...)
+	}
+	return out
+}

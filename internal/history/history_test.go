@@ -1,0 +1,306 @@
+package history
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"isolevel/internal/data"
+)
+
+func TestParseSimpleOps(t *testing.T) {
+	h := MustParse("w1[x] r2[x] c1 a2")
+	if len(h) != 4 {
+		t.Fatalf("len = %d", len(h))
+	}
+	if h[0].Kind != Write || h[0].Tx != 1 || h[0].Item != "x" {
+		t.Fatalf("op0 = %+v", h[0])
+	}
+	if h[1].Kind != Read || h[1].Tx != 2 {
+		t.Fatalf("op1 = %+v", h[1])
+	}
+	if h[2].Kind != Commit || h[2].Tx != 1 {
+		t.Fatalf("op2 = %+v", h[2])
+	}
+	if h[3].Kind != Abort || h[3].Tx != 2 {
+		t.Fatalf("op3 = %+v", h[3])
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	h := MustParse("w1[x=10] r2[x=-5]")
+	if !h[0].HasValue || h[0].Value != 10 {
+		t.Fatalf("op0 value: %+v", h[0])
+	}
+	if !h[1].HasValue || h[1].Value != -5 {
+		t.Fatalf("op1 value: %+v", h[1])
+	}
+}
+
+func TestParsePredicateOps(t *testing.T) {
+	h := MustParse("r1[P] w2[y in P] w1[Q]")
+	if h[0].Kind != PredRead || h[0].Preds[0] != "P" {
+		t.Fatalf("op0 = %+v", h[0])
+	}
+	if h[1].Kind != Write || h[1].Item != "y" || !h[1].InPred("P") {
+		t.Fatalf("op1 = %+v", h[1])
+	}
+	if h[2].Kind != PredWrite || h[2].Preds[0] != "Q" {
+		t.Fatalf("op2 = %+v", h[2])
+	}
+}
+
+func TestParseMultiPredAnnotation(t *testing.T) {
+	h := MustParse("w1[y in P,Q2]")
+	if !h[0].InPred("P") || !h[0].InPred("Q2") || h[0].InPred("R") {
+		t.Fatalf("op = %+v", h[0])
+	}
+}
+
+func TestParseCursorOps(t *testing.T) {
+	h := MustParse("rc1[x=100] wc1[x=130] c1")
+	if h[0].Kind != ReadCursor || h[1].Kind != WriteCursor {
+		t.Fatalf("cursor kinds: %+v %+v", h[0], h[1])
+	}
+	if h[0].Value != 100 || h[1].Value != 130 {
+		t.Fatal("cursor values lost")
+	}
+}
+
+func TestParseVersionSubscripts(t *testing.T) {
+	h := MustParse("r1[x.0=50] w1[x.1=10]")
+	if h[0].Version != 0 || h[1].Version != 1 {
+		t.Fatalf("versions: %+v %+v", h[0], h[1])
+	}
+	if h[0].Item != "x" || h[1].Item != "x" {
+		t.Fatal("item lost with version subscript")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"x1[y]",     // unknown op
+		"r[x]",      // no tx number
+		"c1[x]",     // terminal with operand
+		"r1",        // missing operand
+		"r1[]",      // empty operand
+		"w1[x=abc]", // bad value
+		"rc1[P]",    // cursor op on predicate
+		"w1[y in lowercase]",
+		"r1[x] r1[x] c1 r1[x]", // op after terminal
+		"c1 c1",                // double terminal
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"w1[x] r2[x] c1 a2",
+		"w1[x=10] r2[x=-5] c1 c2",
+		"r1[P] w2[y in P] c2 c1",
+		"rc1[x=100] wc1[x=130] c1",
+		"r1[x.0=50] w1[x.1=10] c1",
+	}
+	for _, src := range srcs {
+		h := MustParse(src)
+		h2 := MustParse(h.String())
+		if h.String() != h2.String() {
+			t.Errorf("round trip changed %q -> %q", h.String(), h2.String())
+		}
+	}
+}
+
+func TestPaperHistoriesParse(t *testing.T) {
+	for name, fn := range map[string]func() History{
+		"H1": H1, "H2": H2, "H3": H3, "H4": H4, "H4C": H4C, "H5": H5,
+		"H1SI": H1SI, "H1SISV": H1SISV, "DirtyWrite": DirtyWrite,
+		"DirtyWriteUndo": DirtyWriteUndo, "ReadSkew": ReadSkew, "WriteSkew": WriteSkew,
+	} {
+		h := fn()
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+		if len(h) == 0 {
+			t.Errorf("%s empty", name)
+		}
+	}
+}
+
+func TestH1Shape(t *testing.T) {
+	h := H1()
+	if got := h.String(); got != "r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1" {
+		t.Fatalf("H1 = %q", got)
+	}
+	if txns := h.Txns(); len(txns) != 2 || txns[0] != 1 || txns[1] != 2 {
+		t.Fatalf("H1 txns = %v", txns)
+	}
+}
+
+func TestTxnsAndOpsOf(t *testing.T) {
+	h := MustParse("r3[x] w1[y] c3 c1")
+	if txns := h.Txns(); len(txns) != 2 || txns[0] != 1 || txns[1] != 3 {
+		t.Fatalf("Txns = %v", txns)
+	}
+	ops := h.OpsOf(3)
+	if len(ops) != 2 || ops[0].Kind != Read || ops[1].Kind != Commit {
+		t.Fatalf("OpsOf(3) = %v", ops)
+	}
+}
+
+func TestCommittedAbortedTerminal(t *testing.T) {
+	h := MustParse("w1[x] r2[x] a1 c2")
+	if !h.Committed()[2] || h.Committed()[1] {
+		t.Fatalf("Committed = %v", h.Committed())
+	}
+	if !h.Aborted()[1] || h.Aborted()[2] {
+		t.Fatalf("Aborted = %v", h.Aborted())
+	}
+	if h.TerminalIndex(1) != 2 || h.TerminalIndex(2) != 3 {
+		t.Fatal("TerminalIndex wrong")
+	}
+	if h.TerminalIndex(9) != -1 {
+		t.Fatal("TerminalIndex of absent tx should be -1")
+	}
+}
+
+func TestItems(t *testing.T) {
+	h := MustParse("w1[x] r1[z] r1[P] w2[y in P] c1 c2")
+	items := h.Items()
+	want := []data.Key{"x", "y", "z"}
+	if len(items) != len(want) {
+		t.Fatalf("Items = %v", items)
+	}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Fatalf("Items = %v, want %v", items, want)
+		}
+	}
+}
+
+func TestCommittedProjection(t *testing.T) {
+	h := MustParse("w1[x] r2[x] a1 c2")
+	p := h.CommittedProjection()
+	for _, op := range p {
+		if op.Tx != 2 {
+			t.Fatalf("projection kept aborted tx op %v", op)
+		}
+	}
+	if len(p) != 2 {
+		t.Fatalf("projection len = %d", len(p))
+	}
+}
+
+func TestSerial(t *testing.T) {
+	if !MustParse("r1[x] w1[y] c1 r2[x] c2").Serial() {
+		t.Fatal("contiguous blocks should be serial")
+	}
+	if MustParse("r1[x] r2[x] w1[y] c1 c2").Serial() {
+		t.Fatal("interleaved history claimed serial")
+	}
+	if !(History{}).Serial() {
+		t.Fatal("empty history is serial")
+	}
+}
+
+func TestSerialOrder(t *testing.T) {
+	h := MustParse("r1[x] r2[y] w1[x] c1 c2")
+	s := h.SerialOrder(2, 1)
+	want := "r2[y] c2 r1[x] w1[x] c1"
+	if s.String() != want {
+		t.Fatalf("SerialOrder = %q, want %q", s.String(), want)
+	}
+	if !s.Serial() {
+		t.Fatal("SerialOrder result not serial")
+	}
+}
+
+func TestValidateCatchesPostTerminalOps(t *testing.T) {
+	h := History{
+		NewOp(1, Commit, ""),
+		NewOp(1, Read, "x"),
+	}
+	if err := h.Validate(); err == nil {
+		t.Fatal("Validate accepted op after commit")
+	}
+}
+
+func TestOpBuilders(t *testing.T) {
+	op := NewOp(1, Write, "x").WithValue(5).WithPreds("P").WithVersion(2)
+	if op.Value != 5 || !op.HasValue || !op.InPred("P") || op.Version != 2 {
+		t.Fatalf("builders: %+v", op)
+	}
+	if op.String() != "w1[x.2=5 in P]" {
+		t.Fatalf("String = %q", op.String())
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !Read.IsRead() || !PredRead.IsRead() || !ReadCursor.IsRead() {
+		t.Fatal("IsRead wrong")
+	}
+	if !Write.IsWrite() || !PredWrite.IsWrite() || !WriteCursor.IsWrite() {
+		t.Fatal("IsWrite wrong")
+	}
+	if Read.IsWrite() || Write.IsRead() || Commit.IsRead() || Commit.IsWrite() {
+		t.Fatal("kind predicate cross-talk")
+	}
+	if !Commit.IsTerminal() || !Abort.IsTerminal() || Read.IsTerminal() {
+		t.Fatal("IsTerminal wrong")
+	}
+}
+
+// randomHistory builds a structurally valid random history.
+func randomHistory(r *rand.Rand, ntx, nops int) History {
+	items := []data.Key{"x", "y", "z"}
+	var h History
+	done := map[int]bool{}
+	for i := 0; i < nops; i++ {
+		tx := 1 + r.Intn(ntx)
+		if done[tx] {
+			continue
+		}
+		switch r.Intn(6) {
+		case 0:
+			h = append(h, NewOp(tx, Read, items[r.Intn(len(items))]))
+		case 1:
+			h = append(h, NewOp(tx, Write, items[r.Intn(len(items))]).WithValue(int64(r.Intn(100))))
+		case 2:
+			h = append(h, Op{Tx: tx, Kind: PredRead, Preds: []string{"P"}, Version: -1})
+		case 3:
+			h = append(h, NewOp(tx, Write, items[r.Intn(len(items))]).WithPreds("P"))
+		case 4:
+			h = append(h, Op{Tx: tx, Kind: Commit, Version: -1})
+			done[tx] = true
+		case 5:
+			h = append(h, Op{Tx: tx, Kind: Abort, Version: -1})
+			done[tx] = true
+		}
+	}
+	return h
+}
+
+// Property: every random structurally valid history round-trips through
+// String/Parse with identical rendering, and stays valid.
+func TestRandomHistoryRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		h := randomHistory(r, 3, 12)
+		if err := h.Validate(); err != nil {
+			t.Fatalf("random history invalid: %v\n%s", err, h)
+		}
+		if strings.TrimSpace(h.String()) == "" {
+			continue
+		}
+		h2, err := Parse(h.String())
+		if err != nil {
+			t.Fatalf("parse of %q: %v", h.String(), err)
+		}
+		if h2.String() != h.String() {
+			t.Fatalf("round trip changed %q -> %q", h.String(), h2.String())
+		}
+	}
+}

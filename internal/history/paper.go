@@ -1,0 +1,107 @@
+package history
+
+// The canonical histories from the paper, used throughout the test suite
+// and the table regenerators. Comments quote the paper's section where each
+// history appears.
+
+// H1 (§3): the classical inconsistent analysis. T1 transfers 40 from x to y
+// (total balance 100); T2 reads a state where the total is 60. H1 is
+// non-serializable yet violates none of the strict anomalies A1, A2, A3 —
+// it does violate the broad phenomenon P1. This is the paper's argument
+// that the broad interpretation of Dirty Read is the intended one.
+//
+//	H1: r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1
+func H1() History {
+	return MustParse("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
+}
+
+// H2 (§3): inconsistent analysis without dirty reads; T1 sees a total of
+// 140. Violates broad P2 but not strict A2 (no item is read twice).
+//
+//	H2: r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1
+func H2() History {
+	return MustParse("r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1")
+}
+
+// H3 (§3): phantom without a repeated predicate evaluation. T1 lists active
+// employees (predicate P) and then checks the employee counter z; T2
+// inserts a new employee into P and updates z in between. Violates broad P3
+// but not strict A3.
+//
+//	H3: r1[P] w2[y in P] r2[z] w2[z] c2 r1[z] c1
+func H3() History {
+	return MustParse("r1[P] w2[y in P] r2[z] w2[z] c2 r1[z] c1")
+}
+
+// H4 (§4.1): lost update at READ COMMITTED. T2's increment of 20 is wiped
+// out by T1's write of 130 computed from its stale read of 100.
+//
+//	H4: r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1
+func H4() History {
+	return MustParse("r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1")
+}
+
+// H4C (§4.1): the cursor form of H4. The cursor read rc1[x] holds a lock on
+// the current item until the cursor moves, so Cursor Stability blocks w2[x]
+// and prevents the lost update (phenomenon P4C).
+//
+//	H4C: rc1[x=100] r2[x=100] w2[x=120] c2 wc1[x=130] c1
+func H4C() History {
+	return MustParse("rc1[x=100] r2[x=100] w2[x=120] c2 wc1[x=130] c1")
+}
+
+// H5 (§4.2): write skew. Constraint x+y > 0; each transaction alone
+// preserves it, but T1 writes y and T2 writes x from the same snapshot and
+// the committed state violates the constraint. H5 has the dataflows of a
+// Snapshot Isolation execution and exhibits neither A1, A2 nor A3 — the
+// paper's proof that ANOMALY SERIALIZABLE is weaker than serializability
+// and that SI is non-serializable.
+//
+//	H5: r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2
+func H5() History {
+	return MustParse("r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2")
+}
+
+// H1SI (§4.2): the multiversion history produced when H1's action sequence
+// runs under Snapshot Isolation. Version subscripts follow the paper:
+// x0/y0 are the versions committed before both transactions start; x1/y1
+// are T1's new versions. H1.SI has serializable dataflows.
+//
+//	H1.SI: r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1
+func H1SI() History {
+	return MustParse("r1[x.0=50] w1[x.1=10] r2[x.0=50] r2[y.0=50] c2 r1[y.0=50] w1[y.1=90] c1")
+}
+
+// H1SISV (§4.2): the single-valued history that H1.SI maps to under the
+// paper's MV→SV mapping — reads at the start timestamp, writes at the
+// commit timestamp. It is serializable.
+//
+//	H1.SI.SV: r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1
+func H1SISV() History {
+	return MustParse("r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1")
+}
+
+// DirtyWrite (§3, P0 discussion): w1[x] w2[x] w2[y] c2 w1[y] c1. T1 writes
+// 1 into x and y, T2 writes 2; interleaved dirty writes leave x=2, y=1,
+// violating the constraint x == y.
+func DirtyWrite() History {
+	return MustParse("w1[x=1] w2[x=2] w2[y=2] c2 w1[y=1] c1")
+}
+
+// DirtyWriteUndo (§3, Remark 3 discussion): w1[x] w2[x] a1 — rolling back
+// T1 by restoring its before-image wipes out T2's update; recovery is
+// impossible without long write locks.
+func DirtyWriteUndo() History {
+	return MustParse("w1[x=1] w2[x=2] a1")
+}
+
+// ReadSkew (A5A, §4.2): r1[x]...w2[x]...w2[y]...c2...r1[y] — T1 sees x
+// before and y after T2's consistent update of both.
+func ReadSkew() History {
+	return MustParse("r1[x=50] w2[x=10] w2[y=90] c2 r1[y=90] c1")
+}
+
+// WriteSkew (A5B, §4.2): r1[x]...r2[y]...w1[y]...w2[x] with both commits.
+func WriteSkew() History {
+	return MustParse("r1[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2")
+}

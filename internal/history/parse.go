@@ -1,0 +1,212 @@
+package history
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"isolevel/internal/data"
+)
+
+// Parse reads a history in the paper's shorthand. Ops are separated by
+// whitespace. Supported forms:
+//
+//	r1[x]         read of item x by transaction 1
+//	r1[x=50]      read observing value 50
+//	r1[x.0=50]    multiversion read of version 0 (the paper's r1[x0=50])
+//	w1[x]         write of item x
+//	w1[x=10]      write of value 10
+//	w2[y in P]    write of item y noted to fall in predicate P
+//	w2[y in P,Q]  ... in several predicates
+//	r1[P]         predicate read of P (single uppercase identifier)
+//	w1[P]         predicate write of P
+//	rc1[x]        cursor read  (§4.1)
+//	wc1[x]        cursor write (§4.1)
+//	c1            commit
+//	a1            abort (ROLLBACK)
+//
+// A bare bracket operand that is a single uppercase identifier (P, Q, P1…)
+// is treated as a predicate name; anything else is an item key.
+func Parse(src string) (History, error) {
+	fields, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	var h History
+	for _, f := range fields {
+		op, err := parseOp(f)
+		if err != nil {
+			return nil, err
+		}
+		h = append(h, op)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustParse is Parse that panics on error; for canonical histories and tests.
+func MustParse(src string) History {
+	h, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// tokenize splits src on whitespace, but whitespace inside [...] does not
+// separate tokens (so "w2[y in P]" is one op).
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	var cur strings.Builder
+	depth := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, c := range src {
+		switch {
+		case c == '[':
+			depth++
+			cur.WriteRune(c)
+		case c == ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("history: unbalanced ']' in %q", src)
+			}
+			cur.WriteRune(c)
+		case (c == ' ' || c == '\t' || c == '\n' || c == '\r') && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("history: unbalanced '[' in %q", src)
+	}
+	flush()
+	return toks, nil
+}
+
+func parseOp(f string) (Op, error) {
+	var kind Kind
+	var rest string
+	switch {
+	case strings.HasPrefix(f, "rc"):
+		kind, rest = ReadCursor, f[2:]
+	case strings.HasPrefix(f, "wc"):
+		kind, rest = WriteCursor, f[2:]
+	case strings.HasPrefix(f, "r"):
+		kind, rest = Read, f[1:]
+	case strings.HasPrefix(f, "w"):
+		kind, rest = Write, f[1:]
+	case strings.HasPrefix(f, "c"):
+		kind, rest = Commit, f[1:]
+	case strings.HasPrefix(f, "a"):
+		kind, rest = Abort, f[1:]
+	default:
+		return Op{}, fmt.Errorf("history: unknown op %q", f)
+	}
+
+	// Transaction number: digits up to '[' or end.
+	digitEnd := 0
+	for digitEnd < len(rest) && rest[digitEnd] >= '0' && rest[digitEnd] <= '9' {
+		digitEnd++
+	}
+	if digitEnd == 0 {
+		return Op{}, fmt.Errorf("history: op %q lacks transaction number", f)
+	}
+	tx, err := strconv.Atoi(rest[:digitEnd])
+	if err != nil {
+		return Op{}, fmt.Errorf("history: op %q: %v", f, err)
+	}
+	rest = rest[digitEnd:]
+
+	if kind.IsTerminal() {
+		if rest != "" {
+			return Op{}, fmt.Errorf("history: terminal op %q has operand", f)
+		}
+		return Op{Tx: tx, Kind: kind, Version: -1}, nil
+	}
+
+	if len(rest) < 2 || rest[0] != '[' || rest[len(rest)-1] != ']' {
+		return Op{}, fmt.Errorf("history: op %q needs [operand]", f)
+	}
+	body := rest[1 : len(rest)-1]
+	if body == "" {
+		return Op{}, fmt.Errorf("history: op %q has empty operand", f)
+	}
+
+	op := Op{Tx: tx, Kind: kind, Version: -1}
+
+	// "y in P" / "y in P,Q" annotation.
+	if idx := strings.Index(body, " in "); idx >= 0 {
+		names := strings.Split(body[idx+4:], ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+			if !isPredName(names[i]) {
+				return Op{}, fmt.Errorf("history: op %q: bad predicate name %q", f, names[i])
+			}
+		}
+		op.Preds = names
+		body = strings.TrimSpace(body[:idx])
+	}
+
+	// Value annotation item=val.
+	if idx := strings.IndexByte(body, '='); idx >= 0 {
+		v, err := strconv.ParseInt(body[idx+1:], 10, 64)
+		if err != nil {
+			return Op{}, fmt.Errorf("history: op %q: bad value: %v", f, err)
+		}
+		op.Value, op.HasValue = v, true
+		body = body[:idx]
+	}
+
+	// Version annotation item.n.
+	if idx := strings.LastIndexByte(body, '.'); idx >= 0 {
+		if n, err := strconv.Atoi(body[idx+1:]); err == nil {
+			op.Version = n
+			body = body[:idx]
+		}
+	}
+
+	if body == "" {
+		return Op{}, fmt.Errorf("history: op %q has empty item", f)
+	}
+
+	// A single uppercase identifier with no predicate annotation is a
+	// predicate operand: r1[P].
+	if len(op.Preds) == 0 && isPredName(body) && (kind == Read || kind == Write) {
+		op.Preds = []string{body}
+		if kind == Read {
+			op.Kind = PredRead
+		} else {
+			op.Kind = PredWrite
+		}
+		return op, nil
+	}
+	if kind == ReadCursor || kind == WriteCursor {
+		if isPredName(body) && len(op.Preds) == 0 {
+			return Op{}, fmt.Errorf("history: cursor op %q cannot take a predicate operand", f)
+		}
+	}
+	op.Item = data.Key(body)
+	return op, nil
+}
+
+// isPredName reports whether s looks like a predicate name: an uppercase
+// letter optionally followed by digits (P, Q, P1, ...).
+func isPredName(s string) bool {
+	if s == "" || s[0] < 'A' || s[0] > 'Z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}

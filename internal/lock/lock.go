@@ -1,0 +1,518 @@
+// Package lock implements the lock scheduler of the paper's §2.3:
+// Read (Share) and Write (Exclusive) locks on data items and on predicates,
+// with short or long durations chosen by the isolation level (Table 2).
+//
+// Conflict rules follow the paper:
+//
+//   - Two item locks by different transactions on the same item conflict if
+//     at least one is a Write lock.
+//   - A predicate lock is effectively a lock on all data items satisfying
+//     the <search condition>, including phantoms. A predicate lock and an
+//     item lock by different transactions conflict (when one is a Write
+//     lock) if the item's row image — before or after image for writes,
+//     current image for reads — satisfies the predicate.
+//   - Two predicate locks by different transactions conflict if one is a
+//     Write lock and the predicates are not provably disjoint (a
+//     conservative approximation of "there is a possibly phantom data item
+//     covered by both", which is the only sound direction: it can only
+//     strengthen an isolation level).
+//
+// Waiting requests are queued first-come-first-served (lock upgrades jump
+// the queue, which is the standard way to shrink the upgrade deadlock
+// window). Deadlocks are detected immediately on the waits-for graph when a
+// request would block; the requester is the victim and receives
+// ErrDeadlock. An Observer can be registered to learn, deterministically,
+// when a transaction starts waiting — the schedule runner uses this instead
+// of timeouts.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"isolevel/internal/data"
+	"isolevel/internal/predicate"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes: Shared (read) and Exclusive (write).
+const (
+	S Mode = iota
+	X
+)
+
+func (m Mode) String() string {
+	if m == S {
+		return "S"
+	}
+	return "X"
+}
+
+// conflicts reports whether two modes held by different transactions
+// conflict: at least one Write lock.
+func conflicts(a, b Mode) bool { return a == X || b == X }
+
+// TxID identifies a transaction to the lock manager.
+type TxID int
+
+// ErrDeadlock is returned to a requester whose wait would close a cycle in
+// the waits-for graph. The requester is always the victim (deterministic).
+var ErrDeadlock = errors.New("lock: deadlock detected, requester chosen as victim")
+
+// Observer receives wait-state notifications. Callbacks run on the
+// requesting goroutine, outside the manager's mutex, in a deterministic
+// order relative to the request's own fate.
+type Observer interface {
+	// TxWaiting fires when tx's request enqueues behind conflicting holders.
+	TxWaiting(tx TxID, on []TxID)
+	// TxGranted fires when a previously waiting request is granted.
+	TxGranted(tx TxID)
+}
+
+// Images carries the row images a lock request exposes for predicate
+// conflict checks: Before/After for writes (nil Before = insert, nil After
+// = delete), Before = current row for reads.
+type Images struct {
+	Before, After data.Row
+}
+
+// matches reports whether p covers either image at key.
+func (im Images) matches(p predicate.P, key data.Key) bool {
+	return predicate.MatchEither(p, key, im.Before, im.After)
+}
+
+// holder records one transaction's granted item lock.
+type holder struct {
+	mode Mode
+	refs int
+	im   Images
+}
+
+// itemState is the lock table entry for one data item.
+type itemState struct {
+	holders map[TxID]*holder
+}
+
+// PredHandle identifies a granted predicate lock for later release.
+type PredHandle int64
+
+// predState is a granted predicate lock.
+type predState struct {
+	tx   TxID
+	mode Mode
+	pred predicate.P
+	refs int
+}
+
+// request is a pending lock request.
+type request struct {
+	tx      TxID
+	mode    Mode
+	isPred  bool
+	key     data.Key
+	pred    predicate.P
+	im      Images
+	upgrade bool
+	ready   chan error
+	// handle receives the predicate handle on grant.
+	handle PredHandle
+	seq    int64
+}
+
+// Stats counts manager activity for benchmarks and reports.
+type Stats struct {
+	Grants    int64
+	Waits     int64
+	Deadlocks int64
+}
+
+// Manager is a lock manager. The zero value is not usable; use NewManager.
+type Manager struct {
+	mu       sync.Mutex
+	items    map[data.Key]*itemState
+	preds    map[PredHandle]*predState
+	queue    []*request // waiting requests, arrival order (upgrades first)
+	seq      int64
+	handles  PredHandle
+	observer Observer
+	stats    Stats
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		items: map[data.Key]*itemState{},
+		preds: map[PredHandle]*predState{},
+	}
+}
+
+// SetObserver installs the wait observer. Must be called before concurrent
+// use.
+func (m *Manager) SetObserver(o Observer) { m.observer = o }
+
+// Stats returns a snapshot of manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// AcquireItem acquires an item lock for tx on key with the given mode and
+// row images, blocking until granted. Re-acquisition by the same holder is
+// reference-counted; an S→X upgrade waits only on other holders and jumps
+// the queue. Returns ErrDeadlock if waiting would close a waits-for cycle.
+func (m *Manager) AcquireItem(tx TxID, key data.Key, mode Mode, im Images) error {
+	m.mu.Lock()
+	st := m.items[key]
+	if st == nil {
+		st = &itemState{holders: map[TxID]*holder{}}
+		m.items[key] = st
+	}
+	if h, ok := st.holders[tx]; ok && (h.mode == X || mode == S) {
+		// Already held at a covering mode.
+		h.refs++
+		h.im = mergeImages(h.im, im)
+		m.stats.Grants++
+		m.mu.Unlock()
+		return nil
+	}
+	req := &request{tx: tx, mode: mode, key: key, im: im, ready: make(chan error, 1), seq: m.nextSeq()}
+	if h, ok := st.holders[tx]; ok && h.mode == S && mode == X {
+		req.upgrade = true
+	}
+	return m.admit(req)
+}
+
+// AcquirePred acquires a predicate lock for tx, blocking until granted.
+// The returned handle releases this specific lock.
+func (m *Manager) AcquirePred(tx TxID, p predicate.P, mode Mode) (PredHandle, error) {
+	m.mu.Lock()
+	req := &request{tx: tx, mode: mode, isPred: true, pred: p, ready: make(chan error, 1), seq: m.nextSeq()}
+	if err := m.admit(req); err != nil {
+		return 0, err
+	}
+	return req.handle, nil
+}
+
+// nextSeq must be called with mu held.
+func (m *Manager) nextSeq() int64 {
+	m.seq++
+	return m.seq
+}
+
+// admit is called with mu held; it grants immediately, or enqueues and
+// blocks, or rejects with ErrDeadlock. It releases mu before blocking and
+// before invoking observers.
+func (m *Manager) admit(req *request) error {
+	if !m.conflictsGranted(req) {
+		m.grantLocked(req)
+		m.mu.Unlock()
+		return nil
+	}
+	// Would block: deadlock check on the waits-for graph including this
+	// request.
+	if m.wouldDeadlock(req) {
+		m.stats.Deadlocks++
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	// Enqueue. Upgrades go before non-upgrades (but after earlier upgrades).
+	if req.upgrade {
+		idx := 0
+		for idx < len(m.queue) && m.queue[idx].upgrade {
+			idx++
+		}
+		m.queue = append(m.queue, nil)
+		copy(m.queue[idx+1:], m.queue[idx:])
+		m.queue[idx] = req
+	} else {
+		m.queue = append(m.queue, req)
+	}
+	m.stats.Waits++
+	waitingOn := m.conflictHolders(req)
+	m.mu.Unlock()
+
+	if m.observer != nil {
+		m.observer.TxWaiting(req.tx, waitingOn)
+	}
+	err := <-req.ready
+	if m.observer != nil && err == nil {
+		m.observer.TxGranted(req.tx)
+	}
+	return err
+}
+
+// conflictsGranted reports whether req conflicts with any currently granted
+// lock of another transaction. Called with mu held.
+func (m *Manager) conflictsGranted(req *request) bool {
+	return len(m.conflictHolders(req)) > 0
+}
+
+// conflictHolders returns the distinct transactions whose granted locks
+// conflict with req, sorted. Called with mu held.
+func (m *Manager) conflictHolders(req *request) []TxID {
+	seen := map[TxID]bool{}
+	if req.isPred {
+		// Predicate request vs item holders.
+		for key, st := range m.items {
+			for tx, h := range st.holders {
+				if tx == req.tx || !conflicts(req.mode, h.mode) {
+					continue
+				}
+				if h.im.matches(req.pred, key) {
+					seen[tx] = true
+				}
+			}
+		}
+		// Predicate request vs predicate holders.
+		for _, ps := range m.preds {
+			if ps.tx == req.tx || !conflicts(req.mode, ps.mode) {
+				continue
+			}
+			if !predicate.DisjointWith(req.pred, ps.pred) {
+				seen[ps.tx] = true
+			}
+		}
+	} else {
+		if st := m.items[req.key]; st != nil {
+			for tx, h := range st.holders {
+				if tx == req.tx || !conflicts(req.mode, h.mode) {
+					continue
+				}
+				seen[tx] = true
+			}
+		}
+		// Item request vs predicate holders.
+		for _, ps := range m.preds {
+			if ps.tx == req.tx || !conflicts(req.mode, ps.mode) {
+				continue
+			}
+			if req.im.matches(ps.pred, req.key) {
+				seen[ps.tx] = true
+			}
+		}
+	}
+	out := make([]TxID, 0, len(seen))
+	for tx := range seen {
+		out = append(out, tx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// wouldDeadlock builds the waits-for graph of all queued requests plus req
+// and reports whether a cycle through req.tx exists. Called with mu held.
+func (m *Manager) wouldDeadlock(req *request) bool {
+	edges := map[TxID]map[TxID]bool{}
+	addEdges := func(r *request) {
+		for _, on := range m.conflictHolders(r) {
+			if edges[r.tx] == nil {
+				edges[r.tx] = map[TxID]bool{}
+			}
+			edges[r.tx][on] = true
+		}
+	}
+	for _, r := range m.queue {
+		addEdges(r)
+	}
+	addEdges(req)
+	// DFS from req.tx looking for a path back to req.tx.
+	var stack []TxID
+	for on := range edges[req.tx] {
+		stack = append(stack, on)
+	}
+	visited := map[TxID]bool{}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == req.tx {
+			return true
+		}
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+		for on := range edges[n] {
+			stack = append(stack, on)
+		}
+	}
+	return false
+}
+
+// grantLocked installs the lock for req. Called with mu held.
+func (m *Manager) grantLocked(req *request) {
+	m.stats.Grants++
+	if req.isPred {
+		m.handles++
+		req.handle = m.handles
+		m.preds[req.handle] = &predState{tx: req.tx, mode: req.mode, pred: req.pred, refs: 1}
+		return
+	}
+	st := m.items[req.key]
+	if st == nil {
+		st = &itemState{holders: map[TxID]*holder{}}
+		m.items[req.key] = st
+	}
+	if h, ok := st.holders[req.tx]; ok {
+		// Upgrade or re-acquire.
+		if req.mode == X {
+			h.mode = X
+		}
+		h.refs++
+		h.im = mergeImages(h.im, req.im)
+		return
+	}
+	st.holders[req.tx] = &holder{mode: req.mode, refs: 1, im: req.im}
+}
+
+// mergeImages keeps the earliest before-image and the latest after-image,
+// widening predicate conflict coverage across multiple writes of the same
+// item by one transaction.
+func mergeImages(old, new Images) Images {
+	out := old
+	if out.Before == nil {
+		out.Before = new.Before
+	}
+	if new.After != nil {
+		out.After = new.After
+	}
+	if new.Before != nil && out.Before == nil {
+		out.Before = new.Before
+	}
+	return out
+}
+
+// ReleaseItem decrements tx's hold on key, removing the lock at zero and
+// re-scanning the wait queue.
+func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
+	m.mu.Lock()
+	if st := m.items[key]; st != nil {
+		if h, ok := st.holders[tx]; ok {
+			h.refs--
+			if h.refs <= 0 {
+				delete(st.holders, tx)
+				if len(st.holders) == 0 {
+					delete(m.items, key)
+				}
+			}
+		}
+	}
+	granted := m.drainQueueLocked()
+	m.mu.Unlock()
+	notifyGranted(granted)
+}
+
+// ReleasePred releases the predicate lock identified by handle.
+func (m *Manager) ReleasePred(tx TxID, handle PredHandle) {
+	m.mu.Lock()
+	if ps, ok := m.preds[handle]; ok && ps.tx == tx {
+		ps.refs--
+		if ps.refs <= 0 {
+			delete(m.preds, handle)
+		}
+	}
+	granted := m.drainQueueLocked()
+	m.mu.Unlock()
+	notifyGranted(granted)
+}
+
+// ReleaseAll releases every lock held by tx (commit/abort time: the end of
+// all long-duration locks) and cancels any of tx's queued requests.
+func (m *Manager) ReleaseAll(tx TxID) {
+	m.mu.Lock()
+	for key, st := range m.items {
+		delete(st.holders, tx)
+		if len(st.holders) == 0 {
+			delete(m.items, key)
+		}
+	}
+	for h, ps := range m.preds {
+		if ps.tx == tx {
+			delete(m.preds, h)
+		}
+	}
+	// Cancel queued requests of tx (defensive; the engines never abort a
+	// transaction with an in-flight request).
+	var keep []*request
+	var cancelled []*request
+	for _, r := range m.queue {
+		if r.tx == tx {
+			cancelled = append(cancelled, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	m.queue = keep
+	granted := m.drainQueueLocked()
+	m.mu.Unlock()
+	for _, r := range cancelled {
+		r.ready <- fmt.Errorf("lock: request cancelled by ReleaseAll(T%d)", tx)
+	}
+	notifyGranted(granted)
+}
+
+// drainQueueLocked grants queued requests that no longer conflict, in queue
+// order, and returns them for notification outside the mutex.
+func (m *Manager) drainQueueLocked() []*request {
+	var granted []*request
+	for {
+		progress := false
+		var keep []*request
+		for _, r := range m.queue {
+			if !m.conflictsGranted(r) {
+				m.grantLocked(r)
+				granted = append(granted, r)
+				progress = true
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		m.queue = keep
+		if !progress {
+			break
+		}
+	}
+	return granted
+}
+
+func notifyGranted(granted []*request) {
+	for _, r := range granted {
+		r.ready <- nil
+	}
+}
+
+// Holding reports whether tx currently holds an item lock on key, and its
+// mode.
+func (m *Manager) Holding(tx TxID, key data.Key) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st := m.items[key]; st != nil {
+		if h, ok := st.holders[tx]; ok {
+			return h.mode, true
+		}
+	}
+	return 0, false
+}
+
+// HoldingPred reports whether tx holds any predicate lock.
+func (m *Manager) HoldingPred(tx TxID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ps := range m.preds {
+		if ps.tx == tx {
+			return true
+		}
+	}
+	return false
+}
+
+// QueueLen reports the number of waiting requests (for tests and metrics).
+func (m *Manager) QueueLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

@@ -1,0 +1,228 @@
+// Package locking implements the single-version lock-based engine of the
+// paper's Table 2: Degree 0, READ UNCOMMITTED, READ COMMITTED, Cursor
+// Stability, REPEATABLE READ, and SERIALIZABLE, differing only in the
+// durations of the read/write locks they request (see Protocols).
+//
+// The engine writes in place against an sv.Store and rolls back with
+// before-image undo, exactly the recovery model whose interaction with
+// Dirty Writes the paper discusses in §3.
+package locking
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+	"isolevel/internal/lock"
+	"isolevel/internal/predicate"
+	"isolevel/internal/sv"
+)
+
+// DB is a locking-scheduler database.
+type DB struct {
+	store *sv.Store
+	lm    *lock.Manager
+	seq   atomic.Int64
+	rec   *engine.Recorder
+}
+
+// NewDB returns an empty locking database.
+func NewDB() *DB {
+	return &DB{store: sv.NewStore(), lm: lock.NewManager(), rec: engine.NewRecorder()}
+}
+
+// SetObserver forwards a wait observer to the lock manager (the schedule
+// runner's deterministic block detection).
+func (db *DB) SetObserver(o lock.Observer) { db.lm.SetObserver(o) }
+
+// Recorder exposes the execution recorder.
+func (db *DB) Recorder() *engine.Recorder { return db.rec }
+
+// LockStats returns the lock manager counters.
+func (db *DB) LockStats() lock.Stats { return db.lm.Stats() }
+
+// Load implements engine.DB.
+func (db *DB) Load(tuples ...data.Tuple) { db.store.Load(tuples...) }
+
+// ReadCommittedRow implements engine.DB. For the single-version store the
+// current row is whatever is in place; callers use it only after all
+// transactions have terminated.
+func (db *DB) ReadCommittedRow(key data.Key) data.Row { return db.store.Get(key) }
+
+// Levels implements engine.DB.
+func (db *DB) Levels() []engine.Level { return LockingLevels }
+
+// Begin implements engine.DB.
+func (db *DB) Begin(level engine.Level) (engine.Tx, error) {
+	proto, ok := Protocols[level]
+	if !ok {
+		return nil, fmt.Errorf("%w: locking engine does not implement %s", engine.ErrUnsupported, level)
+	}
+	id := int(db.seq.Add(1))
+	return &Tx{db: db, id: id, proto: proto}, nil
+}
+
+// Tx is a locking transaction.
+type Tx struct {
+	db    *DB
+	id    int
+	proto Protocol
+	undo  sv.UndoLog
+	done  bool
+}
+
+var _ engine.Tx = (*Tx)(nil)
+
+// ID implements engine.Tx.
+func (t *Tx) ID() int { return t.id }
+
+// Level implements engine.Tx.
+func (t *Tx) Level() engine.Level { return t.proto.Level }
+
+func (t *Tx) lockErr(err error) error {
+	if errors.Is(err, lock.ErrDeadlock) {
+		return fmt.Errorf("%w (T%d)", engine.ErrDeadlock, t.id)
+	}
+	return err
+}
+
+// Get implements engine.Tx. The read lock duration follows the protocol:
+// none (dirty reads allowed), short (released right after the read), or
+// long (held to commit — repeatable).
+func (t *Tx) Get(key data.Key) (data.Row, error) {
+	if t.done {
+		return nil, engine.ErrTxDone
+	}
+	switch t.proto.ReadItem {
+	case DurNone:
+		// No read locks: sees in-place uncommitted data.
+	case DurShort, DurLong:
+		if err := t.db.lm.AcquireItem(lock.TxID(t.id), key, lock.S, lock.Images{Before: t.db.store.Get(key)}); err != nil {
+			return nil, t.lockErr(err)
+		}
+	}
+	row := t.db.store.Get(key)
+	t.recordRead(key, row)
+	if t.proto.ReadItem == DurShort {
+		t.db.lm.ReleaseItem(lock.TxID(t.id), key)
+	}
+	if row == nil {
+		return nil, engine.ErrNotFound
+	}
+	return row, nil
+}
+
+// Put implements engine.Tx: Exclusive item lock (long everywhere except
+// Degree 0), in-place write, before-image to the undo log.
+func (t *Tx) Put(key data.Key, row data.Row) error {
+	return t.write(key, row.Clone())
+}
+
+// Delete implements engine.Tx.
+func (t *Tx) Delete(key data.Key) error {
+	return t.write(key, nil)
+}
+
+func (t *Tx) write(key data.Key, after data.Row) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	peek := t.db.store.Get(key) // image for predicate-lock conflicts
+	im := lock.Images{Before: peek, After: after}
+	if err := t.db.lm.AcquireItem(lock.TxID(t.id), key, lock.X, im); err != nil {
+		return t.lockErr(err)
+	}
+	var before data.Row
+	if after == nil {
+		before = t.db.store.Delete(key)
+	} else {
+		before = t.db.store.Put(key, after)
+	}
+	t.undo.Note(key, before)
+	t.db.rec.RecordWrite(t.id, key, before, after)
+	if t.proto.WriteItem == DurShort {
+		// Degree 0: well-formed writes only — the lock does not outlive the
+		// action, so dirty writes become possible.
+		t.db.lm.ReleaseItem(lock.TxID(t.id), key)
+	}
+	return nil
+}
+
+// Select implements engine.Tx: a predicate Shared lock per the protocol,
+// then per-row item locks on the matching rows.
+func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
+	if t.done {
+		return nil, engine.ErrTxDone
+	}
+	var ph lock.PredHandle
+	if t.proto.ReadPred != DurNone {
+		h, err := t.db.lm.AcquirePred(lock.TxID(t.id), p, lock.S)
+		if err != nil {
+			return nil, t.lockErr(err)
+		}
+		ph = h
+	}
+	matches := t.db.store.Select(p)
+	var out []data.Tuple
+	for _, m := range matches {
+		switch t.proto.ReadItem {
+		case DurNone:
+			out = append(out, m)
+		case DurShort, DurLong:
+			if err := t.db.lm.AcquireItem(lock.TxID(t.id), m.Key, lock.S, lock.Images{Before: m.Row}); err != nil {
+				if t.proto.ReadPred == DurShort {
+					t.db.lm.ReleasePred(lock.TxID(t.id), ph)
+				}
+				return nil, t.lockErr(err)
+			}
+			// Re-read under the lock: the row may have changed (or vanished)
+			// while we waited.
+			row := t.db.store.Get(m.Key)
+			if row != nil && p.Match(data.Tuple{Key: m.Key, Row: row}) {
+				out = append(out, data.Tuple{Key: m.Key, Row: row})
+			}
+			if t.proto.ReadItem == DurShort {
+				t.db.lm.ReleaseItem(lock.TxID(t.id), m.Key)
+			}
+		}
+	}
+	t.db.rec.RecordPredRead(t.id, p)
+	if t.proto.ReadPred == DurShort {
+		t.db.lm.ReleasePred(lock.TxID(t.id), ph)
+	}
+	return out, nil
+}
+
+// Commit implements engine.Tx: record, then release every lock (the end of
+// all long-duration locks).
+func (t *Tx) Commit() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	t.done = true
+	t.db.rec.Record(historyOp(t.id, true))
+	t.db.lm.ReleaseAll(lock.TxID(t.id))
+	return nil
+}
+
+// Abort implements engine.Tx: roll back by restoring before-images in
+// reverse order, then release locks. At Degree 0 (short write locks) this
+// undo is exactly the unsound procedure of §3 — the engine performs it
+// anyway; the store-level corruption is the demonstrated anomaly.
+func (t *Tx) Abort() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	t.done = true
+	t.undo.Rollback(t.db.store)
+	t.db.rec.Record(historyOp(t.id, false))
+	t.db.lm.ReleaseAll(lock.TxID(t.id))
+	return nil
+}
+
+func (t *Tx) recordRead(key data.Key, row data.Row) {
+	op := readOp(t.id, key, row)
+	t.db.rec.Record(op)
+}

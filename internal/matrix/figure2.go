@@ -1,0 +1,231 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"isolevel/internal/engine"
+)
+
+// Figure 2 of the paper arranges the isolation levels in a strength partial
+// order, annotating each edge with the phenomena that differentiate the two
+// levels. We recompute that diagram from the measured Table 4: a level's
+// "allowance score" per column is 0 (Not Possible), 1 (Sometimes Possible)
+// or 2 (Possible); L2 is stronger than L1 iff L2 allows no more than L1 in
+// every column and strictly less in at least one.
+
+// Relation is the measured strength relation between two levels.
+type Relation int
+
+// Relations (the paper's «, == and »« notation from §2.3's Definition).
+const (
+	Weaker       Relation = iota // L1 « L2
+	Stronger                     // L2 « L1
+	Equivalent                   // L1 == L2
+	Incomparable                 // L1 »« L2
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Weaker:
+		return "«"
+	case Stronger:
+		return "»"
+	case Equivalent:
+		return "=="
+	case Incomparable:
+		return "»«"
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// Edge is one Hasse-diagram edge of Figure 2: Weak « Strong, annotated
+// with the differentiating phenomena.
+type Edge struct {
+	Weak, Strong engine.Level
+	// Phenomena lists the columns the weaker level allows (at least
+	// sometimes) that the stronger one forbids or allows less often.
+	Phenomena []string
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("%s « %s [%s]", e.Weak, e.Strong, strings.Join(e.Phenomena, ", "))
+}
+
+// Hierarchy is the measured Figure 2.
+type Hierarchy struct {
+	Levels []engine.Level
+	// Rel[a][b] is the relation of a to b.
+	Rel map[engine.Level]map[engine.Level]Relation
+	// Edges is the transitive reduction of the stronger-than order.
+	Edges []Edge
+	// Incomparable lists the measured »« pairs (a < b by level number).
+	Incomparable [][2]engine.Level
+}
+
+func score(c Cell) int { return int(c) }
+
+// Compare determines the relation between two levels from the measured
+// matrix.
+func (r *Table4Result) Compare(a, b engine.Level) Relation {
+	aLeq, bLeq := true, true // a allows <= b everywhere; b allows <= a
+	for _, col := range Columns {
+		sa, sb := score(r.Cells[a][col].Cell), score(r.Cells[b][col].Cell)
+		if sa > sb {
+			aLeq = false
+		}
+		if sb > sa {
+			bLeq = false
+		}
+	}
+	switch {
+	case aLeq && bLeq:
+		return Equivalent
+	case aLeq:
+		return Stronger // a is stronger than b? careful: fewer allowances = stronger
+	case bLeq:
+		return Weaker
+	default:
+		return Incomparable
+	}
+}
+
+// BuildHierarchy computes the measured Figure 2 from a Table 4 run.
+func BuildHierarchy(r *Table4Result) *Hierarchy {
+	h := &Hierarchy{Levels: r.Levels, Rel: map[engine.Level]map[engine.Level]Relation{}}
+	strongerThan := map[engine.Level]map[engine.Level]bool{} // strongerThan[s][w]
+	for _, a := range r.Levels {
+		h.Rel[a] = map[engine.Level]Relation{}
+		strongerThan[a] = map[engine.Level]bool{}
+	}
+	for i, a := range r.Levels {
+		for j, b := range r.Levels {
+			if i == j {
+				h.Rel[a][b] = Equivalent
+				continue
+			}
+			rel := r.Compare(a, b)
+			h.Rel[a][b] = rel
+			if rel == Stronger {
+				strongerThan[a][b] = true
+			}
+			if rel == Incomparable && i < j {
+				h.Incomparable = append(h.Incomparable, [2]engine.Level{a, b})
+			}
+		}
+	}
+	// Transitive reduction: an edge w « s survives if no intermediate m with
+	// w « m « s.
+	for _, s := range r.Levels {
+		for w := range strongerThan[s] {
+			direct := true
+			for _, m := range r.Levels {
+				if m == s || m == w {
+					continue
+				}
+				if strongerThan[s][m] && strongerThan[m][w] {
+					direct = false
+					break
+				}
+			}
+			if !direct {
+				continue
+			}
+			var phen []string
+			for _, col := range Columns {
+				if score(r.Cells[w][col].Cell) > score(r.Cells[s][col].Cell) {
+					phen = append(phen, col)
+				}
+			}
+			h.Edges = append(h.Edges, Edge{Weak: w, Strong: s, Phenomena: phen})
+		}
+	}
+	sort.Slice(h.Edges, func(i, j int) bool {
+		if h.Edges[i].Weak != h.Edges[j].Weak {
+			return h.Edges[i].Weak < h.Edges[j].Weak
+		}
+		return h.Edges[i].Strong < h.Edges[j].Strong
+	})
+	return h
+}
+
+// PaperRelations returns the relations the paper asserts (Remarks 1, 7, 8,
+// 9 plus Figure 2's Oracle Read Consistency placement), as triples to
+// verify against the measured hierarchy.
+type AssertedRelation struct {
+	A, B engine.Level
+	Rel  Relation // relation of A to B
+	Src  string
+}
+
+// PaperAssertions lists the strength claims made in the paper's text.
+func PaperAssertions() []AssertedRelation {
+	return []AssertedRelation{
+		// Remark 1: Locking RU « Locking RC « Locking RR « Locking SER.
+		{engine.ReadUncommitted, engine.ReadCommitted, Weaker, "Remark 1"},
+		{engine.ReadCommitted, engine.RepeatableRead, Weaker, "Remark 1"},
+		{engine.RepeatableRead, engine.Serializable, Weaker, "Remark 1"},
+		// Remark 7: READ COMMITTED « Cursor Stability « REPEATABLE READ.
+		{engine.ReadCommitted, engine.CursorStability, Weaker, "Remark 7"},
+		{engine.CursorStability, engine.RepeatableRead, Weaker, "Remark 7"},
+		// Remark 8: READ COMMITTED « Snapshot Isolation.
+		{engine.ReadCommitted, engine.SnapshotIsolation, Weaker, "Remark 8"},
+		// Remark 9: REPEATABLE READ »« Snapshot Isolation.
+		{engine.RepeatableRead, engine.SnapshotIsolation, Incomparable, "Remark 9"},
+		// §4.3: Read Consistency is stronger than READ COMMITTED…
+		{engine.ReadCommitted, engine.ReadConsistency, Weaker, "§4.3"},
+		// …and weaker than Snapshot Isolation (SI forbids P4, A5A).
+		{engine.ReadConsistency, engine.SnapshotIsolation, Weaker, "§4.3"},
+		// Figure 2: Degree 0 below everything (P0).
+		{engine.Degree0, engine.ReadUncommitted, Weaker, "Figure 2"},
+		// Figure 2: Snapshot Isolation below Serializable (A5B, P3).
+		{engine.SnapshotIsolation, engine.Serializable, Weaker, "Figure 2"},
+	}
+}
+
+// VerifyPaperAssertions checks every asserted relation against the measured
+// hierarchy; it returns the mismatches (empty = all reproduced). Relations
+// involving levels not in the measured set are skipped.
+func (h *Hierarchy) VerifyPaperAssertions() []string {
+	in := map[engine.Level]bool{}
+	for _, l := range h.Levels {
+		in[l] = true
+	}
+	var out []string
+	for _, a := range PaperAssertions() {
+		if !in[a.A] || !in[a.B] {
+			continue
+		}
+		got := h.Rel[a.A][a.B]
+		if got != a.Rel {
+			out = append(out, fmt.Sprintf("%s: %s vs %s measured %s, paper says %s",
+				a.Src, a.A, a.B, got, a.Rel))
+		}
+	}
+	return out
+}
+
+// String renders the hierarchy as an edge list plus incomparabilities —
+// the textual form of Figure 2.
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 2 (measured): isolation hierarchy, weaker « stronger\n")
+	for _, e := range h.Edges {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	if len(h.Incomparable) > 0 {
+		b.WriteString("incomparable (»«):\n")
+		for _, p := range h.Incomparable {
+			fmt.Fprintf(&b, "  %s »« %s\n", p[0], p[1])
+		}
+	}
+	if diffs := h.VerifyPaperAssertions(); len(diffs) == 0 {
+		b.WriteString("All strength claims from Remarks 1, 7, 8, 9 and §4.3 reproduced.\n")
+	} else {
+		for _, d := range diffs {
+			b.WriteString("MISMATCH: " + d + "\n")
+		}
+	}
+	return b.String()
+}

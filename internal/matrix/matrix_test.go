@@ -1,0 +1,302 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+
+	"isolevel/internal/engine"
+	"isolevel/internal/locking"
+)
+
+// The centerpiece of the reproduction: the measured Table 4 matches the
+// published Table 4 in every cell, for all six rows of the paper.
+func TestTable4MatchesPaper(t *testing.T) {
+	res, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := res.DiffPaper(); len(diffs) != 0 {
+		t.Fatalf("Table 4 mismatches:\n%s", strings.Join(diffs, "\n"))
+	}
+}
+
+// Individual spot checks on interesting cells, with evidence inspection.
+func TestTable4SpotCells(t *testing.T) {
+	cases := []struct {
+		level engine.Level
+		col   string
+		want  Cell
+	}{
+		{engine.ReadUncommitted, "P1", Possible},
+		{engine.ReadCommitted, "P1", NotPossible},
+		{engine.CursorStability, "P4C", NotPossible},
+		{engine.CursorStability, "P4", SometimesPossible},
+		{engine.CursorStability, "A5B", SometimesPossible},
+		{engine.RepeatableRead, "P3", Possible},
+		{engine.RepeatableRead, "A5B", NotPossible},
+		{engine.SnapshotIsolation, "P3", SometimesPossible},
+		{engine.SnapshotIsolation, "A5B", Possible},
+		{engine.SnapshotIsolation, "A5A", NotPossible},
+		{engine.Serializable, "P3", NotPossible},
+	}
+	for _, c := range cases {
+		got, err := RunCell(c.level, c.col)
+		if err != nil {
+			t.Fatalf("%s %s: %v", c.level, c.col, err)
+		}
+		if got.Cell != c.want {
+			t.Errorf("%s %s = %s, want %s (primary: %s)", c.level, c.col, got.Cell, c.want, got.Primary)
+		}
+	}
+}
+
+// Extension rows: Degree 0 allows everything including P0; Oracle Read
+// Consistency forbids P0/P1/P4C but allows the rest (§4.3).
+func TestExtensionRows(t *testing.T) {
+	res, err := RunTable4(engine.Degree0, engine.ReadConsistency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := res.Cells[engine.Degree0]
+	if d0["P0"].Cell != Possible {
+		t.Errorf("Degree 0 P0 = %s, want Possible", d0["P0"].Cell)
+	}
+	for _, col := range Columns {
+		if d0[col].Cell == NotPossible {
+			t.Errorf("Degree 0 %s = Not Possible; the weakest level should allow it", col)
+		}
+	}
+	orc := res.Cells[engine.ReadConsistency]
+	for _, col := range []string{"P0", "P1", "P4C"} {
+		if orc[col].Cell != NotPossible {
+			t.Errorf("Read Consistency %s = %s, want Not Possible", col, orc[col].Cell)
+		}
+	}
+	for _, col := range []string{"P2", "P3", "A5A", "A5B"} {
+		if orc[col].Cell == NotPossible {
+			t.Errorf("Read Consistency %s = Not Possible; §4.3 says it is allowed", col)
+		}
+	}
+	// P4 at Read Consistency: the plain lost update occurs; the cursor form
+	// is protected (row-changed check) — measured as Sometimes Possible by
+	// the same convention the paper uses for Cursor Stability.
+	if orc["P4"].Cell == NotPossible {
+		t.Errorf("Read Consistency P4 = Not Possible; §4.3 says lost updates occur")
+	}
+	if !orc["P4"].Primary.Anomaly {
+		t.Error("Read Consistency plain P4 should occur")
+	}
+}
+
+// Figure 2: every strength claim in Remarks 1, 7, 8, 9 and §4.3 holds in
+// the measured hierarchy over all eight levels.
+func TestFigure2PaperAssertions(t *testing.T) {
+	res, err := RunTable4(append(append([]engine.Level{}, PaperLevels...), ExtensionLevels...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := BuildHierarchy(res)
+	if diffs := h.VerifyPaperAssertions(); len(diffs) != 0 {
+		t.Fatalf("Figure 2 mismatches:\n%s\nhierarchy:\n%s", strings.Join(diffs, "\n"), h)
+	}
+}
+
+func TestFigure2HasseEdges(t *testing.T) {
+	res, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := BuildHierarchy(res)
+	// RU « RC must be a direct edge annotated with P1.
+	foundRURC := false
+	for _, e := range h.Edges {
+		if e.Weak == engine.ReadUncommitted && e.Strong == engine.ReadCommitted {
+			foundRURC = true
+			hasP1 := false
+			for _, p := range e.Phenomena {
+				if p == "P1" {
+					hasP1 = true
+				}
+			}
+			if !hasP1 {
+				t.Errorf("RU«RC edge not annotated with P1: %v", e.Phenomena)
+			}
+		}
+		// No edge may skip over an intermediate level (transitive
+		// reduction): RC « RR must NOT be direct since CS sits between.
+		if e.Weak == engine.ReadCommitted && e.Strong == engine.RepeatableRead {
+			t.Errorf("RC«RR should be reduced away through Cursor Stability")
+		}
+	}
+	if !foundRURC {
+		t.Error("missing RU«RC edge")
+	}
+	// RR »« SI must be reported incomparable.
+	foundInc := false
+	for _, p := range h.Incomparable {
+		if (p[0] == engine.RepeatableRead && p[1] == engine.SnapshotIsolation) ||
+			(p[1] == engine.RepeatableRead && p[0] == engine.SnapshotIsolation) {
+			foundInc = true
+		}
+	}
+	if !foundInc {
+		t.Errorf("RR »« SI not detected; incomparable = %v", h.Incomparable)
+	}
+	if h.String() == "" {
+		t.Error("hierarchy renders empty")
+	}
+}
+
+func TestCompareSymmetry(t *testing.T) {
+	res, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Levels {
+		for _, b := range res.Levels {
+			if a == b {
+				continue
+			}
+			ab, ba := res.Compare(a, b), res.Compare(b, a)
+			switch ab {
+			case Stronger:
+				if ba != Weaker {
+					t.Errorf("%s stronger than %s but reverse is %s", a, b, ba)
+				}
+			case Weaker:
+				if ba != Stronger {
+					t.Errorf("%s weaker than %s but reverse is %s", a, b, ba)
+				}
+			case Incomparable:
+				if ba != Incomparable {
+					t.Errorf("incomparability not symmetric: %s vs %s", a, b)
+				}
+			case Equivalent:
+				if ba != Equivalent {
+					t.Errorf("equivalence not symmetric: %s vs %s", a, b)
+				}
+			}
+		}
+	}
+}
+
+// Table 1: the regenerated matrix has the paper's shape.
+func TestTable1Regenerated(t *testing.T) {
+	tbl := RunTable1()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Table 1 rows = %d", len(tbl.Rows))
+	}
+	// Row 0 (READ UNCOMMITTED): all Possible.
+	for i := 1; i <= 3; i++ {
+		if tbl.Rows[0][i] != "Possible" {
+			t.Errorf("RU col %d = %s", i, tbl.Rows[0][i])
+		}
+	}
+	// Row 3 (ANOMALY SERIALIZABLE / broad SERIALIZABLE): all Not Possible.
+	for i := 1; i <= 3; i++ {
+		if tbl.Rows[3][i] != "Not Possible" {
+			t.Errorf("SER col %d = %s", i, tbl.Rows[3][i])
+		}
+	}
+	// Diagonal structure: level k forbids exactly the first k phenomena.
+	if tbl.Rows[1][1] != "Not Possible" || tbl.Rows[1][2] != "Possible" {
+		t.Error("READ COMMITTED row wrong")
+	}
+	if tbl.Rows[2][2] != "Not Possible" || tbl.Rows[2][3] != "Possible" {
+		t.Error("REPEATABLE READ row wrong")
+	}
+	// The H5 note must be present: the misconception rebuttal.
+	foundNote := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "H5") {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Error("Table 1 missing the H5 ANOMALY SERIALIZABLE note")
+	}
+}
+
+// Table 3: P0 forbidden everywhere, then the diagonal.
+func TestTable3Regenerated(t *testing.T) {
+	tbl := RunTable3()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Table 3 rows = %d", len(tbl.Rows))
+	}
+	for r := 0; r < 4; r++ {
+		if tbl.Rows[r][1] != "Not Possible" {
+			t.Errorf("row %d: P0 = %s, want Not Possible (Remark 3)", r, tbl.Rows[r][1])
+		}
+	}
+	if tbl.Rows[0][2] != "Possible" || tbl.Rows[3][4] != "Not Possible" {
+		t.Error("Table 3 diagonal wrong")
+	}
+}
+
+// Remark 6: Table 3's acceptors and the live locking engine agree on
+// every P0–P3 cell.
+func TestRemark6Equivalence(t *testing.T) {
+	res, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := VerifyRemark6(res); len(diffs) != 0 {
+		t.Fatalf("Remark 6 mismatches:\n%s", strings.Join(diffs, "\n"))
+	}
+}
+
+// Table 2: every declared lock duration is verified by live probes.
+func TestTable2ProbesVerifyDeclaredProtocols(t *testing.T) {
+	tbl, mismatches, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("Table 2 probe mismatches:\n%s\n%s", strings.Join(mismatches, "\n"), tbl)
+	}
+	if len(tbl.Rows) != len(locking.LockingLevels) {
+		t.Fatalf("Table 2 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestProbeLevelSpot(t *testing.T) {
+	mp, err := ProbeLevel(engine.CursorStability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.CursorRead != locking.DurCursor {
+		t.Errorf("CS cursor lock measured %s, want while-current", mp.CursorRead)
+	}
+	if mp.ReadItem != locking.DurShort {
+		t.Errorf("CS item read lock measured %s, want short", mp.ReadItem)
+	}
+	mp0, err := ProbeLevel(engine.Degree0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp0.WriteItem != locking.DurShort || mp0.ReadItem != locking.DurNone {
+		t.Errorf("Degree 0 measured %+v", mp0)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	res, err := RunTable4(engine.ReadCommitted, engine.SnapshotIsolation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Report()
+	out := tbl.String()
+	if !strings.Contains(out, "READ COMMITTED") || !strings.Contains(out, "SNAPSHOT ISOLATION") {
+		t.Fatalf("report missing rows:\n%s", out)
+	}
+	if md := tbl.Markdown(); !strings.Contains(md, "| READ COMMITTED |") {
+		t.Fatalf("markdown missing rows:\n%s", md)
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if NotPossible.String() != "Not Possible" || Possible.String() != "Possible" ||
+		SometimesPossible.String() != "Sometimes Possible" {
+		t.Fatal("cell strings")
+	}
+}

@@ -1,0 +1,40 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+)
+
+// All ten remarks of the paper must reproduce on the live engines.
+func TestAllRemarksReproduce(t *testing.T) {
+	results, err := VerifyRemarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("got %d remark results", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("Remark %d failed: %s\n  evidence: %s", r.Number, r.Statement, r.Evidence)
+		}
+		if r.String() == "" || !strings.Contains(r.String(), "Remark") {
+			t.Errorf("Remark %d renders badly", r.Number)
+		}
+	}
+	// Numbered 1..10 in order.
+	for i, r := range results {
+		if r.Number != i+1 {
+			t.Fatalf("remark order: got %d at position %d", r.Number, i)
+		}
+	}
+}
+
+func TestLockingLevelOf(t *testing.T) {
+	if p := LockingLevelOf(PaperLevels[0]); p == nil {
+		t.Fatal("READ UNCOMMITTED should have a protocol")
+	}
+	if p := LockingLevelOf(PaperLevels[4]); p != nil { // SNAPSHOT ISOLATION
+		t.Fatal("SNAPSHOT ISOLATION has no locking protocol")
+	}
+}

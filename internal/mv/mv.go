@@ -1,0 +1,181 @@
+// Package mv is the multiversion row store and timestamp oracle behind the
+// Snapshot Isolation engine (§4.2) and the Oracle-style Read Consistency
+// engine (§4.3).
+//
+// Each data item carries a chain of committed versions stamped with the
+// commit timestamp of their writer. A read at snapshot timestamp ts sees
+// the version with the largest commit timestamp <= ts ("Updates by other
+// transactions active after the transaction Start-Timestamp are invisible
+// to the transaction"). Reads never block and never b lock writers.
+//
+// The store records, for every key, the full committed version chain; this
+// is both the visibility mechanism and the "remembered updates" that
+// First-Committer-Wins validation checks ("First-committer-wins requires
+// the system to remember all updates belonging to any transaction that
+// commits after the Start-Timestamp of each active transaction").
+package mv
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"isolevel/internal/data"
+	"isolevel/internal/predicate"
+)
+
+// TS is a timestamp drawn from the Oracle.
+type TS uint64
+
+// Oracle issues monotonically increasing timestamps. The zero value is
+// ready to use; the first timestamp issued is 1.
+type Oracle struct {
+	now atomic.Uint64
+}
+
+// Next returns a fresh timestamp larger than every previously issued one.
+func (o *Oracle) Next() TS { return TS(o.now.Add(1)) }
+
+// Current returns the latest issued timestamp (the newest possible
+// snapshot).
+func (o *Oracle) Current() TS { return TS(o.now.Load()) }
+
+// Version is one committed version of a data item. Deleted marks a
+// tombstone (the delete is itself a committed version).
+type Version struct {
+	CommitTS TS
+	Writer   int // transaction id of the writer, for dataflow analysis
+	Row      data.Row
+	Deleted  bool
+}
+
+// Store is a multiversion row store.
+type Store struct {
+	mu     sync.RWMutex
+	chains map[data.Key][]Version // ascending CommitTS
+}
+
+// NewStore returns an empty multiversion store.
+func NewStore() *Store {
+	return &Store{chains: map[data.Key][]Version{}}
+}
+
+// Load installs initial versions at commit timestamp ts (setup helper).
+func (s *Store) Load(ts TS, tuples ...data.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range tuples {
+		s.chains[t.Key] = append(s.chains[t.Key], Version{CommitTS: ts, Row: t.Row.Clone()})
+	}
+}
+
+// ReadAt returns the version of key visible at snapshot ts: the committed
+// version with the largest CommitTS <= ts. ok is false if no version is
+// visible (never written, or the visible version is a tombstone — the
+// tombstone itself is returned so callers can distinguish).
+func (s *Store) ReadAt(key data.Key, ts TS) (v Version, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[key]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].CommitTS <= ts {
+			if chain[i].Deleted {
+				return chain[i], false
+			}
+			out := chain[i]
+			out.Row = out.Row.Clone()
+			return out, true
+		}
+	}
+	return Version{}, false
+}
+
+// LatestCommitTS returns the commit timestamp of the newest committed
+// version of key, or 0 if the key has never been written. This is the
+// First-Committer-Wins validation primitive: T1 may commit only if no key
+// in its write set has LatestCommitTS > T1's start timestamp.
+func (s *Store) LatestCommitTS(key data.Key) TS {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.chains[key]
+	if len(chain) == 0 {
+		return 0
+	}
+	return chain[len(chain)-1].CommitTS
+}
+
+// Install appends committed versions for writer at commit timestamp ts.
+// The caller (the engine's commit critical section) guarantees ts exceeds
+// every CommitTS already in the touched chains.
+func (s *Store) Install(ts TS, writer int, writes map[data.Key]data.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, row := range writes {
+		v := Version{CommitTS: ts, Writer: writer}
+		if row == nil {
+			v.Deleted = true
+		} else {
+			v.Row = row.Clone()
+		}
+		s.chains[key] = append(s.chains[key], v)
+	}
+}
+
+// SelectAt returns copies of all tuples visible at ts that satisfy p,
+// sorted by key.
+func (s *Store) SelectAt(p predicate.P, ts TS) []data.Tuple {
+	s.mu.RLock()
+	keys := make([]data.Key, 0, len(s.chains))
+	for k := range s.chains {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	var out []data.Tuple
+	for _, k := range keys {
+		if v, ok := s.ReadAt(k, ts); ok {
+			t := data.Tuple{Key: k, Row: v.Row}
+			if p.Match(t) {
+				out = append(out, t)
+			}
+		}
+	}
+	data.SortTuples(out)
+	return out
+}
+
+// SnapshotAt returns every visible tuple at ts, sorted by key.
+func (s *Store) SnapshotAt(ts TS) []data.Tuple {
+	return s.SelectAt(predicate.True{}, ts)
+}
+
+// VersionCount returns the number of committed versions of key (tombstones
+// included) — used by tests and the time-travel example.
+func (s *Store) VersionCount(key data.Key) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chains[key])
+}
+
+// Chain returns a copy of key's version chain in commit order.
+func (s *Store) Chain(key data.Key) []Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Version, len(s.chains[key]))
+	copy(out, s.chains[key])
+	for i := range out {
+		out[i].Row = out[i].Row.Clone()
+	}
+	return out
+}
+
+// Keys returns every key that has at least one version, sorted.
+func (s *Store) Keys() []data.Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]data.Key, 0, len(s.chains))
+	for k := range s.chains {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

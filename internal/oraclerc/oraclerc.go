@@ -1,0 +1,306 @@
+// Package oraclerc implements the Oracle-style Read Consistency isolation
+// of the paper's §4.3:
+//
+//   - "Oracle Read Consistency isolation gives each SQL statement the most
+//     recent committed database value at the time the statement began" —
+//     every Get/Select takes a fresh statement-level snapshot ("it is as if
+//     the start-timestamp of the transaction is advanced at each SQL
+//     statement").
+//   - "Row inserts, updates, and deletes are covered by Write locks to give
+//     a first-writer-wins rather than a first-committer-wins policy" —
+//     writes acquire long exclusive locks and block, rather than abort, on
+//     conflict; after the lock is granted the write proceeds against the
+//     then-current committed state.
+//   - "The members of a cursor set are as of the time of the Open Cursor";
+//     cursor updates re-check the row against the cursor snapshot so cursor
+//     lost updates (P4C) cannot occur, while plain lost updates (P4), fuzzy
+//     reads (P2), phantoms (P3) and read skew (A5A) all remain possible.
+//
+// The engine is built on the multiversion store (statement snapshots) plus
+// the lock manager (write locks); committed writes install new versions.
+package oraclerc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+	"isolevel/internal/history"
+	"isolevel/internal/lock"
+	"isolevel/internal/mv"
+	"isolevel/internal/predicate"
+)
+
+// DB is a Read Consistency database.
+type DB struct {
+	store    *mv.Store
+	oracle   *mv.Oracle
+	lm       *lock.Manager
+	seq      atomic.Int64
+	rec      *engine.Recorder
+	commitMu sync.Mutex
+}
+
+// NewDB returns an empty Read Consistency database.
+func NewDB() *DB {
+	return &DB{store: mv.NewStore(), oracle: &mv.Oracle{}, lm: lock.NewManager(), rec: engine.NewRecorder()}
+}
+
+// SetObserver forwards a wait observer to the lock manager.
+func (db *DB) SetObserver(o lock.Observer) { db.lm.SetObserver(o) }
+
+// Recorder exposes the execution recorder.
+func (db *DB) Recorder() *engine.Recorder { return db.rec }
+
+// Load implements engine.DB.
+func (db *DB) Load(tuples ...data.Tuple) {
+	db.store.Load(db.oracle.Next(), tuples...)
+}
+
+// ReadCommittedRow implements engine.DB.
+func (db *DB) ReadCommittedRow(key data.Key) data.Row {
+	v, ok := db.store.ReadAt(key, db.oracle.Current())
+	if !ok {
+		return nil
+	}
+	return v.Row
+}
+
+// Levels implements engine.DB.
+func (db *DB) Levels() []engine.Level { return []engine.Level{engine.ReadConsistency} }
+
+// Begin implements engine.DB.
+func (db *DB) Begin(level engine.Level) (engine.Tx, error) {
+	if level != engine.ReadConsistency {
+		return nil, fmt.Errorf("%w: oraclerc engine implements only READ CONSISTENCY, got %s", engine.ErrUnsupported, level)
+	}
+	id := int(db.seq.Add(1))
+	return &Tx{db: db, id: id, writes: map[data.Key]data.Row{}}, nil
+}
+
+// Tx is a Read Consistency transaction.
+type Tx struct {
+	db     *DB
+	id     int
+	writes map[data.Key]data.Row // own uncommitted writes (overlay), nil = delete
+	order  []data.Key
+	done   bool
+}
+
+var _ engine.Tx = (*Tx)(nil)
+
+// ID implements engine.Tx.
+func (t *Tx) ID() int { return t.id }
+
+// Level implements engine.Tx.
+func (t *Tx) Level() engine.Level { return engine.ReadConsistency }
+
+func (t *Tx) lockErr(err error) error {
+	if errors.Is(err, lock.ErrDeadlock) {
+		return fmt.Errorf("%w (T%d)", engine.ErrDeadlock, t.id)
+	}
+	return err
+}
+
+// statementTS returns a fresh statement-level snapshot: the most recent
+// committed timestamp right now.
+func (t *Tx) statementTS() mv.TS { return t.db.oracle.Current() }
+
+// Get implements engine.Tx: a single-row statement; reads the latest
+// committed value as of statement start, overlaid by own writes.
+func (t *Tx) Get(key data.Key) (data.Row, error) {
+	if t.done {
+		return nil, engine.ErrTxDone
+	}
+	if row, ok := t.writes[key]; ok {
+		if row == nil {
+			return nil, engine.ErrNotFound
+		}
+		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(row.Val()))
+		return row.Clone(), nil
+	}
+	v, ok := t.db.store.ReadAt(key, t.statementTS())
+	if !ok {
+		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1})
+		return nil, engine.ErrNotFound
+	}
+	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(v.Row.Val()))
+	return v.Row, nil
+}
+
+// Put implements engine.Tx: take a long write lock (first-writer-wins —
+// block, don't abort), then buffer the write; versions install at commit.
+func (t *Tx) Put(key data.Key, row data.Row) error {
+	return t.write(key, row.Clone())
+}
+
+// Delete implements engine.Tx.
+func (t *Tx) Delete(key data.Key) error { return t.write(key, nil) }
+
+func (t *Tx) write(key data.Key, row data.Row) error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	var before data.Row
+	if v, ok := t.db.store.ReadAt(key, t.statementTS()); ok {
+		before = v.Row
+	}
+	if err := t.db.lm.AcquireItem(lock.TxID(t.id), key, lock.X, lock.Images{Before: before, After: row}); err != nil {
+		return t.lockErr(err)
+	}
+	if _, ok := t.writes[key]; !ok {
+		t.order = append(t.order, key)
+	}
+	t.writes[key] = row
+	t.db.rec.RecordWrite(t.id, key, before, row)
+	return nil
+}
+
+// Select implements engine.Tx: statement-level snapshot scan with own
+// writes overlaid. Two Selects in the same transaction may see different
+// committed states — that is the P2/P3-permitting behavior of §4.3.
+func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
+	if t.done {
+		return nil, engine.ErrTxDone
+	}
+	return t.selectAt(p, t.statementTS())
+}
+
+func (t *Tx) selectAt(p predicate.P, ts mv.TS) ([]data.Tuple, error) {
+	base := t.db.store.SelectAt(p, ts)
+	merged := make(map[data.Key]data.Row, len(base))
+	for _, b := range base {
+		merged[b.Key] = b.Row
+	}
+	for key, row := range t.writes {
+		if row == nil {
+			delete(merged, key)
+			continue
+		}
+		if p.Match(data.Tuple{Key: key, Row: row}) {
+			merged[key] = row
+		} else {
+			delete(merged, key)
+		}
+	}
+	out := make([]data.Tuple, 0, len(merged))
+	for key, row := range merged {
+		out = append(out, data.Tuple{Key: key, Row: row.Clone()})
+	}
+	data.SortTuples(out)
+	t.db.rec.RecordPredRead(t.id, p)
+	return out, nil
+}
+
+// OpenCursor implements engine.Tx: "The members of a cursor set are as of
+// the time of the Open Cursor" — the cursor pins the statement snapshot of
+// its open.
+func (t *Tx) OpenCursor(p predicate.P) (engine.Cursor, error) {
+	if t.done {
+		return nil, engine.ErrTxDone
+	}
+	ts := t.statementTS()
+	tuples, err := t.selectAt(p, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &cursor{tx: t, snapTS: ts, tuples: tuples, pos: -1}, nil
+}
+
+type cursor struct {
+	tx     *Tx
+	snapTS mv.TS
+	tuples []data.Tuple
+	pos    int
+	closed bool
+}
+
+func (c *cursor) Fetch() (data.Tuple, error) {
+	if c.closed || c.tx.done {
+		return data.Tuple{}, engine.ErrTxDone
+	}
+	c.pos++
+	if c.pos >= len(c.tuples) {
+		return data.Tuple{}, engine.ErrNotFound
+	}
+	cur := c.tuples[c.pos]
+	c.tx.db.rec.Record(history.Op{Tx: c.tx.id, Kind: history.ReadCursor, Item: cur.Key, Version: -1}.WithValue(cur.Row.Val()))
+	return cur.Clone(), nil
+}
+
+func (c *cursor) Current() (data.Tuple, error) {
+	if c.pos < 0 || c.pos >= len(c.tuples) {
+		return data.Tuple{}, engine.ErrNoCursor
+	}
+	return c.tuples[c.pos].Clone(), nil
+}
+
+// UpdateCurrent write-locks the row, then re-checks it against the cursor
+// snapshot: if another transaction committed a change to this row after
+// the cursor opened, the update fails with ErrRowChanged (Oracle's write
+// consistency restart, surfaced as an error). This is what makes P4C "Not
+// Possible" at Read Consistency while plain P4 remains possible.
+func (c *cursor) UpdateCurrent(row data.Row) error {
+	if c.closed || c.tx.done {
+		return engine.ErrTxDone
+	}
+	cur, err := c.Current()
+	if err != nil {
+		return err
+	}
+	t := c.tx
+	var before data.Row
+	if v, ok := t.db.store.ReadAt(cur.Key, t.statementTS()); ok {
+		before = v.Row
+	}
+	if err := t.db.lm.AcquireItem(lock.TxID(t.id), cur.Key, lock.X, lock.Images{Before: before, After: row}); err != nil {
+		return t.lockErr(err)
+	}
+	if ts := t.db.store.LatestCommitTS(cur.Key); ts > c.snapTS {
+		t.db.lm.ReleaseItem(lock.TxID(t.id), cur.Key)
+		return fmt.Errorf("%w: %s committed at ts %d after cursor snapshot %d", engine.ErrRowChanged, cur.Key, ts, c.snapTS)
+	}
+	if _, ok := t.writes[cur.Key]; !ok {
+		t.order = append(t.order, cur.Key)
+	}
+	t.writes[cur.Key] = row.Clone()
+	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.WriteCursor, Item: cur.Key, Version: -1}.WithValue(row.Val()))
+	return nil
+}
+
+func (c *cursor) Close() error { c.closed = true; return nil }
+
+// Commit implements engine.Tx: install versions at a fresh commit
+// timestamp (the write locks guarantee no concurrent writer raced us),
+// then release locks.
+func (t *Tx) Commit() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	t.done = true
+	if len(t.writes) > 0 {
+		t.db.commitMu.Lock()
+		ts := t.db.oracle.Next()
+		t.db.store.Install(ts, t.id, t.writes)
+		t.db.commitMu.Unlock()
+	}
+	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Commit, Version: -1})
+	t.db.lm.ReleaseAll(lock.TxID(t.id))
+	return nil
+}
+
+// Abort implements engine.Tx: drop buffered writes, release locks. No undo
+// needed — versions were never installed.
+func (t *Tx) Abort() error {
+	if t.done {
+		return engine.ErrTxDone
+	}
+	t.done = true
+	t.writes = nil
+	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Abort, Version: -1})
+	t.db.lm.ReleaseAll(lock.TxID(t.id))
+	return nil
+}

@@ -1,0 +1,476 @@
+// Package phenomena turns the paper's phenomenon and anomaly definitions
+// into executable pattern matchers over histories.
+//
+// The paper distinguishes broad interpretations (phenomena, P-numbers):
+// action subsequences that *might* lead to anomalous behavior, from strict
+// interpretations (anomalies, A-numbers): subsequences where something
+// anomalous actually *has* happened (§2.2, §3). Section 3's Remark 5 gives
+// the final forms, dropping the (c2 or a2) clauses that do not restrict
+// histories:
+//
+//	P0: w1[x]...w2[x]...(c1 or a1)            Dirty Write
+//	P1: w1[x]...r2[x]...(c1 or a1)            Dirty Read
+//	P2: r1[x]...w2[x]...(c1 or a1)            Fuzzy / Non-Repeatable Read
+//	P3: r1[P]...w2[y in P]...(c1 or a1)       Phantom
+//	A1: w1[x]...r2[x]...(a1 and c2 either order)
+//	A2: r1[x]...w2[x]...c2...r1[x]...c1
+//	A3: r1[P]...w2[y in P]...c2...r1[P]...c1
+//	P4: r1[x]...w2[x]...w1[x]...c1            Lost Update (§4.1)
+//	P4C: rc1[x]...w2[x]...w1[x]...c1          Cursor Lost Update (§4.1)
+//	A5A: r1[x]...w2[x]...w2[y]...c2...r1[y]...(c1 or a1)   Read Skew (§4.2)
+//	A5B: r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2)       Write Skew (§4.2)
+//
+// Following the paper, a transaction that never terminates inside the given
+// history is treated as still active; the "...(c1 or a1)" tail is satisfied
+// if T1's terminal comes after the matched prefix or does not occur at all
+// (the phenomenon has already happened; only an intervening terminal
+// between the two conflicting actions disarms it).
+package phenomena
+
+import (
+	"fmt"
+
+	"isolevel/internal/history"
+)
+
+// ID names a phenomenon or anomaly from the paper.
+type ID string
+
+// The paper's phenomena (broad interpretations) and anomalies (strict).
+const (
+	P0  ID = "P0"  // Dirty Write
+	P1  ID = "P1"  // Dirty Read (broad)
+	A1  ID = "A1"  // Dirty Read (strict)
+	P2  ID = "P2"  // Fuzzy Read (broad)
+	A2  ID = "A2"  // Fuzzy Read (strict)
+	P3  ID = "P3"  // Phantom (broad)
+	A3  ID = "A3"  // Phantom (strict)
+	P4  ID = "P4"  // Lost Update
+	P4C ID = "P4C" // Cursor Lost Update
+	A5A ID = "A5A" // Read Skew
+	A5B ID = "A5B" // Write Skew
+)
+
+// All lists every matcher-backed identifier in presentation order
+// (the column order of the paper's Table 4, plus the strict anomalies).
+var All = []ID{P0, P1, A1, P2, A2, P3, A3, P4, P4C, A5A, A5B}
+
+// Name returns the paper's prose name for the identifier.
+func Name(id ID) string {
+	switch id {
+	case P0:
+		return "Dirty Write"
+	case P1, A1:
+		return "Dirty Read"
+	case P2, A2:
+		return "Fuzzy Read"
+	case P3, A3:
+		return "Phantom"
+	case P4:
+		return "Lost Update"
+	case P4C:
+		return "Cursor Lost Update"
+	case A5A:
+		return "Read Skew"
+	case A5B:
+		return "Write Skew"
+	}
+	return string(id)
+}
+
+// Match records one occurrence of a phenomenon in a history: the indices of
+// the ops forming the pattern, in pattern order.
+type Match struct {
+	ID      ID
+	OpIdx   []int
+	Comment string
+}
+
+func (m Match) String() string {
+	return fmt.Sprintf("%s at ops %v%s", m.ID, m.OpIdx, optComment(m.Comment))
+}
+
+func optComment(c string) string {
+	if c == "" {
+		return ""
+	}
+	return " (" + c + ")"
+}
+
+// Detect runs the matcher for id over h.
+func Detect(id ID, h history.History) []Match {
+	switch id {
+	case P0:
+		return DetectP0(h)
+	case P1:
+		return DetectP1(h)
+	case A1:
+		return DetectA1(h)
+	case P2:
+		return DetectP2(h)
+	case A2:
+		return DetectA2(h)
+	case P3:
+		return DetectP3(h)
+	case A3:
+		return DetectA3(h)
+	case P4:
+		return DetectP4(h)
+	case P4C:
+		return DetectP4C(h)
+	case A5A:
+		return DetectA5A(h)
+	case A5B:
+		return DetectA5B(h)
+	}
+	return nil
+}
+
+// Exhibits reports whether h contains at least one occurrence of id.
+func Exhibits(id ID, h history.History) bool { return len(Detect(id, h)) > 0 }
+
+// Profile returns the set of identifiers h exhibits.
+func Profile(h history.History) map[ID]bool {
+	out := map[ID]bool{}
+	for _, id := range All {
+		if Exhibits(id, h) {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// terminalBetween reports whether tx's commit/abort occurs strictly inside
+// the open interval (i, j) of history indices.
+func terminalBetween(h history.History, tx, i, j int) bool {
+	for k := i + 1; k < j; k++ {
+		if h[k].Tx == tx && h[k].Kind.IsTerminal() {
+			return true
+		}
+	}
+	return false
+}
+
+// isItemWrite reports whether the op writes the specific item (w or wc).
+func isItemWrite(op history.Op) bool {
+	return op.Kind == history.Write || op.Kind == history.WriteCursor
+}
+
+// isItemRead reports whether the op reads the specific item (r or rc).
+func isItemRead(op history.Op) bool {
+	return op.Kind == history.Read || op.Kind == history.ReadCursor
+}
+
+// DetectP0 finds Dirty Writes: w1[x]...w2[x] with T1 still active in
+// between (no c1/a1 separating them), T1 != T2.
+func DetectP0(h history.History) []Match {
+	var out []Match
+	for i, a := range h {
+		if !isItemWrite(a) {
+			continue
+		}
+		for j := i + 1; j < len(h); j++ {
+			b := h[j]
+			if b.Tx == a.Tx && b.Kind.IsTerminal() {
+				break // T1 terminated; later writes are not dirty w.r.t. this one
+			}
+			if isItemWrite(b) && b.Item == a.Item && b.Tx != a.Tx {
+				out = append(out, Match{ID: P0, OpIdx: []int{i, j},
+					Comment: fmt.Sprintf("T%d overwrites T%d's uncommitted write of %s", b.Tx, a.Tx, a.Item)})
+			}
+		}
+	}
+	return out
+}
+
+// DetectP1 finds Dirty Reads (broad): w1[x]...r2[x] with T1 still active.
+func DetectP1(h history.History) []Match {
+	var out []Match
+	for i, a := range h {
+		if !isItemWrite(a) {
+			continue
+		}
+		for j := i + 1; j < len(h); j++ {
+			b := h[j]
+			if b.Tx == a.Tx && b.Kind.IsTerminal() {
+				break
+			}
+			if isItemRead(b) && b.Item == a.Item && b.Tx != a.Tx {
+				out = append(out, Match{ID: P1, OpIdx: []int{i, j},
+					Comment: fmt.Sprintf("T%d reads T%d's uncommitted write of %s", b.Tx, a.Tx, a.Item)})
+			}
+		}
+	}
+	return out
+}
+
+// DetectA1 finds strict Dirty Reads: w1[x]...r2[x]...(a1 and c2 in either
+// order) — the write is rolled back after being read, and the reader
+// commits.
+func DetectA1(h history.History) []Match {
+	aborted := h.Aborted()
+	committed := h.Committed()
+	var out []Match
+	for _, m := range DetectP1(h) {
+		wIdx, rIdx := m.OpIdx[0], m.OpIdx[1]
+		w, r := h[wIdx], h[rIdx]
+		if aborted[w.Tx] && committed[r.Tx] {
+			out = append(out, Match{ID: A1, OpIdx: m.OpIdx,
+				Comment: fmt.Sprintf("T%d read data T%d later rolled back", r.Tx, w.Tx)})
+		}
+	}
+	return out
+}
+
+// DetectP2 finds Fuzzy Reads (broad): r1[x]...w2[x] with T1 still active.
+func DetectP2(h history.History) []Match {
+	var out []Match
+	for i, a := range h {
+		if !isItemRead(a) {
+			continue
+		}
+		for j := i + 1; j < len(h); j++ {
+			b := h[j]
+			if b.Tx == a.Tx && b.Kind.IsTerminal() {
+				break
+			}
+			if isItemWrite(b) && b.Item == a.Item && b.Tx != a.Tx {
+				out = append(out, Match{ID: P2, OpIdx: []int{i, j},
+					Comment: fmt.Sprintf("T%d overwrites %s read by still-active T%d", b.Tx, a.Item, a.Tx)})
+			}
+		}
+	}
+	return out
+}
+
+// DetectA2 finds strict Fuzzy Reads: r1[x]...w2[x]...c2...r1[x]...c1 —
+// the same transaction rereads the item after the modifier committed, and
+// itself commits.
+func DetectA2(h history.History) []Match {
+	var out []Match
+	for i, r1 := range h {
+		if !isItemRead(r1) {
+			continue
+		}
+		for j := i + 1; j < len(h); j++ {
+			w2 := h[j]
+			if w2.Tx == r1.Tx && w2.Kind.IsTerminal() {
+				break
+			}
+			if !isItemWrite(w2) || w2.Item != r1.Item || w2.Tx == r1.Tx {
+				continue
+			}
+			c2 := h.TerminalIndex(w2.Tx)
+			if c2 < 0 || h[c2].Kind != history.Commit || c2 < j {
+				continue
+			}
+			c1 := h.TerminalIndex(r1.Tx)
+			if c1 < 0 || h[c1].Kind != history.Commit {
+				continue
+			}
+			for k := c2 + 1; k < c1; k++ {
+				rr := h[k]
+				if rr.Tx == r1.Tx && isItemRead(rr) && rr.Item == r1.Item {
+					out = append(out, Match{ID: A2, OpIdx: []int{i, j, c2, k, c1},
+						Comment: fmt.Sprintf("T%d rereads %s after T%d's committed update", r1.Tx, r1.Item, w2.Tx)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DetectP3 finds Phantoms (broad): r1[P]...w2[y in P] with T1 still active.
+// The write may be an item write annotated as falling in P, or a predicate
+// write on P itself. Per Remark 5 the write can be an insert, update, or
+// delete.
+func DetectP3(h history.History) []Match {
+	var out []Match
+	for i, a := range h {
+		if a.Kind != history.PredRead {
+			continue
+		}
+		pred := a.Preds[0]
+		for j := i + 1; j < len(h); j++ {
+			b := h[j]
+			if b.Tx == a.Tx && b.Kind.IsTerminal() {
+				break
+			}
+			if b.Tx == a.Tx || !b.Kind.IsWrite() {
+				continue
+			}
+			if b.InPred(pred) || (b.Kind == history.PredWrite && b.InPred(pred)) {
+				out = append(out, Match{ID: P3, OpIdx: []int{i, j},
+					Comment: fmt.Sprintf("T%d writes into predicate %s read by still-active T%d", b.Tx, pred, a.Tx)})
+			}
+		}
+	}
+	return out
+}
+
+// DetectA3 finds strict Phantoms: r1[P]...w2[y in P]...c2...r1[P]...c1.
+func DetectA3(h history.History) []Match {
+	var out []Match
+	for i, r1 := range h {
+		if r1.Kind != history.PredRead {
+			continue
+		}
+		pred := r1.Preds[0]
+		for j := i + 1; j < len(h); j++ {
+			w2 := h[j]
+			if w2.Tx == r1.Tx && w2.Kind.IsTerminal() {
+				break
+			}
+			if w2.Tx == r1.Tx || !w2.Kind.IsWrite() || !w2.InPred(pred) {
+				continue
+			}
+			c2 := h.TerminalIndex(w2.Tx)
+			if c2 < 0 || h[c2].Kind != history.Commit || c2 < j {
+				continue
+			}
+			c1 := h.TerminalIndex(r1.Tx)
+			if c1 < 0 || h[c1].Kind != history.Commit {
+				continue
+			}
+			for k := c2 + 1; k < c1; k++ {
+				rr := h[k]
+				if rr.Tx == r1.Tx && rr.Kind == history.PredRead && rr.InPred(pred) {
+					out = append(out, Match{ID: A3, OpIdx: []int{i, j, c2, k, c1},
+						Comment: fmt.Sprintf("T%d re-evaluates %s after T%d's committed write into it", r1.Tx, pred, w2.Tx)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DetectP4 finds Lost Updates: r1[x]...w2[x]...w1[x]...c1. T2 need not have
+// committed for the pattern (H4 has c2 before w1[x], but the definition
+// does not require it).
+func DetectP4(h history.History) []Match {
+	return detectLostUpdate(h, P4, func(op history.Op) bool { return isItemRead(op) })
+}
+
+// DetectP4C finds Cursor Lost Updates: rc1[x]...w2[x]...w1[x]...c1, where
+// the first read is through a cursor (rc) and T1's write may be wc or w.
+func DetectP4C(h history.History) []Match {
+	return detectLostUpdate(h, P4C, func(op history.Op) bool { return op.Kind == history.ReadCursor })
+}
+
+func detectLostUpdate(h history.History, id ID, firstRead func(history.Op) bool) []Match {
+	var out []Match
+	for i, r1 := range h {
+		if !firstRead(r1) {
+			continue
+		}
+		c1 := h.TerminalIndex(r1.Tx)
+		if c1 < 0 || h[c1].Kind != history.Commit {
+			continue // P4/P4C require T1 to commit
+		}
+		for j := i + 1; j < c1; j++ {
+			w2 := h[j]
+			if !isItemWrite(w2) || w2.Item != r1.Item || w2.Tx == r1.Tx {
+				continue
+			}
+			for k := j + 1; k < c1; k++ {
+				w1 := h[k]
+				if isItemWrite(w1) && w1.Item == r1.Item && w1.Tx == r1.Tx {
+					out = append(out, Match{ID: id, OpIdx: []int{i, j, k, c1},
+						Comment: fmt.Sprintf("T%d's update of %s lost under T%d's read-modify-write", w2.Tx, r1.Item, r1.Tx)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DetectA5A finds Read Skew: r1[x]...w2[x]...w2[y]...c2...r1[y] with x != y
+// and T1 not yet terminated before reading y.
+func DetectA5A(h history.History) []Match {
+	var out []Match
+	for i, r1x := range h {
+		if !isItemRead(r1x) {
+			continue
+		}
+		t1End := h.TerminalIndex(r1x.Tx)
+		limit := len(h)
+		if t1End >= 0 {
+			limit = t1End
+		}
+		for j := i + 1; j < limit; j++ {
+			w2x := h[j]
+			if !isItemWrite(w2x) || w2x.Item != r1x.Item || w2x.Tx == r1x.Tx {
+				continue
+			}
+			c2 := h.TerminalIndex(w2x.Tx)
+			if c2 < 0 || h[c2].Kind != history.Commit {
+				continue
+			}
+			for k := j + 1; k < c2; k++ {
+				w2y := h[k]
+				if !isItemWrite(w2y) || w2y.Tx != w2x.Tx || w2y.Item == r1x.Item {
+					continue
+				}
+				for l := c2 + 1; l < limit; l++ {
+					r1y := h[l]
+					if isItemRead(r1y) && r1y.Tx == r1x.Tx && r1y.Item == w2y.Item {
+						out = append(out, Match{ID: A5A, OpIdx: []int{i, j, k, c2, l},
+							Comment: fmt.Sprintf("T%d read %s before and %s after T%d's committed update of both", r1x.Tx, r1x.Item, w2y.Item, w2x.Tx)})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DetectA5B finds Write Skew: r1[x]...r2[y]...w1[y]...w2[x] with both
+// transactions committing. Also matches the symmetric interleaving where
+// T2's read precedes T1's (the pattern is symmetric in T1/T2; the paper
+// writes one representative order).
+func DetectA5B(h history.History) []Match {
+	committed := h.Committed()
+	var out []Match
+	for i, r1x := range h {
+		if !isItemRead(r1x) || !committed[r1x.Tx] {
+			continue
+		}
+		t1 := r1x.Tx
+		for j := 0; j < len(h); j++ {
+			r2y := h[j]
+			if !isItemRead(r2y) || r2y.Tx == t1 || !committed[r2y.Tx] {
+				continue
+			}
+			t2 := r2y.Tx
+			if r2y.Item == r1x.Item {
+				continue // write skew needs two distinct items
+			}
+			// T1 writes T2's item y after reading x; T2 writes T1's item x.
+			var w1y, w2x = -1, -1
+			for k := i + 1; k < len(h); k++ {
+				op := h[k]
+				if isItemWrite(op) && op.Tx == t1 && op.Item == r2y.Item {
+					w1y = k
+					break
+				}
+			}
+			for k := j + 1; k < len(h); k++ {
+				op := h[k]
+				if isItemWrite(op) && op.Tx == t2 && op.Item == r1x.Item {
+					w2x = k
+					break
+				}
+			}
+			if w1y < 0 || w2x < 0 {
+				continue
+			}
+			// Both reads must precede the opposing writes (each transaction
+			// decided from a state the other was about to invalidate).
+			if i < w2x && j < w1y && t1 < t2 {
+				out = append(out, Match{ID: A5B, OpIdx: []int{i, j, w1y, w2x},
+					Comment: fmt.Sprintf("T%d and T%d read {%s,%s} then wrote past each other", t1, t2, r1x.Item, r2y.Item)})
+			}
+		}
+	}
+	return out
+}

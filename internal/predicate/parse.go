@@ -1,0 +1,262 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+
+	"isolevel/internal/data"
+)
+
+// Parse reads a predicate in the concrete syntax produced by P.String:
+//
+//	pred   := or
+//	or     := and { "||" and }
+//	and    := unary { "&&" unary }
+//	unary  := "!" unary | "(" pred ")" | atom
+//	atom   := "true"
+//	        | ident cmp int            (field comparison)
+//	        | "key" "~" string         (key prefix)
+//	        | "key" "==" string        (exact key)
+//	cmp    := "==" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Integer literals may be negative. Strings are double-quoted Go strings.
+func Parse(src string) (P, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("predicate: trailing input at %q", p.peek().text)
+	}
+	return pred, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and for
+// embedding canonical scenario predicates.
+func MustParse(src string) P {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokInt
+	tokString
+	tokOp // == != < <= > >= && || ! ( ) ~
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == '~':
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "!", i})
+				i++
+			}
+		case c == '&' || c == '|':
+			if i+1 >= len(src) || src[i+1] != c {
+				return nil, fmt.Errorf("predicate: lone %q at %d", string(c), i)
+			}
+			toks = append(toks, token{tokOp, string(c) + string(c), i})
+			i += 2
+		case c == '=':
+			if i+1 >= len(src) || src[i+1] != '=' {
+				return nil, fmt.Errorf("predicate: lone '=' at %d (use ==)", i)
+			}
+			toks = append(toks, token{tokOp, "==", i})
+			i += 2
+		case c == '<' || c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, string(c) + "=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, string(c), i})
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("predicate: unterminated string at %d", i)
+			}
+			lit, err := strconv.Unquote(src[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("predicate: bad string at %d: %v", i, err)
+			}
+			toks = append(toks, token{tokString, lit, i})
+			i = j + 1
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			if src[i] == '-' && j == i+1 {
+				return nil, fmt.Errorf("predicate: lone '-' at %d", i)
+			}
+			toks = append(toks, token{tokInt, src[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("predicate: unexpected byte %q at %d", string(c), i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+
+func (p *parser) acceptOp(text string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (P, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("||") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (P, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("&&") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (P, error) {
+	if p.acceptOp("!") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	}
+	if p.acceptOp("(") {
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptOp(")") {
+			return nil, fmt.Errorf("predicate: missing ')' at %q", p.peek().text)
+		}
+		return x, nil
+	}
+	return p.parseAtom()
+}
+
+var cmpOps = map[string]CmpOp{
+	"==": EQ, "!=": NE, "<": LT, "<=": LE, ">": GT, ">=": GE,
+}
+
+func (p *parser) parseAtom() (P, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("predicate: expected identifier, got %q at %d", t.text, t.pos)
+	}
+	if t.text == "true" {
+		return True{}, nil
+	}
+	op := p.next()
+	if op.kind != tokOp {
+		return nil, fmt.Errorf("predicate: expected operator after %q, got %q", t.text, op.text)
+	}
+	if t.text == "key" {
+		switch op.text {
+		case "~":
+			s := p.next()
+			if s.kind != tokString {
+				return nil, fmt.Errorf("predicate: key ~ needs a string, got %q", s.text)
+			}
+			return KeyPrefix{Prefix: s.text}, nil
+		case "==":
+			s := p.next()
+			if s.kind != tokString {
+				return nil, fmt.Errorf("predicate: key == needs a string, got %q", s.text)
+			}
+			return KeyEq{Key: data.Key(s.text)}, nil
+		default:
+			return nil, fmt.Errorf("predicate: key supports only ~ and ==, got %q", op.text)
+		}
+	}
+	cmp, ok := cmpOps[op.text]
+	if !ok {
+		return nil, fmt.Errorf("predicate: unknown comparison %q", op.text)
+	}
+	v := p.next()
+	if v.kind != tokInt {
+		return nil, fmt.Errorf("predicate: expected integer after %s %s, got %q", t.text, op.text, v.text)
+	}
+	n, err := strconv.ParseInt(v.text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("predicate: bad integer %q: %v", v.text, err)
+	}
+	return Field{Name: t.text, Op: cmp, Arg: n}, nil
+}

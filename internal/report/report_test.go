@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Demo",
+		Headers: []string{"Level", "P1", "P2"},
+		Notes:   []string{"note one"},
+	}
+	t.AddRow("READ COMMITTED", "Not Possible", "Possible")
+	t.AddRow("SERIALIZABLE", "Not Possible")
+	return t
+}
+
+func TestStringLayout(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, two rows, one note.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Level") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "READ COMMITTED") {
+		t.Fatalf("row = %q", lines[3])
+	}
+	if lines[5] != "note one" {
+		t.Fatalf("note = %q", lines[5])
+	}
+	// Columns aligned: each row has the header-derived width.
+	if !strings.Contains(lines[3], "Not Possible  Possible") {
+		t.Fatalf("column spacing wrong: %q", lines[3])
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "SERIALIZABLE") {
+		t.Fatal("short row missing")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	if !strings.Contains(md, "**Demo**") {
+		t.Fatal("markdown title missing")
+	}
+	if !strings.Contains(md, "| Level | P1 | P2 |") {
+		t.Fatalf("markdown header wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- | --- |") {
+		t.Fatal("markdown separator missing")
+	}
+	if !strings.Contains(md, "| READ COMMITTED | Not Possible | Possible |") {
+		t.Fatal("markdown row missing")
+	}
+	if !strings.Contains(md, "note one") {
+		t.Fatal("markdown note missing")
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tbl := &Table{Headers: []string{"A"}}
+	tbl.AddRow("x")
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Fatal("leading blank line without title")
+	}
+}

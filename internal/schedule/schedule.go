@@ -1,0 +1,448 @@
+// Package schedule executes scripted interleavings — the paper's histories
+// — against live engines, one goroutine per transaction.
+//
+// The controller dispatches each step to its transaction's goroutine and
+// then waits for either (a) the operation to complete, or (b) a
+// notification from the engine's lock manager that the transaction has
+// started waiting. Case (b) is what makes the runner deterministic: when
+// the paper says "w2[x] now blocks until T1 commits", the runner knows the
+// op blocked without resorting to sleeps, marks the step Blocked, and moves
+// on to the next step of the script exactly as the history prescribes. The
+// blocked operation's completion is recorded when it eventually resumes.
+//
+// Deadlock victims (ErrDeadlock), first-committer-wins aborts
+// (ErrWriteConflict) and cursor write-consistency failures (ErrRowChanged)
+// cause the runner to roll the victim back automatically, mirroring what a
+// real system's transaction monitor does; detectors then classify the
+// outcome as "prevented by abort".
+package schedule
+
+import (
+	"fmt"
+	"time"
+
+	"isolevel/internal/engine"
+	"isolevel/internal/history"
+	"isolevel/internal/lock"
+)
+
+// Ctx is the per-transaction execution context handed to step closures. It
+// carries the live transaction plus a variable bag for values that flow
+// between steps of the same transaction (read registers, open cursors).
+type Ctx struct {
+	Tx   engine.Tx
+	Vars map[string]any
+}
+
+// Int returns the int64 stored under name (0 if absent or of another type).
+func (c *Ctx) Int(name string) int64 {
+	v, _ := c.Vars[name].(int64)
+	return v
+}
+
+// Cursor returns the cursor stored under name, or nil.
+func (c *Ctx) Cursor(name string) engine.Cursor {
+	v, _ := c.Vars[name].(engine.Cursor)
+	return v
+}
+
+// Kind classifies a step for the runner's bookkeeping.
+type Kind int
+
+// Step kinds.
+const (
+	Op Kind = iota
+	Commit
+	Abort
+)
+
+// Step is one action of the script.
+type Step struct {
+	// TxN is the script transaction number (1-based, the subscript of
+	// w1[x]).
+	TxN int
+	// Kind tells the runner whether this is a plain operation or a
+	// terminal.
+	Kind Kind
+	// Name labels the step in results ("r1[x]", "w2[x=120]").
+	Name string
+	// Do performs the operation. nil for Commit/Abort kinds.
+	Do func(*Ctx) (any, error)
+}
+
+// OpStep builds a plain operation step.
+func OpStep(txn int, name string, do func(*Ctx) (any, error)) Step {
+	return Step{TxN: txn, Kind: Op, Name: name, Do: do}
+}
+
+// CommitStep builds a commit step.
+func CommitStep(txn int) Step {
+	return Step{TxN: txn, Kind: Commit, Name: fmt.Sprintf("c%d", txn)}
+}
+
+// AbortStep builds an abort step.
+func AbortStep(txn int) Step {
+	return Step{TxN: txn, Kind: Abort, Name: fmt.Sprintf("a%d", txn)}
+}
+
+// StepResult records one step's fate.
+type StepResult struct {
+	Index int
+	TxN   int
+	Name  string
+	// Blocked reports that the op did not complete when dispatched (it
+	// waited on a lock); its Value/Err are from its eventual completion.
+	Blocked bool
+	// Skipped reports the step was not dispatched because its transaction
+	// had already terminated (e.g. rolled back as a deadlock victim).
+	Skipped bool
+	Value   any
+	Err     error
+}
+
+// Result is the outcome of running a script.
+type Result struct {
+	Steps []StepResult
+	// Committed/AutoAborted/ScriptAborted per script transaction number.
+	Committed   map[int]bool
+	Aborted     map[int]bool
+	AutoAborted map[int]bool
+	// History is the engine-recorded execution (empty if the engine has no
+	// recorder).
+	History history.History
+}
+
+// StepByName returns the first step result with the given name.
+func (r *Result) StepByName(name string) (StepResult, bool) {
+	for _, s := range r.Steps {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StepResult{}, false
+}
+
+// Errs returns the non-nil errors of all steps, keyed by step name.
+func (r *Result) Errs() map[string]error {
+	out := map[string]error{}
+	for _, s := range r.Steps {
+		if s.Err != nil {
+			out[s.Name] = s.Err
+		}
+	}
+	return out
+}
+
+// AnyBlocked reports whether any step blocked.
+func (r *Result) AnyBlocked() bool {
+	for _, s := range r.Steps {
+		if s.Blocked {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configure a run.
+type Options struct {
+	// Level is the isolation level for every script transaction unless
+	// overridden in PerTx.
+	Level engine.Level
+	// PerTx overrides the level per script transaction number.
+	PerTx map[int]engine.Level
+	// StepTimeout is the backstop for deciding an op blocked when the
+	// engine exposes no wait observer (default 250ms; the observer path is
+	// the normal, deterministic one).
+	StepTimeout time.Duration
+	// DrainTimeout bounds the end-of-script drain (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (o *Options) levelFor(txn int) engine.Level {
+	if l, ok := o.PerTx[txn]; ok {
+		return l
+	}
+	return o.Level
+}
+
+// observable is implemented by engines whose lock manager can report waits.
+type observable interface {
+	SetObserver(lock.Observer)
+}
+
+// recorded is implemented by engines exposing an execution recorder.
+type recorded interface {
+	Recorder() *engine.Recorder
+}
+
+// completion is what a transaction goroutine reports back.
+type completion struct {
+	txn   int
+	index int
+	value any
+	err   error
+}
+
+type txWorker struct {
+	txn   int
+	ctx   *Ctx
+	steps chan func()
+}
+
+// waitObserver forwards lock-wait notifications to the controller.
+type waitObserver struct {
+	ch chan lock.TxID
+}
+
+func (o *waitObserver) TxWaiting(tx lock.TxID, on []lock.TxID) {
+	select {
+	case o.ch <- tx:
+	default:
+	}
+}
+
+func (o *waitObserver) TxGranted(tx lock.TxID) {}
+
+// Run executes the script on db. Each transaction is begun lazily at its
+// first step. The returned Result always covers every step; Run errors only
+// on script-level misuse (unknown transaction in a step, Begin failure).
+func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
+	if opts.StepTimeout == 0 {
+		opts.StepTimeout = 250 * time.Millisecond
+	}
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = 5 * time.Second
+	}
+
+	waits := &waitObserver{ch: make(chan lock.TxID, 256)}
+	if o, ok := db.(observable); ok {
+		o.SetObserver(waits)
+	}
+	var rec *engine.Recorder
+	if rp, ok := db.(recorded); ok {
+		rec = rp.Recorder()
+		rec.Enable()
+	}
+
+	res := &Result{
+		Committed:   map[int]bool{},
+		Aborted:     map[int]bool{},
+		AutoAborted: map[int]bool{},
+	}
+	res.Steps = make([]StepResult, len(steps))
+
+	workers := map[int]*txWorker{}
+	engineID := map[int]int{}  // script txn -> engine tx id
+	scriptTxn := map[int]int{} // engine tx id -> script txn
+	pendingOps := map[int]int{}
+	terminated := map[int]bool{}
+	completions := make(chan completion, len(steps)+16)
+
+	startWorker := func(txn int) (*txWorker, error) {
+		tx, err := db.Begin(opts.levelFor(txn))
+		if err != nil {
+			return nil, fmt.Errorf("schedule: begin T%d: %w", txn, err)
+		}
+		w := &txWorker{
+			txn:   txn,
+			ctx:   &Ctx{Tx: tx, Vars: map[string]any{}},
+			steps: make(chan func(), len(steps)),
+		}
+		engineID[txn] = tx.ID()
+		scriptTxn[tx.ID()] = txn
+		go func() {
+			for fn := range w.steps {
+				fn()
+			}
+		}()
+		workers[txn] = w
+		return w, nil
+	}
+
+	// autoAbort rolls back a transaction whose op failed with a prevention
+	// error. Safe: its op has completed, so no call is in flight.
+	autoAbort := func(txn int) {
+		w := workers[txn]
+		if w == nil || terminated[txn] {
+			return
+		}
+		terminated[txn] = true
+		res.Aborted[txn] = true
+		res.AutoAborted[txn] = true
+		done := make(chan struct{})
+		w.steps <- func() { _ = w.ctx.Tx.Abort(); close(done) }
+		<-done
+	}
+
+	recordCompletion := func(c completion) {
+		sr := &res.Steps[c.index]
+		sr.Value = c.value
+		sr.Err = c.err
+		pendingOps[c.txn]--
+		step := steps[c.index]
+		switch step.Kind {
+		case Commit:
+			if c.err == nil {
+				res.Committed[c.txn] = true
+				terminated[c.txn] = true
+			} else {
+				// Failed commit (first-committer-wins): the engine has
+				// already aborted the transaction.
+				res.Aborted[c.txn] = true
+				res.AutoAborted[c.txn] = true
+				terminated[c.txn] = true
+			}
+		case Abort:
+			res.Aborted[c.txn] = true
+			terminated[c.txn] = true
+		default:
+			if c.err != nil && engine.IsPrevention(c.err) {
+				autoAbort(c.txn)
+			}
+		}
+	}
+
+	for i, step := range steps {
+		res.Steps[i] = StepResult{Index: i, TxN: step.TxN, Name: step.Name}
+
+		// Drain any completions of previously blocked steps.
+	drain:
+		for {
+			select {
+			case c := <-completions:
+				recordCompletion(c)
+			default:
+				break drain
+			}
+		}
+
+		if terminated[step.TxN] {
+			res.Steps[i].Skipped = true
+			continue
+		}
+		w := workers[step.TxN]
+		if w == nil {
+			var err error
+			w, err = startWorker(step.TxN)
+			if err != nil {
+				return res, err
+			}
+		}
+
+		idx := i
+		st := step
+		ctx := w.ctx
+		dispatch := func() {
+			var v any
+			var err error
+			switch st.Kind {
+			case Commit:
+				err = ctx.Tx.Commit()
+			case Abort:
+				err = ctx.Tx.Abort()
+			default:
+				v, err = st.Do(ctx)
+			}
+			completions <- completion{txn: st.TxN, index: idx, value: v, err: err}
+		}
+
+		if pendingOps[step.TxN] > 0 {
+			// The transaction is still blocked on an earlier step; queue
+			// this step behind it (the worker runs steps in order) and mark
+			// it blocked by inheritance.
+			res.Steps[i].Blocked = true
+			pendingOps[step.TxN]++
+			w.steps <- dispatch
+			continue
+		}
+
+		pendingOps[step.TxN]++
+		w.steps <- dispatch
+
+		// Wait for completion, a wait-notification for this transaction, or
+		// the backstop timeout.
+		expect := lock.TxID(engineID[step.TxN])
+		timer := time.NewTimer(opts.StepTimeout)
+	wait:
+		for {
+			select {
+			case c := <-completions:
+				recordCompletion(c)
+				if c.index == i {
+					break wait
+				}
+			case id := <-waits.ch:
+				if id == expect {
+					res.Steps[i].Blocked = true
+					break wait
+				}
+				// Stale note for another tx: ignore.
+			case <-timer.C:
+				res.Steps[i].Blocked = true
+				break wait
+			}
+		}
+		timer.Stop()
+	}
+
+	// End of script: abort transactions the script left open. Aborting an
+	// idle transaction releases its locks, which lets blocked ops of other
+	// transactions complete; loop until everything settles.
+	deadline := time.After(opts.DrainTimeout)
+	abortDone := make(chan int, len(workers)+1)
+	abortsPending := 0
+	for {
+		for txn, w := range workers {
+			if terminated[txn] || pendingOps[txn] > 0 {
+				continue
+			}
+			terminated[txn] = true
+			res.Aborted[txn] = true
+			res.AutoAborted[txn] = true
+			ww := w
+			abortsPending++
+			ww.steps <- func() { _ = ww.ctx.Tx.Abort(); abortDone <- 1 }
+		}
+		busy := 0
+		for _, n := range pendingOps {
+			busy += n
+		}
+		allTerminated := true
+		for txn := range workers {
+			if !terminated[txn] {
+				allTerminated = false
+			}
+		}
+		if busy == 0 && abortsPending == 0 && allTerminated {
+			break
+		}
+		select {
+		case c := <-completions:
+			recordCompletion(c)
+		case <-abortDone:
+			abortsPending--
+		case <-deadline:
+			return res, fmt.Errorf("schedule: drain timeout with %d ops in flight", busy)
+		}
+	}
+	for _, w := range workers {
+		close(w.steps)
+	}
+	if rec != nil {
+		res.History = remapHistory(rec.History(), scriptTxn)
+	}
+	return res, nil
+}
+
+// remapHistory rewrites engine transaction ids to script transaction
+// numbers so recorded histories line up with the paper's notation.
+func remapHistory(h history.History, scriptTxn map[int]int) history.History {
+	out := make(history.History, 0, len(h))
+	for _, op := range h {
+		if txn, ok := scriptTxn[op.Tx]; ok {
+			op.Tx = txn
+			out = append(out, op)
+		}
+	}
+	return out
+}

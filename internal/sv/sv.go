@@ -1,0 +1,162 @@
+// Package sv is the single-version row store used by the locking engines.
+//
+// Writes are applied in place — this is deliberate: at the weaker levels of
+// Table 2 (Degree 0, READ UNCOMMITTED) other transactions are allowed to
+// see uncommitted data, which only works if writers mutate the shared
+// current state. Rollback is implemented with a before-image undo log, as
+// in the paper's §3 discussion of why Dirty Writes (P0) break recovery: if
+// two uncommitted transactions write the same item, restoring either's
+// before-image is wrong. The store lets that corruption happen when an
+// engine fails to hold long write locks — there is a test demonstrating it.
+//
+// All access is guarded by a single RWMutex: the store provides atomic
+// individual actions (the paper's Degree 0 "action atomicity") and nothing
+// more; every stronger guarantee comes from the lock manager above it.
+package sv
+
+import (
+	"sort"
+	"sync"
+
+	"isolevel/internal/data"
+	"isolevel/internal/predicate"
+)
+
+// Store is an in-place single-version row store.
+type Store struct {
+	mu   sync.RWMutex
+	rows map[data.Key]data.Row
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{rows: map[data.Key]data.Row{}}
+}
+
+// Load bulk-inserts rows (setup helper; no locking protocol involved).
+func (s *Store) Load(tuples ...data.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range tuples {
+		s.rows[t.Key] = t.Row.Clone()
+	}
+}
+
+// Get returns a copy of the current row, or nil if absent.
+func (s *Store) Get(key data.Key) data.Row {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rows[key].Clone()
+}
+
+// Exists reports whether a row is present.
+func (s *Store) Exists(key data.Key) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.rows[key]
+	return ok
+}
+
+// Put installs row (insert or update) and returns the before-image (nil
+// for an insert).
+func (s *Store) Put(key data.Key, row data.Row) (before data.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before = s.rows[key]
+	s.rows[key] = row.Clone()
+	return before
+}
+
+// Delete removes the row and returns the before-image (nil if it was
+// already absent).
+func (s *Store) Delete(key data.Key) (before data.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before = s.rows[key]
+	delete(s.rows, key)
+	return before
+}
+
+// Restore writes a before-image back (undo): nil removes the row.
+func (s *Store) Restore(key data.Key, before data.Row) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if before == nil {
+		delete(s.rows, key)
+	} else {
+		s.rows[key] = before.Clone()
+	}
+}
+
+// Select returns copies of all tuples satisfying p, sorted by key.
+func (s *Store) Select(p predicate.P) []data.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []data.Tuple
+	for k, r := range s.rows {
+		t := data.Tuple{Key: k, Row: r}
+		if p.Match(t) {
+			out = append(out, t.Clone())
+		}
+	}
+	data.SortTuples(out)
+	return out
+}
+
+// Snapshot returns a copy of every row, sorted by key (final-state checks).
+func (s *Store) Snapshot() []data.Tuple {
+	return s.Select(predicate.True{})
+}
+
+// Keys returns all present keys, sorted.
+func (s *Store) Keys() []data.Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]data.Key, 0, len(s.rows))
+	for k := range s.rows {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of rows.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// UndoRecord is one entry of a transaction's undo log: the before-image of
+// a write, to be restored on rollback in reverse order.
+type UndoRecord struct {
+	Key    data.Key
+	Before data.Row
+}
+
+// UndoLog accumulates before-images for one transaction.
+type UndoLog struct {
+	records []UndoRecord
+}
+
+// Note appends a before-image.
+func (u *UndoLog) Note(key data.Key, before data.Row) {
+	u.records = append(u.records, UndoRecord{Key: key, Before: before.Clone()})
+}
+
+// Len returns the number of undo records.
+func (u *UndoLog) Len() int { return len(u.records) }
+
+// Records returns the undo records in append order (for inspection).
+func (u *UndoLog) Records() []UndoRecord { return u.records }
+
+// Rollback restores before-images in reverse order. This is exactly the
+// recovery procedure the paper's §3 shows to be unsound in the presence of
+// Dirty Writes — the store applies it faithfully either way.
+func (u *UndoLog) Rollback(s *Store) {
+	for i := len(u.records) - 1; i >= 0; i-- {
+		r := u.records[i]
+		s.Restore(r.Key, r.Before)
+	}
+	u.records = nil
+}

@@ -1,0 +1,127 @@
+package sv
+
+import (
+	"testing"
+
+	"isolevel/internal/data"
+	"isolevel/internal/predicate"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := NewStore()
+	if s.Get("x") != nil {
+		t.Fatal("empty store returned a row")
+	}
+	if before := s.Put("x", data.Scalar(1)); before != nil {
+		t.Fatal("insert returned a before-image")
+	}
+	if got := s.Get("x").Val(); got != 1 {
+		t.Fatalf("Get = %d", got)
+	}
+	if before := s.Put("x", data.Scalar(2)); before.Val() != 1 {
+		t.Fatalf("update before-image = %v", before)
+	}
+	if before := s.Delete("x"); before.Val() != 2 {
+		t.Fatalf("delete before-image = %v", before)
+	}
+	if s.Exists("x") {
+		t.Fatal("deleted row still exists")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.Put("x", data.Scalar(1))
+	r := s.Get("x")
+	r[data.ValField] = 99
+	if s.Get("x").Val() != 1 {
+		t.Fatal("Get leaked internal storage")
+	}
+}
+
+func TestRestore(t *testing.T) {
+	s := NewStore()
+	s.Put("x", data.Scalar(1))
+	s.Restore("x", data.Scalar(5))
+	if s.Get("x").Val() != 5 {
+		t.Fatal("restore of non-nil image")
+	}
+	s.Restore("x", nil)
+	if s.Exists("x") {
+		t.Fatal("restore of nil image should delete")
+	}
+}
+
+func TestSelectAndSnapshot(t *testing.T) {
+	s := NewStore()
+	s.Load(
+		data.Tuple{Key: "e1", Row: data.Row{"active": 1}},
+		data.Tuple{Key: "e2", Row: data.Row{"active": 0}},
+		data.Tuple{Key: "e3", Row: data.Row{"active": 1}},
+	)
+	got := s.Select(predicate.MustParse("active == 1"))
+	if len(got) != 2 || got[0].Key != "e1" || got[1].Key != "e3" {
+		t.Fatalf("Select = %v", got)
+	}
+	if len(s.Snapshot()) != 3 || s.Len() != 3 {
+		t.Fatal("Snapshot/Len wrong")
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "e1" || keys[2] != "e3" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestUndoLogRollback(t *testing.T) {
+	s := NewStore()
+	s.Put("x", data.Scalar(10))
+	var u UndoLog
+	u.Note("x", s.Put("x", data.Scalar(20)))
+	u.Note("y", s.Put("y", data.Scalar(1))) // insert: before nil
+	u.Note("x", s.Put("x", data.Scalar(30)))
+	if u.Len() != 3 {
+		t.Fatalf("undo len = %d", u.Len())
+	}
+	u.Rollback(s)
+	if s.Get("x").Val() != 10 {
+		t.Fatalf("x after rollback = %v", s.Get("x"))
+	}
+	if s.Exists("y") {
+		t.Fatal("inserted row survived rollback")
+	}
+	if u.Len() != 0 {
+		t.Fatal("undo log not cleared")
+	}
+}
+
+// The paper's §3 recovery argument: with dirty writes (no long write
+// locks), before-image undo corrupts the database. w1[x] w2[x] a1 —
+// rolling back T1 restores T1's before-image and wipes out T2's update.
+func TestDirtyWriteBreaksUndo(t *testing.T) {
+	s := NewStore()
+	s.Put("x", data.Scalar(0)) // initial committed value
+	var u1 UndoLog
+	u1.Note("x", s.Put("x", data.Scalar(1))) // w1[x=1], before-image 0
+	var u2 UndoLog
+	u2.Note("x", s.Put("x", data.Scalar(2))) // w2[x=2] dirty!, before-image 1
+	u1.Rollback(s)                           // a1
+	// T1's rollback restored 0 — T2's committed-to-be update of 2 is gone.
+	if got := s.Get("x").Val(); got != 0 {
+		t.Fatalf("x = %d (expected the paper's corruption: T2's write wiped)", got)
+	}
+	// And if T2 now also aborts, its undo restores 1 — T1's uncommitted
+	// value resurrects. Either way the database is wrong.
+	u2.Rollback(s)
+	if got := s.Get("x").Val(); got != 1 {
+		t.Fatalf("x = %d after both rollbacks (expected 1, the resurrected dirty value)", got)
+	}
+}
+
+func TestUndoRecordsExposed(t *testing.T) {
+	var u UndoLog
+	u.Note("x", data.Scalar(1))
+	rs := u.Records()
+	if len(rs) != 1 || rs[0].Key != "x" || rs[0].Before.Val() != 1 {
+		t.Fatalf("records = %v", rs)
+	}
+}

@@ -1,0 +1,273 @@
+package isolevel
+
+import (
+	"isolevel/internal/anomalies"
+	"isolevel/internal/ansi"
+	"isolevel/internal/data"
+	"isolevel/internal/deps"
+	"isolevel/internal/engine"
+	"isolevel/internal/history"
+	"isolevel/internal/locking"
+	"isolevel/internal/matrix"
+	"isolevel/internal/mv"
+	"isolevel/internal/oraclerc"
+	"isolevel/internal/phenomena"
+	"isolevel/internal/predicate"
+	"isolevel/internal/report"
+	"isolevel/internal/schedule"
+	"isolevel/internal/snapshot"
+	"isolevel/internal/workload"
+)
+
+// --- Isolation levels ---
+
+// Level is an isolation level (Table 2 locking levels plus the §4
+// multiversion levels).
+type Level = engine.Level
+
+// Isolation levels.
+const (
+	Degree0           = engine.Degree0
+	ReadUncommitted   = engine.ReadUncommitted
+	ReadCommitted     = engine.ReadCommitted
+	CursorStability   = engine.CursorStability
+	RepeatableRead    = engine.RepeatableRead
+	Serializable      = engine.Serializable
+	SnapshotIsolation = engine.SnapshotIsolation
+	ReadConsistency   = engine.ReadConsistency
+)
+
+// Levels lists every implemented isolation level.
+var Levels = engine.Levels
+
+// --- Engine contract ---
+
+// DB is a database engine instance (one store + one concurrency-control
+// scheduler).
+type DB = engine.DB
+
+// Tx is a transaction handle.
+type Tx = engine.Tx
+
+// Cursor is a SQL-style cursor (§4.1).
+type Cursor = engine.Cursor
+
+// Engine errors (errors.Is-compatible).
+var (
+	ErrDeadlock      = engine.ErrDeadlock
+	ErrWriteConflict = engine.ErrWriteConflict
+	ErrRowChanged    = engine.ErrRowChanged
+	ErrNotFound      = engine.ErrNotFound
+	ErrTxDone        = engine.ErrTxDone
+	ErrUnsupported   = engine.ErrUnsupported
+)
+
+// NewLockingDB returns the Table 2 locking engine (Degree 0, READ
+// UNCOMMITTED, READ COMMITTED, CURSOR STABILITY, REPEATABLE READ,
+// SERIALIZABLE).
+func NewLockingDB() *locking.DB { return locking.NewDB() }
+
+// NewSnapshotDB returns the §4.2 Snapshot Isolation engine
+// (first-committer-wins, snapshot reads, time travel via BeginAsOf).
+func NewSnapshotDB() *snapshot.DB { return snapshot.NewDB() }
+
+// NewSnapshotDBFirstUpdaterWins returns the eager-conflict ablation of the
+// Snapshot Isolation engine (conflicts surface at write time).
+func NewSnapshotDBFirstUpdaterWins() *snapshot.DB {
+	return snapshot.NewDB(snapshot.FirstUpdaterWins())
+}
+
+// NewOracleRCDB returns the §4.3 Oracle-style Read Consistency engine
+// (statement-level snapshots, first-writer-wins write locks).
+func NewOracleRCDB() *oraclerc.DB { return oraclerc.NewDB() }
+
+// NewDBFor returns a fresh engine implementing the given level.
+func NewDBFor(level Level) DB { return anomalies.NewDBFor(level) }
+
+// --- Rows ---
+
+// Key identifies a data item.
+type Key = data.Key
+
+// Row is a set of named int64 fields.
+type Row = data.Row
+
+// Tuple pairs a key with a row.
+type Tuple = data.Tuple
+
+// Scalar builds a tuple holding a single "val" field, the shape of the
+// paper's x/y/z items.
+func Scalar(key Key, v int64) Tuple { return Tuple{Key: key, Row: data.Scalar(v)} }
+
+// GetVal reads the scalar value of key inside tx.
+func GetVal(tx Tx, key Key) (int64, error) { return engine.GetVal(tx, key) }
+
+// PutVal writes a scalar row inside tx.
+func PutVal(tx Tx, key Key, v int64) error { return engine.PutVal(tx, key, v) }
+
+// --- Predicates ---
+
+// Predicate is a <search condition> over rows.
+type Predicate = predicate.P
+
+// ParsePredicate parses "active == 1 && hours < 8" style conditions.
+func ParsePredicate(src string) (Predicate, error) { return predicate.Parse(src) }
+
+// MustPredicate is ParsePredicate that panics on error.
+func MustPredicate(src string) Predicate { return predicate.MustParse(src) }
+
+// --- Histories and phenomena ---
+
+// History is a linear ordering of transactional actions in the paper's
+// notation.
+type History = history.History
+
+// ParseHistory parses the paper's shorthand ("w1[x] r2[x] c1 a2").
+func ParseHistory(src string) (History, error) { return history.Parse(src) }
+
+// MustHistory is ParseHistory that panics on error.
+func MustHistory(src string) History { return history.MustParse(src) }
+
+// PhenomenonID names a phenomenon or anomaly (P0, P1, A1, ..., A5B).
+type PhenomenonID = phenomena.ID
+
+// Phenomena lists every matcher-backed identifier.
+var Phenomena = phenomena.All
+
+// Exhibits reports whether h contains phenomenon id.
+func Exhibits(id PhenomenonID, h History) bool { return phenomena.Exhibits(id, h) }
+
+// PhenomenaProfile returns all phenomena h exhibits.
+func PhenomenaProfile(h History) map[PhenomenonID]bool { return phenomena.Profile(h) }
+
+// ConflictSerializable reports whether h's committed projection is
+// conflict-serializable (acyclic dependency graph, §2.1).
+func ConflictSerializable(h History) bool { return deps.Serializable(h) }
+
+// EquivalentSerialOrder returns an equivalent serial order of committed
+// transactions, or nil if h is not conflict-serializable.
+func EquivalentSerialOrder(h History) []int { return deps.EquivalentSerialOrder(h) }
+
+// AnsiLevel is a phenomenon-based isolation level acceptor (Tables 1 & 3).
+type AnsiLevel = ansi.Level
+
+// The Table 1 / Table 3 acceptors.
+var (
+	AnomalySerializable = ansi.AnomalySerializable
+	AnsiTable1Strict    = ansi.Table1Strict
+	AnsiTable1Broad     = ansi.Table1Broad
+	AnsiTable3          = ansi.Table3
+)
+
+// Paper histories (§3, §4).
+var (
+	H1             = history.H1
+	H2             = history.H2
+	H3             = history.H3
+	H4             = history.H4
+	H5             = history.H5
+	H1SI           = history.H1SI
+	H1SISV         = history.H1SISV
+	DirtyWriteHist = history.DirtyWrite
+)
+
+// --- Scenarios and matrix regeneration ---
+
+// Scenario is a runnable anomaly experiment.
+type Scenario = anomalies.Scenario
+
+// Outcome is a scenario verdict.
+type Outcome = anomalies.Outcome
+
+// Scenarios returns the full Table 4 scenario catalog.
+func Scenarios() []Scenario { return anomalies.Catalog() }
+
+// RunScenario executes a scenario at a level on a fresh engine.
+func RunScenario(sc Scenario, level Level) (Outcome, error) {
+	out, _, err := anomalies.Run(sc, level)
+	return out, err
+}
+
+// Cell is a Table 4 cell value.
+type Cell = matrix.Cell
+
+// Cell values.
+const (
+	NotPossible       = matrix.NotPossible
+	SometimesPossible = matrix.SometimesPossible
+	Possible          = matrix.Possible
+)
+
+// Table4 measures the paper's Table 4 on live engines (defaults to the
+// paper's six rows).
+func Table4(levels ...Level) (*matrix.Table4Result, error) { return matrix.RunTable4(levels...) }
+
+// Table4AllLevels measures Table 4 over the paper's rows plus Degree 0 and
+// Oracle Read Consistency.
+func Table4AllLevels() (*matrix.Table4Result, error) {
+	all := append(append([]Level{}, matrix.PaperLevels...), matrix.ExtensionLevels...)
+	return matrix.RunTable4(all...)
+}
+
+// Table1 regenerates the paper's Table 1 from the phenomenon acceptors.
+func Table1() *report.Table { return matrix.RunTable1() }
+
+// Table2 regenerates Table 2 (declared lock protocol + live probes).
+func Table2() (*report.Table, []string, error) { return matrix.RunTable2() }
+
+// Table3 regenerates the repaired Table 3.
+func Table3() *report.Table { return matrix.RunTable3() }
+
+// Hierarchy is the measured Figure 2.
+type Hierarchy = matrix.Hierarchy
+
+// RemarkResult is the verification outcome of one of the paper's Remarks.
+type RemarkResult = matrix.RemarkResult
+
+// VerifyRemarks checks the paper's Remarks 1-10 against the live engines.
+func VerifyRemarks() ([]RemarkResult, error) { return matrix.VerifyRemarks() }
+
+// Figure2 computes the measured isolation hierarchy from a Table 4 run.
+func Figure2(t4 *matrix.Table4Result) *Hierarchy { return matrix.BuildHierarchy(t4) }
+
+// --- Scripted schedules ---
+
+// Step is one action of a scripted interleaving.
+type Step = schedule.Step
+
+// ScheduleCtx is the per-transaction context handed to step closures.
+type ScheduleCtx = schedule.Ctx
+
+// ScheduleResult is the outcome of running a script.
+type ScheduleResult = schedule.Result
+
+// RunSchedule executes a scripted interleaving against db with every
+// transaction at the given level.
+func RunSchedule(db DB, level Level, steps []Step) (*ScheduleResult, error) {
+	return schedule.Run(db, schedule.Options{Level: level}, steps)
+}
+
+// OpStep, CommitStep and AbortStep build script steps.
+var (
+	OpStep     = schedule.OpStep
+	CommitStep = schedule.CommitStep
+	AbortStep  = schedule.AbortStep
+)
+
+// --- Workloads (benchmarks) ---
+
+// Metrics aggregates a workload run.
+type Metrics = workload.Metrics
+
+// Workload generators (see internal/workload).
+var (
+	LoadAccounts      = workload.LoadAccounts
+	TransferWorkload  = workload.Transfer
+	ReadersVsWriters  = workload.ReadersVsWriters
+	HotspotCounter    = workload.HotspotCounter
+	LongRunningUpdate = workload.LongRunningUpdater
+	TotalBalance      = workload.TotalBalance
+)
+
+// SnapshotTS re-exports the multiversion timestamp type for AsOf queries.
+type SnapshotTS = mv.TS
