@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: verify build test race vet bench
+
+verify: vet build race ## what CI runs: vet + build + race-enabled tests
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

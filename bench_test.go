@@ -228,6 +228,95 @@ func BenchmarkTransferThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkShardSweepDisjointBatch measures the striped SI commit path on
+// its best case: every worker owns a private key range, so no transaction
+// ever conflicts and throughput is limited purely by commit-path
+// serialization. shards=1 reproduces the old global-commit-mutex behavior
+// (every commit queues); higher stripe counts let the disjoint write sets
+// validate and install in parallel.
+func BenchmarkShardSweepDisjointBatch(b *testing.B) {
+	const workers, batch, iters = 8, 4, 100
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var commits, aborts int64
+			for i := 0; i < b.N; i++ {
+				db := isolevel.NewSnapshotDBShards(shards)
+				isolevel.LoadAccounts(db, workers*batch, 0)
+				m := isolevel.BatchIncrementWorkload(db, isolevel.SnapshotIsolation, workers, iters, batch, true)
+				commits += m.Commits
+				aborts += m.Aborts
+			}
+			if aborts != 0 {
+				b.Fatalf("disjoint write sets aborted %d times", aborts)
+			}
+			b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/s")
+		})
+	}
+}
+
+// BenchmarkShardSweepTransfer sweeps the stripe count under the uniform
+// transfer workload — mostly-disjoint write sets with occasional
+// conflicts, the realistic middle ground between the disjoint-batch best
+// case and the hotspot worst case.
+func BenchmarkShardSweepTransfer(b *testing.B) {
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var commits int64
+			for i := 0; i < b.N; i++ {
+				db := isolevel.NewSnapshotDBShards(shards)
+				isolevel.LoadAccounts(db, benchAccounts, 100)
+				m := isolevel.TransferWorkload(db, isolevel.SnapshotIsolation, benchAccounts, 8, benchIters)
+				commits += m.Commits
+			}
+			b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/s")
+		})
+	}
+}
+
+// BenchmarkSkewedTransfer measures the skewed multi-key transfer scenario:
+// first-committer-wins aborts concentrate on the hot keys while the
+// uniform tail still commits in parallel through the striped path.
+func BenchmarkSkewedTransfer(b *testing.B) {
+	for _, level := range []isolevel.Level{isolevel.Serializable, isolevel.SnapshotIsolation} {
+		b.Run(level.String(), func(b *testing.B) {
+			var commits, aborts int64
+			for i := 0; i < b.N; i++ {
+				db := isolevel.NewDBFor(level)
+				isolevel.LoadAccounts(db, benchAccounts, 100)
+				m := isolevel.SkewedTransferWorkload(db, level, benchAccounts, 8, 4, benchIters, 0.8)
+				commits += m.Commits
+				aborts += m.Aborts
+			}
+			b.ReportMetric(float64(commits)/float64(b.N), "commits/run")
+			b.ReportMetric(100*float64(aborts)/float64(max64(1, commits+aborts)), "abort-%")
+		})
+	}
+}
+
+// BenchmarkHotspotLockstep measures the deterministic contention driver:
+// per round every session reads before any session commits, so the SI
+// abort rate is exactly (sessions-1)/sessions by construction and the
+// metric of interest is rounds per second (rendezvous overhead included).
+func BenchmarkHotspotLockstep(b *testing.B) {
+	for _, sessions := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			const rounds = 25
+			var commits, aborts int64
+			for i := 0; i < b.N; i++ {
+				db := isolevel.NewSnapshotDB()
+				m := isolevel.HotspotLockstep(db, isolevel.SnapshotIsolation, sessions, rounds)
+				commits += m.Commits
+				aborts += m.Aborts
+			}
+			if commits != int64(b.N*rounds) {
+				b.Fatalf("lockstep commits drifted: %d, want %d", commits, b.N*rounds)
+			}
+			b.ReportMetric(float64(b.N*rounds)/b.Elapsed().Seconds(), "rounds/s")
+			b.ReportMetric(100*float64(aborts)/float64(max64(1, commits+aborts)), "abort-%")
+		})
+	}
+}
+
 // BenchmarkFirstCommitterVsFirstUpdater is the ablation of the paper's
 // commit-time validation against the eager write-time variant used by
 // several modern systems: same anomaly guarantees, different abort timing.

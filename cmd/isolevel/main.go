@@ -13,6 +13,8 @@
 //	                           execute one anomaly scenario on a live engine
 //	isolevel scenarios         list the scenario catalog
 //	isolevel paper             replay the paper's H1-H5 analyses
+//	isolevel bench -scenario transfer -level "SNAPSHOT ISOLATION" -shards 16
+//	                           run one workload scenario and print its metrics
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"isolevel/internal/history"
 	"isolevel/internal/matrix"
 	"isolevel/internal/phenomena"
+	"isolevel/internal/workload"
 )
 
 func main() {
@@ -54,6 +57,8 @@ func main() {
 		err = cmdPaper()
 	case "remarks":
 		err = cmdRemarks()
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -79,6 +84,11 @@ commands:
   scenarios                   list the anomaly scenario catalog
   paper                       replay the paper's H1-H5 analyses
   remarks                     verify Remarks 1-10 on the live engines
+  bench -scenario S           run one workload scenario and print metrics
+        scenarios: transfer, skewed, batch, batch-disjoint, hotspot,
+                   hotspot-lockstep, scan, readers, longrunner
+        knobs: -level L -shards N -workers W -iters I -accounts A
+               -batch B -hot-bias F -rounds R
 `)
 }
 
@@ -301,6 +311,105 @@ func cmdRemarks() error {
 		return fmt.Errorf("%d remark(s) failed to reproduce", failed)
 	}
 	fmt.Println("\nAll 10 remarks reproduced on the live engines.")
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	scenario := fs.String("scenario", "transfer", "workload scenario (transfer, skewed, batch, batch-disjoint, hotspot, hotspot-lockstep, scan, readers, longrunner)")
+	levelName := fs.String("level", "SNAPSHOT ISOLATION", "isolation level")
+	shards := fs.Int("shards", 0, "store stripe count for the multiversion engines (0 = default)")
+	workers := fs.Int("workers", 4, "concurrent workers / sessions")
+	iters := fs.Int("iters", 200, "transactions per worker (rounds for lockstep scenarios)")
+	accounts := fs.Int("accounts", 64, "number of account rows")
+	batch := fs.Int("batch", 4, "keys written per transaction (batch scenarios)")
+	hotBias := fs.Float64("hot-bias", 0.8, "probability a skewed-transfer source is drawn from the hot set")
+	rounds := fs.Int("rounds", 50, "lockstep rounds (hotspot-lockstep, scan)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	level, err := parseLevel(*levelName)
+	if err != nil {
+		return err
+	}
+	db := anomalies.NewDBForShards(level, *shards)
+	header := func() {
+		fmt.Printf("scenario %s at %s (workers=%d", *scenario, level, *workers)
+		if s, ok := db.(interface{ ShardCount() int }); ok {
+			fmt.Printf(", shards=%d", s.ShardCount())
+		}
+		fmt.Println(")")
+	}
+	switch *scenario {
+	case "transfer":
+		workload.LoadAccounts(db, *accounts, 100)
+		m := workload.Transfer(db, level, *accounts, *workers, *iters)
+		header()
+		fmt.Printf("  %s  throughput=%.0f tx/s\n", m, m.Throughput())
+		fmt.Printf("  total balance drift: %+d\n", workload.TotalBalance(db, *accounts)-int64(*accounts)*100)
+	case "skewed":
+		workload.LoadAccounts(db, *accounts, 100)
+		m := workload.SkewedTransfer(db, level, *accounts, max(1, *accounts/8), *workers, *iters, *hotBias)
+		header()
+		fmt.Printf("  %s  throughput=%.0f tx/s\n", m, m.Throughput())
+		fmt.Printf("  total balance drift: %+d\n", workload.TotalBalance(db, *accounts)-int64(*accounts)*100)
+	case "batch", "batch-disjoint":
+		disjoint := *scenario == "batch-disjoint"
+		n := *batch
+		if disjoint {
+			n = *batch * *workers
+		}
+		if n > *accounts {
+			return fmt.Errorf("need at least %d accounts for %s (-accounts)", n, *scenario)
+		}
+		workload.LoadAccounts(db, *accounts, 0)
+		m := workload.BatchIncrement(db, level, *workers, *iters, *batch, disjoint)
+		header()
+		fmt.Printf("  %s  throughput=%.0f tx/s\n", m, m.Throughput())
+	case "hotspot":
+		m := workload.HotspotCounter(db, level, *workers, *iters)
+		header()
+		fmt.Printf("  %s  throughput=%.0f tx/s\n", m, m.Throughput())
+		fmt.Printf("  counter=%d (must equal commits)\n", db.ReadCommittedRow("hot").Val())
+	case "hotspot-lockstep":
+		m := workload.HotspotCounterLockstep(db, level, *workers, *rounds)
+		header()
+		fmt.Printf("  %s\n", m)
+		if level == engine.SnapshotIsolation {
+			fmt.Printf("  counter=%d over %d rounds (deterministic: one winner per round)\n",
+				db.ReadCommittedRow("hot").Val(), *rounds)
+		} else {
+			fmt.Printf("  counter=%d over %d rounds (%d committed increments lost)\n",
+				db.ReadCommittedRow("hot").Val(), *rounds, m.Commits-db.ReadCommittedRow("hot").Val())
+		}
+	case "scan":
+		if level != engine.SnapshotIsolation && level != engine.ReadConsistency {
+			// The rendezvous would deadlock against long read locks: writers
+			// block on scanner-held locks while scanners wait at the barrier
+			// (see workload.SnapshotScanVsHotWriters).
+			return fmt.Errorf("scenario scan needs a multiversion level (SNAPSHOT ISOLATION or READ CONSISTENCY), got %s", level)
+		}
+		workload.LoadAccounts(db, *accounts, 100)
+		res := workload.SnapshotScanVsHotWriters(db, level, *accounts, max(1, *workers/2), max(1, *workers/2), *rounds)
+		header()
+		fmt.Printf("  scanners: %s\n", res.Scanners)
+		fmt.Printf("  writers:  %s\n", res.Writers)
+		fmt.Printf("  unstable scans: %d/%d\n", res.UnstableScans, res.TotalScans)
+	case "readers":
+		workload.LoadAccounts(db, *accounts, 100)
+		r, w := workload.ReadersVsWriters(db, level, *accounts, *workers, *workers, *iters)
+		header()
+		fmt.Printf("  readers: %s\n", r)
+		fmt.Printf("  writers: %s\n", w)
+	case "longrunner":
+		workload.LoadAccounts(db, *accounts, 0)
+		committed, longErr, short := workload.LongRunningUpdater(db, level, *accounts, *workers, *iters)
+		header()
+		fmt.Printf("  long txn committed: %v (err: %v)\n", committed, longErr)
+		fmt.Printf("  short writers: %s\n", short)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
 	return nil
 }
 

@@ -20,6 +20,19 @@
 //     executes the paper's interleavings against the live engines.
 //   - Regenerators for every evaluation artifact: Tables 1–4 and the
 //     Figure 2 isolation hierarchy, diffed against the published values.
+//   - Concurrent workload generators plus a deterministic lockstep driver
+//     (barrier-synchronized sessions) that forces read–write overlap on
+//     any GOMAXPROCS, so first-committer-wins aborts and statement-level
+//     read skew are exact, reproducible outcomes rather than scheduler
+//     luck.
+//
+// The multiversion engines commit through a striped path: the store
+// shards version chains and commit latches across stripes
+// (mv.DefaultShards by default; NewSnapshotDBShards / NewOracleRCDBShards
+// / NewDBForShards set it explicitly), so transactions with disjoint
+// write sets validate and install in parallel instead of queueing on a
+// global commit mutex. Snapshots start at the timestamp oracle's
+// installed watermark, which keeps them stable while commits race.
 //
 // Quick start:
 //

@@ -1,0 +1,3 @@
+module isolevel
+
+go 1.22

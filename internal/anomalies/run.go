@@ -23,6 +23,23 @@ func NewDBFor(level engine.Level) engine.DB {
 	}
 }
 
+// NewDBForShards is NewDBFor with an explicit store stripe count for the
+// multiversion engines (the locking engine has no shard knob; shards <= 0
+// means the default).
+func NewDBForShards(level engine.Level, shards int) engine.DB {
+	if shards <= 0 {
+		return NewDBFor(level)
+	}
+	switch level {
+	case engine.SnapshotIsolation:
+		return snapshot.NewDB(snapshot.WithShards(shards))
+	case engine.ReadConsistency:
+		return oraclerc.NewDB(oraclerc.WithShards(shards))
+	default:
+		return locking.NewDB()
+	}
+}
+
 // Run executes the scenario on a fresh engine at the given level and
 // returns the detector's verdict alongside the raw schedule result.
 func Run(sc Scenario, level engine.Level) (Outcome, *schedule.Result, error) {

@@ -6,16 +6,38 @@
 // commit timestamp of their writer. A read at snapshot timestamp ts sees
 // the version with the largest commit timestamp <= ts ("Updates by other
 // transactions active after the transaction Start-Timestamp are invisible
-// to the transaction"). Reads never block and never b lock writers.
+// to the transaction"). Reads never block and never block writers.
 //
 // The store records, for every key, the full committed version chain; this
 // is both the visibility mechanism and the "remembered updates" that
 // First-Committer-Wins validation checks ("First-committer-wins requires
 // the system to remember all updates belonging to any transaction that
 // commits after the Start-Timestamp of each active transaction").
+//
+// # Striping
+//
+// The store is sharded: keys hash onto a fixed set of stripes, each with
+// its own read-write latch over its slice of the version chains, plus a
+// commit latch used by the engines' validate+install critical sections.
+// Transactions whose write sets land on disjoint stripes validate and
+// commit fully in parallel; only same-stripe (in particular same-key)
+// committers serialize. LockWriteSet acquires the commit latches of every
+// stripe a write set covers, in ascending stripe order, so concurrent
+// committers can never deadlock.
+//
+// Because commits no longer funnel through one global mutex, "the newest
+// committed snapshot" is no longer a single atomic fact: a commit
+// timestamp is allocated before its versions finish installing. The
+// Oracle therefore keeps a watermark (Safe) alongside the allocation
+// counter (Current): Safe is the largest timestamp t such that every
+// commit with timestamp <= t has fully installed. Engines start snapshots
+// at Safe, never Current, so a snapshot can never observe half of a
+// concurrent commit and no version with CommitTS <= a started snapshot
+// can appear after the fact.
 package mv
 
 import (
+	"hash/maphash"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,18 +49,56 @@ import (
 // TS is a timestamp drawn from the Oracle.
 type TS uint64
 
-// Oracle issues monotonically increasing timestamps. The zero value is
-// ready to use; the first timestamp issued is 1.
+// Oracle issues monotonically increasing timestamps and tracks the
+// installed watermark. The zero value is ready to use; the first timestamp
+// issued is 1.
+//
+// Contract: every timestamp obtained via Next for a commit (or Load) must
+// be reported back via Done once its versions are installed; Safe advances
+// only over Done timestamps.
 type Oracle struct {
-	now atomic.Uint64
+	now     atomic.Uint64
+	applied atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]struct{} // Done out of order, waiting for the gap to fill
 }
 
 // Next returns a fresh timestamp larger than every previously issued one.
 func (o *Oracle) Next() TS { return TS(o.now.Add(1)) }
 
-// Current returns the latest issued timestamp (the newest possible
-// snapshot).
+// Current returns the latest issued timestamp (the newest allocation, not
+// necessarily installed — see Safe).
 func (o *Oracle) Current() TS { return TS(o.now.Load()) }
+
+// Done marks ts as fully installed and advances the Safe watermark across
+// every consecutive installed timestamp.
+func (o *Oracle) Done(ts TS) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	applied := o.applied.Load()
+	if uint64(ts) != applied+1 {
+		if o.pending == nil {
+			o.pending = map[uint64]struct{}{}
+		}
+		o.pending[uint64(ts)] = struct{}{}
+		return
+	}
+	applied++
+	for {
+		if _, ok := o.pending[applied+1]; !ok {
+			break
+		}
+		delete(o.pending, applied+1)
+		applied++
+	}
+	o.applied.Store(applied)
+}
+
+// Safe returns the installed watermark: the largest timestamp t such that
+// every commit with timestamp <= t has fully installed. Snapshots started
+// at Safe are stable — no version with CommitTS <= Safe can appear later.
+func (o *Oracle) Safe() TS { return TS(o.applied.Load()) }
 
 // Version is one committed version of a data item. Deleted marks a
 // tombstone (the delete is itself a committed version).
@@ -49,23 +109,98 @@ type Version struct {
 	Deleted  bool
 }
 
-// Store is a multiversion row store.
-type Store struct {
+// DefaultShards is the stripe count of NewStore. It trades map-latch
+// contention against per-operation hashing cost; engines expose it as a
+// knob (snapshot.WithShards, oraclerc.WithShards) for sweeps.
+const DefaultShards = 16
+
+// shard is one stripe of the store: a latch-protected slice of the chains
+// plus the commit latch engines hold across validate+install.
+type shard struct {
 	mu     sync.RWMutex
-	chains map[data.Key][]Version // ascending CommitTS
+	chains map[data.Key][]Version
+
+	// commitMu is the stripe's commit latch. It is separate from mu so
+	// that holding a write-set's commit latches (potentially across a
+	// validation loop) never blocks plain snapshot reads of the stripe;
+	// readers only wait during the brief chain append inside Install.
+	commitMu sync.Mutex
 }
 
-// NewStore returns an empty multiversion store.
-func NewStore() *Store {
-	return &Store{chains: map[data.Key][]Version{}}
+// Store is a striped multiversion row store.
+type Store struct {
+	seed   maphash.Seed
+	shards []*shard
+}
+
+// NewStore returns an empty multiversion store with DefaultShards stripes.
+func NewStore() *Store { return NewStoreShards(DefaultShards) }
+
+// NewStoreShards returns an empty multiversion store striped across n
+// latches (n < 1 is treated as 1; n = 1 degenerates to the old global-latch
+// behavior, useful as a baseline in shard sweeps).
+func NewStoreShards(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{seed: maphash.MakeSeed(), shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{chains: map[data.Key][]Version{}}
+	}
+	return s
+}
+
+// ShardCount returns the number of stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+func (s *Store) shardOf(key data.Key) *shard {
+	return s.shards[s.shardIndex(key)]
+}
+
+func (s *Store) shardIndex(key data.Key) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(maphash.String(s.seed, string(key)) % uint64(len(s.shards)))
+}
+
+// LockWriteSet acquires the commit latches of every stripe covered by keys,
+// in ascending stripe order (deadlock-free), and returns the release
+// function. Engines hold these latches across First-Committer-Wins
+// validation and version install so that same-key committers serialize
+// while disjoint-stripe committers proceed in parallel. An empty key set
+// returns a no-op release.
+func (s *Store) LockWriteSet(keys []data.Key) (release func()) {
+	if len(keys) == 0 {
+		return func() {}
+	}
+	idx := make([]int, 0, len(keys))
+	seen := map[int]bool{}
+	for _, k := range keys {
+		i := s.shardIndex(k)
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		s.shards[i].commitMu.Lock()
+	}
+	return func() {
+		for j := len(idx) - 1; j >= 0; j-- {
+			s.shards[idx[j]].commitMu.Unlock()
+		}
+	}
 }
 
 // Load installs initial versions at commit timestamp ts (setup helper).
 func (s *Store) Load(ts TS, tuples ...data.Tuple) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, t := range tuples {
-		s.chains[t.Key] = append(s.chains[t.Key], Version{CommitTS: ts, Row: t.Row.Clone()})
+		sh := s.shardOf(t.Key)
+		sh.mu.Lock()
+		sh.chains[t.Key] = append(sh.chains[t.Key], Version{CommitTS: ts, Row: t.Row.Clone()})
+		sh.mu.Unlock()
 	}
 }
 
@@ -74,9 +209,10 @@ func (s *Store) Load(ts TS, tuples ...data.Tuple) {
 // visible (never written, or the visible version is a tombstone — the
 // tombstone itself is returned so callers can distinguish).
 func (s *Store) ReadAt(key data.Key, ts TS) (v Version, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	chain := s.chains[key]
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[key]
 	for i := len(chain) - 1; i >= 0; i-- {
 		if chain[i].CommitTS <= ts {
 			if chain[i].Deleted {
@@ -93,11 +229,14 @@ func (s *Store) ReadAt(key data.Key, ts TS) (v Version, ok bool) {
 // LatestCommitTS returns the commit timestamp of the newest committed
 // version of key, or 0 if the key has never been written. This is the
 // First-Committer-Wins validation primitive: T1 may commit only if no key
-// in its write set has LatestCommitTS > T1's start timestamp.
+// in its write set has LatestCommitTS > T1's start timestamp. Stable
+// answers for a whole write set require holding the set's commit latches
+// (LockWriteSet) across the checks.
 func (s *Store) LatestCommitTS(key data.Key) TS {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	chain := s.chains[key]
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chain := sh.chains[key]
 	if len(chain) == 0 {
 		return 0
 	}
@@ -105,11 +244,9 @@ func (s *Store) LatestCommitTS(key data.Key) TS {
 }
 
 // Install appends committed versions for writer at commit timestamp ts.
-// The caller (the engine's commit critical section) guarantees ts exceeds
-// every CommitTS already in the touched chains.
+// The caller (the engine's commit critical section, under LockWriteSet)
+// guarantees ts exceeds every CommitTS already in the touched chains.
 func (s *Store) Install(ts TS, writer int, writes map[data.Key]data.Row) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for key, row := range writes {
 		v := Version{CommitTS: ts, Writer: writer}
 		if row == nil {
@@ -117,21 +254,18 @@ func (s *Store) Install(ts TS, writer int, writes map[data.Key]data.Row) {
 		} else {
 			v.Row = row.Clone()
 		}
-		s.chains[key] = append(s.chains[key], v)
+		sh := s.shardOf(key)
+		sh.mu.Lock()
+		sh.chains[key] = append(sh.chains[key], v)
+		sh.mu.Unlock()
 	}
 }
 
 // SelectAt returns copies of all tuples visible at ts that satisfy p,
 // sorted by key.
 func (s *Store) SelectAt(p predicate.P, ts TS) []data.Tuple {
-	s.mu.RLock()
-	keys := make([]data.Key, 0, len(s.chains))
-	for k := range s.chains {
-		keys = append(keys, k)
-	}
-	s.mu.RUnlock()
 	var out []data.Tuple
-	for _, k := range keys {
+	for _, k := range s.Keys() {
 		if v, ok := s.ReadAt(k, ts); ok {
 			t := data.Tuple{Key: k, Row: v.Row}
 			if p.Match(t) {
@@ -151,17 +285,19 @@ func (s *Store) SnapshotAt(ts TS) []data.Tuple {
 // VersionCount returns the number of committed versions of key (tombstones
 // included) — used by tests and the time-travel example.
 func (s *Store) VersionCount(key data.Key) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.chains[key])
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.chains[key])
 }
 
 // Chain returns a copy of key's version chain in commit order.
 func (s *Store) Chain(key data.Key) []Version {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Version, len(s.chains[key]))
-	copy(out, s.chains[key])
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]Version, len(sh.chains[key]))
+	copy(out, sh.chains[key])
 	for i := range out {
 		out[i].Row = out[i].Row.Clone()
 	}
@@ -170,11 +306,13 @@ func (s *Store) Chain(key data.Key) []Version {
 
 // Keys returns every key that has at least one version, sorted.
 func (s *Store) Keys() []data.Key {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]data.Key, 0, len(s.chains))
-	for k := range s.chains {
-		out = append(out, k)
+	var out []data.Key
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range sh.chains {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

@@ -18,12 +18,19 @@
 //
 // The engine is built on the multiversion store (statement snapshots) plus
 // the lock manager (write locks); committed writes install new versions.
+//
+// Like the snapshot engine, the commit path is striped: there is no global
+// commit mutex. The long write locks already guarantee that two commits
+// touching the same key never overlap, so version chains stay in ascending
+// commit-timestamp order without extra serialization, and statement
+// snapshots are taken at the oracle's installed watermark (Oracle.Safe) so
+// a statement never observes half of a concurrent commit. WithShards
+// sweeps the store's stripe count.
 package oraclerc
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"isolevel/internal/data"
@@ -34,20 +41,37 @@ import (
 	"isolevel/internal/predicate"
 )
 
+// Option configures a DB.
+type Option func(*DB)
+
+// WithShards sets the stripe count of the underlying multiversion store
+// (default mv.DefaultShards).
+func WithShards(n int) Option {
+	return func(db *DB) { db.shards = n }
+}
+
 // DB is a Read Consistency database.
 type DB struct {
-	store    *mv.Store
-	oracle   *mv.Oracle
-	lm       *lock.Manager
-	seq      atomic.Int64
-	rec      *engine.Recorder
-	commitMu sync.Mutex
+	store  *mv.Store
+	oracle *mv.Oracle
+	lm     *lock.Manager
+	seq    atomic.Int64
+	rec    *engine.Recorder
+	shards int
 }
 
 // NewDB returns an empty Read Consistency database.
-func NewDB() *DB {
-	return &DB{store: mv.NewStore(), oracle: &mv.Oracle{}, lm: lock.NewManager(), rec: engine.NewRecorder()}
+func NewDB(opts ...Option) *DB {
+	db := &DB{shards: mv.DefaultShards, oracle: &mv.Oracle{}, lm: lock.NewManager(), rec: engine.NewRecorder()}
+	for _, o := range opts {
+		o(db)
+	}
+	db.store = mv.NewStoreShards(db.shards)
+	return db
 }
+
+// ShardCount reports the stripe count of the underlying store.
+func (db *DB) ShardCount() int { return db.store.ShardCount() }
 
 // SetObserver forwards a wait observer to the lock manager.
 func (db *DB) SetObserver(o lock.Observer) { db.lm.SetObserver(o) }
@@ -57,12 +81,14 @@ func (db *DB) Recorder() *engine.Recorder { return db.rec }
 
 // Load implements engine.DB.
 func (db *DB) Load(tuples ...data.Tuple) {
-	db.store.Load(db.oracle.Next(), tuples...)
+	ts := db.oracle.Next()
+	db.store.Load(ts, tuples...)
+	db.oracle.Done(ts)
 }
 
 // ReadCommittedRow implements engine.DB.
 func (db *DB) ReadCommittedRow(key data.Key) data.Row {
-	v, ok := db.store.ReadAt(key, db.oracle.Current())
+	v, ok := db.store.ReadAt(key, db.oracle.Safe())
 	if !ok {
 		return nil
 	}
@@ -106,8 +132,9 @@ func (t *Tx) lockErr(err error) error {
 }
 
 // statementTS returns a fresh statement-level snapshot: the most recent
-// committed timestamp right now.
-func (t *Tx) statementTS() mv.TS { return t.db.oracle.Current() }
+// fully installed committed timestamp right now (the watermark, so a
+// statement never sees a torn concurrent commit).
+func (t *Tx) statementTS() mv.TS { return t.db.oracle.Safe() }
 
 // Get implements engine.Tx: a single-row statement; reads the latest
 // committed value as of statement start, overlaid by own writes.
@@ -274,18 +301,19 @@ func (c *cursor) UpdateCurrent(row data.Row) error {
 func (c *cursor) Close() error { c.closed = true; return nil }
 
 // Commit implements engine.Tx: install versions at a fresh commit
-// timestamp (the write locks guarantee no concurrent writer raced us),
-// then release locks.
+// timestamp, then release locks. No commit mutex: the long write locks —
+// held until after Install — guarantee that two commits writing the same
+// key never overlap, so each chain's ascending-timestamp invariant holds,
+// and the oracle watermark keeps in-flight installs invisible to readers.
 func (t *Tx) Commit() error {
 	if t.done {
 		return engine.ErrTxDone
 	}
 	t.done = true
 	if len(t.writes) > 0 {
-		t.db.commitMu.Lock()
 		ts := t.db.oracle.Next()
 		t.db.store.Install(ts, t.id, t.writes)
-		t.db.commitMu.Unlock()
+		t.db.oracle.Done(ts)
 	}
 	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Commit, Version: -1})
 	t.db.lm.ReleaseAll(lock.TxID(t.id))

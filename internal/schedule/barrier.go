@@ -1,0 +1,70 @@
+// Barrier is the synchronization primitive behind controlled
+// interleavings. The scripted runner in this package forces the paper's
+// interleavings one step at a time; the workload driver
+// (internal/workload) instead runs free-running sessions that rendezvous
+// at barriers, which guarantees read–write overlap between concurrent
+// transactions regardless of GOMAXPROCS — on a single-core host a
+// transaction otherwise finishes inside one scheduler quantum and
+// contention anomalies (first-committer-wins aborts, lost updates) never
+// get a chance to occur.
+
+package schedule
+
+import "sync"
+
+// Barrier is a reusable rendezvous for a fixed number of parties: the
+// n-th call to Await releases everyone, and the barrier resets for the
+// next cycle (like Java's CyclicBarrier). A party that exits early must
+// call Leave so the remaining parties do not wait for it forever.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int // parties still participating
+	waiting int // parties blocked in Await this cycle
+	cycle   uint64
+}
+
+// NewBarrier returns a barrier for n parties (n < 1 is treated as 1).
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		n = 1
+	}
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until every participating party has called Await, then
+// releases them all and resets the barrier for the next cycle.
+func (b *Barrier) Await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.waiting++
+	if b.waiting >= b.parties {
+		b.openLocked()
+		return
+	}
+	cycle := b.cycle
+	for cycle == b.cycle {
+		b.cond.Wait()
+	}
+}
+
+// Leave permanently removes one party from the barrier (a session that
+// finished early or failed). If the departure completes the current
+// cycle, the waiting parties are released.
+func (b *Barrier) Leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parties--
+	if b.waiting > 0 && b.waiting >= b.parties {
+		b.openLocked()
+	}
+}
+
+// openLocked releases the current cycle. Callers hold b.mu.
+func (b *Barrier) openLocked() {
+	b.waiting = 0
+	b.cycle++
+	b.cond.Broadcast()
+}

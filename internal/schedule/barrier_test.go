@@ -1,0 +1,65 @@
+package schedule
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Phases must be strict: no party may enter cycle k+1 before every party
+// finished cycle k — on any GOMAXPROCS, including 1 (the property the
+// workload driver's determinism rests on).
+func TestBarrierPhasesAreStrict(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	const parties, cycles = 5, 50
+	b := NewBarrier(parties)
+	var inPhase atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < cycles; c++ {
+				inPhase.Add(1)
+				b.Await()
+				// Everyone arrived: the counter must read a full house
+				// before anyone resets it for the next cycle.
+				if got := inPhase.Load(); got > parties || got < 1 {
+					t.Errorf("phase counter = %d", got)
+				}
+				b.Await()
+				inPhase.Add(-1)
+				b.Await()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBarrierLeaveReleasesWaiters(t *testing.T) {
+	b := NewBarrier(3)
+	done := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		go func() {
+			b.Await()
+			done <- struct{}{}
+		}()
+	}
+	// The third party bails out instead of arriving; the two waiters must
+	// be released.
+	b.Leave()
+	<-done
+	<-done
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 3; i++ {
+		b.Await() // must never block
+	}
+	if NewBarrier(0) == nil {
+		t.Fatal("nil barrier")
+	}
+}

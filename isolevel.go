@@ -77,12 +77,30 @@ func NewSnapshotDBFirstUpdaterWins() *snapshot.DB {
 	return snapshot.NewDB(snapshot.FirstUpdaterWins())
 }
 
+// NewSnapshotDBShards returns the Snapshot Isolation engine with an
+// explicit store stripe count (1 reproduces the old single-commit-mutex
+// behavior; higher counts let disjoint write sets commit in parallel).
+func NewSnapshotDBShards(shards int) *snapshot.DB {
+	return snapshot.NewDB(snapshot.WithShards(shards))
+}
+
 // NewOracleRCDB returns the §4.3 Oracle-style Read Consistency engine
 // (statement-level snapshots, first-writer-wins write locks).
 func NewOracleRCDB() *oraclerc.DB { return oraclerc.NewDB() }
 
+// NewOracleRCDBShards returns the Read Consistency engine with an explicit
+// store stripe count.
+func NewOracleRCDBShards(shards int) *oraclerc.DB {
+	return oraclerc.NewDB(oraclerc.WithShards(shards))
+}
+
 // NewDBFor returns a fresh engine implementing the given level.
 func NewDBFor(level Level) DB { return anomalies.NewDBFor(level) }
+
+// NewDBForShards is NewDBFor with an explicit store stripe count for the
+// multiversion engines (ignored by the locking engine; <= 0 means the
+// default, mv.DefaultShards).
+func NewDBForShards(level Level, shards int) DB { return anomalies.NewDBForShards(level, shards) }
 
 // --- Rows ---
 
@@ -259,6 +277,9 @@ var (
 // Metrics aggregates a workload run.
 type Metrics = workload.Metrics
 
+// ScanResult reports the snapshot-scan-vs-hot-writers scenario.
+type ScanResult = workload.ScanResult
+
 // Workload generators (see internal/workload).
 var (
 	LoadAccounts      = workload.LoadAccounts
@@ -268,6 +289,23 @@ var (
 	LongRunningUpdate = workload.LongRunningUpdater
 	TotalBalance      = workload.TotalBalance
 )
+
+// Deterministic-interleaving workloads (see internal/workload/driver.go):
+// barrier-synchronized sessions whose read–write overlap is guaranteed on
+// any GOMAXPROCS, making contention outcomes exact instead of
+// scheduler-dependent.
+var (
+	HotspotLockstep          = workload.HotspotCounterLockstep
+	SnapshotScanVsHotWriters = workload.SnapshotScanVsHotWriters
+	SkewedTransferWorkload   = workload.SkewedTransfer
+	BatchIncrementWorkload   = workload.BatchIncrement
+)
+
+// Barrier is the reusable rendezvous behind the deterministic driver.
+type Barrier = schedule.Barrier
+
+// NewBarrier returns a barrier for n parties.
+var NewBarrier = schedule.NewBarrier
 
 // SnapshotTS re-exports the multiversion timestamp type for AsOf queries.
 type SnapshotTS = mv.TS
