@@ -273,6 +273,55 @@ func BenchmarkShardSweepTransfer(b *testing.B) {
 	}
 }
 
+// BenchmarkShardSweepLockingDisjoint is the locking-engine mirror of the
+// mv shard sweep: every worker owns a private key range, so no lock
+// request ever conflicts and throughput is limited purely by lock-manager
+// serialization. shards=1 reproduces the old single-latch lock manager
+// (every acquire and release funnels through one mutex); higher stripe
+// counts let the disjoint-key lock traffic proceed in parallel.
+func BenchmarkShardSweepLockingDisjoint(b *testing.B) {
+	const workers, batch, iters = 8, 4, 100
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var commits, aborts int64
+			for i := 0; i < b.N; i++ {
+				db := isolevel.NewLockingDBShards(shards)
+				isolevel.LoadAccounts(db, workers*batch, 0)
+				m := isolevel.BatchIncrementWorkload(db, isolevel.Serializable, workers, iters, batch, true)
+				commits += m.Commits
+				aborts += m.Aborts
+			}
+			if aborts != 0 {
+				b.Fatalf("disjoint lock sets aborted %d times", aborts)
+			}
+			b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/s")
+		})
+	}
+}
+
+// BenchmarkLockingLockstep measures the deterministic lock-manager
+// scenarios end to end (schedule-runner overhead included): the upgrade
+// storm's exact one-survivor-per-round outcome at increasing stripe
+// counts.
+func BenchmarkLockingLockstep(b *testing.B) {
+	const sessions, rounds = 4, 10
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("upgrade-storm/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db := isolevel.NewLockingDBShards(shards)
+				m, err := isolevel.UpgradeStormWorkload(db, isolevel.Serializable, sessions, rounds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Commits != rounds || m.Aborts != rounds*(sessions-1) {
+					b.Fatalf("storm drifted: %+v", m)
+				}
+			}
+			b.ReportMetric(float64(b.N*rounds)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}
+
 // BenchmarkSkewedTransfer measures the skewed multi-key transfer scenario:
 // first-committer-wins aborts concentrate on the hot keys while the
 // uniform tail still commits in parallel through the striped path.

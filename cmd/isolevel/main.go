@@ -29,6 +29,7 @@ import (
 	"isolevel/internal/deps"
 	"isolevel/internal/engine"
 	"isolevel/internal/history"
+	"isolevel/internal/lock"
 	"isolevel/internal/matrix"
 	"isolevel/internal/phenomena"
 	"isolevel/internal/workload"
@@ -86,9 +87,12 @@ commands:
   remarks                     verify Remarks 1-10 on the live engines
   bench -scenario S           run one workload scenario and print metrics
         scenarios: transfer, skewed, batch, batch-disjoint, hotspot,
-                   hotspot-lockstep, scan, readers, longrunner
+                   hotspot-lockstep, scan, readers, longrunner,
+                   fanin, upgrade-storm, pred-mix
         knobs: -level L -shards N -workers W -iters I -accounts A
                -batch B -hot-bias F -rounds R
+        -shards stripes every engine family: multiversion store stripes
+        and locking-engine lock-table stripes alike
 `)
 }
 
@@ -316,15 +320,15 @@ func cmdRemarks() error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	scenario := fs.String("scenario", "transfer", "workload scenario (transfer, skewed, batch, batch-disjoint, hotspot, hotspot-lockstep, scan, readers, longrunner)")
+	scenario := fs.String("scenario", "transfer", "workload scenario (transfer, skewed, batch, batch-disjoint, hotspot, hotspot-lockstep, scan, readers, longrunner, fanin, upgrade-storm, pred-mix)")
 	levelName := fs.String("level", "SNAPSHOT ISOLATION", "isolation level")
-	shards := fs.Int("shards", 0, "store stripe count for the multiversion engines (0 = default)")
+	shards := fs.Int("shards", 0, "stripe count for every engine: multiversion store stripes and locking lock-table stripes (0 = default)")
 	workers := fs.Int("workers", 4, "concurrent workers / sessions")
-	iters := fs.Int("iters", 200, "transactions per worker (rounds for lockstep scenarios)")
+	iters := fs.Int("iters", 200, "transactions per worker (free-running scenarios)")
 	accounts := fs.Int("accounts", 64, "number of account rows")
 	batch := fs.Int("batch", 4, "keys written per transaction (batch scenarios)")
 	hotBias := fs.Float64("hot-bias", 0.8, "probability a skewed-transfer source is drawn from the hot set")
-	rounds := fs.Int("rounds", 50, "lockstep rounds (hotspot-lockstep, scan)")
+	rounds := fs.Int("rounds", 50, "lockstep rounds (hotspot-lockstep, scan, fanin, upgrade-storm, pred-mix)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -407,10 +411,63 @@ func cmdBench(args []string) error {
 		header()
 		fmt.Printf("  long txn committed: %v (err: %v)\n", committed, longErr)
 		fmt.Printf("  short writers: %s\n", short)
+	case "fanin":
+		rds := max(1, *rounds) // the workloads clamp rounds the same way
+		res, err := workload.ReadLockFanIn(db, level, *workers, rds)
+		if err != nil {
+			return err
+		}
+		header()
+		fmt.Printf("  readers: %s\n", res.Readers)
+		fmt.Printf("  writer:  %s\n", res.Writer)
+		fmt.Printf("  writer blocked in %d/%d rounds\n", res.WriterBlocked, rds)
+	case "upgrade-storm":
+		rds := max(1, *rounds)
+		m, err := workload.UpgradeDeadlockStorm(db, level, *workers, rds)
+		if err != nil {
+			return err
+		}
+		header()
+		fmt.Printf("  %s\n", m)
+		fmt.Printf("  one survivor per round: %d commits over %d rounds\n", m.Commits, rds)
+	case "pred-mix":
+		res, err := workload.PredicateVsItemMix(db, level, *workers, max(1, *rounds))
+		if err != nil {
+			return err
+		}
+		header()
+		fmt.Printf("  scanner: %s\n", res.Scanner)
+		fmt.Printf("  writers: %s\n", res.Writers)
+		fmt.Printf("  phantom inserts blocked: %d/%d\n", res.BlockedInserts, res.MatchingInserts)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
+	printLockStats(db)
 	return nil
+}
+
+// printLockStats prints the lock manager counters of lock-based engines —
+// the locking scheduler and Read Consistency's write-lock side — including
+// the per-stripe contention map.
+func printLockStats(db engine.DB) {
+	ls, ok := db.(interface{ LockStats() lock.Stats })
+	if !ok {
+		return
+	}
+	st := ls.LockStats()
+	if st.Grants == 0 && st.Waits == 0 {
+		return
+	}
+	fmt.Printf("  lock stats: grants=%d waits=%d deadlocks=%d upgrades=%d pred-grants=%d pred-waits=%d\n",
+		st.Grants, st.Waits, st.Deadlocks, st.Upgrades, st.PredGrants, st.PredWaits)
+	var parts []string
+	for i, ss := range st.PerStripe {
+		if ss.Grants == 0 && ss.Waits == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%d:%d/%d", i, ss.Grants, ss.Waits))
+	}
+	fmt.Printf("  stripe contention (stripe:grants/waits): %s\n", strings.Join(parts, " "))
 }
 
 func cmdPaper() error {

@@ -26,13 +26,19 @@
 //     read skew are exact, reproducible outcomes rather than scheduler
 //     luck.
 //
-// The multiversion engines commit through a striped path: the store
-// shards version chains and commit latches across stripes
-// (mv.DefaultShards by default; NewSnapshotDBShards / NewOracleRCDBShards
-// / NewDBForShards set it explicitly), so transactions with disjoint
-// write sets validate and install in parallel instead of queueing on a
-// global commit mutex. Snapshots start at the timestamp oracle's
-// installed watermark, which keeps them stable while commits race.
+// All three engine families share one stripe-count knob. The
+// multiversion engines commit through a striped path: the store shards
+// version chains and commit latches across stripes, so transactions with
+// disjoint write sets validate and install in parallel instead of
+// queueing on a global commit mutex, and snapshots start at the
+// timestamp oracle's installed watermark, which keeps them stable while
+// commits race. The locking engine stripes its lock manager the same
+// way: per-key-stripe lock tables with their own latches and wait
+// queues, a cross-stripe predicate-lock table behind a shared-exclusive
+// gate, and a standalone waits-for deadlock detector spanning all
+// stripes. NewSnapshotDBShards / NewOracleRCDBShards / NewLockingDBShards
+// / NewDBForShards set the count explicitly (default 16; 1 reproduces
+// the old single-latch behavior everywhere).
 //
 // Quick start:
 //

@@ -23,9 +23,10 @@ func NewDBFor(level engine.Level) engine.DB {
 	}
 }
 
-// NewDBForShards is NewDBFor with an explicit store stripe count for the
-// multiversion engines (the locking engine has no shard knob; shards <= 0
-// means the default).
+// NewDBForShards is NewDBFor with an explicit stripe count, honored by
+// every engine family: the multiversion engines stripe their store (and,
+// for Read Consistency, the write-lock manager), the locking engine its
+// lock tables. shards <= 0 means each engine's default.
 func NewDBForShards(level engine.Level, shards int) engine.DB {
 	if shards <= 0 {
 		return NewDBFor(level)
@@ -36,7 +37,7 @@ func NewDBForShards(level engine.Level, shards int) engine.DB {
 	case engine.ReadConsistency:
 		return oraclerc.NewDB(oraclerc.WithShards(shards))
 	default:
-		return locking.NewDB()
+		return locking.NewDB(locking.WithShards(shards))
 	}
 }
 

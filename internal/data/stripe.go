@@ -1,0 +1,33 @@
+package data
+
+import "hash/maphash"
+
+// Striper is the one key-striping scheme shared by every sharded component
+// (the multiversion store, the single-version store, and the lock
+// manager's lock tables): keys hash onto a fixed set of stripes under a
+// per-instance random seed. Sharing the implementation keeps the
+// clamp-to-one and single-stripe fast-path semantics identical everywhere
+// one `-shards` knob is exposed.
+type Striper struct {
+	seed maphash.Seed
+	n    int
+}
+
+// NewStriper returns a striper over n stripes (n < 1 is treated as 1).
+func NewStriper(n int) Striper {
+	if n < 1 {
+		n = 1
+	}
+	return Striper{seed: maphash.MakeSeed(), n: n}
+}
+
+// Count returns the number of stripes.
+func (s Striper) Count() int { return s.n }
+
+// Index returns key's stripe, in [0, Count()).
+func (s Striper) Index(key Key) int {
+	if s.n == 1 {
+		return 0
+	}
+	return int(maphash.String(s.seed, string(key)) % uint64(s.n))
+}

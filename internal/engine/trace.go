@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"isolevel/internal/data"
 	"isolevel/internal/history"
@@ -19,8 +20,11 @@ import (
 // linearization of the conflict order. Unlocked dirty reads (Degree 0 /
 // READ UNCOMMITTED) are recorded at execution time on a best-effort basis.
 type Recorder struct {
+	// on is checked lock-free on every engine operation: a disabled
+	// recorder (every benchmark workload) must not serialize concurrent
+	// transactions on the recorder mutex.
+	on    atomic.Bool
 	mu    sync.Mutex
-	on    bool
 	ops   history.History
 	preds map[string]predicate.P // every predicate ever read, by name
 }
@@ -32,36 +36,32 @@ func NewRecorder() *Recorder {
 
 // Enable turns on capture.
 func (r *Recorder) Enable() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.on = true
+	r.on.Store(true)
 }
 
 // Enabled reports whether the recorder captures operations.
 func (r *Recorder) Enabled() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.on
+	return r.on.Load()
 }
 
 // Record appends an op if capture is enabled.
 func (r *Recorder) Record(op history.Op) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.on {
+	if !r.on.Load() {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.ops = append(r.ops, op)
 }
 
 // RecordPredRead appends a predicate read and registers the predicate so
 // later writes can be annotated with it.
 func (r *Recorder) RecordPredRead(tx int, p predicate.P) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.on {
+	if !r.on.Load() {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	name := p.String()
 	r.preds[name] = p
 	r.ops = append(r.ops, history.Op{Tx: tx, Kind: history.PredRead, Preds: []string{name}, Version: -1})
@@ -71,11 +71,11 @@ func (r *Recorder) RecordPredRead(tx int, p predicate.P) {
 // predicate that covers either image (this is what makes recorded
 // histories carry the paper's "w2[y in P]" information).
 func (r *Recorder) RecordWrite(tx int, key data.Key, before, after data.Row) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.on {
+	if !r.on.Load() {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	op := history.Op{Tx: tx, Kind: history.Write, Item: key, Version: -1}
 	if after != nil {
 		op.Value, op.HasValue = after.Val(), true

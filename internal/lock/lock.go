@@ -24,6 +24,26 @@
 // ErrDeadlock. An Observer can be registered to learn, deterministically,
 // when a transaction starts waiting — the schedule runner uses this instead
 // of timeouts.
+//
+// # Striping
+//
+// The item lock tables are sharded: keys hash onto a fixed set of stripes
+// (the same scheme as mv.NewStoreShards), each stripe holding its own lock
+// table, wait queue and latch, so lock traffic on disjoint key stripes
+// never serializes. Predicate locks cannot live in any one stripe — a
+// predicate lock conflicts with item locks in every stripe its predicate
+// covers — so predicate state sits in a dedicated cross-stripe table
+// guarded by a shared-exclusive gate over the stripe set: item operations
+// run under the shared side (per-stripe latches provide their mutual
+// exclusion), while predicate operations take the exclusive side and with
+// it a stable view of every stripe. While no predicate lock is held or
+// wanted (tracked by one atomic counter) item operations never touch the
+// gate's exclusive side at all, which is what lets disjoint-key workloads
+// scale with the stripe count.
+//
+// Deadlock detection lives in a standalone waits-for graph (waitsfor.go)
+// that collects wait edges from all stripes under its own lock, preserving
+// the deterministic requester-is-victim rule across stripes.
 package lock
 
 import (
@@ -31,6 +51,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"isolevel/internal/data"
 	"isolevel/internal/predicate"
@@ -64,7 +85,7 @@ type TxID int
 var ErrDeadlock = errors.New("lock: deadlock detected, requester chosen as victim")
 
 // Observer receives wait-state notifications. Callbacks run on the
-// requesting goroutine, outside the manager's mutex, in a deterministic
+// requesting goroutine, outside the manager's latches, in a deterministic
 // order relative to the request's own fate.
 type Observer interface {
 	// TxWaiting fires when tx's request enqueues behind conflicting holders.
@@ -123,31 +144,173 @@ type request struct {
 	seq    int64
 }
 
+// StripeStats counts one stripe's item-lock activity — the per-stripe
+// contention map of a run.
+type StripeStats struct {
+	// Grants counts item lock grants (immediate, re-acquired or dequeued)
+	// on this stripe.
+	Grants int64
+	// Waits counts item requests that had to queue on this stripe.
+	Waits int64
+}
+
 // Stats counts manager activity for benchmarks and reports.
 type Stats struct {
-	Grants    int64
-	Waits     int64
+	// Grants is the total number of lock grants, item and predicate.
+	Grants int64
+	// Waits is the total number of requests that had to queue.
+	Waits int64
+	// Deadlocks counts requests refused with ErrDeadlock.
 	Deadlocks int64
+	// Upgrades counts S->X upgrade requests admitted (granted immediately
+	// or queued ahead of non-upgrades).
+	Upgrades int64
+	// PredGrants / PredWaits break out the predicate-lock share of
+	// Grants / Waits.
+	PredGrants int64
+	PredWaits  int64
+	// PerStripe is the item-lock activity of each stripe, indexed by
+	// stripe number.
+	PerStripe []StripeStats
 }
 
-// Manager is a lock manager. The zero value is not usable; use NewManager.
-type Manager struct {
-	mu       sync.Mutex
-	items    map[data.Key]*itemState
-	preds    map[PredHandle]*predState
-	queue    []*request // waiting requests, arrival order (upgrades first)
-	seq      int64
-	handles  PredHandle
-	observer Observer
-	stats    Stats
+// DefaultShards is the stripe count of NewManager — the same default as
+// the multiversion store's, so one `-shards` knob means the same thing to
+// every engine family.
+const DefaultShards = 16
+
+const footprintSlots = 64
+
+type footprintSlot struct {
+	mu sync.Mutex
+	m  map[TxID]map[int]struct{} // tx -> stripe indices ever touched
 }
 
-// NewManager returns an empty lock manager.
-func NewManager() *Manager {
-	return &Manager{
-		items: map[data.Key]*itemState{},
-		preds: map[PredHandle]*predState{},
+func (m *Manager) footprintSlotOf(tx TxID) *footprintSlot {
+	idx := int(tx) % footprintSlots
+	if idx < 0 {
+		idx += footprintSlots
 	}
+	return &m.footprints[idx]
+}
+
+// noteFootprint records that tx has a lock or a queued request on stripe
+// spIdx.
+func (m *Manager) noteFootprint(tx TxID, spIdx int) {
+	fs := m.footprintSlotOf(tx)
+	fs.mu.Lock()
+	if fs.m == nil {
+		fs.m = map[TxID]map[int]struct{}{}
+	}
+	set := fs.m[tx]
+	if set == nil {
+		set = map[int]struct{}{}
+		fs.m[tx] = set
+	}
+	set[spIdx] = struct{}{}
+	fs.mu.Unlock()
+}
+
+// takeFootprint returns and clears tx's touched-stripe set.
+func (m *Manager) takeFootprint(tx TxID) map[int]struct{} {
+	fs := m.footprintSlotOf(tx)
+	fs.mu.Lock()
+	set := fs.m[tx]
+	delete(fs.m, tx)
+	fs.mu.Unlock()
+	return set
+}
+
+// stripe is one shard of the item lock table: its own lock table, wait
+// queue and latch. held tracks which keys each transaction holds in this
+// stripe so ReleaseAll is O(held keys), not O(table).
+type stripe struct {
+	idx   int
+	mu    sync.Mutex
+	items map[data.Key]*itemState
+	held  map[TxID]map[data.Key]struct{}
+	queue []*request // waiting item requests: upgrades first, then arrival order
+
+	grants int64
+	waits  int64
+}
+
+// Manager is a striped lock manager. The zero value is not usable; use
+// NewManager or NewManagerShards.
+type Manager struct {
+	striper data.Striper
+	stripes []*stripe
+
+	// gate is the shared-exclusive gate over the stripe set. Item
+	// operations hold it shared (stripe latches give them mutual
+	// exclusion); predicate operations — whose conflicts span every
+	// stripe — and item operations racing predicate state hold it
+	// exclusively, quiescing the stripes.
+	gate sync.RWMutex
+
+	// predActivity counts predicate holders plus queued predicate
+	// requests. It changes only under the exclusive gate; item fast paths
+	// read it under the shared gate, where zero is stable and means no
+	// predicate conflict is possible and no release can unblock one.
+	predActivity atomic.Int64
+
+	// preds and predQ are the cross-stripe predicate-lock table and its
+	// wait queue; handles generates PredHandles. All three are touched
+	// only under the exclusive gate.
+	preds   map[PredHandle]*predState
+	predQ   []*request
+	handles PredHandle
+
+	wf *WaitsFor
+
+	// footprints records, per transaction, the set of stripes where the
+	// transaction has ever held or queued an item lock, so ReleaseAll
+	// visits only those stripes instead of all of them. Entries are
+	// add-only until ReleaseAll deletes them (a superset is always safe).
+	// Slots are striped by transaction id: transactions are
+	// single-goroutine, so distinct transactions rarely share a slot latch.
+	footprints [footprintSlots]footprintSlot
+
+	seq      atomic.Int64
+	observer Observer
+
+	deadlocks  atomic.Int64
+	upgrades   atomic.Int64
+	predGrants int64 // under the exclusive gate
+	predWaits  int64 // under the exclusive gate
+}
+
+// NewManager returns an empty lock manager with DefaultShards stripes.
+func NewManager() *Manager { return NewManagerShards(DefaultShards) }
+
+// NewManagerShards returns an empty lock manager striped across n lock
+// tables (n < 1 is treated as 1; n = 1 reproduces the old single-latch
+// behavior and is the baseline of the shard-sweep benchmarks).
+func NewManagerShards(n int) *Manager {
+	striper := data.NewStriper(n)
+	m := &Manager{
+		striper: striper,
+		stripes: make([]*stripe, striper.Count()),
+		preds:   map[PredHandle]*predState{},
+		wf:      NewWaitsFor(),
+	}
+	for i := range m.stripes {
+		m.stripes[i] = &stripe{
+			idx:   i,
+			items: map[data.Key]*itemState{},
+			held:  map[TxID]map[data.Key]struct{}{},
+		}
+	}
+	return m
+}
+
+// ShardCount returns the number of lock-table stripes.
+func (m *Manager) ShardCount() int { return len(m.stripes) }
+
+func (m *Manager) stripeIndex(key data.Key) int { return m.striper.Index(key) }
+
+func (m *Manager) stripeOf(key data.Key) *stripe {
+	return m.stripes[m.stripeIndex(key)]
 }
 
 // SetObserver installs the wait observer. Must be called before concurrent
@@ -156,9 +319,25 @@ func (m *Manager) SetObserver(o Observer) { m.observer = o }
 
 // Stats returns a snapshot of manager counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	st := Stats{
+		Deadlocks:  m.deadlocks.Load(),
+		Upgrades:   m.upgrades.Load(),
+		PredGrants: m.predGrants,
+		PredWaits:  m.predWaits,
+		PerStripe:  make([]StripeStats, len(m.stripes)),
+	}
+	for i, sp := range m.stripes {
+		sp.mu.Lock()
+		st.PerStripe[i] = StripeStats{Grants: sp.grants, Waits: sp.waits}
+		sp.mu.Unlock()
+		st.Grants += st.PerStripe[i].Grants
+		st.Waits += st.PerStripe[i].Waits
+	}
+	st.Grants += st.PredGrants
+	st.Waits += st.PredWaits
+	return st
 }
 
 // AcquireItem acquires an item lock for tx on key with the given mode and
@@ -166,78 +345,159 @@ func (m *Manager) Stats() Stats {
 // reference-counted; an S→X upgrade waits only on other holders and jumps
 // the queue. Returns ErrDeadlock if waiting would close a waits-for cycle.
 func (m *Manager) AcquireItem(tx TxID, key data.Key, mode Mode, im Images) error {
-	m.mu.Lock()
-	st := m.items[key]
+	m.gate.RLock()
+	if m.predActivity.Load() == 0 {
+		// Striped fast path: no predicate lock is held or wanted, so the
+		// only possible conflicts are same-key item locks in key's stripe.
+		return m.acquireItemStriped(tx, key, mode, im)
+	}
+	m.gate.RUnlock()
+	return m.acquireItemGated(tx, key, mode, im)
+}
+
+// acquireItemStriped is the shared-gate item path. Called with the gate
+// held shared; releases it before blocking or returning.
+func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images) error {
+	sp := m.stripeOf(key)
+	sp.mu.Lock()
+	st := sp.items[key]
 	if st == nil {
 		st = &itemState{holders: map[TxID]*holder{}}
-		m.items[key] = st
+		sp.items[key] = st
 	}
 	if h, ok := st.holders[tx]; ok && (h.mode == X || mode == S) {
 		// Already held at a covering mode.
 		h.refs++
 		h.im = mergeImages(h.im, im)
-		m.stats.Grants++
-		m.mu.Unlock()
+		sp.grants++
+		sp.mu.Unlock()
+		m.gate.RUnlock()
 		return nil
 	}
-	req := &request{tx: tx, mode: mode, key: key, im: im, ready: make(chan error, 1), seq: m.nextSeq()}
+	req := &request{tx: tx, mode: mode, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	if h, ok := st.holders[tx]; ok && h.mode == S && mode == X {
 		req.upgrade = true
 	}
-	return m.admit(req)
+	on := itemConflictHolders(st, req)
+	if len(on) == 0 {
+		m.countUpgrade(req)
+		m.installItemLocked(sp, req)
+		// The fresh holder may extend the conflict sets of requests
+		// already queued on this stripe; keep their wait edges current.
+		m.refreshStripeWaitersLocked(sp)
+		sp.mu.Unlock()
+		m.gate.RUnlock()
+		return nil
+	}
+	if !m.wf.AddWaiter(tx, on) {
+		m.deadlocks.Add(1)
+		sp.mu.Unlock()
+		m.gate.RUnlock()
+		return ErrDeadlock
+	}
+	m.countUpgrade(req)
+	enqueue(&sp.queue, req)
+	m.noteFootprint(tx, sp.idx)
+	sp.waits++
+	sp.mu.Unlock()
+	m.gate.RUnlock()
+	return m.await(req, on)
+}
+
+// acquireItemGated is the exclusive-gate item path, used whenever
+// predicate locks are held or wanted: conflicts may then span the
+// predicate table, so the request needs the stable cross-stripe view.
+func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) error {
+	m.gate.Lock()
+	sp := m.stripeOf(key)
+	st := sp.items[key]
+	if st == nil {
+		st = &itemState{holders: map[TxID]*holder{}}
+		sp.items[key] = st
+	}
+	if h, ok := st.holders[tx]; ok && (h.mode == X || mode == S) {
+		h.refs++
+		h.im = mergeImages(h.im, im)
+		sp.grants++
+		// Merging images can narrow as well as widen a predicate waiter's
+		// conflict set (the after-image is replaced, not accumulated), so
+		// a full drain — not just an edge refresh — keeps a now-grantable
+		// waiter from stranding in the queue.
+		granted := m.drainAllLocked()
+		m.gate.Unlock()
+		notifyGranted(granted)
+		return nil
+	}
+	req := &request{tx: tx, mode: mode, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
+	if h, ok := st.holders[tx]; ok && h.mode == S && mode == X {
+		req.upgrade = true
+	}
+	on := m.conflictHoldersLocked(req)
+	if len(on) == 0 {
+		m.countUpgrade(req)
+		m.installItemLocked(sp, req)
+		granted := m.drainAllLocked() // see the covering-path comment above
+		m.gate.Unlock()
+		notifyGranted(granted)
+		return nil
+	}
+	if !m.wf.AddWaiter(tx, on) {
+		m.deadlocks.Add(1)
+		m.gate.Unlock()
+		return ErrDeadlock
+	}
+	m.countUpgrade(req)
+	enqueue(&sp.queue, req)
+	m.noteFootprint(tx, sp.idx)
+	sp.waits++
+	m.gate.Unlock()
+	return m.await(req, on)
 }
 
 // AcquirePred acquires a predicate lock for tx, blocking until granted.
-// The returned handle releases this specific lock.
+// The returned handle releases this specific lock. Predicate requests
+// always take the exclusive gate: their conflicts span every stripe.
 func (m *Manager) AcquirePred(tx TxID, p predicate.P, mode Mode) (PredHandle, error) {
-	m.mu.Lock()
-	req := &request{tx: tx, mode: mode, isPred: true, pred: p, ready: make(chan error, 1), seq: m.nextSeq()}
-	if err := m.admit(req); err != nil {
+	req := &request{tx: tx, mode: mode, isPred: true, pred: p, ready: make(chan error, 1), seq: m.seq.Add(1)}
+	m.gate.Lock()
+	on := m.conflictHoldersLocked(req)
+	if len(on) == 0 {
+		m.installPredLocked(req)
+		m.predActivity.Add(1) // new holder
+		m.refreshAllWaitersLocked()
+		m.gate.Unlock()
+		return req.handle, nil
+	}
+	if !m.wf.AddWaiter(tx, on) {
+		m.deadlocks.Add(1)
+		m.gate.Unlock()
+		return 0, ErrDeadlock
+	}
+	m.predQ = append(m.predQ, req)
+	m.predActivity.Add(1) // new waiter (stays counted when it becomes a holder)
+	m.predWaits++
+	m.gate.Unlock()
+	if err := m.await(req, on); err != nil {
 		return 0, err
 	}
 	return req.handle, nil
 }
 
-// nextSeq must be called with mu held.
-func (m *Manager) nextSeq() int64 {
-	m.seq++
-	return m.seq
+// countUpgrade bumps the upgrade counter for admitted upgrade requests
+// (granted immediately or enqueued; deadlock victims are not admitted).
+func (m *Manager) countUpgrade(req *request) {
+	if req.upgrade {
+		m.upgrades.Add(1)
+	}
 }
 
-// admit is called with mu held; it grants immediately, or enqueues and
-// blocks, or rejects with ErrDeadlock. It releases mu before blocking and
-// before invoking observers.
-func (m *Manager) admit(req *request) error {
-	if !m.conflictsGranted(req) {
-		m.grantLocked(req)
-		m.mu.Unlock()
-		return nil
-	}
-	// Would block: deadlock check on the waits-for graph including this
-	// request.
-	if m.wouldDeadlock(req) {
-		m.stats.Deadlocks++
-		m.mu.Unlock()
-		return ErrDeadlock
-	}
-	// Enqueue. Upgrades go before non-upgrades (but after earlier upgrades).
-	if req.upgrade {
-		idx := 0
-		for idx < len(m.queue) && m.queue[idx].upgrade {
-			idx++
-		}
-		m.queue = append(m.queue, nil)
-		copy(m.queue[idx+1:], m.queue[idx:])
-		m.queue[idx] = req
-	} else {
-		m.queue = append(m.queue, req)
-	}
-	m.stats.Waits++
-	waitingOn := m.conflictHolders(req)
-	m.mu.Unlock()
-
+// await blocks the requesting goroutine on its queued request, running the
+// observer callbacks outside all latches in the deterministic order the
+// schedule runner depends on: TxWaiting before the wait, TxGranted after a
+// successful grant.
+func (m *Manager) await(req *request, on []TxID) error {
 	if m.observer != nil {
-		m.observer.TxWaiting(req.tx, waitingOn)
+		m.observer.TxWaiting(req.tx, on)
 	}
 	err := <-req.ready
 	if m.observer != nil && err == nil {
@@ -246,25 +506,40 @@ func (m *Manager) admit(req *request) error {
 	return err
 }
 
-// conflictsGranted reports whether req conflicts with any currently granted
-// lock of another transaction. Called with mu held.
-func (m *Manager) conflictsGranted(req *request) bool {
-	return len(m.conflictHolders(req)) > 0
+// itemConflictHolders returns the distinct transactions whose granted
+// same-item locks conflict with req, sorted. Called with the item's stripe
+// latched (or the gate exclusive).
+func itemConflictHolders(st *itemState, req *request) []TxID {
+	if st == nil {
+		return nil
+	}
+	var out []TxID
+	for tx, h := range st.holders {
+		if tx == req.tx || !conflicts(req.mode, h.mode) {
+			continue
+		}
+		out = append(out, tx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
-// conflictHolders returns the distinct transactions whose granted locks
-// conflict with req, sorted. Called with mu held.
-func (m *Manager) conflictHolders(req *request) []TxID {
+// conflictHoldersLocked returns the distinct transactions whose granted
+// locks — item locks in any stripe and predicate locks — conflict with
+// req, sorted. Called with the gate held exclusively.
+func (m *Manager) conflictHoldersLocked(req *request) []TxID {
 	seen := map[TxID]bool{}
 	if req.isPred {
-		// Predicate request vs item holders.
-		for key, st := range m.items {
-			for tx, h := range st.holders {
-				if tx == req.tx || !conflicts(req.mode, h.mode) {
-					continue
-				}
-				if h.im.matches(req.pred, key) {
-					seen[tx] = true
+		// Predicate request vs item holders in every stripe.
+		for _, sp := range m.stripes {
+			for key, st := range sp.items {
+				for tx, h := range st.holders {
+					if tx == req.tx || !conflicts(req.mode, h.mode) {
+						continue
+					}
+					if h.im.matches(req.pred, key) {
+						seen[tx] = true
+					}
 				}
 			}
 		}
@@ -278,13 +553,8 @@ func (m *Manager) conflictHolders(req *request) []TxID {
 			}
 		}
 	} else {
-		if st := m.items[req.key]; st != nil {
-			for tx, h := range st.holders {
-				if tx == req.tx || !conflicts(req.mode, h.mode) {
-					continue
-				}
-				seen[tx] = true
-			}
+		for _, tx := range itemConflictHolders(m.stripeOf(req.key).items[req.key], req) {
+			seen[tx] = true
 		}
 		// Item request vs predicate holders.
 		for _, ps := range m.preds {
@@ -304,58 +574,14 @@ func (m *Manager) conflictHolders(req *request) []TxID {
 	return out
 }
 
-// wouldDeadlock builds the waits-for graph of all queued requests plus req
-// and reports whether a cycle through req.tx exists. Called with mu held.
-func (m *Manager) wouldDeadlock(req *request) bool {
-	edges := map[TxID]map[TxID]bool{}
-	addEdges := func(r *request) {
-		for _, on := range m.conflictHolders(r) {
-			if edges[r.tx] == nil {
-				edges[r.tx] = map[TxID]bool{}
-			}
-			edges[r.tx][on] = true
-		}
-	}
-	for _, r := range m.queue {
-		addEdges(r)
-	}
-	addEdges(req)
-	// DFS from req.tx looking for a path back to req.tx.
-	var stack []TxID
-	for on := range edges[req.tx] {
-		stack = append(stack, on)
-	}
-	visited := map[TxID]bool{}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if n == req.tx {
-			return true
-		}
-		if visited[n] {
-			continue
-		}
-		visited[n] = true
-		for on := range edges[n] {
-			stack = append(stack, on)
-		}
-	}
-	return false
-}
-
-// grantLocked installs the lock for req. Called with mu held.
-func (m *Manager) grantLocked(req *request) {
-	m.stats.Grants++
-	if req.isPred {
-		m.handles++
-		req.handle = m.handles
-		m.preds[req.handle] = &predState{tx: req.tx, mode: req.mode, pred: req.pred, refs: 1}
-		return
-	}
-	st := m.items[req.key]
+// installItemLocked installs req's item lock in sp. Called with sp latched
+// (or the gate exclusive).
+func (m *Manager) installItemLocked(sp *stripe, req *request) {
+	sp.grants++
+	st := sp.items[req.key]
 	if st == nil {
 		st = &itemState{holders: map[TxID]*holder{}}
-		m.items[req.key] = st
+		sp.items[req.key] = st
 	}
 	if h, ok := st.holders[req.tx]; ok {
 		// Upgrade or re-acquire.
@@ -367,6 +593,38 @@ func (m *Manager) grantLocked(req *request) {
 		return
 	}
 	st.holders[req.tx] = &holder{mode: req.mode, refs: 1, im: req.im}
+	hk := sp.held[req.tx]
+	if hk == nil {
+		hk = map[data.Key]struct{}{}
+		sp.held[req.tx] = hk
+		m.noteFootprint(req.tx, sp.idx)
+	}
+	hk[req.key] = struct{}{}
+}
+
+// installPredLocked installs req's predicate lock and assigns its handle.
+// Called with the gate held exclusively.
+func (m *Manager) installPredLocked(req *request) {
+	m.predGrants++
+	m.handles++
+	req.handle = m.handles
+	m.preds[req.handle] = &predState{tx: req.tx, mode: req.mode, pred: req.pred, refs: 1}
+}
+
+// enqueue inserts req into q: upgrades go before non-upgrades (but after
+// earlier upgrades), everything else in arrival order.
+func enqueue(q *[]*request, req *request) {
+	if !req.upgrade {
+		*q = append(*q, req)
+		return
+	}
+	idx := 0
+	for idx < len(*q) && (*q)[idx].upgrade {
+		idx++
+	}
+	*q = append(*q, nil)
+	copy((*q)[idx+1:], (*q)[idx:])
+	(*q)[idx] = req
 }
 
 // mergeImages keeps the earliest before-image and the latest after-image,
@@ -380,103 +638,259 @@ func mergeImages(old, new Images) Images {
 	if new.After != nil {
 		out.After = new.After
 	}
-	if new.Before != nil && out.Before == nil {
-		out.Before = new.Before
-	}
 	return out
 }
 
-// ReleaseItem decrements tx's hold on key, removing the lock at zero and
-// re-scanning the wait queue.
-func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
-	m.mu.Lock()
-	if st := m.items[key]; st != nil {
-		if h, ok := st.holders[tx]; ok {
-			h.refs--
-			if h.refs <= 0 {
-				delete(st.holders, tx)
-				if len(st.holders) == 0 {
-					delete(m.items, key)
-				}
-			}
+// dropItemLocked removes one reference of tx's hold on key. Called with
+// the key's stripe latched (or the gate exclusive).
+func (m *Manager) dropItemLocked(sp *stripe, tx TxID, key data.Key) {
+	st := sp.items[key]
+	if st == nil {
+		return
+	}
+	h, ok := st.holders[tx]
+	if !ok {
+		return
+	}
+	h.refs--
+	if h.refs > 0 {
+		return
+	}
+	delete(st.holders, tx)
+	if hk := sp.held[tx]; hk != nil {
+		delete(hk, key)
+		if len(hk) == 0 {
+			delete(sp.held, tx)
 		}
 	}
-	granted := m.drainQueueLocked()
-	m.mu.Unlock()
+	if len(st.holders) == 0 {
+		delete(sp.items, key)
+	}
+}
+
+// ReleaseItem decrements tx's hold on key, removing the lock at zero and
+// draining the stripe's wait queue.
+func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
+	m.gate.RLock()
+	if m.predActivity.Load() == 0 {
+		sp := m.stripeOf(key)
+		sp.mu.Lock()
+		m.dropItemLocked(sp, tx, key)
+		granted := m.drainStripeLocked(sp)
+		sp.mu.Unlock()
+		m.gate.RUnlock()
+		notifyGranted(granted)
+		return
+	}
+	m.gate.RUnlock()
+	// Predicate activity: the release may unblock a predicate waiter, so
+	// the drain needs the cross-stripe view.
+	m.gate.Lock()
+	m.dropItemLocked(m.stripeOf(key), tx, key)
+	granted := m.drainAllLocked()
+	m.gate.Unlock()
 	notifyGranted(granted)
 }
 
 // ReleasePred releases the predicate lock identified by handle.
 func (m *Manager) ReleasePred(tx TxID, handle PredHandle) {
-	m.mu.Lock()
+	m.gate.Lock()
 	if ps, ok := m.preds[handle]; ok && ps.tx == tx {
 		ps.refs--
 		if ps.refs <= 0 {
 			delete(m.preds, handle)
+			m.predActivity.Add(-1)
 		}
 	}
-	granted := m.drainQueueLocked()
-	m.mu.Unlock()
+	granted := m.drainAllLocked()
+	m.gate.Unlock()
 	notifyGranted(granted)
 }
 
 // ReleaseAll releases every lock held by tx (commit/abort time: the end of
 // all long-duration locks) and cancels any of tx's queued requests.
 func (m *Manager) ReleaseAll(tx TxID) {
-	m.mu.Lock()
-	for key, st := range m.items {
-		delete(st.holders, tx)
-		if len(st.holders) == 0 {
-			delete(m.items, key)
+	m.gate.RLock()
+	if m.predActivity.Load() == 0 {
+		// Striped path: no predicate state exists, so each touched stripe
+		// can be released and drained independently. An item waiter only
+		// ever waits on same-key holders, so per-stripe drains see every
+		// consequence of this stripe's releases, and untouched stripes
+		// (the footprint tracks them) need no visit at all.
+		m.wf.Remove(tx)
+		var granted, cancelled []*request
+		for spIdx := range m.takeFootprint(tx) {
+			sp := m.stripes[spIdx]
+			sp.mu.Lock()
+			for key := range sp.held[tx] {
+				if st := sp.items[key]; st != nil {
+					delete(st.holders, tx)
+					if len(st.holders) == 0 {
+						delete(sp.items, key)
+					}
+				}
+			}
+			delete(sp.held, tx)
+			cancelled = append(cancelled, cancelQueued(&sp.queue, tx, m.wf)...)
+			granted = append(granted, m.drainStripeLocked(sp)...)
+			sp.mu.Unlock()
 		}
+		m.gate.RUnlock()
+		notifyCancelled(cancelled, tx)
+		notifyGranted(granted)
+		return
+	}
+	m.gate.RUnlock()
+
+	m.gate.Lock()
+	m.wf.Remove(tx)
+	var cancelled []*request
+	for spIdx := range m.takeFootprint(tx) {
+		sp := m.stripes[spIdx]
+		for key := range sp.held[tx] {
+			if st := sp.items[key]; st != nil {
+				delete(st.holders, tx)
+				if len(st.holders) == 0 {
+					delete(sp.items, key)
+				}
+			}
+		}
+		delete(sp.held, tx)
+		cancelled = append(cancelled, cancelQueued(&sp.queue, tx, m.wf)...)
 	}
 	for h, ps := range m.preds {
 		if ps.tx == tx {
 			delete(m.preds, h)
+			m.predActivity.Add(-1)
 		}
 	}
-	// Cancel queued requests of tx (defensive; the engines never abort a
-	// transaction with an in-flight request).
-	var keep []*request
+	predCancelled := cancelQueued(&m.predQ, tx, m.wf)
+	m.predActivity.Add(-int64(len(predCancelled)))
+	cancelled = append(cancelled, predCancelled...)
+	granted := m.drainAllLocked()
+	m.gate.Unlock()
+	notifyCancelled(cancelled, tx)
+	notifyGranted(granted)
+}
+
+// cancelQueued removes tx's requests from q (defensive; the engines never
+// abort a transaction with an in-flight request) and clears their wait
+// edges.
+func cancelQueued(q *[]*request, tx TxID, wf *WaitsFor) []*request {
 	var cancelled []*request
-	for _, r := range m.queue {
+	keep := (*q)[:0]
+	for _, r := range *q {
 		if r.tx == tx {
 			cancelled = append(cancelled, r)
 		} else {
 			keep = append(keep, r)
 		}
 	}
-	m.queue = keep
-	granted := m.drainQueueLocked()
-	m.mu.Unlock()
-	for _, r := range cancelled {
-		r.ready <- fmt.Errorf("lock: request cancelled by ReleaseAll(T%d)", tx)
+	*q = keep
+	if len(cancelled) > 0 {
+		wf.Remove(tx)
 	}
-	notifyGranted(granted)
+	return cancelled
 }
 
-// drainQueueLocked grants queued requests that no longer conflict, in queue
-// order, and returns them for notification outside the mutex.
-func (m *Manager) drainQueueLocked() []*request {
+// drainStripeLocked grants sp's queued requests that no longer conflict,
+// upgrades first then arrival order, refreshes the wait edges of the
+// requests that stay blocked, and returns the granted ones for
+// notification outside the latches. Called with sp latched under the
+// shared gate and no predicate activity (item-item conflicts only).
+func (m *Manager) drainStripeLocked(sp *stripe) []*request {
 	var granted []*request
 	for {
 		progress := false
 		var keep []*request
-		for _, r := range m.queue {
-			if !m.conflictsGranted(r) {
-				m.grantLocked(r)
+		for _, r := range sp.queue {
+			if len(itemConflictHolders(sp.items[r.key], r)) == 0 {
+				m.installItemLocked(sp, r)
+				m.wf.Remove(r.tx)
 				granted = append(granted, r)
 				progress = true
 			} else {
 				keep = append(keep, r)
 			}
 		}
-		m.queue = keep
+		sp.queue = keep
 		if !progress {
 			break
 		}
 	}
+	m.refreshStripeWaitersLocked(sp)
 	return granted
+}
+
+// refreshStripeWaitersLocked recomputes the wait edges of every request
+// still queued on sp. Called with sp latched under the shared gate.
+func (m *Manager) refreshStripeWaitersLocked(sp *stripe) {
+	for _, r := range sp.queue {
+		m.wf.Refresh(r.tx, itemConflictHolders(sp.items[r.key], r))
+	}
+}
+
+// drainAllLocked grants queued requests across every stripe and the
+// predicate queue, in global upgrade-first arrival order, then refreshes
+// the wait edges of everything still blocked. Called with the gate held
+// exclusively.
+func (m *Manager) drainAllLocked() []*request {
+	var granted []*request
+	for {
+		progress := false
+		cands := append([]*request(nil), m.predQ...)
+		for _, sp := range m.stripes {
+			cands = append(cands, sp.queue...)
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].upgrade != cands[j].upgrade {
+				return cands[i].upgrade
+			}
+			return cands[i].seq < cands[j].seq
+		})
+		for _, r := range cands {
+			if len(m.conflictHoldersLocked(r)) != 0 {
+				continue
+			}
+			if r.isPred {
+				m.installPredLocked(r)
+				removeRequest(&m.predQ, r)
+			} else {
+				m.installItemLocked(m.stripeOf(r.key), r)
+				removeRequest(&m.stripeOf(r.key).queue, r)
+			}
+			m.wf.Remove(r.tx)
+			granted = append(granted, r)
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	m.refreshAllWaitersLocked()
+	return granted
+}
+
+// refreshAllWaitersLocked recomputes the wait edges of every queued
+// request, item and predicate. Called with the gate held exclusively.
+func (m *Manager) refreshAllWaitersLocked() {
+	for _, sp := range m.stripes {
+		for _, r := range sp.queue {
+			m.wf.Refresh(r.tx, m.conflictHoldersLocked(r))
+		}
+	}
+	for _, r := range m.predQ {
+		m.wf.Refresh(r.tx, m.conflictHoldersLocked(r))
+	}
+}
+
+func removeRequest(q *[]*request, req *request) {
+	for i, r := range *q {
+		if r == req {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
 }
 
 func notifyGranted(granted []*request) {
@@ -485,12 +899,21 @@ func notifyGranted(granted []*request) {
 	}
 }
 
+func notifyCancelled(cancelled []*request, tx TxID) {
+	for _, r := range cancelled {
+		r.ready <- fmt.Errorf("lock: request cancelled by ReleaseAll(T%d)", tx)
+	}
+}
+
 // Holding reports whether tx currently holds an item lock on key, and its
 // mode.
 func (m *Manager) Holding(tx TxID, key data.Key) (Mode, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if st := m.items[key]; st != nil {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	sp := m.stripeOf(key)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if st := sp.items[key]; st != nil {
 		if h, ok := st.holders[tx]; ok {
 			return h.mode, true
 		}
@@ -500,8 +923,8 @@ func (m *Manager) Holding(tx TxID, key data.Key) (Mode, bool) {
 
 // HoldingPred reports whether tx holds any predicate lock.
 func (m *Manager) HoldingPred(tx TxID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.gate.RLock()
+	defer m.gate.RUnlock()
 	for _, ps := range m.preds {
 		if ps.tx == tx {
 			return true
@@ -512,7 +935,13 @@ func (m *Manager) HoldingPred(tx TxID) bool {
 
 // QueueLen reports the number of waiting requests (for tests and metrics).
 func (m *Manager) QueueLen() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.queue)
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	n := len(m.predQ)
+	for _, sp := range m.stripes {
+		sp.mu.Lock()
+		n += len(sp.queue)
+		sp.mu.Unlock()
+	}
+	return n
 }

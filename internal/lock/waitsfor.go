@@ -1,0 +1,105 @@
+// The waits-for graph is the lock manager's standalone deadlock detector.
+// It used to live inline in the manager's single mutex; with the lock
+// tables striped there is no longer one latch under which the whole graph
+// can be rebuilt per request, so the graph is maintained incrementally
+// under its own lock instead:
+//
+//   - When a request is about to start waiting, AddWaiter atomically runs
+//     the cycle check and, only if no cycle would form, records the
+//     requester's out-edges. The check-and-insert is atomic so that two
+//     requests admitted concurrently from different stripes can never both
+//     miss the cycle they jointly close.
+//   - Whenever the granted state a waiter conflicts with changes (a
+//     release drained its stripe, a fresh grant slid past it in the queue,
+//     a predicate lock appeared), the drain recomputes the waiter's
+//     conflict set and calls Refresh.
+//   - When a waiter is granted, cancelled, or its transaction releases
+//     everything, Remove deletes its node.
+//
+// Edges always point from a waiting transaction to the transactions whose
+// granted locks block it. Every cycle is closed by the newest request —
+// grants only add edges toward a transaction that is not waiting at that
+// moment, and releases only remove edges — so checking at AddWaiter time
+// is sufficient, and the requester-is-victim rule stays deterministic: the
+// transaction whose request would close the cycle is the one refused.
+package lock
+
+import "sync"
+
+// WaitsFor is a waits-for graph over transactions, safe for concurrent use
+// by all lock-table stripes. Each transaction has at most one pending lock
+// request, so the graph stores one out-edge set per transaction.
+type WaitsFor struct {
+	mu  sync.Mutex
+	out map[TxID][]TxID
+}
+
+// NewWaitsFor returns an empty waits-for graph.
+func NewWaitsFor() *WaitsFor {
+	return &WaitsFor{out: map[TxID][]TxID{}}
+}
+
+// AddWaiter atomically checks whether tx waiting on the transactions in
+// `on` would close a cycle. If it would, nothing is recorded and AddWaiter
+// returns false: the requester is the deadlock victim. Otherwise tx's
+// out-edges are set to `on` and AddWaiter returns true.
+func (g *WaitsFor) AddWaiter(tx TxID, on []TxID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cycleLocked(tx, on) {
+		return false
+	}
+	g.out[tx] = append([]TxID(nil), on...)
+	return true
+}
+
+// Refresh replaces the out-edges of an already-admitted waiter with its
+// recomputed conflict set. No cycle check runs: the victim rule applies
+// only to new requests, and a refresh cannot close a cycle (see the
+// package comment above).
+func (g *WaitsFor) Refresh(tx TxID, on []TxID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(on) == 0 {
+		delete(g.out, tx)
+		return
+	}
+	g.out[tx] = append([]TxID(nil), on...)
+}
+
+// Remove deletes tx's node: its request was granted or cancelled, or the
+// transaction terminated.
+func (g *WaitsFor) Remove(tx TxID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.out, tx)
+}
+
+// Waiting reports whether tx currently has recorded out-edges (tests and
+// debugging).
+func (g *WaitsFor) Waiting(tx TxID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.out[tx]
+	return ok
+}
+
+// cycleLocked reports whether adding tx -> on would create a path back to
+// tx. Called with mu held.
+func (g *WaitsFor) cycleLocked(tx TxID, on []TxID) bool {
+	stack := append([]TxID(nil), on...)
+	visited := map[TxID]bool{}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == tx {
+			return true
+		}
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+		stack = append(stack, g.out[n]...)
+	}
+	return false
+}

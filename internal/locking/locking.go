@@ -20,18 +20,41 @@ import (
 	"isolevel/internal/sv"
 )
 
+// Option configures a DB.
+type Option func(*DB)
+
+// WithShards sets the stripe count of the lock manager's item lock tables
+// and of the underlying row store (default lock.DefaultShards). One
+// stripe reproduces the old single-latch lock manager and is the baseline
+// of the shard-sweep benchmarks; higher counts let disjoint-key lock
+// traffic proceed in parallel.
+func WithShards(n int) Option {
+	return func(db *DB) { db.shards = n }
+}
+
 // DB is a locking-scheduler database.
 type DB struct {
-	store *sv.Store
-	lm    *lock.Manager
-	seq   atomic.Int64
-	rec   *engine.Recorder
+	store  *sv.Store
+	lm     *lock.Manager
+	seq    atomic.Int64
+	rec    *engine.Recorder
+	shards int
 }
 
 // NewDB returns an empty locking database.
-func NewDB() *DB {
-	return &DB{store: sv.NewStore(), lm: lock.NewManager(), rec: engine.NewRecorder()}
+func NewDB(opts ...Option) *DB {
+	db := &DB{shards: lock.DefaultShards, rec: engine.NewRecorder()}
+	for _, o := range opts {
+		o(db)
+	}
+	db.store = sv.NewStoreShards(db.shards)
+	db.lm = lock.NewManagerShards(db.shards)
+	return db
 }
+
+// ShardCount reports the stripe count of the lock manager (the row store
+// uses the same count).
+func (db *DB) ShardCount() int { return db.lm.ShardCount() }
 
 // SetObserver forwards a wait observer to the lock manager (the schedule
 // runner's deterministic block detection).

@@ -37,7 +37,6 @@
 package mv
 
 import (
-	"hash/maphash"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -129,8 +128,8 @@ type shard struct {
 
 // Store is a striped multiversion row store.
 type Store struct {
-	seed   maphash.Seed
-	shards []*shard
+	striper data.Striper
+	shards  []*shard
 }
 
 // NewStore returns an empty multiversion store with DefaultShards stripes.
@@ -140,10 +139,8 @@ func NewStore() *Store { return NewStoreShards(DefaultShards) }
 // latches (n < 1 is treated as 1; n = 1 degenerates to the old global-latch
 // behavior, useful as a baseline in shard sweeps).
 func NewStoreShards(n int) *Store {
-	if n < 1 {
-		n = 1
-	}
-	s := &Store{seed: maphash.MakeSeed(), shards: make([]*shard, n)}
+	striper := data.NewStriper(n)
+	s := &Store{striper: striper, shards: make([]*shard, striper.Count())}
 	for i := range s.shards {
 		s.shards[i] = &shard{chains: map[data.Key][]Version{}}
 	}
@@ -157,12 +154,7 @@ func (s *Store) shardOf(key data.Key) *shard {
 	return s.shards[s.shardIndex(key)]
 }
 
-func (s *Store) shardIndex(key data.Key) int {
-	if len(s.shards) == 1 {
-		return 0
-	}
-	return int(maphash.String(s.seed, string(key)) % uint64(len(s.shards)))
-}
+func (s *Store) shardIndex(key data.Key) int { return s.striper.Index(key) }
 
 // LockWriteSet acquires the commit latches of every stripe covered by keys,
 // in ascending stripe order (deadlock-free), and returns the release

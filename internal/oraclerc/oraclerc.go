@@ -45,7 +45,7 @@ import (
 type Option func(*DB)
 
 // WithShards sets the stripe count of the underlying multiversion store
-// (default mv.DefaultShards).
+// and of the write-lock manager's lock tables (default mv.DefaultShards).
 func WithShards(n int) Option {
 	return func(db *DB) { db.shards = n }
 }
@@ -62,13 +62,17 @@ type DB struct {
 
 // NewDB returns an empty Read Consistency database.
 func NewDB(opts ...Option) *DB {
-	db := &DB{shards: mv.DefaultShards, oracle: &mv.Oracle{}, lm: lock.NewManager(), rec: engine.NewRecorder()}
+	db := &DB{shards: mv.DefaultShards, oracle: &mv.Oracle{}, rec: engine.NewRecorder()}
 	for _, o := range opts {
 		o(db)
 	}
 	db.store = mv.NewStoreShards(db.shards)
+	db.lm = lock.NewManagerShards(db.shards)
 	return db
 }
+
+// LockStats returns the write-lock manager's counters.
+func (db *DB) LockStats() lock.Stats { return db.lm.Stats() }
 
 // ShardCount reports the stripe count of the underlying store.
 func (db *DB) ShardCount() int { return db.store.ShardCount() }

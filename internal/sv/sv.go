@@ -9,9 +9,14 @@
 // before-image is wrong. The store lets that corruption happen when an
 // engine fails to hold long write locks — there is a test demonstrating it.
 //
-// All access is guarded by a single RWMutex: the store provides atomic
+// The store is striped: keys hash onto a fixed set of stripes (the same
+// scheme as the lock manager's and the multiversion store's), each with
+// its own RWMutex over its slice of the rows. Every stripe provides atomic
 // individual actions (the paper's Degree 0 "action atomicity") and nothing
 // more; every stronger guarantee comes from the lock manager above it.
+// Striping matters because the store sits under the striped lock manager:
+// one store latch would re-serialize the disjoint-key traffic the lock
+// stripes just freed.
 package sv
 
 import (
@@ -22,82 +27,118 @@ import (
 	"isolevel/internal/predicate"
 )
 
-// Store is an in-place single-version row store.
-type Store struct {
+// DefaultShards is the stripe count of NewStore, matching the lock
+// manager's default so the engines' single shard knob means one thing.
+const DefaultShards = 16
+
+type shard struct {
 	mu   sync.RWMutex
 	rows map[data.Key]data.Row
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{rows: map[data.Key]data.Row{}}
+// Store is an in-place single-version row store.
+type Store struct {
+	striper data.Striper
+	shards  []*shard
+}
+
+// NewStore returns an empty store with DefaultShards stripes.
+func NewStore() *Store { return NewStoreShards(DefaultShards) }
+
+// NewStoreShards returns an empty store striped across n latches (n < 1 is
+// treated as 1; n = 1 reproduces the old single-latch behavior).
+func NewStoreShards(n int) *Store {
+	striper := data.NewStriper(n)
+	s := &Store{striper: striper, shards: make([]*shard, striper.Count())}
+	for i := range s.shards {
+		s.shards[i] = &shard{rows: map[data.Key]data.Row{}}
+	}
+	return s
+}
+
+// ShardCount returns the number of stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+func (s *Store) shardOf(key data.Key) *shard {
+	return s.shards[s.striper.Index(key)]
 }
 
 // Load bulk-inserts rows (setup helper; no locking protocol involved).
 func (s *Store) Load(tuples ...data.Tuple) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, t := range tuples {
-		s.rows[t.Key] = t.Row.Clone()
+		sh := s.shardOf(t.Key)
+		sh.mu.Lock()
+		sh.rows[t.Key] = t.Row.Clone()
+		sh.mu.Unlock()
 	}
 }
 
 // Get returns a copy of the current row, or nil if absent.
 func (s *Store) Get(key data.Key) data.Row {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.rows[key].Clone()
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	row := sh.rows[key]
+	sh.mu.RUnlock()
+	return row.Clone()
 }
 
 // Exists reports whether a row is present.
 func (s *Store) Exists(key data.Key) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.rows[key]
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.rows[key]
 	return ok
 }
 
 // Put installs row (insert or update) and returns the before-image (nil
 // for an insert).
 func (s *Store) Put(key data.Key, row data.Row) (before data.Row) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	before = s.rows[key]
-	s.rows[key] = row.Clone()
+	clone := row.Clone() // outside the latch: cloning allocates
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	before = sh.rows[key]
+	sh.rows[key] = clone
+	sh.mu.Unlock()
 	return before
 }
 
 // Delete removes the row and returns the before-image (nil if it was
 // already absent).
 func (s *Store) Delete(key data.Key) (before data.Row) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	before = s.rows[key]
-	delete(s.rows, key)
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	before = sh.rows[key]
+	delete(sh.rows, key)
+	sh.mu.Unlock()
 	return before
 }
 
 // Restore writes a before-image back (undo): nil removes the row.
 func (s *Store) Restore(key data.Key, before data.Row) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if before == nil {
-		delete(s.rows, key)
+	clone := before.Clone()
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if clone == nil {
+		delete(sh.rows, key)
 	} else {
-		s.rows[key] = before.Clone()
+		sh.rows[key] = clone
 	}
+	sh.mu.Unlock()
 }
 
 // Select returns copies of all tuples satisfying p, sorted by key.
 func (s *Store) Select(p predicate.P) []data.Tuple {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []data.Tuple
-	for k, r := range s.rows {
-		t := data.Tuple{Key: k, Row: r}
-		if p.Match(t) {
-			out = append(out, t.Clone())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, r := range sh.rows {
+			t := data.Tuple{Key: k, Row: r}
+			if p.Match(t) {
+				out = append(out, t.Clone())
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	data.SortTuples(out)
 	return out
@@ -110,11 +151,13 @@ func (s *Store) Snapshot() []data.Tuple {
 
 // Keys returns all present keys, sorted.
 func (s *Store) Keys() []data.Key {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]data.Key, 0, len(s.rows))
-	for k := range s.rows {
-		out = append(out, k)
+	var out []data.Key
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range sh.rows {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -122,9 +165,13 @@ func (s *Store) Keys() []data.Key {
 
 // Len returns the number of rows.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.rows)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.rows)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // UndoRecord is one entry of a transaction's undo log: the before-image of

@@ -7,6 +7,7 @@ import (
 	"isolevel/internal/deps"
 	"isolevel/internal/engine"
 	"isolevel/internal/history"
+	"isolevel/internal/lock"
 	"isolevel/internal/locking"
 	"isolevel/internal/matrix"
 	"isolevel/internal/mv"
@@ -67,6 +68,14 @@ var (
 // SERIALIZABLE).
 func NewLockingDB() *locking.DB { return locking.NewDB() }
 
+// NewLockingDBShards returns the locking engine with an explicit
+// lock-table stripe count (1 reproduces the old single-latch lock
+// manager; higher counts let disjoint-key lock traffic proceed in
+// parallel).
+func NewLockingDBShards(shards int) *locking.DB {
+	return locking.NewDB(locking.WithShards(shards))
+}
+
 // NewSnapshotDB returns the §4.2 Snapshot Isolation engine
 // (first-committer-wins, snapshot reads, time travel via BeginAsOf).
 func NewSnapshotDB() *snapshot.DB { return snapshot.NewDB() }
@@ -97,9 +106,9 @@ func NewOracleRCDBShards(shards int) *oraclerc.DB {
 // NewDBFor returns a fresh engine implementing the given level.
 func NewDBFor(level Level) DB { return anomalies.NewDBFor(level) }
 
-// NewDBForShards is NewDBFor with an explicit store stripe count for the
-// multiversion engines (ignored by the locking engine; <= 0 means the
-// default, mv.DefaultShards).
+// NewDBForShards is NewDBFor with an explicit stripe count, honored by
+// every engine family (multiversion store stripes and locking-engine lock
+// table stripes alike; <= 0 means the default).
 func NewDBForShards(level Level, shards int) DB { return anomalies.NewDBForShards(level, shards) }
 
 // --- Rows ---
@@ -300,6 +309,26 @@ var (
 	SkewedTransferWorkload   = workload.SkewedTransfer
 	BatchIncrementWorkload   = workload.BatchIncrement
 )
+
+// Lockstep locking-engine scenarios (see internal/workload/locking.go):
+// schedule-runner-driven workloads whose blocking, deadlock-victim and
+// phantom-prevention outcomes are exact at every lock-table stripe count,
+// on any GOMAXPROCS.
+var (
+	ReadLockFanInWorkload   = workload.ReadLockFanIn
+	UpgradeStormWorkload    = workload.UpgradeDeadlockStorm
+	PredicateVsItemWorkload = workload.PredicateVsItemMix
+)
+
+// FanInResult reports the contended read-lock fan-in scenario.
+type FanInResult = workload.FanInResult
+
+// PredItemResult reports the predicate-vs-item writer mix scenario.
+type PredItemResult = workload.PredItemResult
+
+// LockStats is the lock manager's counter snapshot (grants, waits,
+// deadlocks, upgrades, per-stripe contention).
+type LockStats = lock.Stats
 
 // Barrier is the reusable rendezvous behind the deterministic driver.
 type Barrier = schedule.Barrier
