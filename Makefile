@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench
+.PHONY: verify build test race vet bench fuzz fuzz-determinism
 
 verify: vet build race ## what CI runs: vet + build + race-enabled tests
 
@@ -18,3 +18,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Differential isolation fuzzing: 1000 seeded schedules against every
+# engine family at every level, checked against the Table 4 oracle.
+fuzz:
+	$(GO) run ./cmd/isolevel fuzz -seed 1 -n 1000
+
+# The same campaign run twice must be byte-for-byte identical.
+fuzz-determinism:
+	$(GO) run ./cmd/isolevel fuzz -seed 1 -n 1000 > /tmp/isolevel-fuzz-a.out
+	$(GO) run ./cmd/isolevel fuzz -seed 1 -n 1000 > /tmp/isolevel-fuzz-b.out
+	diff /tmp/isolevel-fuzz-a.out /tmp/isolevel-fuzz-b.out

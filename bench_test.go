@@ -19,6 +19,7 @@ import (
 
 	isolevel "isolevel"
 	"isolevel/internal/engine"
+	"isolevel/internal/exerciser"
 	"isolevel/internal/matrix"
 	"isolevel/internal/workload"
 )
@@ -462,4 +463,74 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// --- Differential fuzzer: checker throughput and campaign rate ---
+
+// checkerHistory generates a deterministic history of roughly the given
+// op count for the checker benches.
+func checkerHistory(txs, opsPerTx int) isolevel.History {
+	p := exerciser.DefaultParams()
+	p.Txs = txs
+	p.Items = 4
+	p.OpsPerTx = opsPerTx
+	return exerciser.Generate(42, p).History()
+}
+
+// BenchmarkCheckerBatch runs the batch phenomenon matchers (full-history
+// rescans per identifier) over a generated history and reports
+// histories/sec — the baseline the streaming checker is measured against.
+func BenchmarkCheckerBatch(b *testing.B) {
+	h := checkerHistory(8, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(isolevel.PhenomenaProfile(h)) == 0 {
+			b.Fatal("generated history exhibits nothing")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "histories/sec")
+	b.ReportMetric(float64(len(h)), "ops/history")
+}
+
+// BenchmarkCheckerStream runs the incremental checker over the same
+// history: per-op work bounded by live transactions, not history length.
+func BenchmarkCheckerStream(b *testing.B) {
+	h := checkerHistory(8, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(isolevel.StreamingProfile(h)) == 0 {
+			b.Fatal("generated history exhibits nothing")
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "histories/sec")
+	b.ReportMetric(float64(len(h)), "ops/history")
+}
+
+// BenchmarkCheckerStreamLong checks a campaign-length history (thousands
+// of ops) that the batch matchers' quadratic-and-worse scans cannot
+// sustain at bench speed.
+func BenchmarkCheckerStreamLong(b *testing.B) {
+	h := checkerHistory(64, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		isolevel.StreamingProfile(h)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "histories/sec")
+	b.ReportMetric(float64(len(h)), "ops/history")
+}
+
+// BenchmarkFuzzSchedule measures the full differential pipeline for one
+// schedule: generate, replay on every engine family at every level,
+// normalize, stream-check, oracle-compare.
+func BenchmarkFuzzSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := exerciser.Run(exerciser.Options{Seed: 1, Start: i, N: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Violations() != 0 {
+			b.Fatalf("oracle violation during bench:\n%s", rep.Detail())
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "schedules/sec")
 }

@@ -18,8 +18,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"isolevel/internal/ansi"
 	"isolevel/internal/deps"
 	"isolevel/internal/engine"
+	"isolevel/internal/exerciser"
 	"isolevel/internal/history"
 	"isolevel/internal/lock"
 	"isolevel/internal/matrix"
@@ -60,6 +63,8 @@ func main() {
 		err = cmdRemarks()
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "fuzz":
+		err = cmdFuzz(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -81,6 +86,8 @@ commands:
   table -n N                  regenerate one table (1, 2, 3 or 4)
   figure2                     measured isolation hierarchy (Figure 2)
   check -history "w1[x] ..."  classify a history in the paper's notation
+  check -f FILE|-             classify histories from a file or stdin,
+                              one per line (fuzz findings, corpus files)
   run -id ID [-variant V] -level LEVEL   run one anomaly scenario live
   scenarios                   list the anomaly scenario catalog
   paper                       replay the paper's H1-H5 analyses
@@ -93,6 +100,13 @@ commands:
                -batch B -hot-bias F -rounds R
         -shards stripes every engine family: multiversion store stripes
         and locking-engine lock-table stripes alike
+  fuzz -seed S -n N           differential isolation fuzzing: generated
+        schedules replayed on every engine family x level, traces checked
+        against the Table 4 oracle; findings are shrunk to minimal
+        histories in the paper's notation
+        knobs: -txs -items -ops -abort -mix r:W,w:W,p:W,rc:W,wc:W
+               -engines locking,snapshot,oraclerc -levels L1,L2 -workers W
+               -shards N -start I -oracle LEVEL -v
 `)
 }
 
@@ -162,16 +176,77 @@ func cmdFigure2() error {
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	src := fs.String("history", "", "history in the paper's notation, e.g. \"w1[x] r2[x] c1 c2\"")
+	file := fs.String("f", "", "file of histories, one per line (# comments and blank lines skipped); \"-\" reads stdin")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *src == "" {
-		return fmt.Errorf("check needs -history")
+	switch {
+	case *src != "" && *file != "":
+		return fmt.Errorf("check takes -history or -f, not both")
+	case *src != "":
+		h, err := history.Parse(*src)
+		if err != nil {
+			return err
+		}
+		checkOne(h)
+		return nil
+	case *file != "":
+		return checkFile(*file)
+	default:
+		return fmt.Errorf("check needs -history or -f")
 	}
-	h, err := history.Parse(*src)
-	if err != nil {
+}
+
+// checkFile replays every history in the file (or stdin for "-") through
+// the classifier — the replay path for fuzz findings and corpus files.
+func checkFile(path string) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	n, bad := 0, 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		h, err := history.Parse(line)
+		if err != nil {
+			bad++
+			fmt.Printf("== history %d: PARSE ERROR: %v\n\n", n+1, err)
+			n++
+			continue
+		}
+		fmt.Printf("== history %d ==\n", n+1)
+		checkOne(h)
+		fmt.Println()
+		n++
+	}
+	if err := sc.Err(); err != nil {
 		return err
 	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d histories failed to parse", bad, n)
+	}
+	if n == 0 {
+		return fmt.Errorf("no histories in %s", path)
+	}
+	return nil
+}
+
+// checkOne classifies a single history: phenomena (batch matchers, whose
+// matches are reused from Profile rather than re-detected per id),
+// serializability, and Table 3 admission.
+func checkOne(h history.History) {
 	fmt.Println("history:", h)
 	fmt.Println()
 	prof := phenomena.Profile(h)
@@ -185,7 +260,7 @@ func cmdCheck(args []string) error {
 	} else {
 		fmt.Println("phenomena:")
 		for _, id := range ids {
-			for _, m := range phenomena.Detect(phenomena.ID(id), h) {
+			for _, m := range prof[phenomena.ID(id)] {
 				fmt.Printf("  %-4s %-18s %s\n", id, phenomena.Name(phenomena.ID(id)), m.Comment)
 			}
 		}
@@ -206,7 +281,6 @@ func cmdCheck(args []string) error {
 		}
 		fmt.Printf("  %-18s %s\n", lvl.Name, verdict)
 	}
-	return nil
 }
 
 func fmtOrder(order []int) string {
@@ -468,6 +542,118 @@ func printLockStats(db engine.DB) {
 		parts = append(parts, fmt.Sprintf("%d:%d/%d", i, ss.Grants, ss.Waits))
 	}
 	fmt.Printf("  stripe contention (stripe:grants/waits): %s\n", strings.Join(parts, " "))
+}
+
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "campaign seed (schedule i's seed derives from seed and start+i)")
+	n := fs.Int("n", 100, "number of generated schedules")
+	start := fs.Int("start", 0, "first schedule index (rerun a finding with -start I -n 1)")
+	txs := fs.Int("txs", 0, "transactions per schedule (0 = default)")
+	items := fs.Int("items", 0, "distinct data items (0 = default)")
+	ops := fs.Int("ops", 0, "transaction size: each draws 1..2*ops non-terminal ops (0 = default)")
+	abortFrac := fs.Float64("abort", -1, "scripted abort probability (negative = default)")
+	mix := fs.String("mix", "", "op-kind weights, e.g. r:4,w:4,p:1,rc:1,wc:1")
+	engines := fs.String("engines", "", "comma list of engine families (default all: locking,snapshot,oraclerc)")
+	levels := fs.String("levels", "", "comma list of isolation levels (default: every level each family implements)")
+	workers := fs.Int("workers", 1, "campaign worker goroutines (report is identical at any count)")
+	shards := fs.Int("shards", 0, "engine stripe count (0 = default)")
+	oracleLevel := fs.String("oracle", "", "check every trace against this level's forbidden set instead of its own (testing hook)")
+	noShrink := fs.Bool("no-shrink", false, "skip minimizing findings")
+	maxShrink := fs.Int("max-shrink", 5, "maximum findings to minimize (each minimization reruns the schedule many times)")
+	verbose := fs.Bool("v", false, "print every finding in full")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params := exerciser.DefaultParams()
+	if *txs > 0 {
+		params.Txs = *txs
+	}
+	if *items > 0 {
+		params.Items = *items
+	}
+	if *ops > 0 {
+		params.OpsPerTx = *ops
+	}
+	if *abortFrac >= 0 {
+		params.AbortFrac = *abortFrac
+	}
+	if *mix != "" {
+		m, err := parseMix(*mix)
+		if err != nil {
+			return err
+		}
+		params.Mix = m
+	}
+	opts := exerciser.Options{
+		Seed: *seed, N: *n, Start: *start,
+		Params: params, Shards: *shards, Workers: *workers,
+		Shrink: !*noShrink, MaxShrink: *maxShrink,
+	}
+	if *engines != "" {
+		opts.Families = strings.Split(*engines, ",")
+	}
+	if *levels != "" {
+		for _, name := range strings.Split(*levels, ",") {
+			lvl, err := parseLevel(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			opts.Levels = append(opts.Levels, lvl)
+		}
+	}
+	if *oracleLevel != "" {
+		lvl, err := parseLevel(*oracleLevel)
+		if err != nil {
+			return err
+		}
+		opts.OracleLevel = &lvl
+	}
+	rep, err := exerciser.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if *verbose || rep.Violations() > 0 {
+		if d := rep.Detail(); d != "" {
+			fmt.Print(d)
+		}
+	}
+	if rep.Violations() > 0 {
+		return fmt.Errorf("%d oracle violation(s)", rep.Violations())
+	}
+	fmt.Println("ok: no Table 4 oracle violations")
+	return nil
+}
+
+// parseMix reads "r:4,w:4,p:1,rc:1,wc:1" (any subset; omitted kinds get 0).
+func parseMix(src string) (exerciser.Mix, error) {
+	var m exerciser.Mix
+	for _, part := range strings.Split(src, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad mix entry %q (want kind:weight)", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(kv[1], "%d", &w); err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", kv[1])
+		}
+		switch kv[0] {
+		case "r":
+			m.Read = w
+		case "w":
+			m.Write = w
+		case "p":
+			m.PredRead = w
+		case "rc":
+			m.CurRead = w
+		case "wc":
+			m.CurWrite = w
+		default:
+			return m, fmt.Errorf("unknown mix kind %q (r, w, p, rc, wc)", kv[0])
+		}
+	}
+	return m, nil
 }
 
 func cmdPaper() error {

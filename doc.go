@@ -49,6 +49,20 @@
 //	_ = isolevel.PutVal(tx, "y", v+40)
 //	err := tx.Commit() // may be ErrWriteConflict: first-committer-wins
 //
+// Beyond the hand-written scenarios, the differential isolation fuzzer
+// (internal/exerciser, `isolevel fuzz`) manufactures them: seeded random
+// schedules replay deterministically against every engine family at every
+// level, the recorded traces are normalized to the paper's single-valued
+// form (locking traces directly; the multiversion engines through the
+// MV→SV mapping of §4.2, per transaction for Snapshot Isolation and per
+// statement for Read Consistency), streamed through incremental
+// phenomenon and dependency-graph checkers, and cross-checked against a
+// Table 4 oracle; violations are shrunk to minimal histories in the
+// paper's notation. The pipeline is: generate → replay (lockstep runner)
+// → record (engine.Recorder + timestamped exports) → normalize (deps) →
+// check (phenomena.Stream, deps.Builder) → judge (matrix-derived oracle)
+// → shrink.
+//
 // See the examples/ directory for runnable demonstrations of the paper's
 // anomalies and the cmd/isolevel CLI for table regeneration.
 package isolevel

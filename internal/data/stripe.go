@@ -1,16 +1,19 @@
 package data
 
-import "hash/maphash"
-
 // Striper is the one key-striping scheme shared by every sharded component
 // (the multiversion store, the single-version store, and the lock
-// manager's lock tables): keys hash onto a fixed set of stripes under a
-// per-instance random seed. Sharing the implementation keeps the
-// clamp-to-one and single-stripe fast-path semantics identical everywhere
-// one `-shards` knob is exposed.
+// manager's lock tables): keys hash onto a fixed set of stripes. Sharing
+// the implementation keeps the clamp-to-one and single-stripe fast-path
+// semantics identical everywhere one `-shards` knob is exposed.
+//
+// The hash is a fixed FNV-1a, deliberately not seeded: stripe placement
+// decides the order striped components visit stripes (ReleaseAll's grant
+// batches above all), and the differential fuzzer's byte-for-byte
+// reproducibility across *processes* requires the same key to land on the
+// same stripe in every run. A per-instance random seed (hash/maphash)
+// would re-randomize lock-release order on every invocation.
 type Striper struct {
-	seed maphash.Seed
-	n    int
+	n int
 }
 
 // NewStriper returns a striper over n stripes (n < 1 is treated as 1).
@@ -18,7 +21,7 @@ func NewStriper(n int) Striper {
 	if n < 1 {
 		n = 1
 	}
-	return Striper{seed: maphash.MakeSeed(), n: n}
+	return Striper{n: n}
 }
 
 // Count returns the number of stripes.
@@ -29,5 +32,14 @@ func (s Striper) Index(key Key) int {
 	if s.n == 1 {
 		return 0
 	}
-	return int(maphash.String(s.seed, string(key)) % uint64(s.n))
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(s.n))
 }

@@ -32,54 +32,65 @@ type MVTxn struct {
 	Writes    []history.Op // item and predicate writes, program order
 }
 
+// SVEvent is one timestamped block of actions of a multiversion execution
+// headed for the single-valued mapping: MapEventsToSV orders blocks by
+// (TS, Seq) and concatenates their ops. Callers use Seq — assigned
+// monotonically in whatever order they emit events — as the deterministic
+// tie-break for blocks sharing a timestamp.
+type SVEvent struct {
+	TS  int64
+	Seq int
+	Ops history.History
+}
+
+// MapEventsToSV orders the event blocks by (TS, Seq) and concatenates
+// them into a single-valued history, dropping version subscripts. This is
+// the general form of the paper's MV→SV mapping: MapToSV uses it with the
+// transaction-level snapshot (all reads at Start), the Read Consistency
+// exerciser with statement-level read events.
+func MapEventsToSV(events []SVEvent) history.History {
+	sorted := make([]SVEvent, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].TS != sorted[j].TS {
+			return sorted[i].TS < sorted[j].TS
+		}
+		return sorted[i].Seq < sorted[j].Seq
+	})
+	var out history.History
+	for _, e := range sorted {
+		for _, op := range e.Ops {
+			op.Version = -1 // single-valued: drop version subscripts
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
 // MapToSV maps an SI execution to the paper's single-valued history:
 // committed transactions contribute their reads at Start and their writes
 // plus commit at Commit; aborted transactions contribute their reads at
 // Start and an abort (their writes never became visible to anyone). Events
 // are ordered by timestamp.
 func MapToSV(txns []MVTxn) history.History {
-	type event struct {
-		ts  int64
-		seq int
-		ops history.History
-	}
-	var events []event
+	var events []SVEvent
 	seq := 0
 	for _, t := range txns {
-		reads := make(history.History, 0, len(t.Reads))
-		for _, op := range t.Reads {
-			op.Version = -1 // single-valued: drop version subscripts
-			reads = append(reads, op)
-		}
+		reads := append(history.History{}, t.Reads...)
+		var tail history.History
+		tailTS := t.Start
 		if t.Committed {
-			tail := make(history.History, 0, len(t.Writes)+1)
-			for _, op := range t.Writes {
-				op.Version = -1
-				tail = append(tail, op)
-			}
-			tail = append(tail, history.Op{Tx: t.Tx, Kind: history.Commit, Version: -1})
-			events = append(events,
-				event{t.Start, seq, reads},
-				event{t.Commit, seq + 1, tail})
+			tail = append(append(tail, t.Writes...), history.Op{Tx: t.Tx, Kind: history.Commit, Version: -1})
+			tailTS = t.Commit
 		} else {
-			tail := history.History{{Tx: t.Tx, Kind: history.Abort, Version: -1}}
-			events = append(events,
-				event{t.Start, seq, reads},
-				event{t.Start, seq + 1, tail})
+			tail = history.History{{Tx: t.Tx, Kind: history.Abort, Version: -1}}
 		}
+		events = append(events,
+			SVEvent{t.Start, seq, reads},
+			SVEvent{tailTS, seq + 1, tail})
 		seq += 2
 	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].ts != events[j].ts {
-			return events[i].ts < events[j].ts
-		}
-		return events[i].seq < events[j].seq
-	})
-	var out history.History
-	for _, e := range events {
-		out = append(out, e.ops...)
-	}
-	return out
+	return MapEventsToSV(events)
 }
 
 // FromMVHistory converts a syntactic multiversion history (version

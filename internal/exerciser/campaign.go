@@ -1,0 +1,361 @@
+package exerciser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"isolevel/internal/engine"
+	"isolevel/internal/phenomena"
+)
+
+// Options configure a fuzz campaign.
+type Options struct {
+	// Seed is the campaign seed; schedule i's generator seed is derived
+	// from (Seed, Start+i) by a splitmix64 step, so campaigns are
+	// resumable and any single schedule can be rerun with -start i -n 1.
+	Seed  int64
+	N     int
+	Start int
+	// Params shape the generated schedules.
+	Params Params
+	// Shards is the engine stripe count (0 = each engine's default).
+	Shards int
+	// Workers is the number of campaign goroutines (0 or 1 = serial).
+	// Aggregation is by schedule index and each schedule's replay is
+	// fully deterministic (the runner's quiescence protocol plus lock
+	// grant parking execute at most one engine op at a time), so reports
+	// are byte-for-byte identical at any worker count, on any GOMAXPROCS,
+	// with or without the race detector.
+	Workers int
+	// Families restricts the engine families ran (nil/empty = all).
+	Families []string
+	// Levels restricts the isolation levels ran (nil/empty = all).
+	Levels []engine.Level
+	// OracleLevel, when non-nil, checks every trace against that level's
+	// forbidden set instead of the executing level's own — the testing
+	// hook that makes findings manufacturable from correct engines (a
+	// weak level's traces judged by a stronger level's contract is
+	// exactly the "engine claims a level it does not implement" bug
+	// class).
+	OracleLevel *engine.Level
+	// Shrink minimizes findings; MaxShrink caps how many (default 5 —
+	// each minimization reruns the schedule many times). The report notes
+	// when findings were left unminimized because of the cap.
+	Shrink    bool
+	MaxShrink int
+}
+
+// config is one (family, level) cell of the campaign matrix.
+type config struct {
+	fam   Family
+	level engine.Level
+}
+
+// LevelStats aggregates one (family, level) cell across the campaign.
+type LevelStats struct {
+	Family    string
+	Level     engine.Level
+	Runs      int
+	Commits   int
+	Aborts    int
+	Phenomena map[phenomena.ID]bool // union of observed profiles
+	Findings  int
+}
+
+// Report is the campaign outcome.
+type Report struct {
+	Opts     Options
+	Configs  int
+	Runs     int
+	Stats    []LevelStats
+	Findings []Finding
+	// Shrunk counts the findings the shrinker minimized (bounded by
+	// Options.MaxShrink).
+	Shrunk int
+	// Divergences counts same-level profile disagreements between
+	// families (informational; zero whenever, as today, each level is
+	// implemented by exactly one family).
+	Divergences int
+}
+
+// splitmix64 is the per-index seed derivation (Steele et al.'s SplitMix64
+// finalizer): statistically independent schedule seeds from (seed, index)
+// with no shared rand stream across workers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ScheduleSeed derives the generator seed of campaign schedule index i.
+func ScheduleSeed(campaignSeed int64, index int) int64 {
+	return int64(splitmix64(uint64(campaignSeed) ^ splitmix64(uint64(index))))
+}
+
+func (o Options) configs() []config {
+	famFilter := map[string]bool{}
+	for _, f := range o.Families {
+		famFilter[f] = true
+	}
+	lvlFilter := map[engine.Level]bool{}
+	for _, l := range o.Levels {
+		lvlFilter[l] = true
+	}
+	var out []config
+	for _, fam := range Families() {
+		if len(famFilter) > 0 && !famFilter[fam.Name] {
+			continue
+		}
+		for _, lvl := range fam.Levels {
+			if len(lvlFilter) > 0 && !lvlFilter[lvl] {
+				continue
+			}
+			out = append(out, config{fam, lvl})
+		}
+	}
+	return out
+}
+
+// indexResult is everything one schedule produced, pending ordered
+// aggregation.
+type indexResult struct {
+	commits  []int // per config
+	aborts   []int
+	profiles []map[phenomena.ID]bool
+	findings []Finding
+	err      error
+}
+
+// Run executes the campaign: N schedules, each replayed on every selected
+// (family, level) cell, checked against the oracle, findings optionally
+// shrunk. The report is deterministic in (Seed, Start, N, Params, Shards,
+// filters) — worker count only changes wall-clock time.
+func Run(opts Options) (*Report, error) {
+	if opts.N < 0 {
+		opts.N = 0
+	}
+	if opts.Params.Txs == 0 {
+		opts.Params = DefaultParams()
+	}
+	if opts.MaxShrink == 0 {
+		opts.MaxShrink = 5
+	}
+	configs := opts.configs()
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("exerciser: no engine/level selected")
+	}
+	oracle := NewOracle()
+	forbiddenFor := func(level engine.Level) map[phenomena.ID]bool {
+		if opts.OracleLevel != nil {
+			return oracle.Forbidden(*opts.OracleLevel)
+		}
+		return oracle.Forbidden(level)
+	}
+
+	results := make([]indexResult, opts.N)
+	runIndex := func(i int) indexResult {
+		seed := ScheduleSeed(opts.Seed, opts.Start+i)
+		sched := Generate(seed, opts.Params)
+		res := indexResult{
+			commits:  make([]int, len(configs)),
+			aborts:   make([]int, len(configs)),
+			profiles: make([]map[phenomena.ID]bool, len(configs)),
+		}
+		for ci, cfg := range configs {
+			rr, err := RunOne(sched, cfg.fam, cfg.level, opts.Shards)
+			if err != nil {
+				res.err = err
+				return res
+			}
+			for _, ok := range rr.Committed {
+				if ok {
+					res.commits[ci]++
+				}
+			}
+			for _, ok := range rr.Aborted {
+				if ok {
+					res.aborts[ci]++
+				}
+			}
+			res.profiles[ci] = rr.Profile
+			for _, f := range Check(sched, rr, forbiddenFor(cfg.level)) {
+				f.Index = opts.Start + i
+				res.findings = append(res.findings, f)
+			}
+		}
+		// Cross-family differential: families running the same level must
+		// agree on the phenomenon profile of the same schedule.
+		byLevel := map[engine.Level]int{}
+		for ci, cfg := range configs {
+			if prev, ok := byLevel[cfg.level]; ok {
+				if !sameProfile(res.profiles[prev], res.profiles[ci]) {
+					res.findings = append(res.findings, Finding{
+						Index:     opts.Start + i,
+						SchedSeed: seed,
+						Family:    configs[prev].fam.Name + " vs " + cfg.fam.Name,
+						Level:     cfg.level,
+						Kind:      "divergence",
+						Detail: fmt.Sprintf("profiles differ: %s vs %s",
+							idsString(res.profiles[prev]), idsString(res.profiles[ci])),
+					})
+				}
+			} else {
+				byLevel[cfg.level] = ci
+			}
+		}
+		return res
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > opts.N && opts.N > 0 {
+		workers = opts.N
+	}
+	if workers <= 1 {
+		for i := 0; i < opts.N; i++ {
+			results[i] = runIndex(i)
+		}
+	} else {
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					results[i] = runIndex(i)
+				}
+			}()
+		}
+		for i := 0; i < opts.N; i++ {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+	}
+
+	rep := &Report{Opts: opts, Configs: len(configs)}
+	for _, cfg := range configs {
+		rep.Stats = append(rep.Stats, LevelStats{
+			Family: cfg.fam.Name, Level: cfg.level, Phenomena: map[phenomena.ID]bool{},
+		})
+	}
+	for i := 0; i < opts.N; i++ {
+		res := results[i]
+		if res.err != nil {
+			return nil, res.err
+		}
+		for ci := range configs {
+			st := &rep.Stats[ci]
+			st.Runs++
+			st.Commits += res.commits[ci]
+			st.Aborts += res.aborts[ci]
+			for id := range res.profiles[ci] {
+				st.Phenomena[id] = true
+			}
+			rep.Runs++
+		}
+		for _, f := range res.findings {
+			if f.Kind == "divergence" {
+				rep.Divergences++
+			} else {
+				for ci, cfg := range configs {
+					if cfg.fam.Name == f.Family && cfg.level == f.Level {
+						rep.Stats[ci].Findings++
+					}
+				}
+			}
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+
+	if opts.Shrink {
+		for fi := range rep.Findings {
+			if rep.Shrunk >= opts.MaxShrink {
+				break
+			}
+			f := &rep.Findings[fi]
+			if f.Kind == "divergence" {
+				continue
+			}
+			fam, ok := familyByName(f.Family)
+			if !ok {
+				continue
+			}
+			sched := Generate(f.SchedSeed, opts.Params)
+			if min := ShrinkFinding(sched, *f, fam, opts.Shards, forbiddenFor(f.Level)); min != nil {
+				f.Minimized = min.History()
+				rep.Shrunk++
+			}
+		}
+	}
+	return rep, nil
+}
+
+func familyByName(name string) (Family, bool) {
+	for _, fam := range Families() {
+		if fam.Name == name {
+			return fam, true
+		}
+	}
+	return Family{}, false
+}
+
+func sameProfile(a, b map[phenomena.ID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations counts the non-divergence findings.
+func (r *Report) Violations() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Kind != "divergence" {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the campaign report deterministically.
+func (r *Report) String() string {
+	var b strings.Builder
+	p := r.Opts.Params
+	fmt.Fprintf(&b, "fuzz: seed=%d schedules=%d (start %d) txs=%d items=%d ops~%d abort=%.2f shards=%d\n",
+		r.Opts.Seed, r.Opts.N, r.Opts.Start, p.Txs, p.Items, p.OpsPerTx, p.AbortFrac, r.Opts.Shards)
+	if r.Opts.OracleLevel != nil {
+		fmt.Fprintf(&b, "oracle override: checking every trace against %s\n", *r.Opts.OracleLevel)
+	}
+	fmt.Fprintf(&b, "%-9s %-19s %6s %8s %8s %4s  %s\n", "family", "level", "runs", "commits", "aborts", "viol", "phenomena observed")
+	for _, st := range r.Stats {
+		fmt.Fprintf(&b, "%-9s %-19s %6d %8d %8d %4d  %s\n",
+			st.Family, st.Level, st.Runs, st.Commits, st.Aborts, st.Findings, idsString(st.Phenomena))
+	}
+	sort.SliceStable(r.Findings, func(i, j int) bool { return r.Findings[i].Index < r.Findings[j].Index })
+	fmt.Fprintf(&b, "runs=%d findings=%d divergences=%d\n", r.Runs, r.Violations(), r.Divergences)
+	if r.Opts.Shrink && r.Violations() > r.Shrunk {
+		fmt.Fprintf(&b, "minimized %d of %d findings (raise -max-shrink for more)\n", r.Shrunk, r.Violations())
+	}
+	return b.String()
+}
+
+// Detail renders every finding (for -v and for failing CI output).
+func (r *Report) Detail() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%s\n", f.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,309 @@
+// Package exerciser is the differential isolation fuzzer: a seeded
+// generator that manufactures random transaction schedules by the
+// thousand, a harness that replays each schedule deterministically against
+// every engine family at every isolation level it implements, streaming
+// phenomenon checkers over the recorded traces, a Table 4 oracle that
+// flags any engine admitting a phenomenon its level forbids, and a
+// shrinker that minimizes failing schedules into the paper's history
+// notation.
+//
+// Everything downstream of the seed is deterministic: Generate uses a
+// single rand.New(rand.NewSource(seed)) stream, the schedule runner
+// dispatches steps in script order with lock-wait observation (no sleeps),
+// and campaign aggregation is by schedule index — so the same seed
+// produces byte-for-byte identical reports regardless of worker count.
+package exerciser
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"isolevel/internal/data"
+	"isolevel/internal/history"
+	"isolevel/internal/predicate"
+)
+
+// OpKind enumerates the generator's op grammar.
+type OpKind int
+
+// Generated op kinds. OpCurRead opens a cursor on the item and fetches it
+// (the paper's rc); OpCurWrite writes through the transaction's most
+// recently opened cursor (wc), degrading to a plain write if the
+// transaction has no cursor open (the generator only emits it after an
+// OpCurRead, but the shrinker may remove that read).
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpPredRead
+	OpCurRead
+	OpCurWrite
+	OpCommit
+	OpAbort
+)
+
+// SOp is one step of a generated schedule.
+type SOp struct {
+	Txn   int
+	Kind  OpKind
+	Item  data.Key
+	Pred  int   // predicate pool index, for OpPredRead
+	Value int64 // for OpWrite / OpCurWrite; unique per schedule
+}
+
+// Mix is the op-kind weighting of the generator's grammar.
+type Mix struct {
+	Read, Write, PredRead, CurRead, CurWrite int
+}
+
+// DefaultMix weights plain reads and writes heavily, with a sprinkle of
+// predicate reads and cursor traffic so P3/P4C-shaped interleavings occur.
+func DefaultMix() Mix { return Mix{Read: 4, Write: 4, PredRead: 1, CurRead: 1, CurWrite: 1} }
+
+// Params parameterize schedule generation.
+type Params struct {
+	// Txs is the number of transactions per schedule.
+	Txs int
+	// Items is the number of distinct data items.
+	Items int
+	// OpsPerTx sizes transactions: each draws uniformly between 1 and
+	// 2*OpsPerTx non-terminal ops (mean OpsPerTx + 1/2).
+	OpsPerTx int
+	// Mix weights the op grammar.
+	Mix Mix
+	// AbortFrac is the probability a transaction's scripted terminal is an
+	// abort rather than a commit.
+	AbortFrac float64
+}
+
+// DefaultParams is the fuzz subcommand's default shape: enough overlap on
+// few items to hit every phenomenon class, small enough to run thousands
+// of schedules per second.
+func DefaultParams() Params {
+	return Params{Txs: 4, Items: 3, OpsPerTx: 4, Mix: DefaultMix(), AbortFrac: 0.15}
+}
+
+// writeBase is the first value the generator assigns to writes. Initial
+// item values are small (item index + 1), so written rows are exactly the
+// rows with val >= writeBase — the predicate pool straddles that boundary
+// to make writes move rows across a predicate.
+const writeBase = 1000
+
+// PredPool is the fixed predicate pool generated predicate reads draw
+// from: a full scan, and the two halves of the written/unwritten boundary
+// (updates move rows from the third predicate into the second, so item
+// writes conflict with earlier predicate reads the way the paper's
+// phantom histories require).
+func PredPool() []predicate.P {
+	return []predicate.P{
+		predicate.True{},
+		predicate.Field{Name: data.ValField, Op: predicate.GE, Arg: writeBase},
+		predicate.Field{Name: data.ValField, Op: predicate.LT, Arg: writeBase},
+	}
+}
+
+// predCanonNames are the paper-style names the intended history uses for
+// the pool's predicates.
+var predCanonNames = []string{"P", "Q", "R"}
+
+// Schedule is one generated interleaving, fully determined by (Seed,
+// Params).
+type Schedule struct {
+	Seed   int64
+	Params Params
+	Ops    []SOp
+}
+
+// itemName names the i-th data item in paper style (x, y, z, ... then k6,
+// k7, ...).
+func itemName(i int) data.Key {
+	letters := []string{"x", "y", "z", "u", "v", "w"}
+	if i < len(letters) {
+		return data.Key(letters[i])
+	}
+	return data.Key(fmt.Sprintf("k%d", i))
+}
+
+// Generate builds the schedule for (seed, p): per-transaction op lists
+// drawn from the grammar, then a seeded random merge. The only randomness
+// source is rand.New(rand.NewSource(seed)), so the result is byte-for-byte
+// reproducible.
+func Generate(seed int64, p Params) *Schedule {
+	if p.Txs < 1 {
+		p.Txs = 1
+	}
+	if p.Items < 1 {
+		p.Items = 1
+	}
+	if p.OpsPerTx < 1 {
+		p.OpsPerTx = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	weights := []int{p.Mix.Read, p.Mix.Write, p.Mix.PredRead, p.Mix.CurRead, p.Mix.CurWrite}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		weights = []int{1, 1, 0, 0, 0}
+		total = 2
+	}
+	pick := func() OpKind {
+		n := rng.Intn(total)
+		for k, w := range weights {
+			if n < w {
+				return OpKind(k)
+			}
+			n -= w
+		}
+		return OpRead
+	}
+
+	nextVal := int64(writeBase)
+	perTx := make([][]SOp, p.Txs)
+	for t := 0; t < p.Txs; t++ {
+		txn := t + 1
+		n := 1 + rng.Intn(2*p.OpsPerTx)
+		var cursorItem data.Key // item under the tx's most recent cursor
+		ops := make([]SOp, 0, n+1)
+		for k := 0; k < n; k++ {
+			kind := pick()
+			if kind == OpCurWrite && cursorItem == "" {
+				kind = OpWrite
+			}
+			op := SOp{Txn: txn, Kind: kind}
+			switch kind {
+			case OpRead, OpCurRead:
+				op.Item = itemName(rng.Intn(p.Items))
+				if kind == OpCurRead {
+					cursorItem = op.Item
+				}
+			case OpWrite:
+				op.Item = itemName(rng.Intn(p.Items))
+				nextVal++
+				op.Value = nextVal
+			case OpCurWrite:
+				// Writes through the cursor currently parked on cursorItem;
+				// Item doubles as the plain-write fallback target if the
+				// shrinker later removes the cursor read.
+				op.Item = cursorItem
+				nextVal++
+				op.Value = nextVal
+			case OpPredRead:
+				op.Pred = rng.Intn(len(PredPool()))
+			}
+			ops = append(ops, op)
+		}
+		term := SOp{Txn: txn, Kind: OpCommit}
+		if rng.Float64() < p.AbortFrac {
+			term.Kind = OpAbort
+		}
+		ops = append(ops, term)
+		perTx[t] = ops
+	}
+
+	// Seeded random merge: repeatedly advance a uniformly chosen
+	// non-exhausted transaction.
+	pos := make([]int, p.Txs)
+	var live []int
+	for t := 0; t < p.Txs; t++ {
+		live = append(live, t)
+	}
+	var merged []SOp
+	for len(live) > 0 {
+		i := rng.Intn(len(live))
+		t := live[i]
+		merged = append(merged, perTx[t][pos[t]])
+		pos[t]++
+		if pos[t] == len(perTx[t]) {
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	return &Schedule{Seed: seed, Params: p, Ops: merged}
+}
+
+// Setup returns the initial committed state: every item loaded with a
+// small distinct value (disjoint from all write values, so every read's
+// provenance is unambiguous).
+func (s *Schedule) Setup() []data.Tuple {
+	out := make([]data.Tuple, s.Params.Items)
+	for i := 0; i < s.Params.Items; i++ {
+		out[i] = data.Tuple{Key: itemName(i), Row: data.Scalar(int64(i + 1))}
+	}
+	return out
+}
+
+// InitialValue returns item i's loaded value.
+func InitialValue(i int) int64 { return int64(i + 1) }
+
+// Txns returns the transaction numbers appearing in the schedule, ascending.
+func (s *Schedule) Txns() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, op := range s.Ops {
+		if !seen[op.Txn] {
+			seen[op.Txn] = true
+			out = append(out, op.Txn)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WithoutTx returns a copy of the schedule with every op of txn removed.
+func (s *Schedule) WithoutTx(txn int) *Schedule {
+	out := &Schedule{Seed: s.Seed, Params: s.Params}
+	for _, op := range s.Ops {
+		if op.Txn != txn {
+			out.Ops = append(out.Ops, op)
+		}
+	}
+	return out
+}
+
+// WithoutOp returns a copy of the schedule with the i-th op removed.
+func (s *Schedule) WithoutOp(i int) *Schedule {
+	out := &Schedule{Seed: s.Seed, Params: s.Params}
+	out.Ops = append(out.Ops, s.Ops[:i]...)
+	out.Ops = append(out.Ops, s.Ops[i+1:]...)
+	return out
+}
+
+// History renders the intended interleaving in the paper's notation —
+// what the generator asked the engines to do, as opposed to the recorded
+// trace of what the engines actually did. A cursor write whose cursor
+// read was removed (by the shrinker) renders as a plain write, mirroring
+// the step builder's fallback.
+func (s *Schedule) History() history.History {
+	type curKey struct {
+		txn  int
+		item data.Key
+	}
+	open := map[curKey]bool{}
+	var h history.History
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpRead:
+			h = append(h, history.NewOp(op.Txn, history.Read, op.Item))
+		case OpWrite:
+			h = append(h, history.NewOp(op.Txn, history.Write, op.Item).WithValue(op.Value))
+		case OpPredRead:
+			h = append(h, history.Op{Tx: op.Txn, Kind: history.PredRead,
+				Preds: []string{predCanonNames[op.Pred]}, Version: -1})
+		case OpCurRead:
+			open[curKey{op.Txn, op.Item}] = true
+			h = append(h, history.NewOp(op.Txn, history.ReadCursor, op.Item))
+		case OpCurWrite:
+			kind := history.WriteCursor
+			if !open[curKey{op.Txn, op.Item}] {
+				kind = history.Write
+			}
+			h = append(h, history.NewOp(op.Txn, kind, op.Item).WithValue(op.Value))
+		case OpCommit:
+			h = append(h, history.Op{Tx: op.Txn, Kind: history.Commit, Version: -1})
+		case OpAbort:
+			h = append(h, history.Op{Tx: op.Txn, Kind: history.Abort, Version: -1})
+		}
+	}
+	return h
+}

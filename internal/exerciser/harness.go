@@ -1,0 +1,514 @@
+package exerciser
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"isolevel/internal/data"
+	"isolevel/internal/deps"
+	"isolevel/internal/engine"
+	"isolevel/internal/history"
+	"isolevel/internal/locking"
+	"isolevel/internal/oraclerc"
+	"isolevel/internal/phenomena"
+	"isolevel/internal/schedule"
+	"isolevel/internal/snapshot"
+)
+
+// Family is one concurrency-control engine family and the isolation
+// levels it implements.
+type Family struct {
+	Name   string
+	Levels []engine.Level
+	New    func(shards int) engine.DB
+}
+
+// Families lists every engine family in the repository. Together their
+// level lists cover all eight levels of the extended Table 4.
+func Families() []Family {
+	return []Family{
+		{"locking", locking.LockingLevels, func(s int) engine.DB {
+			if s > 0 {
+				return locking.NewDB(locking.WithShards(s))
+			}
+			return locking.NewDB()
+		}},
+		{"snapshot", []engine.Level{engine.SnapshotIsolation}, func(s int) engine.DB {
+			if s > 0 {
+				return snapshot.NewDB(snapshot.WithShards(s))
+			}
+			return snapshot.NewDB()
+		}},
+		{"oraclerc", []engine.Level{engine.ReadConsistency}, func(s int) engine.DB {
+			if s > 0 {
+				return oraclerc.NewDB(oraclerc.WithShards(s))
+			}
+			return oraclerc.NewDB()
+		}},
+	}
+}
+
+// RunResult is one schedule executed on one engine at one level.
+type RunResult struct {
+	Family string
+	Level  engine.Level
+	// Raw is the recorder trace in script transaction numbers — the order
+	// operations took effect inside the engine.
+	Raw history.History
+	// Normalized is the single-valued form the oracle checks: the raw
+	// trace for the locking family (recorded under locks, so trace order
+	// is conflict order), the paper's MV→SV mapping for the snapshot
+	// engine (reads at start timestamp, writes at commit timestamp), and
+	// the statement-level variant of the same mapping for Read
+	// Consistency.
+	Normalized history.History
+	// Profile is the streaming phenomenon profile of Normalized.
+	Profile map[phenomena.ID]bool
+	// MVTxns is the snapshot engine's timestamped export (nil for other
+	// families), used for the first-committer-wins interval invariant.
+	MVTxns []deps.MVTxn
+	// mvReads / mvCommits are the multiversion families' timestamped
+	// reads and committed write sets (nil for locking), for the
+	// snapshot-read value certification.
+	mvReads   []mvRead
+	mvCommits []mvCommit
+	// Committed / Aborted index script transaction outcomes.
+	Committed map[int]bool
+	Aborted   map[int]bool
+}
+
+// mvRead is one exported read with the snapshot slot it executed at.
+type mvRead struct {
+	slot   int64
+	tx     int
+	key    data.Key
+	val    int64
+	hasVal bool
+}
+
+// mvCommit is one committed transaction's final write values at its
+// commit slot.
+type mvCommit struct {
+	slot   int64
+	writes map[data.Key]int64
+}
+
+// mvExporter is implemented by snapshot.Tx.
+type mvExporter interface {
+	MVTxn() (start, commit int64, committed bool, reads, writes history.History)
+}
+
+// RunOne replays the schedule on a fresh engine of the family at the
+// given level through the deterministic lockstep runner, then normalizes
+// the recorded trace for checking.
+func RunOne(s *Schedule, fam Family, level engine.Level, shards int) (*RunResult, error) {
+	db := fam.New(shards)
+	db.Load(s.Setup()...)
+	steps, cap := s.Steps()
+	// Every engine that can block reports waits through the lock
+	// observer, so the step timeout is pure backstop; the default 250ms
+	// is generous on an idle box but a CPU-starved parallel campaign can
+	// exceed it and misclassify a merely slow op as blocked, which
+	// perturbs dispatch order and breaks byte-for-byte determinism across
+	// worker counts.
+	opts := schedule.Options{Level: level, StepTimeout: 10 * time.Second, DrainTimeout: 30 * time.Second}
+	res, err := schedule.Run(db, opts, steps)
+	if err != nil {
+		return nil, fmt.Errorf("exerciser: %s at %s (schedule seed %d): %w", fam.Name, level, s.Seed, err)
+	}
+	rr := &RunResult{
+		Family:    fam.Name,
+		Level:     level,
+		Raw:       res.History,
+		Committed: res.Committed,
+		Aborted:   res.Aborted,
+	}
+	switch fam.Name {
+	case "snapshot":
+		rr.MVTxns = snapshotMVTxns(s, cap)
+		rr.Normalized = deps.MapToSV(rr.MVTxns)
+		for _, t := range rr.MVTxns {
+			for _, op := range t.Reads {
+				rr.mvReads = append(rr.mvReads, mvRead{slot: t.Start, tx: t.Tx, key: op.Item, val: op.Value, hasVal: op.HasValue})
+			}
+			if t.Committed && len(t.Writes) > 0 {
+				c := mvCommit{slot: t.Commit, writes: map[data.Key]int64{}}
+				for _, op := range t.Writes {
+					c.writes[op.Item] = op.Value
+				}
+				rr.mvCommits = append(rr.mvCommits, c)
+			}
+		}
+	case "oraclerc":
+		rr.Normalized = oracleRCNormalized(s, cap, rr)
+	default:
+		rr.Normalized = res.History
+	}
+	rr.Profile = phenomena.StreamProfile(rr.Normalized)
+	return rr, nil
+}
+
+// snapshotMVTxns pulls each captured snapshot transaction's timestamped
+// export, rewriting engine transaction ids to script numbers.
+func snapshotMVTxns(s *Schedule, cap *capture) []deps.MVTxn {
+	var out []deps.MVTxn
+	for _, txn := range s.Txns() {
+		tx := cap.tx(txn)
+		exp, ok := tx.(mvExporter)
+		if !ok {
+			continue
+		}
+		start, commit, committed, reads, writes := exp.MVTxn()
+		t := deps.MVTxn{Tx: txn, Start: start, Commit: commit, Committed: committed}
+		for _, op := range reads {
+			op.Tx = txn
+			t.Reads = append(t.Reads, op)
+		}
+		for _, op := range writes {
+			op.Tx = txn
+			t.Writes = append(t.Writes, op)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// oracleRCNormalized maps a Read Consistency run to its single-valued
+// history — each statement's reads at that statement's snapshot slot,
+// committed write sets at their commit slot, aborted transactions'
+// writes dropped — and collects the timestamped reads/commits into rr
+// for the snapshot-read value certification.
+func oracleRCNormalized(s *Schedule, cap *capture, rr *RunResult) history.History {
+	var events []deps.SVEvent
+	seq := 0
+	for _, txn := range s.Txns() {
+		tx, ok := cap.tx(txn).(*oraclerc.Tx)
+		if !ok {
+			continue
+		}
+		committed, commitSlot, reads, writes := tx.SVTrace()
+		lastRead := int64(0)
+		for _, r := range reads {
+			op := r.Op
+			op.Tx = txn
+			events = append(events, deps.SVEvent{TS: int64(r.TS), Seq: seq, Ops: history.History{op}})
+			seq++
+			lastRead = int64(r.TS)
+			rr.mvReads = append(rr.mvReads, mvRead{slot: int64(r.TS), tx: txn, key: op.Item, val: op.Value, hasVal: op.HasValue})
+		}
+		var tail history.History
+		ts := lastRead
+		if committed {
+			for _, op := range writes {
+				op.Tx = txn
+				tail = append(tail, op)
+			}
+			tail = append(tail, history.Op{Tx: txn, Kind: history.Commit, Version: -1})
+			ts = commitSlot
+			if len(writes) > 0 {
+				c := mvCommit{slot: commitSlot, writes: map[data.Key]int64{}}
+				for _, op := range writes {
+					c.writes[op.Item] = op.Value
+				}
+				rr.mvCommits = append(rr.mvCommits, c)
+			}
+		} else {
+			tail = history.History{{Tx: txn, Kind: history.Abort, Version: -1}}
+		}
+		events = append(events, deps.SVEvent{TS: ts, Seq: seq, Ops: tail})
+		seq++
+	}
+	return deps.MapEventsToSV(events)
+}
+
+// Finding is one oracle violation (or divergence) discovered by a
+// campaign.
+type Finding struct {
+	// Index and SchedSeed identify the schedule within the campaign:
+	// `isolevel fuzz -seed <campaign seed> -start <Index> -n 1` reruns it.
+	Index     int
+	SchedSeed int64
+	Family    string
+	Level     engine.Level
+	// Kind classifies the finding: "oracle" (a Table 4-forbidden
+	// phenomenon), "serializability" (cyclic dependency graph at
+	// SERIALIZABLE), "fcw" (overlapping committed write sets under
+	// Snapshot Isolation), "provenance" (a read observed a value nobody
+	// wrote), or "divergence" (two families at the same level disagree on
+	// the phenomenon profile; informational).
+	Kind   string
+	IDs    []phenomena.ID
+	Detail string
+	// History is the normalized history that exhibits the finding,
+	// predicate names canonicalized so it replays through `isolevel check`.
+	History history.History
+	// Minimized is the shrinker's output: the smallest sub-schedule that
+	// still reproduces the finding, rendered as its intended history. Nil
+	// when shrinking was not requested.
+	Minimized history.History
+}
+
+func (f Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] schedule %d (seed %d) on %s at %s", f.Kind, f.Index, f.SchedSeed, f.Family, f.Level)
+	if len(f.IDs) > 0 {
+		ids := make([]string, len(f.IDs))
+		for i, id := range f.IDs {
+			ids[i] = string(id)
+		}
+		fmt.Fprintf(&b, ": %s", strings.Join(ids, ","))
+	}
+	if f.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", f.Detail)
+	}
+	fmt.Fprintf(&b, "\n  history: %s", f.History)
+	if f.Minimized != nil {
+		fmt.Fprintf(&b, "\n  minimized: %s", f.Minimized)
+	}
+	return b.String()
+}
+
+// Check runs every oracle over the run result and returns its findings
+// (without Index/SchedSeed, which the campaign fills in).
+func Check(s *Schedule, rr *RunResult, forbidden map[phenomena.ID]bool) []Finding {
+	var out []Finding
+	base := Finding{
+		SchedSeed: s.Seed,
+		Family:    rr.Family,
+		Level:     rr.Level,
+		History:   canonPreds(rr.Normalized),
+	}
+
+	// Table 4 oracle: the normalized trace must exhibit no phenomenon the
+	// level forbids.
+	var violated []phenomena.ID
+	for _, id := range phenomena.All {
+		if rr.Profile[id] && forbidden[id] {
+			violated = append(violated, id)
+		}
+	}
+	if len(violated) > 0 {
+		f := base
+		f.Kind = "oracle"
+		f.IDs = violated
+		out = append(out, f)
+	}
+
+	// Degree 3 is serializability itself: the committed projection of a
+	// SERIALIZABLE trace must have an acyclic dependency graph.
+	if rr.Level == engine.Serializable {
+		b := deps.NewBuilder()
+		for _, op := range rr.Normalized {
+			b.Feed(op)
+		}
+		if g := b.Graph(); g.Cycle() != nil {
+			f := base
+			f.Kind = "serializability"
+			f.Detail = fmt.Sprintf("dependency cycle %v", g.Cycle())
+			out = append(out, f)
+		}
+	}
+
+	// First-committer-wins interval invariant: no two committed snapshot
+	// transactions with overlapping execution intervals may have
+	// intersecting write sets.
+	if fcw := checkFCW(rr.MVTxns); fcw != "" {
+		f := base
+		f.Kind = "fcw"
+		f.Detail = fcw
+		out = append(out, f)
+	}
+
+	// Value provenance: every value a read observed must have been loaded
+	// initially or written by some write in the raw trace (write values
+	// are unique per schedule, so this certifies reads-from without
+	// trusting engine timestamps).
+	if prov := checkProvenance(s, rr.Raw); prov != "" {
+		f := base
+		f.Kind = "provenance"
+		f.Detail = prov
+		out = append(out, f)
+	}
+
+	// Snapshot-read certification (multiversion families): every exported
+	// read must observe exactly the value of the newest committed write
+	// below its snapshot slot (or the initial load, or the reader's own
+	// write). This is the value-level check the mapped-trace patterns
+	// cannot make: in the single-valued mapping reads sit at their
+	// snapshot slot by construction, so a read-path bug — a dirty, fuzzy
+	// or skewed read returning data from the wrong version — leaves the
+	// mapped history looking clean. The values betray it.
+	if msg := checkSnapshotReads(s, rr); msg != "" {
+		f := base
+		f.Kind = "mv-read"
+		f.Detail = msg
+		out = append(out, f)
+	}
+	return out
+}
+
+// checkSnapshotReads verifies every timestamped read of a multiversion
+// run against the run's committed write sets. Own-write overlays (a
+// cursor fetching a row its transaction already rewrote) are excused via
+// the raw trace's per-transaction write values.
+func checkSnapshotReads(s *Schedule, rr *RunResult) string {
+	if len(rr.mvReads) == 0 {
+		return ""
+	}
+	own := map[int]map[data.Key]map[int64]bool{}
+	for _, op := range rr.Raw {
+		if op.Kind.IsWrite() && op.Item != "" && op.HasValue {
+			byKey := own[op.Tx]
+			if byKey == nil {
+				byKey = map[data.Key]map[int64]bool{}
+				own[op.Tx] = byKey
+			}
+			vals := byKey[op.Item]
+			if vals == nil {
+				vals = map[int64]bool{}
+				byKey[op.Item] = vals
+			}
+			vals[op.Value] = true
+		}
+	}
+	initial := map[data.Key]int64{}
+	for i := 0; i < s.Params.Items; i++ {
+		initial[itemName(i)] = InitialValue(i)
+	}
+	for _, r := range rr.mvReads {
+		want, found := initial[r.key], true
+		bestSlot := int64(-1)
+		for _, c := range rr.mvCommits {
+			if c.slot >= r.slot || c.slot <= bestSlot {
+				continue
+			}
+			if v, ok := c.writes[r.key]; ok {
+				want, found, bestSlot = v, true, c.slot
+			}
+		}
+		if own[r.tx][r.key][r.val] {
+			continue // own uncommitted write overlaid the snapshot
+		}
+		if !r.hasVal {
+			if found {
+				return fmt.Sprintf("T%d read %s at slot %d and saw no row; the snapshot holds %d", r.tx, r.key, r.slot, want)
+			}
+			continue
+		}
+		if !found || r.val != want {
+			return fmt.Sprintf("T%d read %s=%d at slot %d; the snapshot holds %d", r.tx, r.key, r.val, r.slot, want)
+		}
+	}
+	return ""
+}
+
+func checkFCW(txns []deps.MVTxn) string {
+	for i := 0; i < len(txns); i++ {
+		for j := i + 1; j < len(txns); j++ {
+			a, b := txns[i], txns[j]
+			if !a.Committed || !b.Committed {
+				continue
+			}
+			if a.Commit <= b.Start || b.Commit <= a.Start {
+				continue // disjoint execution intervals
+			}
+			for _, wa := range a.Writes {
+				for _, wb := range b.Writes {
+					if wa.Item != "" && wa.Item == wb.Item {
+						return fmt.Sprintf("T%d and T%d both committed writes of %s with overlapping intervals", a.Tx, b.Tx, wa.Item)
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func checkProvenance(s *Schedule, raw history.History) string {
+	legal := map[data.Key]map[int64]bool{}
+	for i := 0; i < s.Params.Items; i++ {
+		legal[itemName(i)] = map[int64]bool{InitialValue(i): true}
+	}
+	for _, op := range raw {
+		if op.Kind.IsWrite() && op.Item != "" && op.HasValue {
+			set := legal[op.Item]
+			if set == nil {
+				set = map[int64]bool{}
+				legal[op.Item] = set
+			}
+			set[op.Value] = true
+		}
+	}
+	for _, op := range raw {
+		if !op.Kind.IsRead() || op.Item == "" {
+			continue
+		}
+		if !op.HasValue {
+			return fmt.Sprintf("T%d read %s and found no row (every item is loaded)", op.Tx, op.Item)
+		}
+		if !legal[op.Item][op.Value] {
+			return fmt.Sprintf("T%d read %s=%d, a value nobody wrote", op.Tx, op.Item, op.Value)
+		}
+	}
+	return ""
+}
+
+// canonPreds renames a recorded trace's predicate names (engine syntax
+// like "val >= 1000") for emission. Pool predicates get the same fixed
+// P/Q/R names the intended history (Schedule.History) uses, so a
+// finding's "history:" and "minimized:" lines name each predicate
+// identically; any other name falls back to first-appearance numbering.
+// The result round-trips through the history parser.
+func canonPreds(h history.History) history.History {
+	names := map[string]string{}
+	for i, p := range PredPool() {
+		names[p.String()] = predCanonNames[i]
+	}
+	next := len(PredPool())
+	canon := func(name string) string {
+		if c, ok := names[name]; ok {
+			return c
+		}
+		c := fmt.Sprintf("P%d", next)
+		next++
+		names[name] = c
+		return c
+	}
+	out := make(history.History, len(h))
+	for i, op := range h {
+		if len(op.Preds) > 0 {
+			renamed := make([]string, len(op.Preds))
+			for j, p := range op.Preds {
+				renamed[j] = canon(p)
+			}
+			op.Preds = renamed
+		}
+		out[i] = op
+	}
+	return out
+}
+
+// sortIDs returns the phenomena identifiers in presentation order.
+func sortIDs(set map[phenomena.ID]bool) []phenomena.ID {
+	var out []phenomena.ID
+	for _, id := range phenomena.All {
+		if set[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// idsString renders a profile compactly for reports.
+func idsString(set map[phenomena.ID]bool) string {
+	ids := sortIDs(set)
+	if len(ids) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, " ")
+}

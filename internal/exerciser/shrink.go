@@ -1,0 +1,78 @@
+package exerciser
+
+import "isolevel/internal/phenomena"
+
+// Shrink minimizes a schedule while keep (the "still fails" predicate)
+// holds: first whole transactions, then single non-terminal ops, repeated
+// to a fixpoint. The sweeps are deterministic (ascending transactions,
+// left-to-right ops), so the same failing schedule always minimizes to
+// the same sub-schedule. If keep rejects the input itself (the finding
+// does not reproduce), the input is returned unchanged.
+func Shrink(s *Schedule, keep func(*Schedule) bool) *Schedule {
+	if !keep(s) {
+		return s
+	}
+	cur := s
+	for changed := true; changed; {
+		changed = false
+		for _, txn := range cur.Txns() {
+			cand := cur.WithoutTx(txn)
+			if len(cand.Ops) == 0 {
+				continue
+			}
+			if keep(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		for i := 0; i < len(cur.Ops); i++ {
+			if k := cur.Ops[i].Kind; k == OpCommit || k == OpAbort {
+				continue // keep terminals so transaction fates stay scripted
+			}
+			cand := cur.WithoutOp(i)
+			if keep(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// ShrinkFinding minimizes the schedule behind a finding: the predicate
+// reruns the candidate schedule on the finding's engine family and level,
+// checks it against the given forbidden set, and demands a finding of the
+// same kind (and, for oracle findings, containing the same first violated
+// identifier). Returns the minimized schedule, or nil if the finding does
+// not reproduce on a rerun.
+func ShrinkFinding(s *Schedule, f Finding, fam Family, shards int, forbidden map[phenomena.ID]bool) *Schedule {
+	reproduces := func(cand *Schedule) bool {
+		rr, err := RunOne(cand, fam, f.Level, shards)
+		if err != nil {
+			return false
+		}
+		for _, g := range Check(cand, rr, forbidden) {
+			if g.Kind != f.Kind {
+				continue
+			}
+			if f.Kind == "oracle" {
+				found := false
+				for _, id := range g.IDs {
+					if len(f.IDs) > 0 && id == f.IDs[0] {
+						found = true
+					}
+				}
+				if !found {
+					continue
+				}
+			}
+			return true
+		}
+		return false
+	}
+	if !reproduces(s) {
+		return nil
+	}
+	return Shrink(s, reproduces)
+}

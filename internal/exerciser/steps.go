@@ -1,0 +1,111 @@
+package exerciser
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+	"isolevel/internal/predicate"
+	"isolevel/internal/schedule"
+)
+
+// capture collects the live engine.Tx handle of every script transaction
+// as its first step runs, so the harness can pull the multiversion
+// engines' timestamped exports after the run.
+type capture struct {
+	mu  sync.Mutex
+	txs map[int]engine.Tx
+}
+
+func (c *capture) note(txn int, tx engine.Tx) {
+	c.mu.Lock()
+	if _, ok := c.txs[txn]; !ok {
+		c.txs[txn] = tx
+	}
+	c.mu.Unlock()
+}
+
+func (c *capture) tx(txn int) engine.Tx {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.txs[txn]
+}
+
+// Steps compiles the schedule into the lockstep runner's step list. Every
+// closure is self-contained per run: cursors travel in the per-transaction
+// Ctx.Vars under "cur:<item>", so repeated compilation of the same
+// schedule shares no state across runs.
+func (s *Schedule) Steps() ([]schedule.Step, *capture) {
+	cap := &capture{txs: map[int]engine.Tx{}}
+	pool := PredPool()
+	var steps []schedule.Step
+	for _, op := range s.Ops {
+		op := op
+		switch op.Kind {
+		case OpRead:
+			name := fmt.Sprintf("r%d[%s]", op.Txn, op.Item)
+			steps = append(steps, schedule.OpStep(op.Txn, name, func(c *schedule.Ctx) (any, error) {
+				cap.note(op.Txn, c.Tx)
+				v, err := engine.GetVal(c.Tx, op.Item)
+				if errors.Is(err, engine.ErrNotFound) {
+					return nil, nil
+				}
+				return v, err
+			}))
+		case OpWrite:
+			name := fmt.Sprintf("w%d[%s=%d]", op.Txn, op.Item, op.Value)
+			steps = append(steps, schedule.OpStep(op.Txn, name, func(c *schedule.Ctx) (any, error) {
+				cap.note(op.Txn, c.Tx)
+				return nil, engine.PutVal(c.Tx, op.Item, op.Value)
+			}))
+		case OpPredRead:
+			p := pool[op.Pred]
+			name := fmt.Sprintf("r%d[%s]", op.Txn, predCanonNames[op.Pred])
+			steps = append(steps, schedule.OpStep(op.Txn, name, func(c *schedule.Ctx) (any, error) {
+				cap.note(op.Txn, c.Tx)
+				rows, err := c.Tx.Select(p)
+				if err != nil {
+					return nil, err
+				}
+				return int64(len(rows)), nil
+			}))
+		case OpCurRead:
+			name := fmt.Sprintf("rc%d[%s]", op.Txn, op.Item)
+			steps = append(steps, schedule.OpStep(op.Txn, name, func(c *schedule.Ctx) (any, error) {
+				cap.note(op.Txn, c.Tx)
+				cur, err := c.Tx.OpenCursor(predicate.KeyEq{Key: op.Item})
+				if err != nil {
+					return nil, err
+				}
+				tup, err := cur.Fetch()
+				if errors.Is(err, engine.ErrNotFound) {
+					_ = cur.Close()
+					return nil, nil
+				}
+				if err != nil {
+					return nil, err
+				}
+				c.Vars["cur:"+string(op.Item)] = cur
+				return tup.Row.Val(), nil
+			}))
+		case OpCurWrite:
+			name := fmt.Sprintf("wc%d[%s=%d]", op.Txn, op.Item, op.Value)
+			steps = append(steps, schedule.OpStep(op.Txn, name, func(c *schedule.Ctx) (any, error) {
+				cap.note(op.Txn, c.Tx)
+				if cur := c.Cursor("cur:" + string(op.Item)); cur != nil {
+					return nil, cur.UpdateCurrent(data.Scalar(op.Value))
+				}
+				// Cursor read shrunk away (or its fetch found nothing):
+				// degrade to the plain write the intended history shows.
+				return nil, engine.PutVal(c.Tx, op.Item, op.Value)
+			}))
+		case OpCommit:
+			steps = append(steps, schedule.CommitStep(op.Txn))
+		case OpAbort:
+			steps = append(steps, schedule.AbortStep(op.Txn))
+		}
+	}
+	return steps, cap
+}

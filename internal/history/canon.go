@@ -1,0 +1,44 @@
+package history
+
+import "fmt"
+
+// CanonicalizePreds returns a copy of h with every predicate name rewritten
+// to the paper's P/Q/R convention, assigned in order of first appearance
+// (P, Q, R, then P3, P4, ...). Recorded engine traces name predicates by
+// their concrete syntax ("val >= 100"), which the history parser does not
+// accept as a predicate identifier; canonicalized histories round-trip
+// through Parse, so fuzz findings and corpus entries can be replayed with
+// `isolevel check`.
+func CanonicalizePreds(h History) History {
+	names := map[string]string{}
+	canon := func(name string) string {
+		if c, ok := names[name]; ok {
+			return c
+		}
+		var c string
+		switch len(names) {
+		case 0:
+			c = "P"
+		case 1:
+			c = "Q"
+		case 2:
+			c = "R"
+		default:
+			c = fmt.Sprintf("P%d", len(names))
+		}
+		names[name] = c
+		return c
+	}
+	out := make(History, len(h))
+	for i, op := range h {
+		if len(op.Preds) > 0 {
+			renamed := make([]string, len(op.Preds))
+			for j, p := range op.Preds {
+				renamed[j] = canon(p)
+			}
+			op.Preds = renamed
+		}
+		out[i] = op
+	}
+	return out
+}

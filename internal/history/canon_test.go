@@ -1,0 +1,50 @@
+package history
+
+import "testing"
+
+func TestCanonicalizePreds(t *testing.T) {
+	// Engine-recorded predicate names use concrete syntax the parser
+	// rejects as identifiers; canonicalization maps them to P/Q/R by
+	// first appearance, consistently across reads and write annotations.
+	h := History{
+		{Tx: 1, Kind: PredRead, Preds: []string{"val >= 1000"}, Version: -1},
+		{Tx: 2, Kind: Write, Item: "x", Preds: []string{"val >= 1000", "true"}, Version: -1},
+		{Tx: 1, Kind: PredRead, Preds: []string{"key ~ \"x\""}, Version: -1},
+		{Tx: 2, Kind: Commit, Version: -1},
+		{Tx: 1, Kind: Commit, Version: -1},
+	}
+	c := CanonicalizePreds(h)
+	if got, want := c.String(), `r1[P] w2[x in P,Q] r1[R] c2 c1`; got != want {
+		t.Fatalf("canonicalized = %q, want %q", got, want)
+	}
+	// The result round-trips through the parser.
+	parsed, err := Parse(c.String())
+	if err != nil {
+		t.Fatalf("canonical history does not parse: %v", err)
+	}
+	if parsed.String() != c.String() {
+		t.Errorf("round trip changed the history: %q vs %q", parsed, c)
+	}
+	// The input is untouched.
+	if h[0].Preds[0] != "val >= 1000" {
+		t.Error("CanonicalizePreds mutated its input")
+	}
+}
+
+func TestCanonicalizePredsManyNames(t *testing.T) {
+	var h History
+	for i := 0; i < 5; i++ {
+		h = append(h, Op{Tx: 1, Kind: PredRead, Preds: []string{string(rune('a' + i))}, Version: -1})
+	}
+	h = append(h, Op{Tx: 1, Kind: Commit, Version: -1})
+	c := CanonicalizePreds(h)
+	want := []string{"P", "Q", "R", "P3", "P4"}
+	for i, name := range want {
+		if c[i].Preds[0] != name {
+			t.Errorf("pred %d renamed to %q, want %q", i, c[i].Preds[0], name)
+		}
+	}
+	if _, err := Parse(c.String()); err != nil {
+		t.Errorf("canonical history does not parse: %v", err)
+	}
+}

@@ -84,13 +84,19 @@ type TxID int
 // the waits-for graph. The requester is always the victim (deterministic).
 var ErrDeadlock = errors.New("lock: deadlock detected, requester chosen as victim")
 
-// Observer receives wait-state notifications. Callbacks run on the
-// requesting goroutine, outside the manager's latches, in a deterministic
-// order relative to the request's own fate.
+// Observer receives wait-state notifications. Callbacks must be cheap and
+// must not call back into the manager: TxWaiting runs with the enqueue
+// latch held, which is what makes the event order causal — a request's
+// TxWaiting is always observable before the TxGranted that answers it,
+// and a grant is observable before the releasing operation that caused it
+// returns. The schedule runner's quiescence protocol depends on exactly
+// those two orderings.
 type Observer interface {
-	// TxWaiting fires when tx's request enqueues behind conflicting holders.
+	// TxWaiting fires on the requesting goroutine when tx's request
+	// enqueues behind conflicting holders, before the wait begins.
 	TxWaiting(tx TxID, on []TxID)
-	// TxGranted fires when a previously waiting request is granted.
+	// TxGranted fires on the granting goroutine when a previously waiting
+	// request is granted, before the waiter wakes.
 	TxGranted(tx TxID)
 }
 
@@ -211,6 +217,21 @@ func (m *Manager) noteFootprint(tx TxID, spIdx int) {
 	fs.mu.Unlock()
 }
 
+// takeFootprintSorted returns and clears tx's touched-stripe set as a
+// sorted slice. The order matters: ReleaseAll visits stripes in it, so it
+// fixes the order released locks grant queued waiters — and with grant
+// parking, the order those waiters later resume. Map iteration here would
+// reintroduce run-to-run nondeterminism.
+func (m *Manager) takeFootprintSorted(tx TxID) []int {
+	set := m.takeFootprint(tx)
+	out := make([]int, 0, len(set))
+	for spIdx := range set {
+		out = append(out, spIdx)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // takeFootprint returns and clears tx's touched-stripe set.
 func (m *Manager) takeFootprint(tx TxID) map[int]struct{} {
 	fs := m.footprintSlotOf(tx)
@@ -273,6 +294,12 @@ type Manager struct {
 
 	seq      atomic.Int64
 	observer Observer
+
+	// Grant parking (ParkGrants/DeliverNextGrant): withheld waiter
+	// wake-ups, FIFO in grant-decision order.
+	parkMu  sync.Mutex
+	parking bool
+	parked  []parkedSend
 
 	deadlocks  atomic.Int64
 	upgrades   atomic.Int64
@@ -399,9 +426,10 @@ func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images
 	enqueue(&sp.queue, req)
 	m.noteFootprint(tx, sp.idx)
 	sp.waits++
+	m.notifyWaiting(tx, on)
 	sp.mu.Unlock()
 	m.gate.RUnlock()
-	return m.await(req, on)
+	return m.await(req)
 }
 
 // acquireItemGated is the exclusive-gate item path, used whenever
@@ -425,7 +453,7 @@ func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) 
 		// waiter from stranding in the queue.
 		granted := m.drainAllLocked()
 		m.gate.Unlock()
-		notifyGranted(granted)
+		m.notifyGranted(granted)
 		return nil
 	}
 	req := &request{tx: tx, mode: mode, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
@@ -438,7 +466,7 @@ func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) 
 		m.installItemLocked(sp, req)
 		granted := m.drainAllLocked() // see the covering-path comment above
 		m.gate.Unlock()
-		notifyGranted(granted)
+		m.notifyGranted(granted)
 		return nil
 	}
 	if !m.wf.AddWaiter(tx, on) {
@@ -450,8 +478,9 @@ func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) 
 	enqueue(&sp.queue, req)
 	m.noteFootprint(tx, sp.idx)
 	sp.waits++
+	m.notifyWaiting(tx, on)
 	m.gate.Unlock()
-	return m.await(req, on)
+	return m.await(req)
 }
 
 // AcquirePred acquires a predicate lock for tx, blocking until granted.
@@ -476,8 +505,9 @@ func (m *Manager) AcquirePred(tx TxID, p predicate.P, mode Mode) (PredHandle, er
 	m.predQ = append(m.predQ, req)
 	m.predActivity.Add(1) // new waiter (stays counted when it becomes a holder)
 	m.predWaits++
+	m.notifyWaiting(tx, on)
 	m.gate.Unlock()
-	if err := m.await(req, on); err != nil {
+	if err := m.await(req); err != nil {
 		return 0, err
 	}
 	return req.handle, nil
@@ -491,19 +521,21 @@ func (m *Manager) countUpgrade(req *request) {
 	}
 }
 
-// await blocks the requesting goroutine on its queued request, running the
-// observer callbacks outside all latches in the deterministic order the
-// schedule runner depends on: TxWaiting before the wait, TxGranted after a
-// successful grant.
-func (m *Manager) await(req *request, on []TxID) error {
+// notifyWaiting emits the observer's TxWaiting. Called with the request's
+// enqueue latch still held, so the emission is strictly ordered before
+// any grant of the request: a drain must take the same latch first.
+func (m *Manager) notifyWaiting(tx TxID, on []TxID) {
 	if m.observer != nil {
-		m.observer.TxWaiting(req.tx, on)
+		m.observer.TxWaiting(tx, on)
 	}
-	err := <-req.ready
-	if m.observer != nil && err == nil {
-		m.observer.TxGranted(req.tx)
-	}
-	return err
+}
+
+// await blocks the requesting goroutine on its queued request. TxWaiting
+// was emitted at enqueue (under the latch); TxGranted is emitted by the
+// granting goroutine in notifyGranted — so a single-channel observer sees
+// wait and grant events in their true causal order.
+func (m *Manager) await(req *request) error {
+	return <-req.ready
 }
 
 // itemConflictHolders returns the distinct transactions whose granted
@@ -679,7 +711,7 @@ func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
 		granted := m.drainStripeLocked(sp)
 		sp.mu.Unlock()
 		m.gate.RUnlock()
-		notifyGranted(granted)
+		m.notifyGranted(granted)
 		return
 	}
 	m.gate.RUnlock()
@@ -689,7 +721,7 @@ func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
 	m.dropItemLocked(m.stripeOf(key), tx, key)
 	granted := m.drainAllLocked()
 	m.gate.Unlock()
-	notifyGranted(granted)
+	m.notifyGranted(granted)
 }
 
 // ReleasePred releases the predicate lock identified by handle.
@@ -704,7 +736,7 @@ func (m *Manager) ReleasePred(tx TxID, handle PredHandle) {
 	}
 	granted := m.drainAllLocked()
 	m.gate.Unlock()
-	notifyGranted(granted)
+	m.notifyGranted(granted)
 }
 
 // ReleaseAll releases every lock held by tx (commit/abort time: the end of
@@ -719,7 +751,7 @@ func (m *Manager) ReleaseAll(tx TxID) {
 		// (the footprint tracks them) need no visit at all.
 		m.wf.Remove(tx)
 		var granted, cancelled []*request
-		for spIdx := range m.takeFootprint(tx) {
+		for _, spIdx := range m.takeFootprintSorted(tx) {
 			sp := m.stripes[spIdx]
 			sp.mu.Lock()
 			for key := range sp.held[tx] {
@@ -736,8 +768,8 @@ func (m *Manager) ReleaseAll(tx TxID) {
 			sp.mu.Unlock()
 		}
 		m.gate.RUnlock()
-		notifyCancelled(cancelled, tx)
-		notifyGranted(granted)
+		m.notifyCancelled(cancelled, tx)
+		m.notifyGranted(granted)
 		return
 	}
 	m.gate.RUnlock()
@@ -745,7 +777,7 @@ func (m *Manager) ReleaseAll(tx TxID) {
 	m.gate.Lock()
 	m.wf.Remove(tx)
 	var cancelled []*request
-	for spIdx := range m.takeFootprint(tx) {
+	for _, spIdx := range m.takeFootprintSorted(tx) {
 		sp := m.stripes[spIdx]
 		for key := range sp.held[tx] {
 			if st := sp.items[key]; st != nil {
@@ -769,8 +801,8 @@ func (m *Manager) ReleaseAll(tx TxID) {
 	cancelled = append(cancelled, predCancelled...)
 	granted := m.drainAllLocked()
 	m.gate.Unlock()
-	notifyCancelled(cancelled, tx)
-	notifyGranted(granted)
+	m.notifyCancelled(cancelled, tx)
+	m.notifyGranted(granted)
 }
 
 // cancelQueued removes tx's requests from q (defensive; the engines never
@@ -893,16 +925,96 @@ func removeRequest(q *[]*request, req *request) {
 	}
 }
 
-func notifyGranted(granted []*request) {
+// notifyGranted wakes the granted requests, emitting the observer's
+// TxGranted from this — the granting — goroutine *before* each waiter
+// wakes. The ordering matters to the schedule runner's quiescence
+// protocol: a grant caused by a release is observable in the event queue
+// before the releasing engine operation returns, so the runner can settle
+// every resumed transaction before dispatching another step. In parked
+// mode the wake-up is withheld instead (see ParkGrants). Called outside
+// all latches.
+func (m *Manager) notifyGranted(granted []*request) {
 	for _, r := range granted {
+		if m.park(parkedSend{req: r}) {
+			continue
+		}
+		if m.observer != nil {
+			m.observer.TxGranted(r.tx)
+		}
 		r.ready <- nil
 	}
 }
 
-func notifyCancelled(cancelled []*request, tx TxID) {
+func (m *Manager) notifyCancelled(cancelled []*request, tx TxID) {
 	for _, r := range cancelled {
-		r.ready <- fmt.Errorf("lock: request cancelled by ReleaseAll(T%d)", tx)
+		err := fmt.Errorf("lock: request cancelled by ReleaseAll(T%d)", tx)
+		if m.park(parkedSend{req: r, err: err}) {
+			continue
+		}
+		r.ready <- err
 	}
+}
+
+// parkedSend is one withheld waiter wake-up: a grant (err == nil) or a
+// cancellation.
+type parkedSend struct {
+	req *request
+	err error
+}
+
+// ParkGrants switches grant parking on or off. While parked, waiters whose
+// requests are granted (the lock *state* is installed normally, under the
+// latches) are not woken; their wake-ups queue FIFO until DeliverNextGrant
+// releases them one at a time. The schedule runner uses this to guarantee
+// that at most one engine operation executes at any moment — a mid-op
+// lock release can no longer resume a waiter whose continuation would race
+// the remainder of the releasing operation, which is the last source of
+// scheduling-dependent outcomes in scripted runs. Disabling flushes any
+// still-parked wake-ups.
+func (m *Manager) ParkGrants(on bool) {
+	m.parkMu.Lock()
+	m.parking = on
+	var flush []parkedSend
+	if !on {
+		flush = m.parked
+		m.parked = nil
+	}
+	m.parkMu.Unlock()
+	for _, p := range flush {
+		m.deliverParked(p)
+	}
+}
+
+// DeliverNextGrant wakes the oldest parked waiter, reporting its
+// transaction and whether one was pending.
+func (m *Manager) DeliverNextGrant() (TxID, bool) {
+	m.parkMu.Lock()
+	if len(m.parked) == 0 {
+		m.parkMu.Unlock()
+		return 0, false
+	}
+	p := m.parked[0]
+	m.parked = m.parked[1:]
+	m.parkMu.Unlock()
+	m.deliverParked(p)
+	return p.req.tx, true
+}
+
+func (m *Manager) deliverParked(p parkedSend) {
+	if p.err == nil && m.observer != nil {
+		m.observer.TxGranted(p.req.tx)
+	}
+	p.req.ready <- p.err
+}
+
+func (m *Manager) park(p parkedSend) bool {
+	m.parkMu.Lock()
+	defer m.parkMu.Unlock()
+	if !m.parking {
+		return false
+	}
+	m.parked = append(m.parked, p)
+	return true
 }
 
 // Holding reports whether tx currently holds an item lock on key, and its

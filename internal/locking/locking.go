@@ -60,6 +60,13 @@ func (db *DB) ShardCount() int { return db.lm.ShardCount() }
 // runner's deterministic block detection).
 func (db *DB) SetObserver(o lock.Observer) { db.lm.SetObserver(o) }
 
+// ParkGrants forwards grant parking to the lock manager (the schedule
+// runner's one-op-at-a-time delivery of lock grants).
+func (db *DB) ParkGrants(on bool) { db.lm.ParkGrants(on) }
+
+// DeliverNextGrant wakes the oldest parked waiter, if any.
+func (db *DB) DeliverNextGrant() (lock.TxID, bool) { return db.lm.DeliverNextGrant() }
+
 // Recorder exposes the execution recorder.
 func (db *DB) Recorder() *engine.Recorder { return db.rec }
 

@@ -181,6 +181,29 @@ func PaperTable4() map[engine.Level]map[string]Cell {
 	}
 }
 
+// ExtensionTable4 is the expected Table 4 rows for this reproduction's two
+// extension levels, in the same cell convention as PaperTable4:
+//
+//   - Degree 0 ([GLPT], Table 2 row 1): short write locks only — action
+//     atomicity and nothing else. Every phenomenon including Dirty Write
+//     is possible.
+//   - Oracle Read Consistency (§4.3): statement snapshots never expose
+//     uncommitted data (no P0/P1), and the cursor write-consistency check
+//     prevents the cursor form of the lost update — but only the cursor
+//     form, so P4C is Sometimes Possible (a client that reads through the
+//     cursor but writes around it still loses the update). Everything
+//     else — P4, P2, P3, A5A, A5B — remains possible.
+//
+// The differential fuzzer (internal/exerciser) uses these rows, merged
+// with PaperTable4, as its oracle for the extension levels.
+func ExtensionTable4() map[engine.Level]map[string]Cell {
+	P, S, N := Possible, SometimesPossible, NotPossible
+	return map[engine.Level]map[string]Cell{
+		engine.Degree0:         {"P0": P, "P1": P, "P4C": P, "P4": P, "P2": P, "P3": P, "A5A": P, "A5B": P},
+		engine.ReadConsistency: {"P0": N, "P1": N, "P4C": S, "P4": P, "P2": P, "P3": P, "A5A": P, "A5B": P},
+	}
+}
+
 // DiffPaper compares the measured matrix against the published Table 4 for
 // the paper's rows and returns a list of mismatches (empty = exact
 // reproduction).

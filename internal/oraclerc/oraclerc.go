@@ -80,6 +80,13 @@ func (db *DB) ShardCount() int { return db.store.ShardCount() }
 // SetObserver forwards a wait observer to the lock manager.
 func (db *DB) SetObserver(o lock.Observer) { db.lm.SetObserver(o) }
 
+// ParkGrants forwards grant parking to the lock manager (the schedule
+// runner's one-op-at-a-time delivery of lock grants).
+func (db *DB) ParkGrants(on bool) { db.lm.ParkGrants(on) }
+
+// DeliverNextGrant wakes the oldest parked waiter, if any.
+func (db *DB) DeliverNextGrant() (lock.TxID, bool) { return db.lm.DeliverNextGrant() }
+
 // Recorder exposes the execution recorder.
 func (db *DB) Recorder() *engine.Recorder { return db.rec }
 
@@ -118,6 +125,20 @@ type Tx struct {
 	writes map[data.Key]data.Row // own uncommitted writes (overlay), nil = delete
 	order  []data.Key
 	done   bool
+
+	// reads records each statement's item reads with the statement
+	// snapshot they executed at, for the statement-level SV mapping
+	// (SVTrace). commitTS/committed are set at Commit.
+	reads     []TimedRead
+	commitTS  mv.TS
+	committed bool
+}
+
+// TimedRead is one recorded read together with the statement-snapshot
+// timestamp it executed at.
+type TimedRead struct {
+	TS mv.TS
+	Op history.Op
 }
 
 var _ engine.Tx = (*Tx)(nil)
@@ -153,12 +174,17 @@ func (t *Tx) Get(key data.Key) (data.Row, error) {
 		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(row.Val()))
 		return row.Clone(), nil
 	}
-	v, ok := t.db.store.ReadAt(key, t.statementTS())
+	ts := t.statementTS()
+	v, ok := t.db.store.ReadAt(key, ts)
 	if !ok {
-		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1})
+		op := history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}
+		t.reads = append(t.reads, TimedRead{TS: ts, Op: op})
+		t.db.rec.Record(op)
 		return nil, engine.ErrNotFound
 	}
-	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(v.Row.Val()))
+	op := history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(v.Row.Val())
+	t.reads = append(t.reads, TimedRead{TS: ts, Op: op})
+	t.db.rec.Record(op)
 	return v.Row, nil
 }
 
@@ -258,7 +284,9 @@ func (c *cursor) Fetch() (data.Tuple, error) {
 		return data.Tuple{}, engine.ErrNotFound
 	}
 	cur := c.tuples[c.pos]
-	c.tx.db.rec.Record(history.Op{Tx: c.tx.id, Kind: history.ReadCursor, Item: cur.Key, Version: -1}.WithValue(cur.Row.Val()))
+	op := history.Op{Tx: c.tx.id, Kind: history.ReadCursor, Item: cur.Key, Version: -1}.WithValue(cur.Row.Val())
+	c.tx.reads = append(c.tx.reads, TimedRead{TS: c.snapTS, Op: op})
+	c.tx.db.rec.Record(op)
 	return cur.Clone(), nil
 }
 
@@ -318,10 +346,48 @@ func (t *Tx) Commit() error {
 		ts := t.db.oracle.Next()
 		t.db.store.Install(ts, t.id, t.writes)
 		t.db.oracle.Done(ts)
+		t.commitTS = ts
+	} else {
+		t.commitTS = t.db.oracle.Safe()
 	}
+	t.committed = true
 	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Commit, Version: -1})
 	t.db.lm.ReleaseAll(lock.TxID(t.id))
 	return nil
+}
+
+// SVTrace exports the transaction's execution for the statement-level
+// single-valued mapping: each read op with the statement snapshot it
+// executed at, plus the write set with its commit timestamp. Valid after
+// the transaction terminated.
+//
+// A statement at snapshot s sees exactly the versions committed at
+// timestamps <= s, so (as in the snapshot engine's MVTxn export) commits
+// map to even slots (2*ts) and statement reads to the odd slot just above
+// their snapshot (2*ts+1).
+func (t *Tx) SVTrace() (committed bool, commitSlot int64, reads []TimedRead, writes history.History) {
+	committed = t.committed
+	commitSlot = 2 * int64(t.commitTS)
+	reads = make([]TimedRead, len(t.reads))
+	for i, r := range t.reads {
+		r.TS = mv.TS(2*int64(r.TS) + 1)
+		reads[i] = r
+	}
+	if committed && len(t.order) == 0 && len(reads) > 0 {
+		// Read-only transactions commit "at" their last statement snapshot;
+		// pinning the commit to that read's slot (callers order same-slot
+		// events by emission) keeps the mapped history well-formed, with the
+		// commit after the transaction's own reads.
+		commitSlot = int64(reads[len(reads)-1].TS)
+	}
+	for _, key := range t.order {
+		op := history.Op{Tx: t.id, Kind: history.Write, Item: key, Version: -1}
+		if row := t.writes[key]; row != nil {
+			op = op.WithValue(row.Val())
+		}
+		writes = append(writes, op)
+	}
+	return committed, commitSlot, reads, writes
 }
 
 // Abort implements engine.Tx: drop buffered writes, release locks. No undo

@@ -129,12 +129,15 @@ func Detect(id ID, h history.History) []Match {
 // Exhibits reports whether h contains at least one occurrence of id.
 func Exhibits(id ID, h history.History) bool { return len(Detect(id, h)) > 0 }
 
-// Profile returns the set of identifiers h exhibits.
-func Profile(h history.History) map[ID]bool {
-	out := map[ID]bool{}
+// Profile returns every identifier h exhibits together with the matches
+// that witness it (only exhibited identifiers appear as keys). Callers
+// that need the evidence — the CLI's check command above all — reuse the
+// returned matches instead of re-running Detect per identifier.
+func Profile(h history.History) map[ID][]Match {
+	out := map[ID][]Match{}
 	for _, id := range All {
-		if Exhibits(id, h) {
-			out[id] = true
+		if ms := Detect(id, h); len(ms) > 0 {
+			out[id] = ms
 		}
 	}
 	return out

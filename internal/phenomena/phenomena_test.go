@@ -292,7 +292,7 @@ func TestA5BNotMatchedWhenReadFollowsWrite(t *testing.T) {
 
 func TestProfileOfH1(t *testing.T) {
 	p := Profile(history.H1())
-	if !p[P1] || p[A1] || p[A2] || p[A3] || p[P0] {
+	if len(p[P1]) == 0 || len(p[A1]) > 0 || len(p[A2]) > 0 || len(p[A3]) > 0 || len(p[P0]) > 0 {
 		t.Errorf("H1 profile = %v", p)
 	}
 }

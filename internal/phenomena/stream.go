@@ -1,0 +1,514 @@
+package phenomena
+
+import (
+	"isolevel/internal/data"
+	"isolevel/internal/history"
+)
+
+// Stream is the incremental phenomenon checker: it consumes a history one
+// op at a time and maintains, per identifier, just enough state to decide
+// whether the phenomenon has been exhibited so far. For every well-formed
+// history, feeding all ops yields exactly the identifier set of the batch
+// Profile — the streaming-vs-batch equivalence tests in this package and
+// in internal/exerciser enforce that — but without the batch matchers'
+// full-history rescans: per-op work is bounded by the number of live
+// transactions touching the op's item, never by the history length, so
+// fuzz campaigns can check long generated histories at bench speed.
+//
+// State is proportional to (live transactions × their footprints) plus,
+// for the committed-pair anomalies (A1, A5B), compact per-transaction
+// read/write summaries that survive commit.
+type Stream struct {
+	seen map[ID]bool
+	seq  int
+	term map[int]history.Kind // terminal kind, once a tx has one
+
+	// Live-transaction index: which not-yet-terminated transactions have
+	// written / read each item, and the reverse maps for O(footprint)
+	// cleanup at terminals.
+	activeWriters map[data.Key]map[int]bool
+	activeReaders map[data.Key]map[int]bool
+	touchedW      map[int]map[data.Key]bool
+	touchedR      map[int]map[data.Key]bool
+
+	// Predicate reads: registered under the read's first predicate name,
+	// exactly like the batch P3/A3 matchers.
+	activePredReaders map[string]map[int]bool
+	touchedP          map[int]map[string]bool
+
+	// A1: dirty-read pairs (writer -> readers and the reverse). A pair
+	// fires when the writer has aborted and the reader has committed, in
+	// either order, so pairs outlive the transactions.
+	dirtyPairs map[int]map[int]bool
+	dirtyRev   map[int]map[int]bool
+
+	// A2: writer -> reader -> items the writer overwrote under the
+	// reader's feet; promoted to a2Committed when the writer commits;
+	// a reread of a promoted item arms the candidate flag, reported at
+	// the reader's commit.
+	a2Pending   map[int]map[int]map[data.Key]bool
+	a2Committed map[int]map[data.Key]bool
+	a2Candidate map[int]bool
+
+	// A3: same shape over predicate names.
+	a3Pending   map[int]map[int]map[string]bool
+	a3Committed map[int]map[string]bool
+	a3Candidate map[int]bool
+
+	// P4/P4C: per (reader, item) lost-update state machine
+	// read -> intervened (other-tx write) -> self write, reported at the
+	// reader's commit.
+	p4         map[int]map[data.Key]*luState
+	p4Pending  map[int]bool
+	p4cPending map[int]bool
+
+	// A5A: per (writer t2, reader t1): the items x where t2 overwrote
+	// t1's read, with the earliest such write's sequence number. When t2
+	// commits, every item y != x that t2 wrote after one of those
+	// overwrites becomes a watch: t1 reading it afterwards is read skew.
+	a5aPairs map[int]map[int]map[data.Key]int
+	a5aWatch map[int]map[data.Key]bool
+
+	// A5B: per-transaction item read/write sequence lists, kept for
+	// committed transactions so each new commit can be checked against
+	// the earlier ones.
+	reads     map[int]map[data.Key][]int
+	writes    map[int]map[data.Key][]int
+	committed []int
+}
+
+// NewStream returns an empty streaming checker.
+func NewStream() *Stream {
+	return &Stream{
+		seen:              map[ID]bool{},
+		term:              map[int]history.Kind{},
+		activeWriters:     map[data.Key]map[int]bool{},
+		activeReaders:     map[data.Key]map[int]bool{},
+		touchedW:          map[int]map[data.Key]bool{},
+		touchedR:          map[int]map[data.Key]bool{},
+		activePredReaders: map[string]map[int]bool{},
+		touchedP:          map[int]map[string]bool{},
+		dirtyPairs:        map[int]map[int]bool{},
+		dirtyRev:          map[int]map[int]bool{},
+		a2Pending:         map[int]map[int]map[data.Key]bool{},
+		a2Committed:       map[int]map[data.Key]bool{},
+		a2Candidate:       map[int]bool{},
+		a3Pending:         map[int]map[int]map[string]bool{},
+		a3Committed:       map[int]map[string]bool{},
+		a3Candidate:       map[int]bool{},
+		p4:                map[int]map[data.Key]*luState{},
+		p4Pending:         map[int]bool{},
+		p4cPending:        map[int]bool{},
+		a5aPairs:          map[int]map[int]map[data.Key]int{},
+		a5aWatch:          map[int]map[data.Key]bool{},
+		reads:             map[int]map[data.Key][]int{},
+		writes:            map[int]map[data.Key][]int{},
+	}
+}
+
+// luState is one (transaction, item) lost-update ladder.
+type luState struct {
+	read, readCur             bool // item was read (rc for the cursor rung)
+	intervened, intervenedCur bool // another tx wrote after the read
+}
+
+// StreamProfile runs h through a fresh Stream and returns the exhibited
+// identifier set — the streaming equivalent of the batch Profile's key set.
+func StreamProfile(h history.History) map[ID]bool {
+	s := NewStream()
+	for _, op := range h {
+		s.Feed(op)
+	}
+	return s.Seen()
+}
+
+// Seen returns a copy of the identifiers exhibited so far.
+func (s *Stream) Seen() map[ID]bool {
+	out := make(map[ID]bool, len(s.seen))
+	for id := range s.seen {
+		out[id] = true
+	}
+	return out
+}
+
+// Exhibits reports whether id has been exhibited by the ops fed so far.
+func (s *Stream) Exhibits(id ID) bool { return s.seen[id] }
+
+// Feed consumes the next op of the history. Ops of a transaction that
+// already terminated are ignored (the batch matchers only see such ops in
+// ill-formed histories, which Validate rejects).
+func (s *Stream) Feed(op history.Op) {
+	if _, done := s.term[op.Tx]; done {
+		return
+	}
+	s.seq++
+	switch {
+	case op.Kind.IsTerminal():
+		s.terminal(op.Tx, op.Kind)
+	case op.Kind == history.PredRead:
+		s.predRead(op)
+	case op.Kind == history.Read || op.Kind == history.ReadCursor:
+		s.itemRead(op)
+	case op.Kind.IsWrite():
+		s.write(op)
+	}
+}
+
+func (s *Stream) itemRead(op history.Op) {
+	t, item := op.Tx, op.Item
+	// P1: the item has an uncommitted write by another transaction.
+	for w := range s.activeWriters[item] {
+		if w == t {
+			continue
+		}
+		s.seen[P1] = true
+		putPair(s.dirtyPairs, w, t)
+		putPair(s.dirtyRev, t, w)
+	}
+	// A2: reread of an item a committed transaction overwrote under us.
+	if s.a2Committed[t][item] {
+		s.a2Candidate[t] = true
+	}
+	// A5A: read of the "other half" of a committed two-item update.
+	if s.a5aWatch[t][item] {
+		s.seen[A5A] = true
+	}
+	putItem(s.activeReaders, item, t)
+	putKey(s.touchedR, t, item)
+	st := s.lu(t, item)
+	st.read = true
+	if op.Kind == history.ReadCursor {
+		st.readCur = true
+	}
+	m := s.reads[t]
+	if m == nil {
+		m = map[data.Key][]int{}
+		s.reads[t] = m
+	}
+	m[item] = append(m[item], s.seq)
+}
+
+func (s *Stream) write(op history.Op) {
+	t := op.Tx
+	if item := op.Item; item != "" {
+		// P0: the item has an uncommitted write by another transaction.
+		for w := range s.activeWriters[item] {
+			if w != t {
+				s.seen[P0] = true
+			}
+		}
+		// P2 + downstream (A2 pending, A5A overwrite-match): the item was
+		// read by a still-active other transaction.
+		for r := range s.activeReaders[item] {
+			if r == t {
+				continue
+			}
+			s.seen[P2] = true
+			putKeyIn3(s.a2Pending, t, r, item)
+			pairs := s.a5aPairs[t]
+			if pairs == nil {
+				pairs = map[int]map[data.Key]int{}
+				s.a5aPairs[t] = pairs
+			}
+			matched := pairs[r]
+			if matched == nil {
+				matched = map[data.Key]int{}
+				pairs[r] = matched
+			}
+			if _, ok := matched[item]; !ok {
+				matched[item] = s.seq
+			}
+			// P4 intervention: the reader's lost-update ladder advances.
+			if st := s.p4[r][item]; st != nil {
+				if st.read {
+					st.intervened = true
+				}
+				if st.readCur {
+					st.intervenedCur = true
+				}
+			}
+		}
+		// Own write after an intervention completes the lost-update shape;
+		// it becomes P4/P4C if the transaction goes on to commit.
+		if st := s.p4[t][item]; st != nil {
+			if st.intervened {
+				s.p4Pending[t] = true
+			}
+			if st.intervenedCur {
+				s.p4cPending[t] = true
+			}
+		}
+		putItem(s.activeWriters, item, t)
+		putKey(s.touchedW, t, item)
+		m := s.writes[t]
+		if m == nil {
+			m = map[data.Key][]int{}
+			s.writes[t] = m
+		}
+		m[item] = append(m[item], s.seq)
+	}
+	// P3: the write falls inside a predicate a still-active other
+	// transaction has read (an item write annotated "in P", or a
+	// predicate write naming P).
+	for _, name := range op.Preds {
+		for r := range s.activePredReaders[name] {
+			if r == t {
+				continue
+			}
+			s.seen[P3] = true
+			putNameIn3(s.a3Pending, t, r, name)
+		}
+	}
+}
+
+func (s *Stream) predRead(op history.Op) {
+	t := op.Tx
+	// A3: re-evaluation of a predicate a committed transaction wrote into
+	// under us. The batch matcher accepts the predicate in any position of
+	// the reread's list, so check them all.
+	for _, name := range op.Preds {
+		if s.a3Committed[t][name] {
+			s.a3Candidate[t] = true
+		}
+	}
+	// Registration mirrors the batch P3/A3 matchers: the read is indexed
+	// under its first predicate name only.
+	if len(op.Preds) > 0 {
+		name := op.Preds[0]
+		set := s.activePredReaders[name]
+		if set == nil {
+			set = map[int]bool{}
+			s.activePredReaders[name] = set
+		}
+		set[t] = true
+		putName(s.touchedP, t, name)
+	}
+}
+
+func (s *Stream) terminal(t int, kind history.Kind) {
+	s.term[t] = kind
+	if kind == history.Commit {
+		// Promote A2/A3 overwrites made by t: its victims' rereads now
+		// witness a committed change.
+		for r, items := range s.a2Pending[t] {
+			if _, done := s.term[r]; done {
+				continue // the victim terminated first: no reread can follow
+			}
+			for item := range items {
+				putKey(s.a2Committed, r, item)
+			}
+		}
+		for r, names := range s.a3Pending[t] {
+			if _, done := s.term[r]; done {
+				continue
+			}
+			for name := range names {
+				putName(s.a3Committed, r, name)
+			}
+		}
+		// A5A: every item y that t wrote after overwriting some read item
+		// x (y != x) becomes a watch for the overwritten reader.
+		for r, matched := range s.a5aPairs[t] {
+			if _, done := s.term[r]; done {
+				continue
+			}
+			for y, seqs := range s.writes[t] {
+				last := seqs[len(seqs)-1]
+				for x, first := range matched {
+					if x != y && first < last {
+						putKey(s.a5aWatch, r, y)
+						break
+					}
+				}
+			}
+		}
+		// Anomalies armed earlier that required this commit.
+		if s.a2Candidate[t] {
+			s.seen[A2] = true
+		}
+		if s.a3Candidate[t] {
+			s.seen[A3] = true
+		}
+		if s.p4Pending[t] {
+			s.seen[P4] = true
+		}
+		if s.p4cPending[t] {
+			s.seen[P4C] = true
+		}
+		// A1: t committed after reading a write that was rolled back.
+		for w := range s.dirtyRev[t] {
+			if s.term[w] == history.Abort {
+				s.seen[A1] = true
+			}
+		}
+		s.checkA5B(t)
+		s.committed = append(s.committed, t)
+	} else {
+		// A1: t's write, read by an already-committed transaction, is now
+		// rolled back.
+		for r := range s.dirtyPairs[t] {
+			if s.term[r] == history.Commit {
+				s.seen[A1] = true
+			}
+		}
+		// Aborted transactions can no longer contribute to the committed-
+		// pair anomalies.
+		delete(s.reads, t)
+		delete(s.writes, t)
+	}
+	delete(s.a2Pending, t)
+	delete(s.a3Pending, t)
+	delete(s.a5aPairs, t)
+	delete(s.a5aWatch, t)
+	delete(s.a2Committed, t)
+	delete(s.a3Committed, t)
+	delete(s.a2Candidate, t)
+	delete(s.a3Candidate, t)
+	delete(s.p4, t)
+	delete(s.p4Pending, t)
+	delete(s.p4cPending, t)
+	for item := range s.touchedW[t] {
+		delete(s.activeWriters[item], t)
+	}
+	for item := range s.touchedR[t] {
+		delete(s.activeReaders[item], t)
+	}
+	for name := range s.touchedP[t] {
+		delete(s.activePredReaders[name], t)
+	}
+	delete(s.touchedW, t)
+	delete(s.touchedR, t)
+	delete(s.touchedP, t)
+}
+
+// checkA5B tests the freshly committed transaction b against every earlier
+// committed transaction a for the write-skew shape: a read x and wrote y,
+// b read y and wrote x (x != y), each read preceding the other side's
+// first subsequent write of that item.
+func (s *Stream) checkA5B(b int) {
+	if s.seen[A5B] {
+		return
+	}
+	for _, a := range s.committed {
+		if s.a5bPair(a, b) {
+			s.seen[A5B] = true
+			return
+		}
+	}
+}
+
+func (s *Stream) a5bPair(a, b int) bool {
+	for x, rax := range s.reads[a] {
+		wbx := s.writes[b][x]
+		if len(wbx) == 0 {
+			continue
+		}
+		for y, rby := range s.reads[b] {
+			if y == x {
+				continue
+			}
+			way := s.writes[a][y]
+			if len(way) == 0 {
+				continue
+			}
+			// ∃ reads i of x by a, j of y by b such that a's first write of
+			// y after i comes after j, and b's first write of x after j
+			// comes after i — the batch matcher's "reads precede the
+			// opposing writes" condition.
+			for _, i := range rax {
+				k1, ok := firstAfter(way, i)
+				if !ok {
+					continue
+				}
+				for _, j := range rby {
+					if j >= k1 {
+						continue
+					}
+					if k2, ok := firstAfter(wbx, j); ok && k2 > i {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// firstAfter returns the first element of the ascending slice strictly
+// greater than v.
+func firstAfter(seqs []int, v int) (int, bool) {
+	for _, s := range seqs {
+		if s > v {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Stream) lu(t int, item data.Key) *luState {
+	m := s.p4[t]
+	if m == nil {
+		m = map[data.Key]*luState{}
+		s.p4[t] = m
+	}
+	st := m[item]
+	if st == nil {
+		st = &luState{}
+		m[item] = st
+	}
+	return st
+}
+
+func putPair(m map[int]map[int]bool, k, v int) {
+	set := m[k]
+	if set == nil {
+		set = map[int]bool{}
+		m[k] = set
+	}
+	set[v] = true
+}
+
+func putItem(m map[data.Key]map[int]bool, k data.Key, v int) {
+	set := m[k]
+	if set == nil {
+		set = map[int]bool{}
+		m[k] = set
+	}
+	set[v] = true
+}
+
+func putKey(m map[int]map[data.Key]bool, k int, v data.Key) {
+	set := m[k]
+	if set == nil {
+		set = map[data.Key]bool{}
+		m[k] = set
+	}
+	set[v] = true
+}
+
+func putName(m map[int]map[string]bool, k int, v string) {
+	set := m[k]
+	if set == nil {
+		set = map[string]bool{}
+		m[k] = set
+	}
+	set[v] = true
+}
+
+func putKeyIn3(m map[int]map[int]map[data.Key]bool, k1, k2 int, v data.Key) {
+	m2 := m[k1]
+	if m2 == nil {
+		m2 = map[int]map[data.Key]bool{}
+		m[k1] = m2
+	}
+	putKey(m2, k2, v)
+}
+
+func putNameIn3(m map[int]map[int]map[string]bool, k1, k2 int, v string) {
+	m2 := m[k1]
+	if m2 == nil {
+		m2 = map[int]map[string]bool{}
+		m[k1] = m2
+	}
+	putName(m2, k2, v)
+}

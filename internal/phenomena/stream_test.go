@@ -1,0 +1,117 @@
+package phenomena
+
+import (
+	"reflect"
+	"testing"
+
+	"isolevel/internal/history"
+)
+
+// batchSet is Profile's key set, for comparison with the stream.
+func batchSet(h history.History) map[ID]bool {
+	out := map[ID]bool{}
+	for id := range Profile(h) {
+		out[id] = true
+	}
+	return out
+}
+
+func TestStreamMatchesBatchOnPaperHistories(t *testing.T) {
+	cases := map[string]history.History{
+		"H1":     history.H1(),
+		"H2":     history.H2(),
+		"H3":     history.H3(),
+		"H4":     history.H4(),
+		"H4C":    history.H4C(),
+		"H5":     history.H5(),
+		"H1SI":   history.H1SI(),
+		"H1SISV": history.H1SISV(),
+	}
+	for name, h := range cases {
+		if b, s := batchSet(h), StreamProfile(h); !reflect.DeepEqual(b, s) {
+			t.Errorf("%s: batch %v != stream %v", name, b, s)
+		}
+	}
+}
+
+func TestStreamPerPhenomenon(t *testing.T) {
+	cases := []struct {
+		src  string
+		want ID
+	}{
+		{"w1[x] w2[x] c1 c2", P0},
+		{"w1[x] r2[x] c1 c2", P1},
+		{"w1[x] r2[x] c2 a1", A1},
+		{"r1[x] w2[x] c2 c1", P2},
+		{"r1[x] w2[x] c2 r1[x] c1", A2},
+		{"r1[P] w2[y in P] c2 c1", P3},
+		{"r1[P] w2[y in P] c2 r1[P] c1", A3},
+		{"r1[x] w2[x] w1[x] c1 c2", P4},
+		{"rc1[x] w2[x] wc1[x] c1 c2", P4C},
+		{"r1[x] w2[x] w2[y] c2 r1[y] c1", A5A},
+		{"r1[x] r2[y] w1[y] w2[x] c1 c2", A5B},
+	}
+	for _, c := range cases {
+		h := history.MustParse(c.src)
+		if !StreamProfile(h)[c.want] {
+			t.Errorf("%q: stream misses %s", c.src, c.want)
+		}
+		if !Exhibits(c.want, h) {
+			t.Errorf("%q: batch misses %s (test case wrong)", c.src, c.want)
+		}
+	}
+}
+
+func TestStreamNegatives(t *testing.T) {
+	cases := []struct {
+		src string
+		not ID
+	}{
+		// Terminal between the conflicting pair disarms the broad forms.
+		{"w1[x] c1 w2[x] c2", P0},
+		{"w1[x] a1 r2[x] c2", P1},
+		{"r1[x] c1 w2[x] c2", P2},
+		{"r1[P] c1 w2[y in P] c2", P3},
+		// A1 needs writer abort AND reader commit.
+		{"w1[x] r2[x] c2 c1", A1},
+		{"w1[x] r2[x] a2 a1", A1},
+		// A2 needs the reread after the writer's commit, then commit.
+		{"r1[x] w2[x] r1[x] c2 c1", A2},
+		{"r1[x] w2[x] c2 r1[x] a1", A2},
+		// P4 needs T1 to commit.
+		{"r1[x] w2[x] w1[x] a1 c2", P4},
+		// A5A: the second read must come after the writer's commit.
+		{"r1[x] w2[x] w2[y] r1[y] c2 c1", A5A},
+		// A5B needs both to commit.
+		{"r1[x] r2[y] w1[y] w2[x] c1 a2", A5B},
+	}
+	for _, c := range cases {
+		h := history.MustParse(c.src)
+		if StreamProfile(h)[c.not] {
+			t.Errorf("%q: stream wrongly reports %s", c.src, c.not)
+		}
+		if Exhibits(c.not, h) {
+			t.Errorf("%q: batch wrongly reports %s (test case wrong)", c.src, c.not)
+		}
+	}
+}
+
+// TestStreamIncremental checks Seen grows mid-history, not only at the end.
+func TestStreamIncremental(t *testing.T) {
+	s := NewStream()
+	for _, op := range history.MustParse("w1[x] r2[x]") {
+		s.Feed(op)
+	}
+	if !s.Exhibits(P1) {
+		t.Error("P1 should be visible before any terminal arrives")
+	}
+	if s.Exhibits(A1) {
+		t.Error("A1 needs the abort/commit pair")
+	}
+	for _, op := range history.MustParse("c2 a1") {
+		s.Feed(op)
+	}
+	if !s.Exhibits(A1) {
+		t.Error("A1 after reader commit + writer abort")
+	}
+}

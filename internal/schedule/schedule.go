@@ -19,6 +19,7 @@ package schedule
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"isolevel/internal/engine"
@@ -170,6 +171,13 @@ type observable interface {
 	SetObserver(lock.Observer)
 }
 
+// grantParker is implemented by engines whose lock manager can withhold
+// waiter wake-ups until the controller asks for them (lock.ParkGrants).
+type grantParker interface {
+	ParkGrants(on bool)
+	DeliverNextGrant() (lock.TxID, bool)
+}
+
 // recorded is implemented by engines exposing an execution recorder.
 type recorded interface {
 	Recorder() *engine.Recorder
@@ -189,19 +197,50 @@ type txWorker struct {
 	steps chan func()
 }
 
-// waitObserver forwards lock-wait notifications to the controller.
+// runEvent is one message on the controller's single event stream: a step
+// completion, a lock wait/grant notification, or a drain-abort
+// acknowledgement. The single stream is load-bearing for determinism:
+// causally ordered emissions — a worker's op completion followed by its
+// next op's wait note, or a grant followed by the granted op's completion
+// — land in one channel in emission order, where separate channels would
+// let the controller observe them inverted and mistake a parked
+// transaction for a running one (or vice versa).
+type runEvent struct {
+	kind runEventKind
+	comp completion
+	tx   lock.TxID // for evWaiting / evGranted
+}
+
+type runEventKind int
+
+const (
+	evComplete runEventKind = iota
+	evWaiting
+	evGranted
+	evAbortDone
+)
+
+// waitObserver forwards lock wait/grant notifications into the
+// controller's event stream. The buffer is far larger than any script's
+// event count; if it ever overflows the drop degrades the quiescence
+// protocol to a timeout, never to a hang.
 type waitObserver struct {
-	ch chan lock.TxID
+	ch chan runEvent
 }
 
 func (o *waitObserver) TxWaiting(tx lock.TxID, on []lock.TxID) {
 	select {
-	case o.ch <- tx:
+	case o.ch <- runEvent{kind: evWaiting, tx: tx}:
 	default:
 	}
 }
 
-func (o *waitObserver) TxGranted(tx lock.TxID) {}
+func (o *waitObserver) TxGranted(tx lock.TxID) {
+	select {
+	case o.ch <- runEvent{kind: evGranted, tx: tx}:
+	default:
+	}
+}
 
 // Run executes the script on db. Each transaction is begun lazily at its
 // first step. The returned Result always covers every step; Run errors only
@@ -214,9 +253,19 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 		opts.DrainTimeout = 5 * time.Second
 	}
 
-	waits := &waitObserver{ch: make(chan lock.TxID, 256)}
+	events := make(chan runEvent, 4*len(steps)+4096)
+	waits := &waitObserver{ch: events}
 	if o, ok := db.(observable); ok {
 		o.SetObserver(waits)
+	}
+	// Park lock grants: a mid-op release then only installs the waiter's
+	// lock; the waiter itself resumes when the controller delivers the
+	// wake-up at a step boundary (settle), so at most one engine op runs
+	// at a time and outcomes cannot depend on goroutine scheduling.
+	parker, _ := db.(grantParker)
+	if parker != nil {
+		parker.ParkGrants(true)
+		defer parker.ParkGrants(false)
 	}
 	var rec *engine.Recorder
 	if rp, ok := db.(recorded); ok {
@@ -236,7 +285,21 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 	scriptTxn := map[int]int{} // engine tx id -> script txn
 	pendingOps := map[int]int{}
 	terminated := map[int]bool{}
-	completions := make(chan completion, len(steps)+16)
+	// abortWanted marks transactions whose op failed with a prevention
+	// error while a later op of theirs was still queued/blocked: the
+	// rollback is deferred until their in-flight ops drain (aborting
+	// through the worker immediately would queue the abort behind a
+	// lock-waiting op while this controller stops dispatching — deadlock).
+	abortWanted := map[int]bool{}
+	// resumed tracks transactions with an op executing concurrently with
+	// the controller: a blocked op whose lock was granted (TxGranted), or
+	// a queued op that started after its predecessor completed. The
+	// controller settles this set to empty before dispatching another
+	// step — otherwise the in-flight op's remaining lock acquisitions race
+	// the next step's, and the run's outcome depends on goroutine
+	// scheduling instead of the script.
+	resumed := map[int]bool{}
+	abortsPending := 0 // drain-phase aborts awaiting their evAbortDone
 
 	startWorker := func(txn int) (*txWorker, error) {
 		tx, err := db.Begin(opts.levelFor(txn))
@@ -260,7 +323,9 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 	}
 
 	// autoAbort rolls back a transaction whose op failed with a prevention
-	// error. Safe: its op has completed, so no call is in flight.
+	// error. Only called once the transaction's op queue is idle, so the
+	// abort closure runs immediately rather than queueing behind a
+	// lock-waiting op.
 	autoAbort := func(txn int) {
 		w := workers[txn]
 		if w == nil || terminated[txn] {
@@ -279,6 +344,13 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 		sr.Value = c.value
 		sr.Err = c.err
 		pendingOps[c.txn]--
+		if pendingOps[c.txn] > 0 {
+			// The worker immediately starts the next queued op: still
+			// concurrent with the controller.
+			resumed[c.txn] = true
+		} else {
+			delete(resumed, c.txn)
+		}
 		step := steps[c.index]
 		switch step.Kind {
 		case Commit:
@@ -297,7 +369,89 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 			terminated[c.txn] = true
 		default:
 			if c.err != nil && engine.IsPrevention(c.err) {
-				autoAbort(c.txn)
+				abortWanted[c.txn] = true
+			}
+		}
+		if abortWanted[c.txn] && pendingOps[c.txn] == 0 && !terminated[c.txn] {
+			delete(abortWanted, c.txn)
+			autoAbort(c.txn)
+		}
+	}
+
+	// processEvent folds one event-stream message into controller state. A
+	// grant means the transaction's blocked op is now executing; a wait
+	// means it parked (again).
+	processEvent := func(ev runEvent) {
+		switch ev.kind {
+		case evComplete:
+			recordCompletion(ev.comp)
+		case evAbortDone:
+			abortsPending--
+		case evGranted:
+			if txn, ok := scriptTxn[int(ev.tx)]; ok && pendingOps[txn] > 0 && !terminated[txn] {
+				resumed[txn] = true
+			}
+		case evWaiting:
+			if txn, ok := scriptTxn[int(ev.tx)]; ok {
+				delete(resumed, txn)
+			}
+		}
+	}
+
+	// deliverGrant wakes the oldest parked waiter, if any, and marks its
+	// transaction resumed so settle waits for the continuation to finish
+	// or park again.
+	deliverGrant := func() bool {
+		if parker == nil {
+			return false
+		}
+		tx, ok := parker.DeliverNextGrant()
+		if !ok {
+			return false
+		}
+		if txn, ok2 := scriptTxn[int(tx)]; ok2 && pendingOps[txn] > 0 && !terminated[txn] {
+			resumed[txn] = true
+		}
+		return true
+	}
+
+	// settle brings the run to quiescence: process pending events, then
+	// alternate between waiting out resumed ops and delivering parked lock
+	// grants one at a time, until no op executes concurrently with the
+	// controller and no wake-up is owed. The timeout is a pure backstop (a
+	// dropped event under pathological load); on expiry the controller
+	// proceeds as it did before the quiescence protocol.
+	settle := func() {
+		var timer *time.Timer
+		defer func() {
+			if timer != nil {
+				timer.Stop()
+			}
+		}()
+		for {
+			for {
+				select {
+				case ev := <-events:
+					processEvent(ev)
+					continue
+				default:
+				}
+				break
+			}
+			if len(resumed) == 0 {
+				if deliverGrant() {
+					continue
+				}
+				return
+			}
+			if timer == nil {
+				timer = time.NewTimer(opts.StepTimeout)
+			}
+			select {
+			case ev := <-events:
+				processEvent(ev)
+			case <-timer.C:
+				return
 			}
 		}
 	}
@@ -305,18 +459,14 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 	for i, step := range steps {
 		res.Steps[i] = StepResult{Index: i, TxN: step.TxN, Name: step.Name}
 
-		// Drain any completions of previously blocked steps.
-	drain:
-		for {
-			select {
-			case c := <-completions:
-				recordCompletion(c)
-			default:
-				break drain
-			}
-		}
+		// Settle resumed ops and drain completions of previously blocked
+		// steps: no engine call may be in flight when the next one is
+		// dispatched, or their lock acquisitions race nondeterministically.
+		settle()
 
-		if terminated[step.TxN] {
+		if terminated[step.TxN] || abortWanted[step.TxN] {
+			// Terminated, or doomed to auto-abort as soon as its in-flight
+			// ops drain: either way no further step of it is dispatched.
 			res.Steps[i].Skipped = true
 			continue
 		}
@@ -343,7 +493,7 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 			default:
 				v, err = st.Do(ctx)
 			}
-			completions <- completion{txn: st.TxN, index: idx, value: v, err: err}
+			events <- runEvent{kind: evComplete, comp: completion{txn: st.TxN, index: idx, value: v, err: err}}
 		}
 
 		if pendingOps[step.TxN] > 0 {
@@ -366,17 +516,15 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 	wait:
 		for {
 			select {
-			case c := <-completions:
-				recordCompletion(c)
-				if c.index == i {
+			case ev := <-events:
+				processEvent(ev)
+				if ev.kind == evComplete && ev.comp.index == i {
 					break wait
 				}
-			case id := <-waits.ch:
-				if id == expect {
+				if ev.kind == evWaiting && ev.tx == expect {
 					res.Steps[i].Blocked = true
 					break wait
 				}
-				// Stale note for another tx: ignore.
 			case <-timer.C:
 				res.Steps[i].Blocked = true
 				break wait
@@ -387,12 +535,36 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 
 	// End of script: abort transactions the script left open. Aborting an
 	// idle transaction releases its locks, which lets blocked ops of other
-	// transactions complete; loop until everything settles.
+	// transactions complete; loop until everything settles. Transactions
+	// are drained in ascending script order — map iteration order here
+	// would randomize lock-release order across runs, and with it which
+	// blocked op wins a grant or a deadlock, breaking the byte-for-byte
+	// reproducibility the fuzz harness depends on.
 	deadline := time.After(opts.DrainTimeout)
-	abortDone := make(chan int, len(workers)+1)
-	abortsPending := 0
+	txnOrder := make([]int, 0, len(workers))
+	for txn := range workers {
+		txnOrder = append(txnOrder, txn)
+	}
+	sort.Ints(txnOrder)
 	for {
-		for txn, w := range workers {
+		// Settle resumed ops and owed grant wake-ups before the next
+		// abort, and abort one transaction at a time: each abort releases
+		// locks and grants blocked ops, whose continuations must finish
+		// (or park again) before the following abort's releases.
+		for len(resumed) > 0 || abortsPending > 0 {
+			select {
+			case ev := <-events:
+				processEvent(ev)
+			case <-deadline:
+				return res, fmt.Errorf("schedule: drain timeout with %d resumed ops and %d aborts in flight", len(resumed), abortsPending)
+			}
+		}
+		if deliverGrant() {
+			continue
+		}
+		enqueued := false
+		for _, txn := range txnOrder {
+			w := workers[txn]
 			if terminated[txn] || pendingOps[txn] > 0 {
 				continue
 			}
@@ -401,7 +573,12 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 			res.AutoAborted[txn] = true
 			ww := w
 			abortsPending++
-			ww.steps <- func() { _ = ww.ctx.Tx.Abort(); abortDone <- 1 }
+			ww.steps <- func() { _ = ww.ctx.Tx.Abort(); events <- runEvent{kind: evAbortDone} }
+			enqueued = true
+			break
+		}
+		if enqueued {
+			continue
 		}
 		busy := 0
 		for _, n := range pendingOps {
@@ -417,10 +594,8 @@ func Run(db engine.DB, opts Options, steps []Step) (*Result, error) {
 			break
 		}
 		select {
-		case c := <-completions:
-			recordCompletion(c)
-		case <-abortDone:
-			abortsPending--
+		case ev := <-events:
+			processEvent(ev)
 		case <-deadline:
 			return res, fmt.Errorf("schedule: drain timeout with %d ops in flight", busy)
 		}

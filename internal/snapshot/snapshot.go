@@ -161,6 +161,7 @@ type readRecord struct {
 	commitTS mv.TS
 	val      int64
 	found    bool
+	cursor   bool // read through a cursor Fetch (rc in the MV export)
 }
 
 var _ engine.Tx = (*Tx)(nil)
@@ -295,6 +296,7 @@ func (c *cursor) Fetch() (data.Tuple, error) {
 		return data.Tuple{}, engine.ErrNotFound
 	}
 	cur := c.tuples[c.pos]
+	c.tx.reads = append(c.tx.reads, readRecord{key: cur.Key, val: cur.Row.Val(), found: true, cursor: true})
 	c.tx.db.rec.Record(history.Op{Tx: c.tx.id, Kind: history.ReadCursor, Item: cur.Key, Version: -1}.WithValue(cur.Row.Val()))
 	return cur.Clone(), nil
 }
@@ -383,7 +385,11 @@ func (t *Tx) MVTxn() (start, commit int64, committed bool, reads, writes history
 	}
 	committed = t.committed
 	for _, r := range t.reads {
-		op := history.Op{Tx: t.id, Kind: history.Read, Item: r.key, Version: -1}
+		kind := history.Read
+		if r.cursor {
+			kind = history.ReadCursor
+		}
+		op := history.Op{Tx: t.id, Kind: kind, Item: r.key, Version: -1}
 		if r.found {
 			op = op.WithValue(r.val)
 		}

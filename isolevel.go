@@ -6,6 +6,7 @@ import (
 	"isolevel/internal/data"
 	"isolevel/internal/deps"
 	"isolevel/internal/engine"
+	"isolevel/internal/exerciser"
 	"isolevel/internal/history"
 	"isolevel/internal/lock"
 	"isolevel/internal/locking"
@@ -165,7 +166,18 @@ var Phenomena = phenomena.All
 func Exhibits(id PhenomenonID, h History) bool { return phenomena.Exhibits(id, h) }
 
 // PhenomenaProfile returns all phenomena h exhibits.
-func PhenomenaProfile(h History) map[PhenomenonID]bool { return phenomena.Profile(h) }
+func PhenomenaProfile(h History) map[PhenomenonID]bool {
+	out := map[PhenomenonID]bool{}
+	for id := range phenomena.Profile(h) {
+		out[id] = true
+	}
+	return out
+}
+
+// StreamingProfile is PhenomenaProfile computed by the incremental
+// checker: one pass, per-op work bounded by live transactions rather than
+// history length. Equivalent to PhenomenaProfile on well-formed histories.
+func StreamingProfile(h History) map[PhenomenonID]bool { return phenomena.StreamProfile(h) }
 
 // ConflictSerializable reports whether h's committed projection is
 // conflict-serializable (acyclic dependency graph, §2.1).
@@ -280,6 +292,23 @@ var (
 	CommitStep = schedule.CommitStep
 	AbortStep  = schedule.AbortStep
 )
+
+// --- Differential isolation fuzzing ---
+
+// FuzzOptions configure a fuzz campaign (see internal/exerciser).
+type FuzzOptions = exerciser.Options
+
+// FuzzReport is a campaign's deterministic outcome.
+type FuzzReport = exerciser.Report
+
+// FuzzFinding is one oracle violation, with its minimized history when
+// shrinking was requested.
+type FuzzFinding = exerciser.Finding
+
+// Fuzz runs a differential fuzz campaign: seeded generated schedules
+// replayed on every engine family at every isolation level, recorded
+// traces normalized and checked against the Table 4 oracle.
+func Fuzz(opts FuzzOptions) (*FuzzReport, error) { return exerciser.Run(opts) }
 
 // --- Workloads (benchmarks) ---
 
