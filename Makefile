@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench fuzz fuzz-determinism
+.PHONY: verify build test race vet bench fuzz fuzz-mixed fuzz-determinism
 
 verify: vet build race ## what CI runs: vet + build + race-enabled tests
 
@@ -24,8 +24,18 @@ bench:
 fuzz:
 	$(GO) run ./cmd/isolevel fuzz -seed 1 -n 1000
 
-# The same campaign run twice must be byte-for-byte identical.
+# Mixed isolation levels: every transaction of a schedule at its own
+# sampled level (all six locking degrees in one lock manager, SI + RC on
+# the unified mv engine), judged by the per-transaction oracle.
+fuzz-mixed:
+	$(GO) run ./cmd/isolevel fuzz -mixed -seed 1 -n 500
+
+# The same campaign run twice must be byte-for-byte identical — uniform
+# and mixed alike.
 fuzz-determinism:
 	$(GO) run ./cmd/isolevel fuzz -seed 1 -n 1000 > /tmp/isolevel-fuzz-a.out
 	$(GO) run ./cmd/isolevel fuzz -seed 1 -n 1000 > /tmp/isolevel-fuzz-b.out
 	diff /tmp/isolevel-fuzz-a.out /tmp/isolevel-fuzz-b.out
+	$(GO) run ./cmd/isolevel fuzz -mixed -seed 1 -n 500 > /tmp/isolevel-fuzz-ma.out
+	$(GO) run ./cmd/isolevel fuzz -mixed -seed 1 -n 500 > /tmp/isolevel-fuzz-mb.out
+	diff /tmp/isolevel-fuzz-ma.out /tmp/isolevel-fuzz-mb.out

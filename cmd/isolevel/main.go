@@ -86,8 +86,12 @@ commands:
   table -n N                  regenerate one table (1, 2, 3 or 4)
   figure2                     measured isolation hierarchy (Figure 2)
   check -history "w1[x] ..."  classify a history in the paper's notation
+        -levels "T1=RR T2=RC" additionally judge it with the per-transaction
+                              oracle (codes: D0 RU RC CS RR SER SI ORC)
   check -f FILE|-             classify histories from a file or stdin,
-                              one per line (fuzz findings, corpus files)
+                              one per line (fuzz findings, corpus files);
+                              a "# levels: T1=RR T2=RC" comment annotates
+                              the next history for the per-transaction oracle
   run -id ID [-variant V] -level LEVEL   run one anomaly scenario live
   scenarios                   list the anomaly scenario catalog
   paper                       replay the paper's H1-H5 analyses
@@ -104,9 +108,14 @@ commands:
         schedules replayed on every engine family x level, traces checked
         against the Table 4 oracle; findings are shrunk to minimal
         histories in the paper's notation
+        -mixed: per-transaction level assignments — every transaction at
+        its own sampled level (all six locking degrees in one lock
+        manager; SI + RC interleaved on the unified mv engine), judged by
+        the per-transaction oracle (a phenomenon is a violation only when
+        charged to a transaction whose own level forbids it)
         knobs: -txs -items -ops -abort -mix r:W,w:W,p:W,rc:W,wc:W
-               -engines locking,snapshot,oraclerc -levels L1,L2 -workers W
-               -shards N -start I -oracle LEVEL -v
+               -engines locking,snapshot,oraclerc (mixed: locking,mv)
+               -levels L1,L2 -workers W -shards N -start I -oracle LEVEL -v
 `)
 }
 
@@ -176,7 +185,8 @@ func cmdFigure2() error {
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	src := fs.String("history", "", "history in the paper's notation, e.g. \"w1[x] r2[x] c1 c2\"")
-	file := fs.String("f", "", "file of histories, one per line (# comments and blank lines skipped); \"-\" reads stdin")
+	levels := fs.String("levels", "", "per-transaction level assignment for -history, e.g. \"T1=RR T2=RC\" (codes: D0 RU RC CS RR SER SI ORC)")
+	file := fs.String("f", "", "file of histories, one per line (# comments and blank lines skipped; a \"# levels: T1=RR T2=RC\" line annotates the next history); \"-\" reads stdin")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -188,7 +198,15 @@ func cmdCheck(args []string) error {
 		if err != nil {
 			return err
 		}
-		checkOne(h)
+		var assign *exerciser.Assign
+		if *levels != "" {
+			a, err := exerciser.ParseAssign(*levels)
+			if err != nil {
+				return err
+			}
+			assign = &a
+		}
+		checkOne(h, assign)
 		return nil
 	case *file != "":
 		return checkFile(*file)
@@ -198,7 +216,11 @@ func cmdCheck(args []string) error {
 }
 
 // checkFile replays every history in the file (or stdin for "-") through
-// the classifier — the replay path for fuzz findings and corpus files.
+// the classifier — the replay path for fuzz findings and corpus files. A
+// "# levels: T1=RR T2=RC" comment annotates the next history line with a
+// per-transaction level assignment; annotated histories are additionally
+// judged by the per-transaction oracle, plain ones keep the uniform
+// classification only.
 func checkFile(path string) error {
 	var r io.Reader
 	if path == "-" {
@@ -214,11 +236,24 @@ func checkFile(path string) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	n, bad := 0, 0
+	var pending *exerciser.Assign
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
 			continue
 		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# levels:"); ok {
+				a, err := exerciser.ParseAssign(strings.TrimSpace(rest))
+				if err != nil {
+					return fmt.Errorf("levels annotation before history %d: %w", n+1, err)
+				}
+				pending = &a
+			}
+			continue
+		}
+		assign := pending
+		pending = nil
 		h, err := history.Parse(line)
 		if err != nil {
 			bad++
@@ -227,7 +262,7 @@ func checkFile(path string) error {
 			continue
 		}
 		fmt.Printf("== history %d ==\n", n+1)
-		checkOne(h)
+		checkOne(h, assign)
 		fmt.Println()
 		n++
 	}
@@ -245,9 +280,15 @@ func checkFile(path string) error {
 
 // checkOne classifies a single history: phenomena (batch matchers, whose
 // matches are reused from Profile rather than re-detected per id),
-// serializability, and Table 3 admission.
-func checkOne(h history.History) {
+// serializability, and Table 3 admission. With a per-transaction level
+// assignment it additionally runs the per-transaction oracle: every
+// witnessed phenomenon is charged to its victim, and only the charges a
+// victim's own level forbids are violations.
+func checkOne(h history.History, assign *exerciser.Assign) {
 	fmt.Println("history:", h)
+	if assign != nil {
+		fmt.Println("levels: ", assign.Annotation())
+	}
 	fmt.Println()
 	prof := phenomena.Profile(h)
 	var ids []string
@@ -262,6 +303,23 @@ func checkOne(h history.History) {
 		for _, id := range ids {
 			for _, m := range prof[phenomena.ID(id)] {
 				fmt.Printf("  %-4s %-18s %s\n", id, phenomena.Name(phenomena.ID(id)), m.Comment)
+			}
+		}
+	}
+	if assign != nil {
+		fmt.Println()
+		fmt.Println("per-transaction oracle:")
+		charges := exerciser.NewOracle().Charges(phenomena.Attribution(h), assign.Level)
+		if len(charges) == 0 {
+			if len(ids) == 0 {
+				fmt.Println("  no phenomena witnessed")
+			} else {
+				fmt.Println("  no violation: every witnessed phenomenon is charged to a transaction whose level allows it (or excused by a below-degree-1 writer)")
+			}
+		} else {
+			for _, c := range charges {
+				fmt.Printf("  VIOLATION: %s charged to T%d (%s), against T%d (%s)\n",
+					c.ID, c.Victim, assign.Level(c.Victim), c.Other, assign.Level(c.Other))
 			}
 		}
 	}
@@ -558,6 +616,7 @@ func cmdFuzz(args []string) error {
 	levels := fs.String("levels", "", "comma list of isolation levels (default: every level each family implements)")
 	workers := fs.Int("workers", 1, "campaign worker goroutines (report is identical at any count)")
 	shards := fs.Int("shards", 0, "engine stripe count (0 = default)")
+	mixed := fs.Bool("mixed", false, "per-transaction level assignments: sample a level per transaction from each family's set and judge with the per-transaction oracle")
 	oracleLevel := fs.String("oracle", "", "check every trace against this level's forbidden set instead of its own (testing hook)")
 	noShrink := fs.Bool("no-shrink", false, "skip minimizing findings")
 	maxShrink := fs.Int("max-shrink", 5, "maximum findings to minimize (each minimization reruns the schedule many times)")
@@ -588,6 +647,7 @@ func cmdFuzz(args []string) error {
 	opts := exerciser.Options{
 		Seed: *seed, N: *n, Start: *start,
 		Params: params, Shards: *shards, Workers: *workers,
+		Mixed:  *mixed,
 		Shrink: !*noShrink, MaxShrink: *maxShrink,
 	}
 	if *engines != "" {

@@ -63,6 +63,20 @@
 // check (phenomena.Stream, deps.Builder) → judge (matrix-derived oracle)
 // → shrink.
 //
+// Isolation level is a per-transaction property throughout that pipeline,
+// the way the paper's Table 2 defines each *transaction's* lock protocol:
+// schedule.Options assigns a level per script transaction, the streaming
+// checkers attribute every witnessed phenomenon to its participating
+// transaction pair, and the oracle judges per transaction — a phenomenon
+// is a violation only when charged to a transaction whose own level
+// forbids it (a Degree 1 writer may exhibit P1 against itself; a
+// REPEATABLE READ reader must never be the dirty-read victim of a
+// degree >= 1 writer). `isolevel fuzz -mixed` samples a level per
+// transaction (all six locking degrees in one lock manager; SNAPSHOT
+// ISOLATION and READ CONSISTENCY interleaved on the unified mv engine of
+// internal/mvcc), and `isolevel check -f` accepts "# levels: T1=RR T2=RC"
+// annotations to replay mixed findings.
+//
 // See the examples/ directory for runnable demonstrations of the paper's
 // anomalies and the cmd/isolevel CLI for table regeneration.
 package isolevel

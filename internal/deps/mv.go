@@ -67,27 +67,36 @@ func MapEventsToSV(events []SVEvent) history.History {
 	return out
 }
 
+// TxEvents returns the two event blocks one transaction contributes to
+// the single-valued mapping: its reads at Start, and — committed — its
+// writes plus commit at Commit, or — aborted — an abort back at Start
+// (its writes never became visible to anyone). Seq and seq+1 are the
+// blocks' tie-breaks; MapToSV and the mixed-run normalizer
+// (internal/exerciser) both build their event streams from this one
+// helper, so the slot placement cannot drift between them.
+func TxEvents(t MVTxn, seq int) [2]SVEvent {
+	reads := append(history.History{}, t.Reads...)
+	var tail history.History
+	tailTS := t.Start
+	if t.Committed {
+		tail = append(append(tail, t.Writes...), history.Op{Tx: t.Tx, Kind: history.Commit, Version: -1})
+		tailTS = t.Commit
+	} else {
+		tail = history.History{{Tx: t.Tx, Kind: history.Abort, Version: -1}}
+	}
+	return [2]SVEvent{{t.Start, seq, reads}, {tailTS, seq + 1, tail}}
+}
+
 // MapToSV maps an SI execution to the paper's single-valued history:
 // committed transactions contribute their reads at Start and their writes
 // plus commit at Commit; aborted transactions contribute their reads at
-// Start and an abort (their writes never became visible to anyone). Events
-// are ordered by timestamp.
+// Start and an abort. Events are ordered by timestamp.
 func MapToSV(txns []MVTxn) history.History {
 	var events []SVEvent
 	seq := 0
 	for _, t := range txns {
-		reads := append(history.History{}, t.Reads...)
-		var tail history.History
-		tailTS := t.Start
-		if t.Committed {
-			tail = append(append(tail, t.Writes...), history.Op{Tx: t.Tx, Kind: history.Commit, Version: -1})
-			tailTS = t.Commit
-		} else {
-			tail = history.History{{Tx: t.Tx, Kind: history.Abort, Version: -1}}
-		}
-		events = append(events,
-			SVEvent{t.Start, seq, reads},
-			SVEvent{tailTS, seq + 1, tail})
+		ev := TxEvents(t, seq)
+		events = append(events, ev[0], ev[1])
 		seq += 2
 	}
 	return MapEventsToSV(events)

@@ -8,6 +8,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"isolevel/internal/data"
 	"isolevel/internal/predicate"
@@ -70,6 +71,47 @@ func (l Level) String() string {
 		return "READ CONSISTENCY"
 	}
 	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Code returns the short mnemonic used by per-transaction level
+// annotations ("# levels: T1=RR T2=SI ...") and by mixed-run reports:
+// D0, RU, RC, CS, RR, SER, SI, ORC.
+func (l Level) Code() string {
+	switch l {
+	case Degree0:
+		return "D0"
+	case ReadUncommitted:
+		return "RU"
+	case ReadCommitted:
+		return "RC"
+	case CursorStability:
+		return "CS"
+	case RepeatableRead:
+		return "RR"
+	case Serializable:
+		return "SER"
+	case SnapshotIsolation:
+		return "SI"
+	case ReadConsistency:
+		return "ORC"
+	}
+	return fmt.Sprintf("L%d", int(l))
+}
+
+// ParseLevel resolves a level from its full name ("REPEATABLE READ"), its
+// short code ("RR"), or the full name with spaces dropped or replaced by
+// underscores ("REPEATABLEREAD", "repeatable_read") — the last form is
+// what single-token contexts like "# levels: T1=REPEATABLE_READ" need.
+// Case-insensitive.
+func ParseLevel(s string) (Level, bool) {
+	squeezed := strings.ReplaceAll(s, "_", "")
+	for _, l := range Levels {
+		if strings.EqualFold(s, l.String()) || strings.EqualFold(s, l.Code()) ||
+			strings.EqualFold(squeezed, strings.ReplaceAll(l.String(), " ", "")) {
+			return l, true
+		}
+	}
+	return 0, false
 }
 
 // Engine errors. Engines wrap these (errors.Is-compatible) so detectors can

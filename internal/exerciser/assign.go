@@ -1,0 +1,131 @@
+package exerciser
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"isolevel/internal/engine"
+)
+
+// Assign is a per-transaction isolation level assignment — the paper's
+// Table 2 framing made executable: each transaction of a schedule runs its
+// own lock protocol (or multiversion policy), and the oracle judges each
+// transaction against its own contract. A nil PerTx is a uniform
+// assignment (every transaction at Uniform), which is the pre-mixed-mode
+// behavior of the whole stack.
+type Assign struct {
+	Uniform engine.Level
+	PerTx   map[int]engine.Level
+}
+
+// UniformAssign assigns every transaction the same level.
+func UniformAssign(l engine.Level) Assign { return Assign{Uniform: l} }
+
+// PerTxAssign wraps an explicit per-transaction map (uniform fallback for
+// transactions outside the map: the map's lowest-numbered entry's level,
+// so a fully covered schedule behaves identically however it is queried).
+func PerTxAssign(perTx map[int]engine.Level) Assign {
+	a := Assign{PerTx: perTx}
+	first := -1
+	for txn, l := range perTx {
+		if first < 0 || txn < first {
+			first, a.Uniform = txn, l
+		}
+	}
+	return a
+}
+
+// Level returns the level transaction txn runs at.
+func (a Assign) Level(txn int) engine.Level {
+	if l, ok := a.PerTx[txn]; ok {
+		return l
+	}
+	return a.Uniform
+}
+
+// Mixed reports whether the assignment is per-transaction.
+func (a Assign) Mixed() bool { return len(a.PerTx) > 0 }
+
+// String renders the assignment: the bare level name for uniform
+// assignments (matching the pre-mixed finding format), or the annotation
+// form "T1=D0 T2=RR ..." for per-transaction ones.
+func (a Assign) String() string {
+	if !a.Mixed() {
+		return a.Uniform.String()
+	}
+	return a.Annotation()
+}
+
+// Annotation renders the per-transaction form "T1=D0 T2=RR ..." (level
+// short codes, ascending transaction number) — exactly the syntax
+// `isolevel check -f` accepts on a "# levels:" line, so a finding's
+// assignment can be pasted in front of its minimized history to replay it.
+func (a Assign) Annotation() string {
+	txns := make([]int, 0, len(a.PerTx))
+	for txn := range a.PerTx {
+		txns = append(txns, txn)
+	}
+	sort.Ints(txns)
+	parts := make([]string, len(txns))
+	for i, txn := range txns {
+		parts[i] = fmt.Sprintf("T%d=%s", txn, a.PerTx[txn].Code())
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseAssign reads the annotation form "T1=RR T2=RC ..." — levels as
+// short codes or spaceless full names ("SERIALIZABLE", "REPEATABLE_READ"),
+// case-insensitive; multi-word names need the underscore form because
+// assignments split on whitespace.
+func ParseAssign(src string) (Assign, error) {
+	perTx := map[int]engine.Level{}
+	for _, field := range strings.Fields(src) {
+		eq := strings.IndexByte(field, '=')
+		if eq < 0 || len(field) < 4 || (field[0] != 'T' && field[0] != 't') {
+			return Assign{}, fmt.Errorf("bad level assignment %q (want Tn=LEVEL)", field)
+		}
+		txn, err := strconv.Atoi(field[1:eq])
+		if err != nil {
+			return Assign{}, fmt.Errorf("bad transaction number in %q", field)
+		}
+		lvl, ok := engine.ParseLevel(field[eq+1:])
+		if !ok {
+			return Assign{}, fmt.Errorf("unknown level %q in %q (codes: D0 RU RC CS RR SER SI ORC)", field[eq+1:], field)
+		}
+		if _, dup := perTx[txn]; dup {
+			return Assign{}, fmt.Errorf("duplicate assignment for T%d", txn)
+		}
+		perTx[txn] = lvl
+	}
+	if len(perTx) == 0 {
+		return Assign{}, fmt.Errorf("empty level assignment")
+	}
+	return PerTxAssign(perTx), nil
+}
+
+// MixedAssign samples a level per transaction from the family's supported
+// set, deterministically from (seed, family name): the same schedule index
+// always re-runs under the same assignment, on any worker count, so mixed
+// campaigns stay byte-for-byte reproducible and findings replayable.
+func MixedAssign(seed int64, fam Family, txs int) Assign {
+	rng := rand.New(rand.NewSource(int64(splitmix64(uint64(seed) ^ hash64(fam.Name)))))
+	perTx := make(map[int]engine.Level, txs)
+	for txn := 1; txn <= txs; txn++ {
+		perTx[txn] = fam.Levels[rng.Intn(len(fam.Levels))]
+	}
+	return Assign{Uniform: fam.Levels[0], PerTx: perTx}
+}
+
+// hash64 is FNV-1a over s (a fixed seed split per family, independent of
+// process state).
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -29,16 +29,26 @@ type Options struct {
 	// are byte-for-byte identical at any worker count, on any GOMAXPROCS,
 	// with or without the race detector.
 	Workers int
+	// Mixed switches the campaign to per-transaction level assignments:
+	// each schedule runs once per MixedFamilies() family, every
+	// transaction at a level sampled (deterministically from the schedule
+	// seed and family name) from that family's supported set, and traces
+	// are judged by the per-transaction oracle — a phenomenon is a
+	// violation only when charged to a transaction whose own level
+	// forbids it.
+	Mixed bool
 	// Families restricts the engine families ran (nil/empty = all).
 	Families []string
-	// Levels restricts the isolation levels ran (nil/empty = all).
+	// Levels restricts the isolation levels ran — for mixed campaigns,
+	// the set levels are sampled from (nil/empty = all).
 	Levels []engine.Level
 	// OracleLevel, when non-nil, checks every trace against that level's
-	// forbidden set instead of the executing level's own — the testing
+	// forbidden set instead of the executing levels' own — the testing
 	// hook that makes findings manufacturable from correct engines (a
 	// weak level's traces judged by a stronger level's contract is
 	// exactly the "engine claims a level it does not implement" bug
-	// class).
+	// class). In mixed mode it judges every transaction at that level
+	// regardless of the level it executed at.
 	OracleLevel *engine.Level
 	// Shrink minimizes findings; MaxShrink caps how many (default 5 —
 	// each minimization reruns the schedule many times). The report notes
@@ -47,21 +57,34 @@ type Options struct {
 	MaxShrink int
 }
 
-// config is one (family, level) cell of the campaign matrix.
+// config is one cell of the campaign matrix: a (family, level) pair for
+// uniform campaigns, or a family whose levels are sampled per transaction
+// for mixed ones.
 type config struct {
 	fam   Family
 	level engine.Level
+	mixed bool
 }
 
-// LevelStats aggregates one (family, level) cell across the campaign.
+// LevelStats aggregates one campaign cell across the campaign.
 type LevelStats struct {
-	Family    string
-	Level     engine.Level
+	Family string
+	Level  engine.Level
+	// Mixed marks a per-transaction-assignment cell; Level is meaningless
+	// there and the report prints "mixed".
+	Mixed     bool
 	Runs      int
 	Commits   int
 	Aborts    int
 	Phenomena map[phenomena.ID]bool // union of observed profiles
 	Findings  int
+}
+
+func (st LevelStats) levelLabel() string {
+	if st.Mixed {
+		return "mixed"
+	}
+	return st.Level.String()
 }
 
 // Report is the campaign outcome.
@@ -76,7 +99,8 @@ type Report struct {
 	Shrunk int
 	// Divergences counts same-level profile disagreements between
 	// families (informational; zero whenever, as today, each level is
-	// implemented by exactly one family).
+	// implemented by exactly one family; not applicable to mixed
+	// campaigns, whose families sample from different level sets).
 	Divergences int
 }
 
@@ -105,6 +129,27 @@ func (o Options) configs() []config {
 		lvlFilter[l] = true
 	}
 	var out []config
+	if o.Mixed {
+		for _, fam := range MixedFamilies() {
+			if len(famFilter) > 0 && !famFilter[fam.Name] {
+				continue
+			}
+			if len(lvlFilter) > 0 {
+				var kept []engine.Level
+				for _, lvl := range fam.Levels {
+					if lvlFilter[lvl] {
+						kept = append(kept, lvl)
+					}
+				}
+				if len(kept) == 0 {
+					continue
+				}
+				fam.Levels = kept
+			}
+			out = append(out, config{fam: fam, mixed: true})
+		}
+		return out
+	}
 	for _, fam := range Families() {
 		if len(famFilter) > 0 && !famFilter[fam.Name] {
 			continue
@@ -113,7 +158,7 @@ func (o Options) configs() []config {
 			if len(lvlFilter) > 0 && !lvlFilter[lvl] {
 				continue
 			}
-			out = append(out, config{fam, lvl})
+			out = append(out, config{fam: fam, level: lvl})
 		}
 	}
 	return out
@@ -130,9 +175,9 @@ type indexResult struct {
 }
 
 // Run executes the campaign: N schedules, each replayed on every selected
-// (family, level) cell, checked against the oracle, findings optionally
+// cell, checked against the (per-transaction) oracle, findings optionally
 // shrunk. The report is deterministic in (Seed, Start, N, Params, Shards,
-// filters) — worker count only changes wall-clock time.
+// Mixed, filters) — worker count only changes wall-clock time.
 func Run(opts Options) (*Report, error) {
 	if opts.N < 0 {
 		opts.N = 0
@@ -148,11 +193,13 @@ func Run(opts Options) (*Report, error) {
 		return nil, fmt.Errorf("exerciser: no engine/level selected")
 	}
 	oracle := NewOracle()
-	forbiddenFor := func(level engine.Level) map[phenomena.ID]bool {
+	// judgeFor is the contract a run's traces are held to: the executing
+	// assignment, unless the campaign overrides the oracle level.
+	judgeFor := func(exec Assign) Assign {
 		if opts.OracleLevel != nil {
-			return oracle.Forbidden(*opts.OracleLevel)
+			return UniformAssign(*opts.OracleLevel)
 		}
-		return oracle.Forbidden(level)
+		return exec
 	}
 
 	results := make([]indexResult, opts.N)
@@ -165,7 +212,11 @@ func Run(opts Options) (*Report, error) {
 			profiles: make([]map[phenomena.ID]bool, len(configs)),
 		}
 		for ci, cfg := range configs {
-			rr, err := RunOne(sched, cfg.fam, cfg.level, opts.Shards)
+			assign := UniformAssign(cfg.level)
+			if cfg.mixed {
+				assign = MixedAssign(seed, cfg.fam, opts.Params.Txs)
+			}
+			rr, err := RunOne(sched, cfg.fam, assign, opts.Shards)
 			if err != nil {
 				res.err = err
 				return res
@@ -181,29 +232,33 @@ func Run(opts Options) (*Report, error) {
 				}
 			}
 			res.profiles[ci] = rr.Profile
-			for _, f := range Check(sched, rr, forbiddenFor(cfg.level)) {
+			for _, f := range Check(sched, rr, oracle, judgeFor(assign)) {
 				f.Index = opts.Start + i
 				res.findings = append(res.findings, f)
 			}
 		}
-		// Cross-family differential: families running the same level must
-		// agree on the phenomenon profile of the same schedule.
-		byLevel := map[engine.Level]int{}
-		for ci, cfg := range configs {
-			if prev, ok := byLevel[cfg.level]; ok {
-				if !sameProfile(res.profiles[prev], res.profiles[ci]) {
-					res.findings = append(res.findings, Finding{
-						Index:     opts.Start + i,
-						SchedSeed: seed,
-						Family:    configs[prev].fam.Name + " vs " + cfg.fam.Name,
-						Level:     cfg.level,
-						Kind:      "divergence",
-						Detail: fmt.Sprintf("profiles differ: %s vs %s",
-							idsString(res.profiles[prev]), idsString(res.profiles[ci])),
-					})
+		// Cross-family differential: families running the same uniform
+		// level must agree on the phenomenon profile of the same schedule.
+		// (Mixed cells sample different level sets per family, so their
+		// profiles legitimately differ.)
+		if !opts.Mixed {
+			byLevel := map[engine.Level]int{}
+			for ci, cfg := range configs {
+				if prev, ok := byLevel[cfg.level]; ok {
+					if !sameProfile(res.profiles[prev], res.profiles[ci]) {
+						res.findings = append(res.findings, Finding{
+							Index:     opts.Start + i,
+							SchedSeed: seed,
+							Family:    configs[prev].fam.Name + " vs " + cfg.fam.Name,
+							Assign:    UniformAssign(cfg.level),
+							Kind:      "divergence",
+							Detail: fmt.Sprintf("profiles differ: %s vs %s",
+								idsString(res.profiles[prev]), idsString(res.profiles[ci])),
+						})
+					}
+				} else {
+					byLevel[cfg.level] = ci
 				}
-			} else {
-				byLevel[cfg.level] = ci
 			}
 		}
 		return res
@@ -242,7 +297,8 @@ func Run(opts Options) (*Report, error) {
 	rep := &Report{Opts: opts, Configs: len(configs)}
 	for _, cfg := range configs {
 		rep.Stats = append(rep.Stats, LevelStats{
-			Family: cfg.fam.Name, Level: cfg.level, Phenomena: map[phenomena.ID]bool{},
+			Family: cfg.fam.Name, Level: cfg.level, Mixed: cfg.mixed,
+			Phenomena: map[phenomena.ID]bool{},
 		})
 	}
 	for i := 0; i < opts.N; i++ {
@@ -265,9 +321,13 @@ func Run(opts Options) (*Report, error) {
 				rep.Divergences++
 			} else {
 				for ci, cfg := range configs {
-					if cfg.fam.Name == f.Family && cfg.level == f.Level {
-						rep.Stats[ci].Findings++
+					if cfg.fam.Name != f.Family || cfg.mixed != f.Assign.Mixed() {
+						continue
 					}
+					if !cfg.mixed && cfg.level != f.Assign.Uniform {
+						continue
+					}
+					rep.Stats[ci].Findings++
 				}
 			}
 			rep.Findings = append(rep.Findings, f)
@@ -283,12 +343,12 @@ func Run(opts Options) (*Report, error) {
 			if f.Kind == "divergence" {
 				continue
 			}
-			fam, ok := familyByName(f.Family)
+			fam, ok := familyByName(f.Family, opts.Mixed)
 			if !ok {
 				continue
 			}
 			sched := Generate(f.SchedSeed, opts.Params)
-			if min := ShrinkFinding(sched, *f, fam, opts.Shards, forbiddenFor(f.Level)); min != nil {
+			if min := ShrinkFinding(sched, *f, fam, opts.Shards, oracle, judgeFor(f.Assign)); min != nil {
 				f.Minimized = min.History()
 				rep.Shrunk++
 			}
@@ -297,8 +357,12 @@ func Run(opts Options) (*Report, error) {
 	return rep, nil
 }
 
-func familyByName(name string) (Family, bool) {
-	for _, fam := range Families() {
+func familyByName(name string, mixed bool) (Family, bool) {
+	fams := Families()
+	if mixed {
+		fams = MixedFamilies()
+	}
+	for _, fam := range fams {
 		if fam.Name == name {
 			return fam, true
 		}
@@ -333,15 +397,19 @@ func (r *Report) Violations() int {
 func (r *Report) String() string {
 	var b strings.Builder
 	p := r.Opts.Params
-	fmt.Fprintf(&b, "fuzz: seed=%d schedules=%d (start %d) txs=%d items=%d ops~%d abort=%.2f shards=%d\n",
-		r.Opts.Seed, r.Opts.N, r.Opts.Start, p.Txs, p.Items, p.OpsPerTx, p.AbortFrac, r.Opts.Shards)
+	mode := ""
+	if r.Opts.Mixed {
+		mode = " mode=mixed"
+	}
+	fmt.Fprintf(&b, "fuzz: seed=%d schedules=%d (start %d) txs=%d items=%d ops~%d abort=%.2f shards=%d%s\n",
+		r.Opts.Seed, r.Opts.N, r.Opts.Start, p.Txs, p.Items, p.OpsPerTx, p.AbortFrac, r.Opts.Shards, mode)
 	if r.Opts.OracleLevel != nil {
 		fmt.Fprintf(&b, "oracle override: checking every trace against %s\n", *r.Opts.OracleLevel)
 	}
 	fmt.Fprintf(&b, "%-9s %-19s %6s %8s %8s %4s  %s\n", "family", "level", "runs", "commits", "aborts", "viol", "phenomena observed")
 	for _, st := range r.Stats {
 		fmt.Fprintf(&b, "%-9s %-19s %6d %8d %8d %4d  %s\n",
-			st.Family, st.Level, st.Runs, st.Commits, st.Aborts, st.Findings, idsString(st.Phenomena))
+			st.Family, st.levelLabel(), st.Runs, st.Commits, st.Aborts, st.Findings, idsString(st.Phenomena))
 	}
 	sort.SliceStable(r.Findings, func(i, j int) bool { return r.Findings[i].Index < r.Findings[j].Index })
 	fmt.Fprintf(&b, "runs=%d findings=%d divergences=%d\n", r.Runs, r.Violations(), r.Divergences)

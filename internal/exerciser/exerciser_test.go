@@ -1,6 +1,7 @@
 package exerciser
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -185,7 +186,7 @@ func TestSnapshotNormalization(t *testing.T) {
 			snap = fam
 		}
 	}
-	rr, err := RunOne(s, snap, engine.SnapshotIsolation, 0)
+	rr, err := RunOne(s, snap, UniformAssign(engine.SnapshotIsolation), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestSnapshotNormalization(t *testing.T) {
 	if !rr.Profile[phenomena.A5B] {
 		t.Errorf("mapped SI trace lacks write skew: %s", rr.Normalized)
 	}
-	if fs := Check(s, rr, NewOracle().Forbidden(engine.SnapshotIsolation)); len(fs) != 0 {
+	if fs := Check(s, rr, NewOracle(), UniformAssign(engine.SnapshotIsolation)); len(fs) != 0 {
 		t.Errorf("write skew is allowed at SI, got findings: %v", fs)
 	}
 	// Write skew is the canonical non-serializable SI execution.
@@ -224,7 +225,7 @@ func TestSnapshotReadCertification(t *testing.T) {
 			snap = fam
 		}
 	}
-	rr, err := RunOne(s, snap, engine.SnapshotIsolation, 0)
+	rr, err := RunOne(s, snap, UniformAssign(engine.SnapshotIsolation), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,14 +292,22 @@ func TestCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var expect []string
+			var expect, wantCharged []string
 			wantSer := ""
+			var levels string
 			var h history.History
 			for _, line := range strings.Split(string(raw), "\n") {
 				line = strings.TrimSpace(line)
 				switch {
 				case strings.HasPrefix(line, "# expect:"):
 					expect = strings.Fields(strings.TrimPrefix(line, "# expect:"))
+				case strings.HasPrefix(line, "# levels:"):
+					levels = strings.TrimSpace(strings.TrimPrefix(line, "# levels:"))
+				case strings.HasPrefix(line, "# charged:"):
+					wantCharged = strings.Fields(strings.TrimPrefix(line, "# charged:"))
+					if len(wantCharged) == 1 && wantCharged[0] == "none" {
+						wantCharged = []string{}
+					}
 				case strings.HasPrefix(line, "# serializable:"):
 					wantSer = strings.TrimSpace(strings.TrimPrefix(line, "# serializable:"))
 				case line == "" || strings.HasPrefix(line, "#"):
@@ -340,6 +349,38 @@ func TestCorpus(t *testing.T) {
 				sg := deps.StreamGraph(h)
 				if (sg.Cycle() == nil) != (wantSer == "yes") {
 					t.Errorf("streaming serializability disagrees with expectation %s", wantSer)
+				}
+			}
+			// Attribution: the batch matchers and the streaming checker must
+			// report identical participating-transaction sets on every
+			// corpus history, annotated or not.
+			battr := phenomena.Attribution(h)
+			sattr := phenomena.StreamAttribution(h)
+			if !reflect.DeepEqual(battr, sattr) {
+				t.Errorf("attribution differs:\n  batch  %v\n  stream %v", battr, sattr)
+			}
+			// Annotated files carry a per-transaction level assignment and
+			// the exact charges the per-transaction oracle must produce
+			// ("# charged: none" pins a negative: the phenomena are present
+			// but nobody whose level forbids them is validly charged).
+			if levels != "" {
+				assign, err := ParseAssign(levels)
+				if err != nil {
+					t.Fatalf("levels annotation: %v", err)
+				}
+				if wantCharged == nil {
+					t.Fatal("annotated corpus file lacks a # charged: line")
+				}
+				for name, attr := range map[string]map[phenomena.ID]map[phenomena.Pair]bool{
+					"batch": battr, "stream": sattr,
+				} {
+					got := []string{}
+					for _, ch := range NewOracle().Charges(attr, assign.Level) {
+						got = append(got, fmt.Sprintf("T%d:%s", ch.Victim, ch.ID))
+					}
+					if !reflect.DeepEqual(got, wantCharged) {
+						t.Errorf("%s charges = %v, want %v", name, got, wantCharged)
+					}
 				}
 			}
 		})

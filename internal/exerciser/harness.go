@@ -10,6 +10,7 @@ import (
 	"isolevel/internal/engine"
 	"isolevel/internal/history"
 	"isolevel/internal/locking"
+	"isolevel/internal/mvcc"
 	"isolevel/internal/oraclerc"
 	"isolevel/internal/phenomena"
 	"isolevel/internal/schedule"
@@ -24,16 +25,11 @@ type Family struct {
 	New    func(shards int) engine.DB
 }
 
-// Families lists every engine family in the repository. Together their
+// Families lists the engine families of uniform campaigns. Together their
 // level lists cover all eight levels of the extended Table 4.
 func Families() []Family {
 	return []Family{
-		{"locking", locking.LockingLevels, func(s int) engine.DB {
-			if s > 0 {
-				return locking.NewDB(locking.WithShards(s))
-			}
-			return locking.NewDB()
-		}},
+		lockingFamily(),
 		{"snapshot", []engine.Level{engine.SnapshotIsolation}, func(s int) engine.DB {
 			if s > 0 {
 				return snapshot.NewDB(snapshot.WithShards(s))
@@ -49,24 +45,59 @@ func Families() []Family {
 	}
 }
 
-// RunResult is one schedule executed on one engine at one level.
+// MixedFamilies lists the engine families of mixed-level campaigns: the
+// locking scheduler (whose six Table 2 degrees interleave in one lock
+// manager) and the unified multiversion engine (whose SNAPSHOT ISOLATION
+// and READ CONSISTENCY transactions share one store — see internal/mvcc).
+// The snapshot/oraclerc facades disappear here: they are single-level
+// restrictions of the mv family.
+func MixedFamilies() []Family {
+	return []Family{
+		lockingFamily(),
+		{"mv", []engine.Level{engine.SnapshotIsolation, engine.ReadConsistency}, func(s int) engine.DB {
+			if s > 0 {
+				return mvcc.NewDB(mvcc.WithShards(s))
+			}
+			return mvcc.NewDB()
+		}},
+	}
+}
+
+func lockingFamily() Family {
+	return Family{"locking", locking.LockingLevels, func(s int) engine.DB {
+		if s > 0 {
+			return locking.NewDB(locking.WithShards(s))
+		}
+		return locking.NewDB()
+	}}
+}
+
+// RunResult is one schedule executed on one engine under one level
+// assignment.
 type RunResult struct {
 	Family string
-	Level  engine.Level
+	// Assign is the per-transaction level assignment the run executed
+	// under (uniform for non-mixed campaigns).
+	Assign Assign
 	// Raw is the recorder trace in script transaction numbers — the order
 	// operations took effect inside the engine.
 	Raw history.History
 	// Normalized is the single-valued form the oracle checks: the raw
 	// trace for the locking family (recorded under locks, so trace order
-	// is conflict order), the paper's MV→SV mapping for the snapshot
-	// engine (reads at start timestamp, writes at commit timestamp), and
-	// the statement-level variant of the same mapping for Read
-	// Consistency.
+	// is conflict order), and the paper's MV→SV mapping for the
+	// multiversion families — each SNAPSHOT ISOLATION transaction's reads
+	// at its start timestamp and writes at its commit timestamp, each
+	// READ CONSISTENCY transaction's reads at their statement snapshots —
+	// merged into one event stream so mixed runs normalize coherently.
 	Normalized history.History
-	// Profile is the streaming phenomenon profile of Normalized.
+	// Attr is the streaming attributed profile of Normalized: exhibited
+	// phenomena with their participating transaction pairs.
+	Attr map[phenomena.ID]map[phenomena.Pair]bool
+	// Profile is Attr's key set (kept for stats and divergence checks).
 	Profile map[phenomena.ID]bool
-	// MVTxns is the snapshot engine's timestamped export (nil for other
-	// families), used for the first-committer-wins interval invariant.
+	// MVTxns are the SNAPSHOT ISOLATION transactions' timestamped exports
+	// (nil for other families), used for the first-committer-wins interval
+	// invariant.
 	MVTxns []deps.MVTxn
 	// mvReads / mvCommits are the multiversion families' timestamped
 	// reads and committed write sets (nil for locking), for the
@@ -94,15 +125,20 @@ type mvCommit struct {
 	writes map[data.Key]int64
 }
 
-// mvExporter is implemented by snapshot.Tx.
+// mvExporter is implemented by mvcc.SITx.
 type mvExporter interface {
 	MVTxn() (start, commit int64, committed bool, reads, writes history.History)
 }
 
-// RunOne replays the schedule on a fresh engine of the family at the
-// given level through the deterministic lockstep runner, then normalizes
-// the recorded trace for checking.
-func RunOne(s *Schedule, fam Family, level engine.Level, shards int) (*RunResult, error) {
+// svExporter is implemented by mvcc.RCTx.
+type svExporter interface {
+	SVTrace() (committed bool, commitSlot int64, reads []mvcc.TimedRead, writes history.History)
+}
+
+// RunOne replays the schedule on a fresh engine of the family under the
+// given per-transaction level assignment through the deterministic
+// lockstep runner, then normalizes the recorded trace for checking.
+func RunOne(s *Schedule, fam Family, assign Assign, shards int) (*RunResult, error) {
 	db := fam.New(shards)
 	db.Load(s.Setup()...)
 	steps, cap := s.Steps()
@@ -112,27 +148,98 @@ func RunOne(s *Schedule, fam Family, level engine.Level, shards int) (*RunResult
 	// exceed it and misclassify a merely slow op as blocked, which
 	// perturbs dispatch order and breaks byte-for-byte determinism across
 	// worker counts.
-	opts := schedule.Options{Level: level, StepTimeout: 10 * time.Second, DrainTimeout: 30 * time.Second}
+	opts := schedule.Options{
+		Level: assign.Uniform, PerTx: assign.PerTx,
+		StepTimeout: 10 * time.Second, DrainTimeout: 30 * time.Second,
+	}
 	res, err := schedule.Run(db, opts, steps)
 	if err != nil {
-		return nil, fmt.Errorf("exerciser: %s at %s (schedule seed %d): %w", fam.Name, level, s.Seed, err)
+		return nil, fmt.Errorf("exerciser: %s at %s (schedule seed %d): %w", fam.Name, assign, s.Seed, err)
 	}
 	rr := &RunResult{
 		Family:    fam.Name,
-		Level:     level,
+		Assign:    assign,
 		Raw:       res.History,
 		Committed: res.Committed,
 		Aborted:   res.Aborted,
 	}
-	switch fam.Name {
-	case "snapshot":
-		rr.MVTxns = snapshotMVTxns(s, cap)
-		rr.Normalized = deps.MapToSV(rr.MVTxns)
-		for _, t := range rr.MVTxns {
-			for _, op := range t.Reads {
-				rr.mvReads = append(rr.mvReads, mvRead{slot: t.Start, tx: t.Tx, key: op.Item, val: op.Value, hasVal: op.HasValue})
+	if fam.Name == "locking" {
+		rr.Normalized = res.History
+	} else {
+		rr.Normalized = mvNormalize(s, cap, rr)
+	}
+	rr.Attr = phenomena.StreamAttribution(rr.Normalized)
+	rr.Profile = make(map[phenomena.ID]bool, len(rr.Attr))
+	for id := range rr.Attr {
+		rr.Profile[id] = true
+	}
+	return rr, nil
+}
+
+// mvNormalize maps a multiversion run — pure SI, pure RC, or mixed — to
+// its single-valued history: every captured transaction contributes
+// timestamped event blocks (per the slot convention shared by SITx.MVTxn
+// and RCTx.SVTrace: commits at even slots 2*ts, snapshot reads at the odd
+// slot just above, 2*ts+1), and one MapEventsToSV call orders them all.
+// Along the way it collects the SI interval exports (for the FCW
+// invariant) and every timestamped read / committed write set (for the
+// snapshot-read value certification).
+func mvNormalize(s *Schedule, cap *capture, rr *RunResult) history.History {
+	var events []deps.SVEvent
+	seq := 0
+	for _, txn := range s.Txns() {
+		switch tx := cap.tx(txn).(type) {
+		case svExporter:
+			committed, commitSlot, reads, writes := tx.SVTrace()
+			lastRead := int64(0)
+			for _, r := range reads {
+				op := r.Op
+				op.Tx = txn
+				events = append(events, deps.SVEvent{TS: int64(r.TS), Seq: seq, Ops: history.History{op}})
+				seq++
+				lastRead = int64(r.TS)
+				rr.mvReads = append(rr.mvReads, mvRead{slot: int64(r.TS), tx: txn, key: op.Item, val: op.Value, hasVal: op.HasValue})
 			}
-			if t.Committed && len(t.Writes) > 0 {
+			var tail history.History
+			ts := lastRead
+			if committed {
+				for _, op := range writes {
+					op.Tx = txn
+					tail = append(tail, op)
+				}
+				tail = append(tail, history.Op{Tx: txn, Kind: history.Commit, Version: -1})
+				ts = commitSlot
+				if len(writes) > 0 {
+					c := mvCommit{slot: commitSlot, writes: map[data.Key]int64{}}
+					for _, op := range writes {
+						c.writes[op.Item] = op.Value
+					}
+					rr.mvCommits = append(rr.mvCommits, c)
+				}
+			} else {
+				tail = history.History{{Tx: txn, Kind: history.Abort, Version: -1}}
+			}
+			events = append(events, deps.SVEvent{TS: ts, Seq: seq, Ops: tail})
+			seq++
+		case mvExporter:
+			start, commit, committed, reads, writes := tx.MVTxn()
+			t := deps.MVTxn{Tx: txn, Start: start, Commit: commit, Committed: committed}
+			for _, op := range reads {
+				op.Tx = txn
+				t.Reads = append(t.Reads, op)
+			}
+			for _, op := range writes {
+				op.Tx = txn
+				t.Writes = append(t.Writes, op)
+			}
+			rr.MVTxns = append(rr.MVTxns, t)
+			ev := deps.TxEvents(t, seq)
+			events = append(events, ev[0], ev[1])
+			seq += 2
+			for _, op := range t.Reads {
+				rr.mvReads = append(rr.mvReads, mvRead{slot: t.Start, tx: txn, key: op.Item, val: op.Value, hasVal: op.HasValue})
+			}
+			if committed && len(t.Writes) > 0 {
 				c := mvCommit{slot: t.Commit, writes: map[data.Key]int64{}}
 				for _, op := range t.Writes {
 					c.writes[op.Item] = op.Value
@@ -140,84 +247,6 @@ func RunOne(s *Schedule, fam Family, level engine.Level, shards int) (*RunResult
 				rr.mvCommits = append(rr.mvCommits, c)
 			}
 		}
-	case "oraclerc":
-		rr.Normalized = oracleRCNormalized(s, cap, rr)
-	default:
-		rr.Normalized = res.History
-	}
-	rr.Profile = phenomena.StreamProfile(rr.Normalized)
-	return rr, nil
-}
-
-// snapshotMVTxns pulls each captured snapshot transaction's timestamped
-// export, rewriting engine transaction ids to script numbers.
-func snapshotMVTxns(s *Schedule, cap *capture) []deps.MVTxn {
-	var out []deps.MVTxn
-	for _, txn := range s.Txns() {
-		tx := cap.tx(txn)
-		exp, ok := tx.(mvExporter)
-		if !ok {
-			continue
-		}
-		start, commit, committed, reads, writes := exp.MVTxn()
-		t := deps.MVTxn{Tx: txn, Start: start, Commit: commit, Committed: committed}
-		for _, op := range reads {
-			op.Tx = txn
-			t.Reads = append(t.Reads, op)
-		}
-		for _, op := range writes {
-			op.Tx = txn
-			t.Writes = append(t.Writes, op)
-		}
-		out = append(out, t)
-	}
-	return out
-}
-
-// oracleRCNormalized maps a Read Consistency run to its single-valued
-// history — each statement's reads at that statement's snapshot slot,
-// committed write sets at their commit slot, aborted transactions'
-// writes dropped — and collects the timestamped reads/commits into rr
-// for the snapshot-read value certification.
-func oracleRCNormalized(s *Schedule, cap *capture, rr *RunResult) history.History {
-	var events []deps.SVEvent
-	seq := 0
-	for _, txn := range s.Txns() {
-		tx, ok := cap.tx(txn).(*oraclerc.Tx)
-		if !ok {
-			continue
-		}
-		committed, commitSlot, reads, writes := tx.SVTrace()
-		lastRead := int64(0)
-		for _, r := range reads {
-			op := r.Op
-			op.Tx = txn
-			events = append(events, deps.SVEvent{TS: int64(r.TS), Seq: seq, Ops: history.History{op}})
-			seq++
-			lastRead = int64(r.TS)
-			rr.mvReads = append(rr.mvReads, mvRead{slot: int64(r.TS), tx: txn, key: op.Item, val: op.Value, hasVal: op.HasValue})
-		}
-		var tail history.History
-		ts := lastRead
-		if committed {
-			for _, op := range writes {
-				op.Tx = txn
-				tail = append(tail, op)
-			}
-			tail = append(tail, history.Op{Tx: txn, Kind: history.Commit, Version: -1})
-			ts = commitSlot
-			if len(writes) > 0 {
-				c := mvCommit{slot: commitSlot, writes: map[data.Key]int64{}}
-				for _, op := range writes {
-					c.writes[op.Item] = op.Value
-				}
-				rr.mvCommits = append(rr.mvCommits, c)
-			}
-		} else {
-			tail = history.History{{Tx: txn, Kind: history.Abort, Version: -1}}
-		}
-		events = append(events, deps.SVEvent{TS: ts, Seq: seq, Ops: tail})
-		seq++
 	}
 	return deps.MapEventsToSV(events)
 }
@@ -230,13 +259,17 @@ type Finding struct {
 	Index     int
 	SchedSeed int64
 	Family    string
-	Level     engine.Level
-	// Kind classifies the finding: "oracle" (a Table 4-forbidden
-	// phenomenon), "serializability" (cyclic dependency graph at
-	// SERIALIZABLE), "fcw" (overlapping committed write sets under
-	// Snapshot Isolation), "provenance" (a read observed a value nobody
-	// wrote), or "divergence" (two families at the same level disagree on
-	// the phenomenon profile; informational).
+	// Assign is the level assignment the schedule executed under: uniform
+	// for plain campaigns, per-transaction for -mixed ones.
+	Assign Assign
+	// Kind classifies the finding: "oracle" (a phenomenon charged to a
+	// transaction whose level forbids it), "serializability" (cyclic
+	// dependency graph with every transaction at SERIALIZABLE), "fcw"
+	// (overlapping committed write sets under Snapshot Isolation),
+	// "provenance" (a read observed a value nobody wrote), "mv-read" (a
+	// snapshot read returning the wrong version's value), or "divergence"
+	// (two families at the same level disagree on the phenomenon profile;
+	// informational).
 	Kind   string
 	IDs    []phenomena.ID
 	Detail string
@@ -251,7 +284,7 @@ type Finding struct {
 
 func (f Finding) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "[%s] schedule %d (seed %d) on %s at %s", f.Kind, f.Index, f.SchedSeed, f.Family, f.Level)
+	fmt.Fprintf(&b, "[%s] schedule %d (seed %d) on %s at %s", f.Kind, f.Index, f.SchedSeed, f.Family, f.Assign)
 	if len(f.IDs) > 0 {
 		ids := make([]string, len(f.IDs))
 		for i, id := range f.IDs {
@@ -266,38 +299,62 @@ func (f Finding) String() string {
 	if f.Minimized != nil {
 		fmt.Fprintf(&b, "\n  minimized: %s", f.Minimized)
 	}
+	if f.Assign.Mixed() {
+		// The replay annotation: paste above either history in a file and
+		// `isolevel check -f` classifies it with the same per-transaction
+		// oracle.
+		fmt.Fprintf(&b, "\n  levels: # levels: %s", f.Assign.Annotation())
+	}
 	return b.String()
 }
 
 // Check runs every oracle over the run result and returns its findings
-// (without Index/SchedSeed, which the campaign fills in).
-func Check(s *Schedule, rr *RunResult, forbidden map[phenomena.ID]bool) []Finding {
+// (without Index/SchedSeed, which the campaign fills in). The judge
+// assignment is the per-transaction contract traces are held to —
+// normally the assignment the run executed under (rr.Assign); campaigns
+// with the -oracle override, and fault-injection tests, judge against a
+// different one.
+func Check(s *Schedule, rr *RunResult, o *Oracle, judge Assign) []Finding {
 	var out []Finding
 	base := Finding{
 		SchedSeed: s.Seed,
 		Family:    rr.Family,
-		Level:     rr.Level,
+		Assign:    rr.Assign,
 		History:   canonPreds(rr.Normalized),
 	}
 
-	// Table 4 oracle: the normalized trace must exhibit no phenomenon the
-	// level forbids.
-	var violated []phenomena.ID
-	for _, id := range phenomena.All {
-		if rr.Profile[id] && forbidden[id] {
-			violated = append(violated, id)
-		}
-	}
-	if len(violated) > 0 {
+	// Per-transaction Table 4 oracle: no witnessed phenomenon may be
+	// charged to a transaction whose own level forbids it.
+	if charges := o.Charges(rr.Attr, judge.Level); len(charges) > 0 {
 		f := base
 		f.Kind = "oracle"
-		f.IDs = violated
+		seen := map[phenomena.ID]bool{}
+		var details []string
+		for _, c := range charges {
+			if !seen[c.ID] {
+				seen[c.ID] = true
+				f.IDs = append(f.IDs, c.ID)
+			}
+			details = append(details, fmt.Sprintf("%s charged to T%d=%s (vs T%d=%s)",
+				c.ID, c.Victim, judge.Level(c.Victim).Code(), c.Other, judge.Level(c.Other).Code()))
+		}
+		f.Detail = strings.Join(details, "; ")
 		out = append(out, f)
 	}
 
-	// Degree 3 is serializability itself: the committed projection of a
-	// SERIALIZABLE trace must have an acyclic dependency graph.
-	if rr.Level == engine.Serializable {
+	// Degree 3 is serializability itself: when every transaction of the
+	// schedule ran at SERIALIZABLE, the committed projection of the trace
+	// must have an acyclic dependency graph. (With any weaker transaction
+	// in the mix the global graph may legally be cyclic — the weak
+	// transaction accepted that — so the check applies only to all-SER
+	// runs.)
+	allSer := true
+	for _, txn := range s.Txns() {
+		if rr.Assign.Level(txn) != engine.Serializable {
+			allSer = false
+		}
+	}
+	if allSer {
 		b := deps.NewBuilder()
 		for _, op := range rr.Normalized {
 			b.Feed(op)
@@ -312,7 +369,8 @@ func Check(s *Schedule, rr *RunResult, forbidden map[phenomena.ID]bool) []Findin
 
 	// First-committer-wins interval invariant: no two committed snapshot
 	// transactions with overlapping execution intervals may have
-	// intersecting write sets.
+	// intersecting write sets. (MVTxns holds exactly the SI transactions,
+	// so in a mixed mv run RC transactions are — correctly — exempt.)
 	if fcw := checkFCW(rr.MVTxns); fcw != "" {
 		f := base
 		f.Kind = "fcw"

@@ -1,6 +1,9 @@
 package exerciser
 
 import (
+	"fmt"
+	"sort"
+
 	"isolevel/internal/engine"
 	"isolevel/internal/matrix"
 	"isolevel/internal/phenomena"
@@ -85,4 +88,94 @@ func NewOracle() *Oracle {
 // Forbidden returns the identifiers traces at the level must not exhibit.
 func (o *Oracle) Forbidden(level engine.Level) map[phenomena.ID]bool {
 	return o.forbidden[level]
+}
+
+// forbids reports whether the level's contract rules out the identifier.
+func (o *Oracle) forbids(level engine.Level, id phenomena.ID) bool {
+	return o.forbidden[level][id]
+}
+
+// Charge is one per-transaction oracle violation: a witnessed phenomenon
+// attributed to a victim transaction whose own isolation level forbids it.
+type Charge struct {
+	ID     phenomena.ID
+	Victim int
+	Other  int
+}
+
+func (c Charge) String() string {
+	return fmt.Sprintf("%s charged to T%d (vs T%d)", c.ID, c.Victim, c.Other)
+}
+
+// Charges judges an attributed phenomenon profile against a per-transaction
+// level assignment and returns the violations, in (phenomena.All, victim,
+// other) order — deterministic for report emission.
+//
+// The mixed-level rules follow the degrees-of-consistency reading of
+// Table 2: every pattern occurrence is charged to the one participant
+// whose own lock acquisitions were supposed to prevent it, and only
+// becomes a violation when that victim's level forbids the phenomenon AND
+// the other participant held the minimum protocol the victim's guarantee
+// assumes:
+//
+//   - P0 is charged to the overwritten first writer: long write locks
+//     (every level above Degree 0) make the overwrite impossible, while
+//     even a Degree 0 second writer's short lock respects them — so there
+//     is no condition on the other side.
+//   - P1/A1 are charged to the reader, but only count when the writer
+//     holds long write locks (its level forbids P0): a Degree 0 writer
+//     releases its write lock mid-transaction, and then even a carefully
+//     locking reader reads uncommitted data — the reader's own protocol
+//     cannot defend against it, exactly as [GLPT]'s mixed-degree theorem
+//     assumes writers of at least degree 1.
+//   - P2/A2, P3/A3, P4/P4C and A5A are charged to the reader side with no
+//     condition: the victim's own (long item / predicate / cursor) read
+//     locks block any other transaction's well-formed write, Degree 0
+//     included.
+//   - A5B only exists as a pair: a serializable transaction mixed with a
+//     weaker one can legitimately exhibit the pattern (the weak side's
+//     unlocked read sneaks between the strong side's lock points) while
+//     the strong side's own view stays serializable, so the pattern is a
+//     violation only when BOTH participants forbid it.
+//
+// A uniform assignment reduces these rules exactly to the old
+// whole-history oracle (forbidden sets are monotone: every level that
+// forbids P1 forbids P0).
+func (o *Oracle) Charges(attr map[phenomena.ID]map[phenomena.Pair]bool, levelOf func(txn int) engine.Level) []Charge {
+	var out []Charge
+	for _, id := range phenomena.All {
+		pairs := make([]phenomena.Pair, 0, len(attr[id]))
+		for p := range attr[id] {
+			pairs = append(pairs, p)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].A != pairs[j].A {
+				return pairs[i].A < pairs[j].A
+			}
+			return pairs[i].B < pairs[j].B
+		})
+		for _, p := range pairs {
+			if c, bad := o.judge(id, p, levelOf); bad {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// judge applies the per-phenomenon charging rule to one attributed pair.
+func (o *Oracle) judge(id phenomena.ID, p phenomena.Pair, levelOf func(txn int) engine.Level) (Charge, bool) {
+	switch id {
+	case phenomena.P0:
+		return Charge{id, p.A, p.B}, o.forbids(levelOf(p.A), id)
+	case phenomena.P1, phenomena.A1:
+		bad := o.forbids(levelOf(p.B), id) && o.forbids(levelOf(p.A), phenomena.P0)
+		return Charge{id, p.B, p.A}, bad
+	case phenomena.A5B:
+		bad := o.forbids(levelOf(p.A), id) && o.forbids(levelOf(p.B), id)
+		return Charge{id, p.A, p.B}, bad
+	default:
+		// P2/A2, P3/A3, P4/P4C, A5A: pattern role A is the victim.
+		return Charge{id, p.A, p.B}, o.forbids(levelOf(p.A), id)
+	}
 }

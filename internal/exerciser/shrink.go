@@ -1,6 +1,5 @@
 package exerciser
 
-import "isolevel/internal/phenomena"
 
 // Shrink minimizes a schedule while keep (the "still fails" predicate)
 // holds: first whole transactions, then single non-terminal ops, repeated
@@ -41,18 +40,20 @@ func Shrink(s *Schedule, keep func(*Schedule) bool) *Schedule {
 }
 
 // ShrinkFinding minimizes the schedule behind a finding: the predicate
-// reruns the candidate schedule on the finding's engine family and level,
-// checks it against the given forbidden set, and demands a finding of the
-// same kind (and, for oracle findings, containing the same first violated
-// identifier). Returns the minimized schedule, or nil if the finding does
-// not reproduce on a rerun.
-func ShrinkFinding(s *Schedule, f Finding, fam Family, shards int, forbidden map[phenomena.ID]bool) *Schedule {
+// reruns the candidate schedule on the finding's engine family under the
+// finding's level assignment (per-transaction assignments survive
+// shrinking unchanged — dropped transactions simply never Begin), judges
+// it with the given oracle and judge assignment, and demands a finding of
+// the same kind (and, for oracle findings, containing the same first
+// violated identifier). Returns the minimized schedule, or nil if the
+// finding does not reproduce on a rerun.
+func ShrinkFinding(s *Schedule, f Finding, fam Family, shards int, o *Oracle, judge Assign) *Schedule {
 	reproduces := func(cand *Schedule) bool {
-		rr, err := RunOne(cand, fam, f.Level, shards)
+		rr, err := RunOne(cand, fam, f.Assign, shards)
 		if err != nil {
 			return false
 		}
-		for _, g := range Check(cand, rr, forbidden) {
+		for _, g := range Check(cand, rr, o, judge) {
 			if g.Kind != f.Kind {
 				continue
 			}

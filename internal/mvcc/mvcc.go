@@ -1,0 +1,198 @@
+// Package mvcc is the unified multiversion engine behind both of the
+// paper's multiversion isolation levels: Snapshot Isolation (§4.2) and
+// Oracle-style Read Consistency (§4.3). One DB holds one mv.Store, one
+// timestamp mv.Oracle and one write-lock manager, and Begin hands out
+// either transaction kind — so SI and RC transactions genuinely interleave
+// against the same committed version chains, the way the paper's histories
+// mix isolation degrees inside a single scheduler.
+//
+//   - A SNAPSHOT ISOLATION transaction (SITx) pins its snapshot at its
+//     Start-Timestamp, buffers writes privately, and commits through the
+//     striped First-Committer-Wins critical section: latch the store
+//     stripes of the write set, validate per-key LatestCommitTS against
+//     the start timestamp, install, release.
+//   - A READ CONSISTENCY transaction (RCTx) takes a fresh statement-level
+//     snapshot per Get/Select/OpenCursor, covers writes with long
+//     exclusive locks (first-writer-wins: block, don't abort), and
+//     installs its versions at commit.
+//
+// Because both kinds commit into the same store, RC commits also install
+// under the store's write-set stripe latches (mv.Store.LockWriteSet): an
+// RC commit that merely relied on its write locks could otherwise slip a
+// version under a concurrent SI validate+install critical section — SI
+// transactions take no write locks, so the stripe latch is the only fence
+// between an RC install and an SI validation of the same key. Snapshots
+// (transaction- and statement-level alike) start at the oracle's
+// installed watermark (Oracle.Safe), so neither kind can observe half of
+// a concurrent commit.
+//
+// The historical packages internal/snapshot and internal/oraclerc remain
+// as facades restricted to their single level; their types alias the ones
+// here. The differential fuzzer's mixed mode (internal/exerciser) runs
+// this DB unrestricted as the "mv" family.
+package mvcc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+	"isolevel/internal/lock"
+	"isolevel/internal/mv"
+)
+
+// Option configures a DB.
+type Option func(*DB)
+
+// FirstUpdaterWins switches SI conflict detection to write time: a write
+// to a key already written by a concurrent committed transaction fails
+// immediately with ErrWriteConflict (ablation of the paper's pure
+// first-committer-wins; RC transactions are unaffected).
+func FirstUpdaterWins() Option {
+	return func(db *DB) { db.firstUpdaterWins = true }
+}
+
+// WithShards sets the stripe count of the underlying multiversion store
+// and of the write-lock manager's lock tables (default mv.DefaultShards).
+func WithShards(n int) Option {
+	return func(db *DB) { db.shards = n }
+}
+
+// WithLevels restricts which multiversion levels Begin accepts (default:
+// both SNAPSHOT ISOLATION and READ CONSISTENCY). The snapshot and
+// oraclerc facades use it to keep their historical single-level contract.
+func WithLevels(levels ...engine.Level) Option {
+	return func(db *DB) { db.allowed = levels }
+}
+
+// DB is a unified multiversion database serving Snapshot Isolation and
+// Read Consistency transactions over one store.
+type DB struct {
+	store  *mv.Store
+	oracle *mv.Oracle
+	lm     *lock.Manager
+	seq    atomic.Int64
+	rec    *engine.Recorder
+	shards int
+
+	allowed          []engine.Level
+	firstUpdaterWins bool
+}
+
+// NewDB returns an empty multiversion database.
+func NewDB(opts ...Option) *DB {
+	db := &DB{
+		shards:  mv.DefaultShards,
+		oracle:  &mv.Oracle{},
+		rec:     engine.NewRecorder(),
+		allowed: []engine.Level{engine.SnapshotIsolation, engine.ReadConsistency},
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	db.store = mv.NewStoreShards(db.shards)
+	db.lm = lock.NewManagerShards(db.shards)
+	return db
+}
+
+// ShardCount reports the stripe count of the underlying store.
+func (db *DB) ShardCount() int { return db.store.ShardCount() }
+
+// Chain exposes a key's committed version chain (tests probe it to assert
+// ascending-timestamp installs across the striped commit paths).
+func (db *DB) Chain(key data.Key) []mv.Version { return db.store.Chain(key) }
+
+// Recorder exposes the execution recorder.
+func (db *DB) Recorder() *engine.Recorder { return db.rec }
+
+// LockStats returns the write-lock manager's counters (RC traffic only;
+// SI transactions never touch the lock manager).
+func (db *DB) LockStats() lock.Stats { return db.lm.Stats() }
+
+// SetObserver forwards a wait observer to the lock manager.
+func (db *DB) SetObserver(o lock.Observer) { db.lm.SetObserver(o) }
+
+// ParkGrants forwards grant parking to the lock manager (the schedule
+// runner's one-op-at-a-time delivery of lock grants).
+func (db *DB) ParkGrants(on bool) { db.lm.ParkGrants(on) }
+
+// DeliverNextGrant wakes the oldest parked waiter, if any.
+func (db *DB) DeliverNextGrant() (lock.TxID, bool) { return db.lm.DeliverNextGrant() }
+
+// Load implements engine.DB: initial rows commit at a fresh timestamp.
+func (db *DB) Load(tuples ...data.Tuple) {
+	ts := db.oracle.Next()
+	db.store.Load(ts, tuples...)
+	db.oracle.Done(ts)
+}
+
+// ReadCommittedRow implements engine.DB.
+func (db *DB) ReadCommittedRow(key data.Key) data.Row {
+	v, ok := db.store.ReadAt(key, db.oracle.Safe())
+	if !ok {
+		return nil
+	}
+	return v.Row
+}
+
+// Levels implements engine.DB.
+func (db *DB) Levels() []engine.Level {
+	return append([]engine.Level{}, db.allowed...)
+}
+
+// Begin implements engine.DB: either multiversion transaction kind, per
+// the requested level.
+func (db *DB) Begin(level engine.Level) (engine.Tx, error) {
+	ok := false
+	for _, l := range db.allowed {
+		if l == level {
+			ok = true
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: this multiversion engine implements %s, got %s",
+			engine.ErrUnsupported, levelList(db.allowed), level)
+	}
+	switch level {
+	case engine.SnapshotIsolation:
+		// Start at the installed watermark, not the allocation counter: a
+		// commit timestamp is allocated before its versions finish
+		// installing, and a snapshot taken in that window would watch the
+		// commit appear piecemeal (and could even slip past
+		// first-committer-wins validation).
+		return db.beginSI(db.oracle.Safe()), nil
+	case engine.ReadConsistency:
+		return &RCTx{db: db, id: int(db.seq.Add(1)), writes: map[data.Key]data.Row{}}, nil
+	}
+	return nil, fmt.Errorf("%w: %s is not a multiversion level", engine.ErrUnsupported, level)
+}
+
+// BeginAsOf starts a read-snapshot SI transaction at an explicit
+// historical timestamp — the paper's "time travel — taking a historical
+// perspective of the database — while never blocking or being blocked by
+// writes". Updates are allowed but will abort at commit if they conflict
+// with anything committed after ts.
+func (db *DB) BeginAsOf(ts mv.TS) engine.Tx {
+	return db.beginSI(ts)
+}
+
+// CurrentTS returns the newest fully installed committed timestamp (for
+// AsOf bookkeeping).
+func (db *DB) CurrentTS() mv.TS { return db.oracle.Safe() }
+
+func (db *DB) beginSI(start mv.TS) *SITx {
+	id := int(db.seq.Add(1))
+	return &SITx{db: db, id: id, start: start, writes: map[data.Key]data.Row{}}
+}
+
+func levelList(levels []engine.Level) string {
+	out := ""
+	for i, l := range levels {
+		if i > 0 {
+			out += " and "
+		}
+		out += l.String()
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package mvcc
+
+import (
+	"errors"
+	"testing"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+)
+
+func load(db *DB) {
+	db.Load(data.Tuple{Key: "x", Row: data.Scalar(1)}, data.Tuple{Key: "y", Row: data.Scalar(2)})
+}
+
+// TestMixedSnapshotVsStatementReads: one SI and one RC transaction read the
+// same store while a third commits — the SI snapshot stays pinned, the RC
+// statement snapshot advances.
+func TestMixedSnapshotVsStatementReads(t *testing.T) {
+	db := NewDB()
+	load(db)
+	si, err := db.Begin(engine.SnapshotIsolation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := db.Begin(engine.ReadConsistency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := engine.GetVal(si, "x"); v != 1 {
+		t.Fatalf("SI first read: %d", v)
+	}
+	if v, _ := engine.GetVal(rc, "x"); v != 1 {
+		t.Fatalf("RC first read: %d", v)
+	}
+
+	w, _ := db.Begin(engine.ReadConsistency)
+	if err := engine.PutVal(w, "x", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, _ := engine.GetVal(si, "x"); v != 1 {
+		t.Errorf("SI reread moved off its snapshot: %d", v)
+	}
+	if v, _ := engine.GetVal(rc, "x"); v != 100 {
+		t.Errorf("RC statement snapshot did not advance: %d", v)
+	}
+	if err := si.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRCCommitTriggersSIFirstCommitterWins: an RC transaction's commit
+// inside an SI writer's execution interval must fail the SI commit — the
+// cross-kind conflict the shared store and stripe-latched installs exist
+// for.
+func TestRCCommitTriggersSIFirstCommitterWins(t *testing.T) {
+	db := NewDB()
+	load(db)
+	si, _ := db.Begin(engine.SnapshotIsolation)
+	if err := engine.PutVal(si, "x", 10); err != nil {
+		t.Fatal(err)
+	}
+	rc, _ := db.Begin(engine.ReadConsistency)
+	if err := engine.PutVal(rc, "x", 20); err != nil {
+		t.Fatal(err) // SI buffers privately, so the RC write lock is free
+	}
+	if err := rc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	err := si.Commit()
+	if !errors.Is(err, engine.ErrWriteConflict) {
+		t.Fatalf("SI commit after RC commit of the same key: err = %v, want first-committer-wins", err)
+	}
+	if v := db.ReadCommittedRow("x").Val(); v != 20 {
+		t.Fatalf("committed x = %d, want the RC writer's 20", v)
+	}
+}
+
+// TestLevelRestriction: the facades' WithLevels narrowing rejects the
+// other multiversion level with ErrUnsupported.
+func TestLevelRestriction(t *testing.T) {
+	db := NewDB(WithLevels(engine.SnapshotIsolation))
+	if _, err := db.Begin(engine.ReadConsistency); !errors.Is(err, engine.ErrUnsupported) {
+		t.Fatalf("restricted Begin: %v", err)
+	}
+	if _, err := db.Begin(engine.SnapshotIsolation); err != nil {
+		t.Fatalf("allowed Begin: %v", err)
+	}
+	if got := db.Levels(); len(got) != 1 || got[0] != engine.SnapshotIsolation {
+		t.Fatalf("Levels() = %v", got)
+	}
+	if _, err := NewDB().Begin(engine.Serializable); !errors.Is(err, engine.ErrUnsupported) {
+		t.Fatal("locking level accepted by the multiversion engine")
+	}
+}
+
+// TestSharedIDSequence: transaction ids stay unique across the two kinds.
+func TestSharedIDSequence(t *testing.T) {
+	db := NewDB()
+	load(db)
+	a, _ := db.Begin(engine.SnapshotIsolation)
+	b, _ := db.Begin(engine.ReadConsistency)
+	c, _ := db.Begin(engine.SnapshotIsolation)
+	if a.ID() == b.ID() || b.ID() == c.ID() || a.ID() == c.ID() {
+		t.Fatalf("duplicate ids: %d %d %d", a.ID(), b.ID(), c.ID())
+	}
+}

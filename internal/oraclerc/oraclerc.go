@@ -1,404 +1,41 @@
-// Package oraclerc implements the Oracle-style Read Consistency isolation
-// of the paper's §4.3:
+// Package oraclerc is the Oracle-style Read Consistency facade over the
+// unified multiversion engine (internal/mvcc): a DB restricted to the
+// paper's §4.3 level, for callers that want a dedicated RC engine — the
+// anomaly harness, the uniform fuzz families.
 //
-//   - "Oracle Read Consistency isolation gives each SQL statement the most
-//     recent committed database value at the time the statement began" —
-//     every Get/Select takes a fresh statement-level snapshot ("it is as if
-//     the start-timestamp of the transaction is advanced at each SQL
-//     statement").
-//   - "Row inserts, updates, and deletes are covered by Write locks to give
-//     a first-writer-wins rather than a first-committer-wins policy" —
-//     writes acquire long exclusive locks and block, rather than abort, on
-//     conflict; after the lock is granted the write proceeds against the
-//     then-current committed state.
-//   - "The members of a cursor set are as of the time of the Open Cursor";
-//     cursor updates re-check the row against the cursor snapshot so cursor
-//     lost updates (P4C) cannot occur, while plain lost updates (P4), fuzzy
-//     reads (P2), phantoms (P3) and read skew (A5A) all remain possible.
-//
-// The engine is built on the multiversion store (statement snapshots) plus
-// the lock manager (write locks); committed writes install new versions.
-//
-// Like the snapshot engine, the commit path is striped: there is no global
-// commit mutex. The long write locks already guarantee that two commits
-// touching the same key never overlap, so version chains stay in ascending
-// commit-timestamp order without extra serialization, and statement
-// snapshots are taken at the oracle's installed watermark (Oracle.Safe) so
-// a statement never observes half of a concurrent commit. WithShards
-// sweeps the store's stripe count.
+// The implementation — statement-level snapshots, long write locks
+// (first-writer-wins), the cursor write-consistency check — lives in
+// internal/mvcc (RCTx), where READ CONSISTENCY and SNAPSHOT ISOLATION
+// transactions share one mv store and timestamp oracle so mixed-level
+// histories can interleave them in a single engine. This package only
+// narrows Begin to READ CONSISTENCY.
 package oraclerc
 
 import (
-	"errors"
-	"fmt"
-	"sync/atomic"
-
-	"isolevel/internal/data"
 	"isolevel/internal/engine"
-	"isolevel/internal/history"
-	"isolevel/internal/lock"
-	"isolevel/internal/mv"
-	"isolevel/internal/predicate"
+	"isolevel/internal/mvcc"
 )
 
-// Option configures a DB.
-type Option func(*DB)
-
-// WithShards sets the stripe count of the underlying multiversion store
-// and of the write-lock manager's lock tables (default mv.DefaultShards).
-func WithShards(n int) Option {
-	return func(db *DB) { db.shards = n }
-}
-
-// DB is a Read Consistency database.
-type DB struct {
-	store  *mv.Store
-	oracle *mv.Oracle
-	lm     *lock.Manager
-	seq    atomic.Int64
-	rec    *engine.Recorder
-	shards int
-}
-
-// NewDB returns an empty Read Consistency database.
-func NewDB(opts ...Option) *DB {
-	db := &DB{shards: mv.DefaultShards, oracle: &mv.Oracle{}, rec: engine.NewRecorder()}
-	for _, o := range opts {
-		o(db)
-	}
-	db.store = mv.NewStoreShards(db.shards)
-	db.lm = lock.NewManagerShards(db.shards)
-	return db
-}
-
-// LockStats returns the write-lock manager's counters.
-func (db *DB) LockStats() lock.Stats { return db.lm.Stats() }
-
-// ShardCount reports the stripe count of the underlying store.
-func (db *DB) ShardCount() int { return db.store.ShardCount() }
-
-// SetObserver forwards a wait observer to the lock manager.
-func (db *DB) SetObserver(o lock.Observer) { db.lm.SetObserver(o) }
-
-// ParkGrants forwards grant parking to the lock manager (the schedule
-// runner's one-op-at-a-time delivery of lock grants).
-func (db *DB) ParkGrants(on bool) { db.lm.ParkGrants(on) }
-
-// DeliverNextGrant wakes the oldest parked waiter, if any.
-func (db *DB) DeliverNextGrant() (lock.TxID, bool) { return db.lm.DeliverNextGrant() }
-
-// Recorder exposes the execution recorder.
-func (db *DB) Recorder() *engine.Recorder { return db.rec }
-
-// Load implements engine.DB.
-func (db *DB) Load(tuples ...data.Tuple) {
-	ts := db.oracle.Next()
-	db.store.Load(ts, tuples...)
-	db.oracle.Done(ts)
-}
-
-// ReadCommittedRow implements engine.DB.
-func (db *DB) ReadCommittedRow(key data.Key) data.Row {
-	v, ok := db.store.ReadAt(key, db.oracle.Safe())
-	if !ok {
-		return nil
-	}
-	return v.Row
-}
-
-// Levels implements engine.DB.
-func (db *DB) Levels() []engine.Level { return []engine.Level{engine.ReadConsistency} }
-
-// Begin implements engine.DB.
-func (db *DB) Begin(level engine.Level) (engine.Tx, error) {
-	if level != engine.ReadConsistency {
-		return nil, fmt.Errorf("%w: oraclerc engine implements only READ CONSISTENCY, got %s", engine.ErrUnsupported, level)
-	}
-	id := int(db.seq.Add(1))
-	return &Tx{db: db, id: id, writes: map[data.Key]data.Row{}}, nil
-}
+// DB is a Read Consistency database: the unified multiversion engine
+// restricted to READ CONSISTENCY.
+type DB = mvcc.DB
 
 // Tx is a Read Consistency transaction.
-type Tx struct {
-	db     *DB
-	id     int
-	writes map[data.Key]data.Row // own uncommitted writes (overlay), nil = delete
-	order  []data.Key
-	done   bool
-
-	// reads records each statement's item reads with the statement
-	// snapshot they executed at, for the statement-level SV mapping
-	// (SVTrace). commitTS/committed are set at Commit.
-	reads     []TimedRead
-	commitTS  mv.TS
-	committed bool
-}
+type Tx = mvcc.RCTx
 
 // TimedRead is one recorded read together with the statement-snapshot
 // timestamp it executed at.
-type TimedRead struct {
-	TS mv.TS
-	Op history.Op
-}
+type TimedRead = mvcc.TimedRead
 
-var _ engine.Tx = (*Tx)(nil)
+// Option configures a DB.
+type Option = mvcc.Option
 
-// ID implements engine.Tx.
-func (t *Tx) ID() int { return t.id }
+// WithShards sets the stripe count of the underlying multiversion store
+// and of the write-lock manager's lock tables (default mv.DefaultShards).
+func WithShards(n int) Option { return mvcc.WithShards(n) }
 
-// Level implements engine.Tx.
-func (t *Tx) Level() engine.Level { return engine.ReadConsistency }
-
-func (t *Tx) lockErr(err error) error {
-	if errors.Is(err, lock.ErrDeadlock) {
-		return fmt.Errorf("%w (T%d)", engine.ErrDeadlock, t.id)
-	}
-	return err
-}
-
-// statementTS returns a fresh statement-level snapshot: the most recent
-// fully installed committed timestamp right now (the watermark, so a
-// statement never sees a torn concurrent commit).
-func (t *Tx) statementTS() mv.TS { return t.db.oracle.Safe() }
-
-// Get implements engine.Tx: a single-row statement; reads the latest
-// committed value as of statement start, overlaid by own writes.
-func (t *Tx) Get(key data.Key) (data.Row, error) {
-	if t.done {
-		return nil, engine.ErrTxDone
-	}
-	if row, ok := t.writes[key]; ok {
-		if row == nil {
-			return nil, engine.ErrNotFound
-		}
-		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(row.Val()))
-		return row.Clone(), nil
-	}
-	ts := t.statementTS()
-	v, ok := t.db.store.ReadAt(key, ts)
-	if !ok {
-		op := history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}
-		t.reads = append(t.reads, TimedRead{TS: ts, Op: op})
-		t.db.rec.Record(op)
-		return nil, engine.ErrNotFound
-	}
-	op := history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(v.Row.Val())
-	t.reads = append(t.reads, TimedRead{TS: ts, Op: op})
-	t.db.rec.Record(op)
-	return v.Row, nil
-}
-
-// Put implements engine.Tx: take a long write lock (first-writer-wins —
-// block, don't abort), then buffer the write; versions install at commit.
-func (t *Tx) Put(key data.Key, row data.Row) error {
-	return t.write(key, row.Clone())
-}
-
-// Delete implements engine.Tx.
-func (t *Tx) Delete(key data.Key) error { return t.write(key, nil) }
-
-func (t *Tx) write(key data.Key, row data.Row) error {
-	if t.done {
-		return engine.ErrTxDone
-	}
-	var before data.Row
-	if v, ok := t.db.store.ReadAt(key, t.statementTS()); ok {
-		before = v.Row
-	}
-	if err := t.db.lm.AcquireItem(lock.TxID(t.id), key, lock.X, lock.Images{Before: before, After: row}); err != nil {
-		return t.lockErr(err)
-	}
-	if _, ok := t.writes[key]; !ok {
-		t.order = append(t.order, key)
-	}
-	t.writes[key] = row
-	t.db.rec.RecordWrite(t.id, key, before, row)
-	return nil
-}
-
-// Select implements engine.Tx: statement-level snapshot scan with own
-// writes overlaid. Two Selects in the same transaction may see different
-// committed states — that is the P2/P3-permitting behavior of §4.3.
-func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
-	if t.done {
-		return nil, engine.ErrTxDone
-	}
-	return t.selectAt(p, t.statementTS())
-}
-
-func (t *Tx) selectAt(p predicate.P, ts mv.TS) ([]data.Tuple, error) {
-	base := t.db.store.SelectAt(p, ts)
-	merged := make(map[data.Key]data.Row, len(base))
-	for _, b := range base {
-		merged[b.Key] = b.Row
-	}
-	for key, row := range t.writes {
-		if row == nil {
-			delete(merged, key)
-			continue
-		}
-		if p.Match(data.Tuple{Key: key, Row: row}) {
-			merged[key] = row
-		} else {
-			delete(merged, key)
-		}
-	}
-	out := make([]data.Tuple, 0, len(merged))
-	for key, row := range merged {
-		out = append(out, data.Tuple{Key: key, Row: row.Clone()})
-	}
-	data.SortTuples(out)
-	t.db.rec.RecordPredRead(t.id, p)
-	return out, nil
-}
-
-// OpenCursor implements engine.Tx: "The members of a cursor set are as of
-// the time of the Open Cursor" — the cursor pins the statement snapshot of
-// its open.
-func (t *Tx) OpenCursor(p predicate.P) (engine.Cursor, error) {
-	if t.done {
-		return nil, engine.ErrTxDone
-	}
-	ts := t.statementTS()
-	tuples, err := t.selectAt(p, ts)
-	if err != nil {
-		return nil, err
-	}
-	return &cursor{tx: t, snapTS: ts, tuples: tuples, pos: -1}, nil
-}
-
-type cursor struct {
-	tx     *Tx
-	snapTS mv.TS
-	tuples []data.Tuple
-	pos    int
-	closed bool
-}
-
-func (c *cursor) Fetch() (data.Tuple, error) {
-	if c.closed || c.tx.done {
-		return data.Tuple{}, engine.ErrTxDone
-	}
-	c.pos++
-	if c.pos >= len(c.tuples) {
-		return data.Tuple{}, engine.ErrNotFound
-	}
-	cur := c.tuples[c.pos]
-	op := history.Op{Tx: c.tx.id, Kind: history.ReadCursor, Item: cur.Key, Version: -1}.WithValue(cur.Row.Val())
-	c.tx.reads = append(c.tx.reads, TimedRead{TS: c.snapTS, Op: op})
-	c.tx.db.rec.Record(op)
-	return cur.Clone(), nil
-}
-
-func (c *cursor) Current() (data.Tuple, error) {
-	if c.pos < 0 || c.pos >= len(c.tuples) {
-		return data.Tuple{}, engine.ErrNoCursor
-	}
-	return c.tuples[c.pos].Clone(), nil
-}
-
-// UpdateCurrent write-locks the row, then re-checks it against the cursor
-// snapshot: if another transaction committed a change to this row after
-// the cursor opened, the update fails with ErrRowChanged (Oracle's write
-// consistency restart, surfaced as an error). This is what makes P4C "Not
-// Possible" at Read Consistency while plain P4 remains possible.
-func (c *cursor) UpdateCurrent(row data.Row) error {
-	if c.closed || c.tx.done {
-		return engine.ErrTxDone
-	}
-	cur, err := c.Current()
-	if err != nil {
-		return err
-	}
-	t := c.tx
-	var before data.Row
-	if v, ok := t.db.store.ReadAt(cur.Key, t.statementTS()); ok {
-		before = v.Row
-	}
-	if err := t.db.lm.AcquireItem(lock.TxID(t.id), cur.Key, lock.X, lock.Images{Before: before, After: row}); err != nil {
-		return t.lockErr(err)
-	}
-	if ts := t.db.store.LatestCommitTS(cur.Key); ts > c.snapTS {
-		t.db.lm.ReleaseItem(lock.TxID(t.id), cur.Key)
-		return fmt.Errorf("%w: %s committed at ts %d after cursor snapshot %d", engine.ErrRowChanged, cur.Key, ts, c.snapTS)
-	}
-	if _, ok := t.writes[cur.Key]; !ok {
-		t.order = append(t.order, cur.Key)
-	}
-	t.writes[cur.Key] = row.Clone()
-	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.WriteCursor, Item: cur.Key, Version: -1}.WithValue(row.Val()))
-	return nil
-}
-
-func (c *cursor) Close() error { c.closed = true; return nil }
-
-// Commit implements engine.Tx: install versions at a fresh commit
-// timestamp, then release locks. No commit mutex: the long write locks —
-// held until after Install — guarantee that two commits writing the same
-// key never overlap, so each chain's ascending-timestamp invariant holds,
-// and the oracle watermark keeps in-flight installs invisible to readers.
-func (t *Tx) Commit() error {
-	if t.done {
-		return engine.ErrTxDone
-	}
-	t.done = true
-	if len(t.writes) > 0 {
-		ts := t.db.oracle.Next()
-		t.db.store.Install(ts, t.id, t.writes)
-		t.db.oracle.Done(ts)
-		t.commitTS = ts
-	} else {
-		t.commitTS = t.db.oracle.Safe()
-	}
-	t.committed = true
-	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Commit, Version: -1})
-	t.db.lm.ReleaseAll(lock.TxID(t.id))
-	return nil
-}
-
-// SVTrace exports the transaction's execution for the statement-level
-// single-valued mapping: each read op with the statement snapshot it
-// executed at, plus the write set with its commit timestamp. Valid after
-// the transaction terminated.
-//
-// A statement at snapshot s sees exactly the versions committed at
-// timestamps <= s, so (as in the snapshot engine's MVTxn export) commits
-// map to even slots (2*ts) and statement reads to the odd slot just above
-// their snapshot (2*ts+1).
-func (t *Tx) SVTrace() (committed bool, commitSlot int64, reads []TimedRead, writes history.History) {
-	committed = t.committed
-	commitSlot = 2 * int64(t.commitTS)
-	reads = make([]TimedRead, len(t.reads))
-	for i, r := range t.reads {
-		r.TS = mv.TS(2*int64(r.TS) + 1)
-		reads[i] = r
-	}
-	if committed && len(t.order) == 0 && len(reads) > 0 {
-		// Read-only transactions commit "at" their last statement snapshot;
-		// pinning the commit to that read's slot (callers order same-slot
-		// events by emission) keeps the mapped history well-formed, with the
-		// commit after the transaction's own reads.
-		commitSlot = int64(reads[len(reads)-1].TS)
-	}
-	for _, key := range t.order {
-		op := history.Op{Tx: t.id, Kind: history.Write, Item: key, Version: -1}
-		if row := t.writes[key]; row != nil {
-			op = op.WithValue(row.Val())
-		}
-		writes = append(writes, op)
-	}
-	return committed, commitSlot, reads, writes
-}
-
-// Abort implements engine.Tx: drop buffered writes, release locks. No undo
-// needed — versions were never installed.
-func (t *Tx) Abort() error {
-	if t.done {
-		return engine.ErrTxDone
-	}
-	t.done = true
-	t.writes = nil
-	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Abort, Version: -1})
-	t.db.lm.ReleaseAll(lock.TxID(t.id))
-	return nil
+// NewDB returns an empty Read Consistency database.
+func NewDB(opts ...Option) *DB {
+	opts = append(opts, mvcc.WithLevels(engine.ReadConsistency))
+	return mvcc.NewDB(opts...)
 }

@@ -81,7 +81,7 @@ func TestStripedCommitSameKeyChainMonotonic(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	chain := db.store.Chain("hot")
+	chain := db.Chain("hot")
 	if len(chain) != 6*40+1 {
 		t.Fatalf("chain length = %d, want %d", len(chain), 6*40+1)
 	}

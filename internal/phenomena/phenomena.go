@@ -78,11 +78,39 @@ func Name(id ID) string {
 	return string(id)
 }
 
+// Pair names the two transactions participating in a phenomenon, in the
+// pattern's subscript order: A is the pattern's T1, B its T2. Every
+// phenomenon and anomaly of the paper is a two-transaction pattern, so a
+// pair fully attributes a match. Which participant a phenomenon is
+// *charged* to — whose lock protocol was supposed to prevent it — is the
+// per-transaction oracle's concern (internal/exerciser), not this
+// package's; here A/B are purely positional:
+//
+//	P0:  A overwritten first writer, B second writer
+//	P1:  A dirty writer,             B reader
+//	A1:  A rolled-back writer,       B committed reader
+//	P2:  A reader,                   B overwriter
+//	A2:  A rereading reader,         B committed overwriter
+//	P3:  A predicate reader,         B writer into the predicate
+//	A3:  A re-evaluating reader,     B committed writer into the predicate
+//	P4:  A read-modify-write committer, B intervening writer
+//	P4C: A cursor read-modify-write committer, B intervening writer
+//	A5A: A skewed reader,            B two-item committed writer
+//	A5B: the two skewed writers, normalized A < B (the pattern is
+//	     symmetric, so role order carries no information)
+type Pair struct {
+	A, B int
+}
+
+func (p Pair) String() string { return fmt.Sprintf("T%d/T%d", p.A, p.B) }
+
 // Match records one occurrence of a phenomenon in a history: the indices of
-// the ops forming the pattern, in pattern order.
+// the ops forming the pattern, in pattern order, and the participating
+// transaction pair.
 type Match struct {
 	ID      ID
 	OpIdx   []int
+	Txs     Pair
 	Comment string
 }
 
@@ -143,6 +171,21 @@ func Profile(h history.History) map[ID][]Match {
 	return out
 }
 
+// Attribution returns, per exhibited identifier, the set of participating
+// transaction pairs — the batch equivalent of Stream.Pairs, and the shape
+// the per-transaction oracle consumes.
+func Attribution(h history.History) map[ID]map[Pair]bool {
+	out := map[ID]map[Pair]bool{}
+	for id, ms := range Profile(h) {
+		set := map[Pair]bool{}
+		for _, m := range ms {
+			set[m.Txs] = true
+		}
+		out[id] = set
+	}
+	return out
+}
+
 // terminalBetween reports whether tx's commit/abort occurs strictly inside
 // the open interval (i, j) of history indices.
 func terminalBetween(h history.History, tx, i, j int) bool {
@@ -178,7 +221,7 @@ func DetectP0(h history.History) []Match {
 				break // T1 terminated; later writes are not dirty w.r.t. this one
 			}
 			if isItemWrite(b) && b.Item == a.Item && b.Tx != a.Tx {
-				out = append(out, Match{ID: P0, OpIdx: []int{i, j},
+				out = append(out, Match{ID: P0, OpIdx: []int{i, j}, Txs: Pair{a.Tx, b.Tx},
 					Comment: fmt.Sprintf("T%d overwrites T%d's uncommitted write of %s", b.Tx, a.Tx, a.Item)})
 			}
 		}
@@ -199,7 +242,7 @@ func DetectP1(h history.History) []Match {
 				break
 			}
 			if isItemRead(b) && b.Item == a.Item && b.Tx != a.Tx {
-				out = append(out, Match{ID: P1, OpIdx: []int{i, j},
+				out = append(out, Match{ID: P1, OpIdx: []int{i, j}, Txs: Pair{a.Tx, b.Tx},
 					Comment: fmt.Sprintf("T%d reads T%d's uncommitted write of %s", b.Tx, a.Tx, a.Item)})
 			}
 		}
@@ -218,7 +261,7 @@ func DetectA1(h history.History) []Match {
 		wIdx, rIdx := m.OpIdx[0], m.OpIdx[1]
 		w, r := h[wIdx], h[rIdx]
 		if aborted[w.Tx] && committed[r.Tx] {
-			out = append(out, Match{ID: A1, OpIdx: m.OpIdx,
+			out = append(out, Match{ID: A1, OpIdx: m.OpIdx, Txs: Pair{w.Tx, r.Tx},
 				Comment: fmt.Sprintf("T%d read data T%d later rolled back", r.Tx, w.Tx)})
 		}
 	}
@@ -238,7 +281,7 @@ func DetectP2(h history.History) []Match {
 				break
 			}
 			if isItemWrite(b) && b.Item == a.Item && b.Tx != a.Tx {
-				out = append(out, Match{ID: P2, OpIdx: []int{i, j},
+				out = append(out, Match{ID: P2, OpIdx: []int{i, j}, Txs: Pair{a.Tx, b.Tx},
 					Comment: fmt.Sprintf("T%d overwrites %s read by still-active T%d", b.Tx, a.Item, a.Tx)})
 			}
 		}
@@ -274,7 +317,7 @@ func DetectA2(h history.History) []Match {
 			for k := c2 + 1; k < c1; k++ {
 				rr := h[k]
 				if rr.Tx == r1.Tx && isItemRead(rr) && rr.Item == r1.Item {
-					out = append(out, Match{ID: A2, OpIdx: []int{i, j, c2, k, c1},
+					out = append(out, Match{ID: A2, OpIdx: []int{i, j, c2, k, c1}, Txs: Pair{r1.Tx, w2.Tx},
 						Comment: fmt.Sprintf("T%d rereads %s after T%d's committed update", r1.Tx, r1.Item, w2.Tx)})
 				}
 			}
@@ -303,7 +346,7 @@ func DetectP3(h history.History) []Match {
 				continue
 			}
 			if b.InPred(pred) || (b.Kind == history.PredWrite && b.InPred(pred)) {
-				out = append(out, Match{ID: P3, OpIdx: []int{i, j},
+				out = append(out, Match{ID: P3, OpIdx: []int{i, j}, Txs: Pair{a.Tx, b.Tx},
 					Comment: fmt.Sprintf("T%d writes into predicate %s read by still-active T%d", b.Tx, pred, a.Tx)})
 			}
 		}
@@ -338,7 +381,7 @@ func DetectA3(h history.History) []Match {
 			for k := c2 + 1; k < c1; k++ {
 				rr := h[k]
 				if rr.Tx == r1.Tx && rr.Kind == history.PredRead && rr.InPred(pred) {
-					out = append(out, Match{ID: A3, OpIdx: []int{i, j, c2, k, c1},
+					out = append(out, Match{ID: A3, OpIdx: []int{i, j, c2, k, c1}, Txs: Pair{r1.Tx, w2.Tx},
 						Comment: fmt.Sprintf("T%d re-evaluates %s after T%d's committed write into it", r1.Tx, pred, w2.Tx)})
 				}
 			}
@@ -378,7 +421,7 @@ func detectLostUpdate(h history.History, id ID, firstRead func(history.Op) bool)
 			for k := j + 1; k < c1; k++ {
 				w1 := h[k]
 				if isItemWrite(w1) && w1.Item == r1.Item && w1.Tx == r1.Tx {
-					out = append(out, Match{ID: id, OpIdx: []int{i, j, k, c1},
+					out = append(out, Match{ID: id, OpIdx: []int{i, j, k, c1}, Txs: Pair{r1.Tx, w2.Tx},
 						Comment: fmt.Sprintf("T%d's update of %s lost under T%d's read-modify-write", w2.Tx, r1.Item, r1.Tx)})
 				}
 			}
@@ -417,7 +460,7 @@ func DetectA5A(h history.History) []Match {
 				for l := c2 + 1; l < limit; l++ {
 					r1y := h[l]
 					if isItemRead(r1y) && r1y.Tx == r1x.Tx && r1y.Item == w2y.Item {
-						out = append(out, Match{ID: A5A, OpIdx: []int{i, j, k, c2, l},
+						out = append(out, Match{ID: A5A, OpIdx: []int{i, j, k, c2, l}, Txs: Pair{r1x.Tx, w2x.Tx},
 							Comment: fmt.Sprintf("T%d read %s before and %s after T%d's committed update of both", r1x.Tx, r1x.Item, w2y.Item, w2x.Tx)})
 					}
 				}
@@ -470,7 +513,7 @@ func DetectA5B(h history.History) []Match {
 			// Both reads must precede the opposing writes (each transaction
 			// decided from a state the other was about to invalidate).
 			if i < w2x && j < w1y && t1 < t2 {
-				out = append(out, Match{ID: A5B, OpIdx: []int{i, j, w1y, w2x},
+				out = append(out, Match{ID: A5B, OpIdx: []int{i, j, w1y, w2x}, Txs: Pair{t1, t2},
 					Comment: fmt.Sprintf("T%d and T%d read {%s,%s} then wrote past each other", t1, t2, r1x.Item, r2y.Item)})
 			}
 		}

@@ -1,27 +1,38 @@
 package phenomena
 
 import (
+	"sort"
+
 	"isolevel/internal/data"
 	"isolevel/internal/history"
 )
 
 // Stream is the incremental phenomenon checker: it consumes a history one
 // op at a time and maintains, per identifier, just enough state to decide
-// whether the phenomenon has been exhibited so far. For every well-formed
-// history, feeding all ops yields exactly the identifier set of the batch
-// Profile — the streaming-vs-batch equivalence tests in this package and
-// in internal/exerciser enforce that — but without the batch matchers'
-// full-history rescans: per-op work is bounded by the number of live
-// transactions touching the op's item, never by the history length, so
-// fuzz campaigns can check long generated histories at bench speed.
+// whether the phenomenon has been exhibited so far — and by which
+// transaction pairs. For every well-formed history, feeding all ops yields
+// exactly the identifier set of the batch Profile AND exactly the batch
+// Attribution's pair sets — the streaming-vs-batch equivalence tests in
+// this package and in internal/exerciser enforce both — but without the
+// batch matchers' full-history rescans: per-op work is bounded by the
+// number of live transactions touching the op's item, never by the history
+// length, so fuzz campaigns can check long generated histories at bench
+// speed.
+//
+// The pair attribution is what the per-transaction oracle of mixed
+// isolation-level runs consumes: a phenomenon is only a violation when
+// charged to a transaction whose own level forbids it, so "P1 happened"
+// is not enough — the checker must know which transaction read whose
+// dirty write.
 //
 // State is proportional to (live transactions × their footprints) plus,
 // for the committed-pair anomalies (A1, A5B), compact per-transaction
 // read/write summaries that survive commit.
 type Stream struct {
-	seen map[ID]bool
-	seq  int
-	term map[int]history.Kind // terminal kind, once a tx has one
+	seen  map[ID]bool
+	pairs map[ID]map[Pair]bool
+	seq   int
+	term  map[int]history.Kind // terminal kind, once a tx has one
 
 	// Live-transaction index: which not-yet-terminated transactions have
 	// written / read each item, and the reverse maps for O(footprint)
@@ -43,31 +54,34 @@ type Stream struct {
 	dirtyRev   map[int]map[int]bool
 
 	// A2: writer -> reader -> items the writer overwrote under the
-	// reader's feet; promoted to a2Committed when the writer commits;
-	// a reread of a promoted item arms the candidate flag, reported at
-	// the reader's commit.
+	// reader's feet; promoted to a2Committed (reader -> item -> writers)
+	// when the writer commits; a reread of a promoted item arms the
+	// (reader, writer) candidate pairs, reported at the reader's commit.
 	a2Pending   map[int]map[int]map[data.Key]bool
-	a2Committed map[int]map[data.Key]bool
-	a2Candidate map[int]bool
+	a2Committed map[int]map[data.Key]map[int]bool
+	a2Candidate map[int]map[int]bool
 
 	// A3: same shape over predicate names.
 	a3Pending   map[int]map[int]map[string]bool
-	a3Committed map[int]map[string]bool
-	a3Candidate map[int]bool
+	a3Committed map[int]map[string]map[int]bool
+	a3Candidate map[int]map[int]bool
 
 	// P4/P4C: per (reader, item) lost-update state machine
-	// read -> intervened (other-tx write) -> self write, reported at the
-	// reader's commit.
-	p4         map[int]map[data.Key]*luState
-	p4Pending  map[int]bool
-	p4cPending map[int]bool
+	// read -> intervened (other-tx write, identity kept) -> self write,
+	// reported per intervener at the reader's commit.
+	p4 map[int]map[data.Key]*luState
+	// p4Pending / p4cPendingBy: interveners of the plain / cursor rung,
+	// pending the reader's commit.
+	p4Pending    map[int]map[int]bool
+	p4cPendingBy map[int]map[int]bool
 
 	// A5A: per (writer t2, reader t1): the items x where t2 overwrote
 	// t1's read, with the earliest such write's sequence number. When t2
 	// commits, every item y != x that t2 wrote after one of those
-	// overwrites becomes a watch: t1 reading it afterwards is read skew.
+	// overwrites becomes a watch (keeping t2's identity): t1 reading it
+	// afterwards is read skew by (t1, t2).
 	a5aPairs map[int]map[int]map[data.Key]int
-	a5aWatch map[int]map[data.Key]bool
+	a5aWatch map[int]map[data.Key]map[int]bool
 
 	// A5B: per-transaction item read/write sequence lists, kept for
 	// committed transactions so each new commit can be checked against
@@ -81,6 +95,7 @@ type Stream struct {
 func NewStream() *Stream {
 	return &Stream{
 		seen:              map[ID]bool{},
+		pairs:             map[ID]map[Pair]bool{},
 		term:              map[int]history.Kind{},
 		activeWriters:     map[data.Key]map[int]bool{},
 		activeReaders:     map[data.Key]map[int]bool{},
@@ -91,25 +106,27 @@ func NewStream() *Stream {
 		dirtyPairs:        map[int]map[int]bool{},
 		dirtyRev:          map[int]map[int]bool{},
 		a2Pending:         map[int]map[int]map[data.Key]bool{},
-		a2Committed:       map[int]map[data.Key]bool{},
-		a2Candidate:       map[int]bool{},
+		a2Committed:       map[int]map[data.Key]map[int]bool{},
+		a2Candidate:       map[int]map[int]bool{},
 		a3Pending:         map[int]map[int]map[string]bool{},
-		a3Committed:       map[int]map[string]bool{},
-		a3Candidate:       map[int]bool{},
+		a3Committed:       map[int]map[string]map[int]bool{},
+		a3Candidate:       map[int]map[int]bool{},
 		p4:                map[int]map[data.Key]*luState{},
-		p4Pending:         map[int]bool{},
-		p4cPending:        map[int]bool{},
+		p4Pending:         map[int]map[int]bool{},
+		p4cPendingBy:      map[int]map[int]bool{},
 		a5aPairs:          map[int]map[int]map[data.Key]int{},
-		a5aWatch:          map[int]map[data.Key]bool{},
+		a5aWatch:          map[int]map[data.Key]map[int]bool{},
 		reads:             map[int]map[data.Key][]int{},
 		writes:            map[int]map[data.Key][]int{},
 	}
 }
 
-// luState is one (transaction, item) lost-update ladder.
+// luState is one (transaction, item) lost-update ladder. by / byCur hold
+// the identities of the transactions that wrote the item after this
+// transaction's plain / cursor read of it.
 type luState struct {
-	read, readCur             bool // item was read (rc for the cursor rung)
-	intervened, intervenedCur bool // another tx wrote after the read
+	read, readCur bool // item was read (rc for the cursor rung)
+	by, byCur     map[int]bool
 }
 
 // StreamProfile runs h through a fresh Stream and returns the exhibited
@@ -122,6 +139,17 @@ func StreamProfile(h history.History) map[ID]bool {
 	return s.Seen()
 }
 
+// StreamAttribution runs h through a fresh Stream and returns the
+// exhibited identifiers with their participating transaction pairs — the
+// streaming equivalent of the batch Attribution.
+func StreamAttribution(h history.History) map[ID]map[Pair]bool {
+	s := NewStream()
+	for _, op := range h {
+		s.Feed(op)
+	}
+	return s.Pairs()
+}
+
 // Seen returns a copy of the identifiers exhibited so far.
 func (s *Stream) Seen() map[ID]bool {
 	out := make(map[ID]bool, len(s.seen))
@@ -131,8 +159,50 @@ func (s *Stream) Seen() map[ID]bool {
 	return out
 }
 
+// Pairs returns a copy of the participating transaction pairs per
+// exhibited identifier.
+func (s *Stream) Pairs() map[ID]map[Pair]bool {
+	out := make(map[ID]map[Pair]bool, len(s.pairs))
+	for id, set := range s.pairs {
+		cp := make(map[Pair]bool, len(set))
+		for p := range set {
+			cp[p] = true
+		}
+		out[id] = cp
+	}
+	return out
+}
+
+// PairsOf returns the pairs of one identifier, sorted (A, then B), for
+// deterministic reports.
+func (s *Stream) PairsOf(id ID) []Pair {
+	set := s.pairs[id]
+	out := make([]Pair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
 // Exhibits reports whether id has been exhibited by the ops fed so far.
 func (s *Stream) Exhibits(id ID) bool { return s.seen[id] }
+
+// hit records one attributed occurrence.
+func (s *Stream) hit(id ID, a, b int) {
+	s.seen[id] = true
+	set := s.pairs[id]
+	if set == nil {
+		set = map[Pair]bool{}
+		s.pairs[id] = set
+	}
+	set[Pair{a, b}] = true
+}
 
 // Feed consumes the next op of the history. Ops of a transaction that
 // already terminated are ignored (the batch matchers only see such ops in
@@ -161,17 +231,17 @@ func (s *Stream) itemRead(op history.Op) {
 		if w == t {
 			continue
 		}
-		s.seen[P1] = true
+		s.hit(P1, w, t)
 		putPair(s.dirtyPairs, w, t)
 		putPair(s.dirtyRev, t, w)
 	}
 	// A2: reread of an item a committed transaction overwrote under us.
-	if s.a2Committed[t][item] {
-		s.a2Candidate[t] = true
+	for w := range s.a2Committed[t][item] {
+		putPair(s.a2Candidate, t, w)
 	}
 	// A5A: read of the "other half" of a committed two-item update.
-	if s.a5aWatch[t][item] {
-		s.seen[A5A] = true
+	for w := range s.a5aWatch[t][item] {
+		s.hit(A5A, t, w)
 	}
 	putItem(s.activeReaders, item, t)
 	putKey(s.touchedR, t, item)
@@ -194,7 +264,7 @@ func (s *Stream) write(op history.Op) {
 		// P0: the item has an uncommitted write by another transaction.
 		for w := range s.activeWriters[item] {
 			if w != t {
-				s.seen[P0] = true
+				s.hit(P0, w, t)
 			}
 		}
 		// P2 + downstream (A2 pending, A5A overwrite-match): the item was
@@ -203,7 +273,7 @@ func (s *Stream) write(op history.Op) {
 			if r == t {
 				continue
 			}
-			s.seen[P2] = true
+			s.hit(P2, r, t)
 			putKeyIn3(s.a2Pending, t, r, item)
 			pairs := s.a5aPairs[t]
 			if pairs == nil {
@@ -218,24 +288,32 @@ func (s *Stream) write(op history.Op) {
 			if _, ok := matched[item]; !ok {
 				matched[item] = s.seq
 			}
-			// P4 intervention: the reader's lost-update ladder advances.
+			// P4 intervention: the reader's lost-update ladder advances,
+			// remembering who intervened.
 			if st := s.p4[r][item]; st != nil {
 				if st.read {
-					st.intervened = true
+					if st.by == nil {
+						st.by = map[int]bool{}
+					}
+					st.by[t] = true
 				}
 				if st.readCur {
-					st.intervenedCur = true
+					if st.byCur == nil {
+						st.byCur = map[int]bool{}
+					}
+					st.byCur[t] = true
 				}
 			}
 		}
 		// Own write after an intervention completes the lost-update shape;
-		// it becomes P4/P4C if the transaction goes on to commit.
+		// it becomes P4/P4C against each intervener if the transaction goes
+		// on to commit.
 		if st := s.p4[t][item]; st != nil {
-			if st.intervened {
-				s.p4Pending[t] = true
+			for w := range st.by {
+				putPair(s.p4Pending, t, w)
 			}
-			if st.intervenedCur {
-				s.p4cPending[t] = true
+			for w := range st.byCur {
+				putPair(s.p4cPendingBy, t, w)
 			}
 		}
 		putItem(s.activeWriters, item, t)
@@ -255,7 +333,7 @@ func (s *Stream) write(op history.Op) {
 			if r == t {
 				continue
 			}
-			s.seen[P3] = true
+			s.hit(P3, r, t)
 			putNameIn3(s.a3Pending, t, r, name)
 		}
 	}
@@ -267,8 +345,8 @@ func (s *Stream) predRead(op history.Op) {
 	// under us. The batch matcher accepts the predicate in any position of
 	// the reread's list, so check them all.
 	for _, name := range op.Preds {
-		if s.a3Committed[t][name] {
-			s.a3Candidate[t] = true
+		for w := range s.a3Committed[t][name] {
+			putPair(s.a3Candidate, t, w)
 		}
 	}
 	// Registration mirrors the batch P3/A3 matchers: the read is indexed
@@ -295,7 +373,7 @@ func (s *Stream) terminal(t int, kind history.Kind) {
 				continue // the victim terminated first: no reread can follow
 			}
 			for item := range items {
-				putKey(s.a2Committed, r, item)
+				putTxIn3(s.a2Committed, r, item, t)
 			}
 		}
 		for r, names := range s.a3Pending[t] {
@@ -303,11 +381,11 @@ func (s *Stream) terminal(t int, kind history.Kind) {
 				continue
 			}
 			for name := range names {
-				putName(s.a3Committed, r, name)
+				putTxIn3(s.a3Committed, r, name, t)
 			}
 		}
 		// A5A: every item y that t wrote after overwriting some read item
-		// x (y != x) becomes a watch for the overwritten reader.
+		// x (y != x) becomes a watch, by t, for the overwritten reader.
 		for r, matched := range s.a5aPairs[t] {
 			if _, done := s.term[r]; done {
 				continue
@@ -316,29 +394,29 @@ func (s *Stream) terminal(t int, kind history.Kind) {
 				last := seqs[len(seqs)-1]
 				for x, first := range matched {
 					if x != y && first < last {
-						putKey(s.a5aWatch, r, y)
+						putTxIn3(s.a5aWatch, r, y, t)
 						break
 					}
 				}
 			}
 		}
 		// Anomalies armed earlier that required this commit.
-		if s.a2Candidate[t] {
-			s.seen[A2] = true
+		for w := range s.a2Candidate[t] {
+			s.hit(A2, t, w)
 		}
-		if s.a3Candidate[t] {
-			s.seen[A3] = true
+		for w := range s.a3Candidate[t] {
+			s.hit(A3, t, w)
 		}
-		if s.p4Pending[t] {
-			s.seen[P4] = true
+		for w := range s.p4Pending[t] {
+			s.hit(P4, t, w)
 		}
-		if s.p4cPending[t] {
-			s.seen[P4C] = true
+		for w := range s.p4cPendingBy[t] {
+			s.hit(P4C, t, w)
 		}
 		// A1: t committed after reading a write that was rolled back.
 		for w := range s.dirtyRev[t] {
 			if s.term[w] == history.Abort {
-				s.seen[A1] = true
+				s.hit(A1, w, t)
 			}
 		}
 		s.checkA5B(t)
@@ -348,7 +426,7 @@ func (s *Stream) terminal(t int, kind history.Kind) {
 		// rolled back.
 		for r := range s.dirtyPairs[t] {
 			if s.term[r] == history.Commit {
-				s.seen[A1] = true
+				s.hit(A1, t, r)
 			}
 		}
 		// Aborted transactions can no longer contribute to the committed-
@@ -366,7 +444,7 @@ func (s *Stream) terminal(t int, kind history.Kind) {
 	delete(s.a3Candidate, t)
 	delete(s.p4, t)
 	delete(s.p4Pending, t)
-	delete(s.p4cPending, t)
+	delete(s.p4cPendingBy, t)
 	for item := range s.touchedW[t] {
 		delete(s.activeWriters[item], t)
 	}
@@ -384,15 +462,17 @@ func (s *Stream) terminal(t int, kind history.Kind) {
 // checkA5B tests the freshly committed transaction b against every earlier
 // committed transaction a for the write-skew shape: a read x and wrote y,
 // b read y and wrote x (x != y), each read preceding the other side's
-// first subsequent write of that item.
+// first subsequent write of that item. The pattern is symmetric in its
+// two roles, so one orientation per pair suffices; pairs are normalized
+// (min, max) like the batch matcher's t1 < t2 emission rule.
 func (s *Stream) checkA5B(b int) {
-	if s.seen[A5B] {
-		return
-	}
 	for _, a := range s.committed {
 		if s.a5bPair(a, b) {
-			s.seen[A5B] = true
-			return
+			if a < b {
+				s.hit(A5B, a, b)
+			} else {
+				s.hit(A5B, b, a)
+			}
 		}
 	}
 }
@@ -457,6 +537,22 @@ func (s *Stream) lu(t int, item data.Key) *luState {
 		m[item] = st
 	}
 	return st
+}
+
+// putTxIn3 records t under m[k1][k2], creating the nested maps — the
+// shared shape of the a2Committed / a3Committed / a5aWatch promotions.
+func putTxIn3[K comparable](m map[int]map[K]map[int]bool, k1 int, k2 K, t int) {
+	byKey := m[k1]
+	if byKey == nil {
+		byKey = map[K]map[int]bool{}
+		m[k1] = byKey
+	}
+	set := byKey[k2]
+	if set == nil {
+		set = map[int]bool{}
+		byKey[k2] = set
+	}
+	set[t] = true
 }
 
 func putPair(m map[int]map[int]bool, k, v int) {

@@ -1,406 +1,44 @@
-// Package snapshot implements Snapshot Isolation exactly as defined in the
-// paper's §4.2:
+// Package snapshot is the Snapshot Isolation facade over the unified
+// multiversion engine (internal/mvcc): a DB restricted to the paper's
+// §4.2 level, for callers that want a dedicated SI engine — the anomaly
+// harness, the uniform fuzz families, the examples.
 //
-//   - Each transaction reads from a snapshot of the committed data as of
-//     its Start-Timestamp; its own writes overlay the snapshot ("to be read
-//     again if the transaction accesses the data a second time").
-//   - Reads never block and are never blocked ("A transaction running in
-//     Snapshot Isolation is never blocked attempting a read").
-//   - At commit the transaction receives a Commit-Timestamp larger than any
-//     existing Start- or Commit-Timestamp and commits only if no other
-//     transaction with a Commit-Timestamp inside its execution interval
-//     [Start-TS, Commit-TS] wrote data it also wrote — First-Committer-Wins,
-//     which prevents Lost Updates (P4).
-//   - Very old Start-Timestamps provide "time travel" (AsOf).
-//
-// The implementation follows Reed's multiversion scheme [REE] as the paper
-// suggests: committed version chains in an mv.Store, private write sets,
-// and a short commit critical section for validation + install.
-//
-// The commit critical section is striped, not global: a committing
-// transaction latches only the store stripes its write set covers
-// (mv.Store.LockWriteSet, acquired in ascending stripe order), validates
-// per-key LatestCommitTS against its start timestamp, and installs its
-// versions while still holding those latches. Transactions with
-// disjoint-stripe write sets therefore commit fully in parallel; only
-// overlapping committers serialize — First-Committer-Wins with no global
-// commit mutex. Snapshots start at the oracle's installed watermark
-// (Oracle.Safe), so a reader can never observe half of a concurrent
-// commit. WithShards sweeps the stripe count.
-//
-// An optional First-Updater-Wins mode (the eager variant used by several
-// modern systems) aborts the conflicting writer at write time instead of
-// commit time; it is an ablation knob, not part of the paper's definition.
+// The implementation — snapshot reads at the Start-Timestamp, private
+// write sets, the striped First-Committer-Wins commit critical section,
+// time travel via BeginAsOf — lives in internal/mvcc (SITx), where
+// SNAPSHOT ISOLATION and READ CONSISTENCY transactions share one mv store
+// and timestamp oracle so mixed-level histories can interleave them in a
+// single engine. This package only narrows Begin to SNAPSHOT ISOLATION.
 package snapshot
 
 import (
-	"fmt"
-	"sync/atomic"
-
-	"isolevel/internal/data"
 	"isolevel/internal/engine"
-	"isolevel/internal/history"
-	"isolevel/internal/mv"
-	"isolevel/internal/predicate"
+	"isolevel/internal/mvcc"
 )
 
+// DB is a Snapshot Isolation database: the unified multiversion engine
+// restricted to SNAPSHOT ISOLATION.
+type DB = mvcc.DB
+
+// Tx is a Snapshot Isolation transaction.
+type Tx = mvcc.SITx
+
 // Option configures a DB.
-type Option func(*DB)
+type Option = mvcc.Option
 
 // FirstUpdaterWins switches conflict detection to write time: a write to a
 // key already written by a concurrent committed transaction fails
 // immediately with ErrWriteConflict (ablation of the paper's pure
 // first-committer-wins).
-func FirstUpdaterWins() Option {
-	return func(db *DB) { db.firstUpdaterWins = true }
-}
+func FirstUpdaterWins() Option { return mvcc.FirstUpdaterWins() }
 
 // WithShards sets the stripe count of the underlying multiversion store
 // (default mv.DefaultShards). One shard reproduces the old global-commit-
 // mutex behavior and is the baseline of the shard-sweep benchmarks.
-func WithShards(n int) Option {
-	return func(db *DB) { db.shards = n }
-}
-
-// DB is a Snapshot Isolation database.
-type DB struct {
-	store  *mv.Store
-	oracle *mv.Oracle
-	seq    atomic.Int64
-	rec    *engine.Recorder
-	shards int
-
-	firstUpdaterWins bool
-}
+func WithShards(n int) Option { return mvcc.WithShards(n) }
 
 // NewDB returns an empty Snapshot Isolation database.
 func NewDB(opts ...Option) *DB {
-	db := &DB{shards: mv.DefaultShards, oracle: &mv.Oracle{}, rec: engine.NewRecorder()}
-	for _, o := range opts {
-		o(db)
-	}
-	db.store = mv.NewStoreShards(db.shards)
-	return db
-}
-
-// ShardCount reports the stripe count of the underlying store.
-func (db *DB) ShardCount() int { return db.store.ShardCount() }
-
-// Recorder exposes the execution recorder.
-func (db *DB) Recorder() *engine.Recorder { return db.rec }
-
-// Load implements engine.DB: initial rows commit at a fresh timestamp.
-func (db *DB) Load(tuples ...data.Tuple) {
-	ts := db.oracle.Next()
-	db.store.Load(ts, tuples...)
-	db.oracle.Done(ts)
-}
-
-// ReadCommittedRow implements engine.DB.
-func (db *DB) ReadCommittedRow(key data.Key) data.Row {
-	v, ok := db.store.ReadAt(key, db.oracle.Safe())
-	if !ok {
-		return nil
-	}
-	return v.Row
-}
-
-// Levels implements engine.DB.
-func (db *DB) Levels() []engine.Level { return []engine.Level{engine.SnapshotIsolation} }
-
-// Begin implements engine.DB.
-func (db *DB) Begin(level engine.Level) (engine.Tx, error) {
-	if level != engine.SnapshotIsolation {
-		return nil, fmt.Errorf("%w: snapshot engine implements only SNAPSHOT ISOLATION, got %s", engine.ErrUnsupported, level)
-	}
-	// Start at the installed watermark, not the allocation counter: a
-	// commit timestamp is allocated before its versions finish installing,
-	// and a snapshot taken in that window would watch the commit appear
-	// piecemeal (and could even slip past first-committer-wins validation).
-	return db.begin(db.oracle.Safe()), nil
-}
-
-// BeginAsOf starts a read-snapshot transaction at an explicit historical
-// timestamp — the paper's "time travel — taking a historical perspective of
-// the database — while never blocking or being blocked by writes". Updates
-// are allowed but will abort at commit if they conflict with anything
-// committed after ts.
-func (db *DB) BeginAsOf(ts mv.TS) engine.Tx {
-	return db.begin(ts)
-}
-
-// CurrentTS returns the newest fully installed committed timestamp (for
-// AsOf bookkeeping).
-func (db *DB) CurrentTS() mv.TS { return db.oracle.Safe() }
-
-func (db *DB) begin(start mv.TS) *Tx {
-	id := int(db.seq.Add(1))
-	return &Tx{db: db, id: id, start: start, writes: map[data.Key]data.Row{}}
-}
-
-// Tx is a Snapshot Isolation transaction.
-type Tx struct {
-	db     *DB
-	id     int
-	start  mv.TS
-	writes map[data.Key]data.Row // nil row = delete
-	order  []data.Key            // write order, for deterministic install
-	done   bool
-
-	// reads records (key, version writer, version commitTS) for MV-history
-	// export.
-	reads []readRecord
-	// commitTS is set on successful commit (for MV-history export).
-	commitTS  mv.TS
-	committed bool
-}
-
-type readRecord struct {
-	key      data.Key
-	writer   int
-	commitTS mv.TS
-	val      int64
-	found    bool
-	cursor   bool // read through a cursor Fetch (rc in the MV export)
-}
-
-var _ engine.Tx = (*Tx)(nil)
-
-// ID implements engine.Tx.
-func (t *Tx) ID() int { return t.id }
-
-// Level implements engine.Tx.
-func (t *Tx) Level() engine.Level { return engine.SnapshotIsolation }
-
-// StartTS returns the transaction's snapshot timestamp.
-func (t *Tx) StartTS() mv.TS { return t.start }
-
-// Get implements engine.Tx: own writes first, then the snapshot. Never
-// blocks.
-func (t *Tx) Get(key data.Key) (data.Row, error) {
-	if t.done {
-		return nil, engine.ErrTxDone
-	}
-	if row, ok := t.writes[key]; ok {
-		if row == nil {
-			return nil, engine.ErrNotFound
-		}
-		t.recordRead(key, row)
-		return row.Clone(), nil
-	}
-	v, ok := t.db.store.ReadAt(key, t.start)
-	if !ok {
-		t.reads = append(t.reads, readRecord{key: key})
-		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1})
-		return nil, engine.ErrNotFound
-	}
-	t.reads = append(t.reads, readRecord{key: key, writer: v.Writer, commitTS: v.CommitTS, val: v.Row.Val(), found: true})
-	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(v.Row.Val()))
-	return v.Row, nil
-}
-
-func (t *Tx) recordRead(key data.Key, row data.Row) {
-	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(row.Val()))
-}
-
-// Put implements engine.Tx: buffer the write privately. Under
-// First-Updater-Wins the conflict check happens here instead of commit.
-func (t *Tx) Put(key data.Key, row data.Row) error {
-	return t.write(key, row.Clone())
-}
-
-// Delete implements engine.Tx.
-func (t *Tx) Delete(key data.Key) error {
-	return t.write(key, nil)
-}
-
-func (t *Tx) write(key data.Key, row data.Row) error {
-	if t.done {
-		return engine.ErrTxDone
-	}
-	if t.db.firstUpdaterWins {
-		if ts := t.db.store.LatestCommitTS(key); ts > t.start {
-			return fmt.Errorf("%w: %s updated at ts %d after start %d (first-updater-wins)",
-				engine.ErrWriteConflict, key, ts, t.start)
-		}
-	}
-	if _, ok := t.writes[key]; !ok {
-		t.order = append(t.order, key)
-	}
-	t.writes[key] = row
-	var before data.Row
-	if v, ok := t.db.store.ReadAt(key, t.start); ok {
-		before = v.Row
-	}
-	t.db.rec.RecordWrite(t.id, key, before, row)
-	return nil
-}
-
-// Select implements engine.Tx: scan the snapshot, overlay own writes.
-// "Each transaction never sees the updates of concurrent transactions" —
-// so a re-evaluation always returns the same set (no A3 phantoms, Remark
-// 10) even though P3 constraint phantoms remain possible.
-func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
-	if t.done {
-		return nil, engine.ErrTxDone
-	}
-	base := t.db.store.SelectAt(p, t.start)
-	merged := make(map[data.Key]data.Row, len(base))
-	for _, b := range base {
-		merged[b.Key] = b.Row
-	}
-	for key, row := range t.writes {
-		if row == nil {
-			delete(merged, key)
-			continue
-		}
-		if p.Match(data.Tuple{Key: key, Row: row}) {
-			merged[key] = row
-		} else {
-			delete(merged, key)
-		}
-	}
-	out := make([]data.Tuple, 0, len(merged))
-	for key, row := range merged {
-		out = append(out, data.Tuple{Key: key, Row: row.Clone()})
-	}
-	data.SortTuples(out)
-	t.db.rec.RecordPredRead(t.id, p)
-	return out, nil
-}
-
-// OpenCursor implements engine.Tx. Snapshot cursors are trivially stable
-// (the snapshot never moves), so the cursor is a simple iterator over the
-// Select result; UpdateCurrent is a buffered write.
-func (t *Tx) OpenCursor(p predicate.P) (engine.Cursor, error) {
-	tuples, err := t.Select(p)
-	if err != nil {
-		return nil, err
-	}
-	return &cursor{tx: t, tuples: tuples, pos: -1}, nil
-}
-
-type cursor struct {
-	tx     *Tx
-	tuples []data.Tuple
-	pos    int
-	closed bool
-}
-
-func (c *cursor) Fetch() (data.Tuple, error) {
-	if c.closed || c.tx.done {
-		return data.Tuple{}, engine.ErrTxDone
-	}
-	c.pos++
-	if c.pos >= len(c.tuples) {
-		return data.Tuple{}, engine.ErrNotFound
-	}
-	cur := c.tuples[c.pos]
-	c.tx.reads = append(c.tx.reads, readRecord{key: cur.Key, val: cur.Row.Val(), found: true, cursor: true})
-	c.tx.db.rec.Record(history.Op{Tx: c.tx.id, Kind: history.ReadCursor, Item: cur.Key, Version: -1}.WithValue(cur.Row.Val()))
-	return cur.Clone(), nil
-}
-
-func (c *cursor) Current() (data.Tuple, error) {
-	if c.pos < 0 || c.pos >= len(c.tuples) {
-		return data.Tuple{}, engine.ErrNoCursor
-	}
-	return c.tuples[c.pos].Clone(), nil
-}
-
-func (c *cursor) UpdateCurrent(row data.Row) error {
-	cur, err := c.Current()
-	if err != nil {
-		return err
-	}
-	return c.tx.Put(cur.Key, row)
-}
-
-func (c *cursor) Close() error { c.closed = true; return nil }
-
-// Commit implements engine.Tx: the First-Committer-Wins critical section.
-func (t *Tx) Commit() error {
-	if t.done {
-		return engine.ErrTxDone
-	}
-	if len(t.writes) == 0 {
-		// Read-only transactions always commit, at their snapshot.
-		t.done, t.committed = true, true
-		t.commitTS = t.start
-		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Commit, Version: -1})
-		return nil
-	}
-	// Latch only the stripes the write set covers: disjoint-stripe
-	// committers run this whole critical section in parallel, same-key
-	// committers serialize here.
-	release := t.db.store.LockWriteSet(t.order)
-	// Validation: no key in the write set may have a committed version
-	// newer than our snapshot ("wrote data that T1 also wrote").
-	for _, key := range t.order {
-		if ts := t.db.store.LatestCommitTS(key); ts > t.start {
-			release()
-			t.done = true
-			t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Abort, Version: -1})
-			return fmt.Errorf("%w: %s committed at ts %d inside execution interval (start %d)",
-				engine.ErrWriteConflict, key, ts, t.start)
-		}
-	}
-	ts := t.db.oracle.Next() // larger than any existing start or commit TS
-	t.db.store.Install(ts, t.id, t.writes)
-	release()
-	t.db.oracle.Done(ts) // advance the watermark: the commit is now readable
-	t.done, t.committed = true, true
-	t.commitTS = ts
-	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Commit, Version: -1})
-	return nil
-}
-
-// Abort implements engine.Tx: drop the private write set.
-func (t *Tx) Abort() error {
-	if t.done {
-		return engine.ErrTxDone
-	}
-	t.done = true
-	t.writes = nil
-	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Abort, Version: -1})
-	return nil
-}
-
-// MVTxn exports the transaction's execution as a deps.MVTxn-shaped record
-// (start/commit timestamps plus read and write ops) for the paper's MV→SV
-// mapping. Valid after the transaction terminated.
-//
-// A snapshot at start timestamp s sees exactly the versions committed at
-// timestamps <= s, so in the single-valued ordering the reads of a
-// transaction with start s must come after the commit event of timestamp s
-// and before the commit event of timestamp s+1: commits map to even slots
-// (2*ts) and starts to the odd slot just above (2*ts+1).
-func (t *Tx) MVTxn() (start, commit int64, committed bool, reads, writes history.History) {
-	start = 2*int64(t.start) + 1
-	commit = 2 * int64(t.commitTS)
-	if t.committed && len(t.order) == 0 {
-		// Read-only transactions commit at their snapshot: same slot as the
-		// reads, and MapToSV's stable tie-break keeps reads before commit.
-		commit = start
-	}
-	committed = t.committed
-	for _, r := range t.reads {
-		kind := history.Read
-		if r.cursor {
-			kind = history.ReadCursor
-		}
-		op := history.Op{Tx: t.id, Kind: kind, Item: r.key, Version: -1}
-		if r.found {
-			op = op.WithValue(r.val)
-		}
-		reads = append(reads, op)
-	}
-	for _, key := range t.order {
-		op := history.Op{Tx: t.id, Kind: history.Write, Item: key, Version: -1}
-		if row := t.writes[key]; row != nil {
-			op = op.WithValue(row.Val())
-		}
-		writes = append(writes, op)
-	}
-	return start, commit, committed, reads, writes
+	opts = append(opts, mvcc.WithLevels(engine.SnapshotIsolation))
+	return mvcc.NewDB(opts...)
 }

@@ -307,8 +307,49 @@ type FuzzFinding = exerciser.Finding
 
 // Fuzz runs a differential fuzz campaign: seeded generated schedules
 // replayed on every engine family at every isolation level, recorded
-// traces normalized and checked against the Table 4 oracle.
+// traces normalized and checked against the Table 4 oracle. Set
+// FuzzOptions.Mixed for per-transaction level assignments judged by the
+// per-transaction oracle.
 func Fuzz(opts FuzzOptions) (*FuzzReport, error) { return exerciser.Run(opts) }
+
+// --- Mixed isolation levels ---
+
+// LevelAssign is a per-transaction isolation level assignment (uniform
+// when PerTx is empty).
+type LevelAssign = exerciser.Assign
+
+// UniformLevels assigns every transaction the same level.
+func UniformLevels(l Level) LevelAssign { return exerciser.UniformAssign(l) }
+
+// PerTxLevels wraps an explicit per-transaction level map.
+func PerTxLevels(perTx map[int]Level) LevelAssign { return exerciser.PerTxAssign(perTx) }
+
+// ParseLevels reads the annotation form "T1=RR T2=RC ..." (the syntax of
+// `isolevel check -f`'s "# levels:" lines; codes D0 RU RC CS RR SER SI
+// ORC or full level names).
+func ParseLevels(src string) (LevelAssign, error) { return exerciser.ParseAssign(src) }
+
+// PhenomenonPair names the two transactions participating in a witnessed
+// phenomenon, in the pattern's subscript order.
+type PhenomenonPair = phenomena.Pair
+
+// PhenomenaAttribution returns every phenomenon h exhibits together with
+// the participating transaction pairs (streaming checker).
+func PhenomenaAttribution(h History) map[PhenomenonID]map[PhenomenonPair]bool {
+	return phenomena.StreamAttribution(h)
+}
+
+// LevelCharge is one per-transaction oracle violation: a phenomenon
+// charged to a victim transaction whose own level forbids it.
+type LevelCharge = exerciser.Charge
+
+// JudgeHistory runs the per-transaction oracle over a history under a
+// level assignment: every witnessed phenomenon is charged to its victim,
+// and only charges the victim's own level forbids are returned. An empty
+// result means the history is legal for the assignment.
+func JudgeHistory(h History, assign LevelAssign) []LevelCharge {
+	return exerciser.NewOracle().Charges(phenomena.StreamAttribution(h), assign.Level)
+}
 
 // --- Workloads (benchmarks) ---
 

@@ -177,3 +177,32 @@ func TestFacadePredicate(t *testing.T) {
 		t.Fatal("parse error expected")
 	}
 }
+
+func TestFacadeMixedLevels(t *testing.T) {
+	h := isolevel.MustHistory("w1[x] r2[x] c2 c1")
+	assign, err := isolevel.ParseLevels("T1=RU T2=SER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	charges := isolevel.JudgeHistory(h, assign)
+	if len(charges) != 1 || charges[0].Victim != 2 || charges[0].ID != isolevel.PhenomenonID("P1") {
+		t.Fatalf("charges = %v, want P1 charged to T2", charges)
+	}
+	// The same dirty read is excused when the writer runs below degree 1.
+	weak, _ := isolevel.ParseLevels("T1=D0 T2=SER")
+	if cs := isolevel.JudgeHistory(h, weak); len(cs) != 0 {
+		t.Fatalf("D0 writer should excuse the reader, got %v", cs)
+	}
+	attr := isolevel.PhenomenaAttribution(h)
+	if !attr[isolevel.PhenomenonID("P1")][isolevel.PhenomenonPair{A: 1, B: 2}] {
+		t.Fatalf("attribution = %v", attr)
+	}
+	// A mixed fuzz mini-campaign through the facade.
+	rep, err := isolevel.Fuzz(isolevel.FuzzOptions{Seed: 3, N: 4, Mixed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations() != 0 {
+		t.Fatalf("mixed facade campaign violations:\n%s%s", rep, rep.Detail())
+	}
+}
