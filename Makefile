@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench fuzz fuzz-mixed fuzz-determinism
+.PHONY: verify build test race vet bench bench-keyrange fuzz fuzz-mixed fuzz-keyrange fuzz-determinism
 
 verify: vet build race ## what CI runs: vet + build + race-enabled tests
 
@@ -19,6 +19,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Key-range vs predicate phantom-prevention comparison, emitted as JSON so
+# the perf trajectory has a machine-readable data point per PR: writers
+# under an active scan (the gate contention story), scan install cost, and
+# the lockstep phantom storm end to end.
+# Two steps, not a pipeline: a failed bench assertion must fail the
+# target (a pipe's exit status would be benchjson's, masking it).
+bench-keyrange:
+	$(GO) test -run '^$$' -bench 'Keyrange' -benchmem . > /tmp/bench-keyrange.out
+	cat /tmp/bench-keyrange.out
+	$(GO) run ./cmd/isolevel benchjson < /tmp/bench-keyrange.out > BENCH_keyrange.json
+
 # Differential isolation fuzzing: 1000 seeded schedules against every
 # engine family at every level, checked against the Table 4 oracle.
 fuzz:
@@ -29,6 +40,12 @@ fuzz:
 # the unified mv engine), judged by the per-transaction oracle.
 fuzz-mixed:
 	$(GO) run ./cmd/isolevel fuzz -mixed -seed 1 -n 500
+
+# The keyrange family alone: the locking scheduler under key-range
+# (next-key) phantom prevention, uniform and mixed.
+fuzz-keyrange:
+	$(GO) run ./cmd/isolevel fuzz -engines keyrange -seed 1 -n 1000
+	$(GO) run ./cmd/isolevel fuzz -engines keyrange -mixed -seed 1 -n 500
 
 # The same campaign run twice must be byte-for-byte identical — uniform
 # and mixed alike.

@@ -15,6 +15,7 @@ package isolevel_test
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	isolevel "isolevel"
@@ -296,6 +297,131 @@ func BenchmarkShardSweepLockingDisjoint(b *testing.B) {
 				b.Fatalf("disjoint lock sets aborted %d times", aborts)
 			}
 			b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/s")
+		})
+	}
+}
+
+// --- Key-range vs predicate phantom-prevention benches ---
+// (`make bench-keyrange` runs the Keyrange benches and converts their
+// output into BENCH_keyrange.json, the perf-trajectory artifact.)
+
+// BenchmarkKeyrangeWritersUnderScan is the headline comparison: a
+// SERIALIZABLE scanner holds its phantom protection for the whole
+// benchmark while concurrent writers update non-matching rows on spread
+// keys. Under the predicate table every write funnels through the
+// cross-stripe gate's exclusive side for its conflict check; under
+// key-range locking writes consult only their own stripe's fragments.
+// The gate-acquires/op metric is the direct evidence: zero on keyrange.
+func BenchmarkKeyrangeWritersUnderScan(b *testing.B) {
+	const keys = 128
+	for _, proto := range []string{"predicate", "keyrange"} {
+		for _, shards := range []int{1, 16} {
+			b.Run(fmt.Sprintf("%s/shards=%d", proto, shards), func(b *testing.B) {
+				db := isolevel.NewLockingDBShards(shards)
+				if proto == "keyrange" {
+					db = isolevel.NewKeyrangeDBShards(shards)
+				}
+				for i := 0; i < keys; i++ {
+					db.Load(isolevel.Scalar(isolevel.Key(fmt.Sprintf("acct:%d", i)), int64(i)))
+				}
+				p := isolevel.MustPredicate("val >= 100000")
+				scanner, err := db.Begin(isolevel.Serializable)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := scanner.Select(p); err != nil {
+					b.Fatal(err)
+				}
+				var ctr atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						i := ctr.Add(1)
+						key := isolevel.Key(fmt.Sprintf("acct:%d", int(i)%keys))
+						tx, err := db.Begin(isolevel.ReadCommitted)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := isolevel.PutVal(tx, key, i%99999); err != nil {
+							b.Fatal(err)
+						}
+						if err := tx.Commit(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.StopTimer()
+				if err := scanner.Commit(); err != nil {
+					b.Fatal(err)
+				}
+				st := db.LockStats()
+				if proto == "keyrange" && st.GateAcquires != 0 {
+					b.Fatalf("keyrange writers took the gate %d times", st.GateAcquires)
+				}
+				if proto == "predicate" && st.GateAcquires == 0 {
+					b.Fatal("predicate writers never took the gate — the bench is not exercising the contended path")
+				}
+				b.ReportMetric(float64(st.GateAcquires)/float64(b.N), "gate-acquires/op")
+			})
+		}
+	}
+}
+
+// BenchmarkKeyrangeScan prices the scan itself: a key-range scan installs
+// one fragment per existing key in range where a predicate lock installs
+// a single gated table entry — the honest cost side of trading the global
+// gate for per-stripe locality.
+func BenchmarkKeyrangeScan(b *testing.B) {
+	for _, proto := range []string{"predicate", "keyrange"} {
+		for _, keys := range []int{16, 128} {
+			b.Run(fmt.Sprintf("%s/keys=%d", proto, keys), func(b *testing.B) {
+				db := isolevel.NewLockingDBShards(16)
+				if proto == "keyrange" {
+					db = isolevel.NewKeyrangeDBShards(16)
+				}
+				for i := 0; i < keys; i++ {
+					db.Load(isolevel.Scalar(isolevel.Key(fmt.Sprintf("acct:%d", i)), int64(i)))
+				}
+				p := isolevel.MustPredicate("val >= 100000")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tx, err := db.Begin(isolevel.Serializable)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := tx.Select(p); err != nil {
+						b.Fatal(err)
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKeyrangePhantomStorm runs the lockstep phantom scenario end to
+// end under both protocols — identical exact outcomes, different
+// lock-manager internals.
+func BenchmarkKeyrangePhantomStorm(b *testing.B) {
+	const writers, rounds = 4, 5
+	for _, proto := range []string{"predicate", "keyrange"} {
+		b.Run(proto, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db := isolevel.NewLockingDBShards(16)
+				if proto == "keyrange" {
+					db = isolevel.NewKeyrangeDBShards(16)
+				}
+				res, err := workload.PhantomInsertStorm(db, isolevel.Serializable, writers, rounds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.PhantomsSeen != 0 || res.BlockedInserts != writers*rounds {
+					b.Fatalf("storm drifted: %+v", res)
+				}
+			}
+			b.ReportMetric(float64(b.N*rounds)/b.Elapsed().Seconds(), "rounds/s")
 		})
 	}
 }

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ import (
 	"isolevel/internal/exerciser"
 	"isolevel/internal/history"
 	"isolevel/internal/lock"
+	"isolevel/internal/locking"
 	"isolevel/internal/matrix"
 	"isolevel/internal/phenomena"
 	"isolevel/internal/workload"
@@ -65,6 +67,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "fuzz":
 		err = cmdFuzz(os.Args[2:])
+	case "benchjson":
+		err = cmdBenchJSON(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -99,11 +103,15 @@ commands:
   bench -scenario S           run one workload scenario and print metrics
         scenarios: transfer, skewed, batch, batch-disjoint, hotspot,
                    hotspot-lockstep, scan, readers, longrunner,
-                   fanin, upgrade-storm, pred-mix
+                   fanin, upgrade-storm, pred-mix, phantom-storm,
+                   range-fanin
         knobs: -level L -shards N -workers W -iters I -accounts A
                -batch B -hot-bias F -rounds R
         -shards stripes every engine family: multiversion store stripes
         and locking-engine lock-table stripes alike
+        -phantom predicate|keyrange selects the locking engine's phantom
+        protocol: the gated cross-stripe predicate table, or striped
+        key-range (next-key) locks that never take the gate
   fuzz -seed S -n N           differential isolation fuzzing: generated
         schedules replayed on every engine family x level, traces checked
         against the Table 4 oracle; findings are shrunk to minimal
@@ -114,8 +122,14 @@ commands:
         the per-transaction oracle (a phenomenon is a violation only when
         charged to a transaction whose own level forbids it)
         knobs: -txs -items -ops -abort -mix r:W,w:W,p:W,rc:W,wc:W
-               -engines locking,snapshot,oraclerc (mixed: locking,mv)
+               -engines locking,keyrange,snapshot,oraclerc
+                        (mixed: locking,keyrange,mv)
                -levels L1,L2 -workers W -shards N -start I -oracle LEVEL -v
+        the keyrange family is the locking scheduler with key-range
+        (next-key) phantom prevention; any divergence from the locking
+        family is reported
+  benchjson                   convert "go test -bench" output on stdin to
+        a JSON array (make bench-keyrange writes BENCH_keyrange.json)
 `)
 }
 
@@ -452,8 +466,9 @@ func cmdRemarks() error {
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	scenario := fs.String("scenario", "transfer", "workload scenario (transfer, skewed, batch, batch-disjoint, hotspot, hotspot-lockstep, scan, readers, longrunner, fanin, upgrade-storm, pred-mix)")
+	scenario := fs.String("scenario", "transfer", "workload scenario (transfer, skewed, batch, batch-disjoint, hotspot, hotspot-lockstep, scan, readers, longrunner, fanin, upgrade-storm, pred-mix, phantom-storm, range-fanin)")
 	levelName := fs.String("level", "SNAPSHOT ISOLATION", "isolation level")
+	phantom := fs.String("phantom", "predicate", "locking-engine phantom protocol: predicate (gated cross-stripe table) or keyrange (striped next-key locks)")
 	shards := fs.Int("shards", 0, "stripe count for every engine: multiversion store stripes and locking lock-table stripes (0 = default)")
 	workers := fs.Int("workers", 4, "concurrent workers / sessions")
 	iters := fs.Int("iters", 200, "transactions per worker (free-running scenarios)")
@@ -468,11 +483,31 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	db := anomalies.NewDBForShards(level, *shards)
+	var db engine.DB
+	switch *phantom {
+	case "", "predicate":
+		db = anomalies.NewDBForShards(level, *shards)
+	case "keyrange":
+		// The phantom protocol is a locking-engine knob; multiversion
+		// levels have no lock-based phantom prevention to swap.
+		if level == engine.SnapshotIsolation || level == engine.ReadConsistency {
+			return fmt.Errorf("-phantom keyrange applies to the locking levels, not %s", level)
+		}
+		opts := []locking.Option{locking.WithPhantomProtection(locking.PhantomKeyrange)}
+		if *shards > 0 {
+			opts = append(opts, locking.WithShards(*shards))
+		}
+		db = locking.NewDB(opts...)
+	default:
+		return fmt.Errorf("unknown phantom protocol %q (predicate, keyrange)", *phantom)
+	}
 	header := func() {
 		fmt.Printf("scenario %s at %s (workers=%d", *scenario, level, *workers)
 		if s, ok := db.(interface{ ShardCount() int }); ok {
 			fmt.Printf(", shards=%d", s.ShardCount())
+		}
+		if l, ok := db.(*locking.DB); ok {
+			fmt.Printf(", phantom=%s", l.PhantomProtection())
 		}
 		fmt.Println(")")
 	}
@@ -571,6 +606,25 @@ func cmdBench(args []string) error {
 		fmt.Printf("  scanner: %s\n", res.Scanner)
 		fmt.Printf("  writers: %s\n", res.Writers)
 		fmt.Printf("  phantom inserts blocked: %d/%d\n", res.BlockedInserts, res.MatchingInserts)
+	case "phantom-storm":
+		res, err := workload.PhantomInsertStorm(db, level, *workers, max(1, *rounds))
+		if err != nil {
+			return err
+		}
+		header()
+		fmt.Printf("  scanner: %s\n", res.Scanner)
+		fmt.Printf("  writers: %s\n", res.Writers)
+		fmt.Printf("  phantoms seen: %d; inserts blocked: %d\n", res.PhantomsSeen, res.BlockedInserts)
+	case "range-fanin":
+		res, err := workload.RangeScanVsInsertFanIn(db, level, *workers, max(1, *rounds))
+		if err != nil {
+			return err
+		}
+		header()
+		fmt.Printf("  scanner: %s\n", res.Scanner)
+		fmt.Printf("  writers: %s\n", res.Writers)
+		fmt.Printf("  in-range inserts blocked: %d/%d; out-of-range blocked: %d/%d\n",
+			res.InsideBlocked, res.InsideTotal, res.OutsideBlocked, res.OutsideTotal)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -592,6 +646,8 @@ func printLockStats(db engine.DB) {
 	}
 	fmt.Printf("  lock stats: grants=%d waits=%d deadlocks=%d upgrades=%d pred-grants=%d pred-waits=%d\n",
 		st.Grants, st.Waits, st.Deadlocks, st.Upgrades, st.PredGrants, st.PredWaits)
+	fmt.Printf("  range stats: range-grants=%d range-waits=%d gap-grants=%d gap-waits=%d gate-acquires=%d\n",
+		st.RangeGrants, st.RangeWaits, st.GapGrants, st.GapWaits, st.GateAcquires)
 	var parts []string
 	for i, ss := range st.PerStripe {
 		if ss.Grants == 0 && ss.Waits == 0 {
@@ -600,6 +656,16 @@ func printLockStats(db engine.DB) {
 		parts = append(parts, fmt.Sprintf("%d:%d/%d", i, ss.Grants, ss.Waits))
 	}
 	fmt.Printf("  stripe contention (stripe:grants/waits): %s\n", strings.Join(parts, " "))
+	parts = parts[:0]
+	for i, ss := range st.PerStripe {
+		if ss.GapGrants == 0 && ss.GapWaits == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%d:%d/%d", i, ss.GapGrants, ss.GapWaits))
+	}
+	if len(parts) > 0 {
+		fmt.Printf("  gap contention (stripe:grants/waits): %s\n", strings.Join(parts, " "))
+	}
 }
 
 func cmdFuzz(args []string) error {
@@ -684,6 +750,54 @@ func cmdFuzz(args []string) error {
 	}
 	fmt.Println("ok: no Table 4 oracle violations")
 	return nil
+}
+
+// cmdBenchJSON converts `go test -bench` output on stdin into a JSON
+// array, one object per benchmark line: {"name": ..., "iterations": N,
+// "metrics": {"ns/op": ..., ...}}. The Makefile's bench-keyrange target
+// pipes the keyrange benches through it to emit BENCH_keyrange.json, the
+// perf-trajectory artifact.
+func cmdBenchJSON(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	type benchLine struct {
+		Name       string             `json:"name"`
+		Iterations int64              `json:"iterations"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	var out []benchLine
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var iters int64
+		if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil {
+			continue
+		}
+		bl := benchLine{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			var v float64
+			if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+				continue
+			}
+			bl.Metrics[fields[i+1]] = v
+		}
+		out = append(out, bl)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(out) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // parseMix reads "r:4,w:4,p:1,rc:1,wc:1" (any subset; omitted kinds get 0).

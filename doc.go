@@ -49,6 +49,23 @@
 //	_ = isolevel.PutVal(tx, "y", v+40)
 //	err := tx.Commit() // may be ErrWriteConflict: first-committer-wins
 //
+// Phantom prevention on the locking engine comes in two interchangeable
+// protocols. The paper's literal mechanism is the predicate table: one
+// cross-stripe lock per <search condition> behind a shared-exclusive gate
+// (every predicate operation quiesces the stripe set). The practical
+// mechanism real schedulers use is key-range (next-key) locking
+// (NewKeyrangeDB, locking.WithPhantomProtection): a range scan decomposes
+// its protection into per-stripe next-key fragments — one per existing
+// key in the predicate's key range, each covering its anchor key and the
+// gap below it, over the ordered key index the store maintains per stripe
+// — and an insert acquires its covering gap's exclusive lock, inheriting
+// the fragments onto the new key. Fragment conflicts are refined by the
+// same row-image rule as predicate locks, so the two protocols are
+// behaviorally equivalent (the fuzzer runs both families over identical
+// schedules and diffs everything), but the keyrange engine never takes
+// the gate's exclusive side: disjoint-key writers keep scaling with the
+// stripe count even while a SERIALIZABLE scan holds its locks.
+//
 // Beyond the hand-written scenarios, the differential isolation fuzzer
 // (internal/exerciser, `isolevel fuzz`) manufactures them: seeded random
 // schedules replay deterministically against every engine family at every
@@ -58,10 +75,32 @@
 // statement for Read Consistency), streamed through incremental
 // phenomenon and dependency-graph checkers, and cross-checked against a
 // Table 4 oracle; violations are shrunk to minimal histories in the
-// paper's notation. The pipeline is: generate → replay (lockstep runner)
-// → record (engine.Recorder + timestamped exports) → normalize (deps) →
-// check (phenomena.Stream, deps.Builder) → judge (matrix-derived oracle)
-// → shrink.
+// paper's notation. The pipeline:
+//
+//	     seed ─▶ generate (exerciser.Generate: grammar over items,
+//	     │       predicates, cursors, per-tx op lists, seeded merge)
+//	     ▼
+//	   replay ─▶ schedule.Run: lockstep runner, one engine op at a
+//	     │       time (lock-wait observer + grant parking), per-tx
+//	     │       levels, on every family × level cell
+//	     ▼
+//	   record ─▶ engine.Recorder (conflict-ordered trace) +
+//	     │       timestamped MV exports (SITx.MVTxn, RCTx.SVTrace)
+//	     ▼
+//	normalize ─▶ deps.MapEventsToSV: the §4.2 MV→SV mapping merges
+//	     │       every transaction's event blocks into one
+//	     │       single-valued history (locking traces pass through)
+//	     ▼
+//	    check ─▶ phenomena.StreamAttribution (P0–A5B with participant
+//	     │       pairs), deps.Builder (serializability), FCW interval,
+//	     │       provenance, snapshot-read value certification
+//	     ▼
+//	    judge ─▶ exerciser.Oracle: Table 4 rows per transaction — a
+//	     │       phenomenon is a violation only when charged to a
+//	     │       transaction whose own level forbids it
+//	     ▼
+//	   shrink ─▶ drop transactions, then ops, to a fixpoint: minimal
+//	             replayable history in the paper's notation
 //
 // Isolation level is a per-transaction property throughout that pipeline,
 // the way the paper's Table 2 defines each *transaction's* lock protocol:

@@ -7,6 +7,11 @@
 // fields. Simple histories such as w1[x=10] address a row by key and use the
 // conventional field "val"; predicate scenarios (phantoms, job tasks) use
 // richer rows such as {dept:1, hours:3, active:1}.
+//
+// Besides the row model the package holds the two structural primitives
+// every striped component shares: Striper (the fixed key-to-stripe hash)
+// and OrderedSet (the per-stripe ordered key index that key-range locking
+// ranges over).
 package data
 
 import (

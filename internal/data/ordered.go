@@ -1,0 +1,120 @@
+package data
+
+import "sort"
+
+// OrderedSet is an ordered index over keys: the sorted key space that
+// key-range (next-key) locking ranges over. Each store stripe maintains one
+// beside its hash map, under the stripe's existing latch, so range scans
+// and successor lookups need no global ordered structure — a cross-stripe
+// range is the merge of the per-stripe runs (MergeKeys).
+//
+// The representation is a sorted slice with binary-search insert/delete:
+// stores here hold at most a few thousand rows per stripe, where a flat
+// slice beats a skiplist on every operation that matters (ordered range
+// copy above all) and costs O(n) only on insertion shifts.
+//
+// The zero value is an empty set, ready to use.
+type OrderedSet struct {
+	keys []Key
+}
+
+// search returns the insertion index of k and whether k is present.
+func (s *OrderedSet) search(k Key) (int, bool) {
+	i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= k })
+	return i, i < len(s.keys) && s.keys[i] == k
+}
+
+// Insert adds k; inserting a present key is a no-op.
+func (s *OrderedSet) Insert(k Key) {
+	i, ok := s.search(k)
+	if ok {
+		return
+	}
+	s.keys = append(s.keys, "")
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = k
+}
+
+// Delete removes k; deleting an absent key is a no-op.
+func (s *OrderedSet) Delete(k Key) {
+	i, ok := s.search(k)
+	if !ok {
+		return
+	}
+	s.keys = append(s.keys[:i], s.keys[i+1:]...)
+}
+
+// Contains reports whether k is present.
+func (s *OrderedSet) Contains(k Key) bool {
+	_, ok := s.search(k)
+	return ok
+}
+
+// Len returns the number of keys.
+func (s *OrderedSet) Len() int { return len(s.keys) }
+
+// Range returns a copy of the keys in the half-open interval [lo, hi),
+// ascending; with bounded == false it returns every key (the whole key
+// space, the range of an unbounded predicate).
+func (s *OrderedSet) Range(lo, hi Key, bounded bool) []Key {
+	if !bounded {
+		return append([]Key(nil), s.keys...)
+	}
+	i, _ := s.search(lo)
+	j, _ := s.search(hi)
+	return append([]Key(nil), s.keys[i:j]...)
+}
+
+// Higher returns the smallest key strictly greater than k, and whether one
+// exists — the successor lookup of next-key locking: the existing key that
+// owns the gap an absent key falls into.
+func (s *OrderedSet) Higher(k Key) (Key, bool) {
+	i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] > k })
+	if i == len(s.keys) {
+		return "", false
+	}
+	return s.keys[i], true
+}
+
+// Ceiling returns the smallest key greater than or equal to k, and whether
+// one exists — the covering-anchor lookup of a gap check (a fragment at k
+// itself covers the record, one above covers the gap).
+func (s *OrderedSet) Ceiling(k Key) (Key, bool) {
+	i, _ := s.search(k)
+	if i == len(s.keys) {
+		return "", false
+	}
+	return s.keys[i], true
+}
+
+// MergeKeys merges ascending runs (one per stripe) into one ascending key
+// slice. Runs must each be sorted and duplicate-free across runs (stripes
+// partition the key space, so they are).
+func MergeKeys(runs ...[]Key) []Key {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return append([]Key(nil), runs[0]...)
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]Key, 0, total)
+	pos := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if pos[i] >= len(r) {
+				continue
+			}
+			if best < 0 || r[pos[i]] < runs[best][pos[best]] {
+				best = i
+			}
+		}
+		out = append(out, runs[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+package exerciser
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"isolevel/internal/data"
+	"isolevel/internal/history"
+	"isolevel/internal/phenomena"
+)
+
+// The keyrange family must be behaviorally equivalent to the locking
+// (predicate-table) family: image-refined next-key fragments admit exactly
+// the conflicts a predicate lock admits, so the same schedule replayed on
+// both engines must block at the same points, pick the same deadlock
+// victims, record the same trace, and therefore report identical
+// phenomena — at every level, and under per-transaction mixed
+// assignments. These tests state that as a hard invariant over the
+// regression corpus and a few hundred generated schedules; the fuzz
+// campaign's cross-family divergence check enforces the profile half of
+// it continuously.
+
+func keyrangeTestFamilies(t *testing.T) (pred, keyrange Family) {
+	t.Helper()
+	var havePred, haveKR bool
+	for _, fam := range Families() {
+		switch fam.Name {
+		case "locking":
+			pred, havePred = fam, true
+		case "keyrange":
+			keyrange, haveKR = fam, true
+		}
+	}
+	if !havePred || !haveKR {
+		t.Fatal("families missing locking or keyrange")
+	}
+	return pred, keyrange
+}
+
+// assertEquivalent replays s on both engines under assign and requires
+// identical traces, outcomes, attributed phenomena, and oracle charges.
+func assertEquivalent(t *testing.T, s *Schedule, pred, keyrange Family, assign Assign, label string) {
+	t.Helper()
+	a, err := RunOne(s, pred, assign, 0)
+	if err != nil {
+		t.Fatalf("%s: locking: %v", label, err)
+	}
+	b, err := RunOne(s, keyrange, assign, 0)
+	if err != nil {
+		t.Fatalf("%s: keyrange: %v", label, err)
+	}
+	if !reflect.DeepEqual(sortedPreds(a.Normalized), sortedPreds(b.Normalized)) {
+		t.Fatalf("%s: traces diverge\n locking:  %s\n keyrange: %s", label, a.Normalized, b.Normalized)
+	}
+	if !reflect.DeepEqual(a.Committed, b.Committed) || !reflect.DeepEqual(a.Aborted, b.Aborted) {
+		t.Fatalf("%s: outcomes diverge: %v/%v vs %v/%v", label, a.Committed, a.Aborted, b.Committed, b.Aborted)
+	}
+	if !sameAttr(a.Attr, b.Attr) {
+		t.Fatalf("%s: attributed phenomena diverge: %v vs %v", label, a.Attr, b.Attr)
+	}
+	o := NewOracle()
+	ca := o.Charges(a.Attr, assign.Level)
+	cb := o.Charges(b.Attr, assign.Level)
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("%s: oracle charges diverge: %v vs %v", label, ca, cb)
+	}
+}
+
+// sortedPreds canonicalizes the order of each op's predicate annotations:
+// the recorder collects them from a map, so their order is arbitrary (a
+// set rendered as a slice), not an engine behavior.
+func sortedPreds(h history.History) history.History {
+	out := make(history.History, len(h))
+	for i, op := range h {
+		if len(op.Preds) > 1 {
+			preds := append([]string(nil), op.Preds...)
+			sort.Strings(preds)
+			op.Preds = preds
+		}
+		out[i] = op
+	}
+	return out
+}
+
+func sameAttr(a, b map[phenomena.ID]map[phenomena.Pair]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, pa := range a {
+		pb, ok := b[id]
+		if !ok || len(pa) != len(pb) {
+			return false
+		}
+		for pair := range pa {
+			if !pb[pair] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestKeyrangeEquivalenceGenerated: 200 generated schedules, every
+// locking level, both engines — identical everything.
+func TestKeyrangeEquivalenceGenerated(t *testing.T) {
+	pred, keyrange := keyrangeTestFamilies(t)
+	params := DefaultParams()
+	for i := 0; i < 200; i++ {
+		s := Generate(ScheduleSeed(20250729, i), params)
+		for _, lvl := range pred.Levels {
+			assertEquivalent(t, s, pred, keyrange, UniformAssign(lvl),
+				fmt.Sprintf("schedule %d at %s", i, lvl))
+		}
+	}
+}
+
+// TestKeyrangeEquivalenceMixed: 200 generated schedules under the SAME
+// per-transaction assignment on both engines — identical traces and
+// identical per-transaction charges.
+func TestKeyrangeEquivalenceMixed(t *testing.T) {
+	pred, keyrange := keyrangeTestFamilies(t)
+	params := DefaultParams()
+	for i := 0; i < 200; i++ {
+		seed := ScheduleSeed(424242, i)
+		s := Generate(seed, params)
+		assign := MixedAssign(seed, pred, params.Txs)
+		assertEquivalent(t, s, pred, keyrange, assign, fmt.Sprintf("mixed schedule %d (%s)", i, assign))
+	}
+}
+
+// TestKeyrangeEquivalenceInserts covers the half of the keyrange protocol
+// the generator cannot reach: the grammar writes only preloaded items, so
+// campaign schedules never take the insert/gap-lock path (AcquireGap,
+// inheritance, stale anchors). These handcrafted schedules write items
+// beyond Params.Items — absent keys, hence inserts — including the
+// insert-abort-rescan-insert shape of the stale-anchor regression, and
+// must behave identically on both engines at every level.
+func TestKeyrangeEquivalenceInserts(t *testing.T) {
+	pred, keyrange := keyrangeTestFamilies(t)
+	op := func(txn int, kind OpKind, item int, val int64, p int) SOp {
+		s := SOp{Txn: txn, Kind: kind, Value: val, Pred: p}
+		if kind != OpPredRead && kind != OpCommit && kind != OpAbort {
+			s.Item = itemName(item)
+		}
+		return s
+	}
+	// Predicate pool: 0 = true, 1 = val >= 1000 (Q), 2 = val < 1000 (R).
+	cases := []struct {
+		name string
+		ops  []SOp
+	}{
+		{"phantom-insert", []SOp{
+			op(1, OpPredRead, 0, 0, 1),
+			op(2, OpWrite, 3, 1500, 0), // insert u, matches Q
+			op(1, OpPredRead, 0, 0, 1),
+			op(1, OpCommit, 0, 0, 0),
+			op(2, OpCommit, 0, 0, 0),
+		}},
+		{"nonmatching-insert-through", []SOp{
+			op(1, OpPredRead, 0, 0, 1),
+			op(2, OpWrite, 3, 999, 0), // insert u, outside Q
+			op(2, OpCommit, 0, 0, 0),
+			op(1, OpPredRead, 0, 0, 1),
+			op(1, OpCommit, 0, 0, 0),
+		}},
+		{"stale-anchor-shape", []SOp{
+			op(1, OpPredRead, 0, 0, 1),
+			op(2, OpWrite, 4, 998, 0), // insert v, outside Q; inherits T1's coverage
+			op(2, OpAbort, 0, 0, 0),   // row gone, anchor stays while T1 lives
+			op(3, OpPredRead, 0, 0, 1),
+			op(4, OpWrite, 3, 1600, 0), // insert u below the stale anchor, matches Q
+			op(3, OpPredRead, 0, 0, 1),
+			op(1, OpCommit, 0, 0, 0),
+			op(3, OpCommit, 0, 0, 0),
+			op(4, OpCommit, 0, 0, 0),
+		}},
+		{"insert-then-update-into-pred", []SOp{
+			op(1, OpPredRead, 0, 0, 1),
+			op(2, OpWrite, 3, 997, 0),  // non-matching insert
+			op(2, OpWrite, 3, 1700, 0), // updated into Q before committing
+			op(2, OpCommit, 0, 0, 0),
+			op(1, OpPredRead, 0, 0, 1),
+			op(1, OpCommit, 0, 0, 0),
+		}},
+	}
+	for _, c := range cases {
+		s := &Schedule{Seed: 0, Params: DefaultParams(), Ops: c.ops}
+		for _, lvl := range pred.Levels {
+			assertEquivalent(t, s, pred, keyrange, UniformAssign(lvl),
+				fmt.Sprintf("%s at %s", c.name, lvl))
+		}
+	}
+}
+
+// TestKeyrangeEquivalenceCorpus replays every corpus history as a
+// schedule through both engines at every level. Corpus files encode the
+// paper's H1–H5 shapes and shrinker-minimized fuzz findings, so they
+// concentrate exactly the interleavings phantom protection exists for.
+func TestKeyrangeEquivalenceCorpus(t *testing.T) {
+	pred, keyrange := keyrangeTestFamilies(t)
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.hist"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, file := range files {
+		s, ok := corpusSchedule(t, file)
+		if !ok {
+			continue
+		}
+		for _, lvl := range pred.Levels {
+			assertEquivalent(t, s, pred, keyrange, UniformAssign(lvl),
+				fmt.Sprintf("%s at %s", filepath.Base(file), lvl))
+		}
+	}
+}
+
+// corpusSchedule parses a corpus history file into a replayable schedule:
+// items map back to the generator's naming (x, y, z, ...), predicates to
+// the pool names P/Q/R, write values carry over (or get fresh unique
+// values when the history omits them).
+func corpusSchedule(t *testing.T, file string) (*Schedule, bool) {
+	t.Helper()
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h history.History
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		h, err = history.Parse(line)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		break
+	}
+	if h == nil {
+		t.Fatalf("%s: no history line", file)
+	}
+
+	itemIdx := map[data.Key]int{}
+	maxItem := -1
+	itemOf := func(k data.Key) (data.Key, bool) {
+		if _, ok := itemIdx[k]; !ok {
+			// Invert the generator's naming so Setup() loads the item.
+			found := false
+			for i := 0; i < 64; i++ {
+				if itemName(i) == k {
+					itemIdx[k] = i
+					found = true
+					break
+				}
+			}
+			if !found {
+				return "", false
+			}
+		}
+		if itemIdx[k] > maxItem {
+			maxItem = itemIdx[k]
+		}
+		return k, true
+	}
+	predIdx := map[string]int{}
+	for i, name := range predCanonNames {
+		predIdx[name] = i
+	}
+
+	s := &Schedule{Seed: 0}
+	maxTxn := 0
+	nextVal := int64(writeBase + 500)
+	for _, op := range h {
+		if op.Tx > maxTxn {
+			maxTxn = op.Tx
+		}
+		sop := SOp{Txn: op.Tx}
+		switch op.Kind {
+		case history.Read:
+			sop.Kind = OpRead
+		case history.Write:
+			sop.Kind = OpWrite
+		case history.ReadCursor:
+			sop.Kind = OpCurRead
+		case history.WriteCursor:
+			sop.Kind = OpCurWrite
+		case history.PredRead:
+			idx, ok := predIdx[op.Preds[0]]
+			if !ok {
+				t.Logf("%s: predicate %q outside the pool, skipping file", file, op.Preds[0])
+				return nil, false
+			}
+			sop.Kind, sop.Pred = OpPredRead, idx
+		case history.Commit:
+			sop.Kind = OpCommit
+		case history.Abort:
+			sop.Kind = OpAbort
+		default:
+			t.Logf("%s: op kind %v not replayable, skipping file", file, op.Kind)
+			return nil, false
+		}
+		if op.Item != "" && op.Kind != history.Commit && op.Kind != history.Abort {
+			item, ok := itemOf(op.Item)
+			if !ok {
+				t.Logf("%s: item %q outside the generator naming, skipping file", file, op.Item)
+				return nil, false
+			}
+			sop.Item = item
+		}
+		if op.Kind.IsWrite() {
+			if op.HasValue {
+				sop.Value = op.Value
+			} else {
+				nextVal++
+				sop.Value = nextVal
+			}
+		}
+		s.Ops = append(s.Ops, sop)
+	}
+	s.Params = DefaultParams()
+	s.Params.Txs = maxTxn
+	if maxItem+1 > s.Params.Items {
+		s.Params.Items = maxItem + 1
+	}
+	return s, true
+}

@@ -22,21 +22,30 @@ import (
 type Family struct {
 	Name   string
 	Levels []engine.Level
-	New    func(shards int) engine.DB
+	// Multiversion marks the families whose traces need the §4.2 MV→SV
+	// mapping before checking (single-version families' recorded traces
+	// are already in conflict order).
+	Multiversion bool
+	New          func(shards int) engine.DB
 }
 
 // Families lists the engine families of uniform campaigns. Together their
-// level lists cover all eight levels of the extended Table 4.
+// level lists cover all eight levels of the extended Table 4; locking and
+// keyrange implement the same six Table 2 degrees with different phantom
+// protocols, so the campaign's cross-family divergence check doubles as a
+// continuous equivalence proof between the predicate table and key-range
+// locking.
 func Families() []Family {
 	return []Family{
 		lockingFamily(),
-		{"snapshot", []engine.Level{engine.SnapshotIsolation}, func(s int) engine.DB {
+		keyrangeFamily(),
+		{Name: "snapshot", Levels: []engine.Level{engine.SnapshotIsolation}, Multiversion: true, New: func(s int) engine.DB {
 			if s > 0 {
 				return snapshot.NewDB(snapshot.WithShards(s))
 			}
 			return snapshot.NewDB()
 		}},
-		{"oraclerc", []engine.Level{engine.ReadConsistency}, func(s int) engine.DB {
+		{Name: "oraclerc", Levels: []engine.Level{engine.ReadConsistency}, Multiversion: true, New: func(s int) engine.DB {
 			if s > 0 {
 				return oraclerc.NewDB(oraclerc.WithShards(s))
 			}
@@ -47,14 +56,15 @@ func Families() []Family {
 
 // MixedFamilies lists the engine families of mixed-level campaigns: the
 // locking scheduler (whose six Table 2 degrees interleave in one lock
-// manager) and the unified multiversion engine (whose SNAPSHOT ISOLATION
-// and READ CONSISTENCY transactions share one store — see internal/mvcc).
-// The snapshot/oraclerc facades disappear here: they are single-level
-// restrictions of the mv family.
+// manager, under either phantom protocol) and the unified multiversion
+// engine (whose SNAPSHOT ISOLATION and READ CONSISTENCY transactions
+// share one store — see internal/mvcc). The snapshot/oraclerc facades
+// disappear here: they are single-level restrictions of the mv family.
 func MixedFamilies() []Family {
 	return []Family{
 		lockingFamily(),
-		{"mv", []engine.Level{engine.SnapshotIsolation, engine.ReadConsistency}, func(s int) engine.DB {
+		keyrangeFamily(),
+		{Name: "mv", Levels: []engine.Level{engine.SnapshotIsolation, engine.ReadConsistency}, Multiversion: true, New: func(s int) engine.DB {
 			if s > 0 {
 				return mvcc.NewDB(mvcc.WithShards(s))
 			}
@@ -64,11 +74,25 @@ func MixedFamilies() []Family {
 }
 
 func lockingFamily() Family {
-	return Family{"locking", locking.LockingLevels, func(s int) engine.DB {
+	return Family{Name: "locking", Levels: locking.LockingLevels, New: func(s int) engine.DB {
 		if s > 0 {
 			return locking.NewDB(locking.WithShards(s))
 		}
 		return locking.NewDB()
+	}}
+}
+
+// keyrangeFamily is the locking scheduler with key-range (next-key)
+// phantom prevention instead of the gated predicate table. Same Table 2
+// levels, same oracle rows — any divergence from the locking family is a
+// bug in one of the two protocols.
+func keyrangeFamily() Family {
+	return Family{Name: "keyrange", Levels: locking.LockingLevels, New: func(s int) engine.DB {
+		opts := []locking.Option{locking.WithPhantomProtection(locking.PhantomKeyrange)}
+		if s > 0 {
+			opts = append(opts, locking.WithShards(s))
+		}
+		return locking.NewDB(opts...)
 	}}
 }
 
@@ -163,10 +187,10 @@ func RunOne(s *Schedule, fam Family, assign Assign, shards int) (*RunResult, err
 		Committed: res.Committed,
 		Aborted:   res.Aborted,
 	}
-	if fam.Name == "locking" {
-		rr.Normalized = res.History
-	} else {
+	if fam.Multiversion {
 		rr.Normalized = mvNormalize(s, cap, rr)
+	} else {
+		rr.Normalized = res.History
 	}
 	rr.Attr = phenomena.StreamAttribution(rr.Normalized)
 	rr.Profile = make(map[phenomena.ID]bool, len(rr.Attr))

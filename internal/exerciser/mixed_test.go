@@ -181,8 +181,8 @@ func TestMixedOracleHolds(t *testing.T) {
 	if rep.Violations() != 0 {
 		t.Fatalf("mixed oracle violations on correct engines:\n%s%s", rep, rep.Detail())
 	}
-	if len(rep.Stats) != 2 {
-		t.Fatalf("mixed campaign cells = %d, want locking + mv", len(rep.Stats))
+	if len(rep.Stats) != 3 {
+		t.Fatalf("mixed campaign cells = %d, want locking + keyrange + mv", len(rep.Stats))
 	}
 	for _, st := range rep.Stats {
 		if !st.Mixed || st.Runs != opts.N {

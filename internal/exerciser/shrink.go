@@ -1,6 +1,5 @@
 package exerciser
 
-
 // Shrink minimizes a schedule while keep (the "still fails" predicate)
 // holds: first whole transactions, then single non-terminal ops, repeated
 // to a fixpoint. The sweeps are deterministic (ascending transactions,

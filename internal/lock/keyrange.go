@@ -1,0 +1,768 @@
+// Key-range (next-key) locking: the striped alternative to the predicate
+// table for phantom prevention.
+//
+// A predicate lock (§2.3) is a lock on every data item satisfying a
+// <search condition> — including phantoms — which is why the predicate
+// table lives behind a cross-stripe gate: its conflicts can surface in any
+// stripe. Key-range locking finitizes the same coverage instead of
+// centralizing it. The existing keys partition the key space into records
+// and gaps; a range scan decomposes its protection into per-key *next-key
+// fragments*, one per existing key in the predicate's key range (each
+// fragment covers its anchor key and the gap below it) plus one supremum
+// fragment for the gap above the last anchor. Fragments live in the lock
+// table stripe of their anchor key, so:
+//
+//   - an update or delete of key k checks only the fragments anchored at k
+//     — its own stripe, under the stripe latch it already holds;
+//   - an insert of a new key j checks the fragments at the smallest anchor
+//     at or above j (the gap's owner) and, when granted, copies the
+//     covering fragments onto j — InnoDB-style gap-lock inheritance, so
+//     coverage survives the key space densifying under a live scan;
+//   - disjoint-key item traffic never touches any cross-stripe structure:
+//     while no fragment is held or wanted (one atomic counter, the exact
+//     predActivity pattern) every fast path is byte-for-byte the striped
+//     item path, and even with a live scan, item operations consult only
+//     their own stripe. The shared-exclusive gate's exclusive side is
+//     never taken on this protocol (Stats.GateAcquires stays zero).
+//
+// Conflicts are image-refined: a fragment carries its scan's predicate,
+// and a write conflicts with it only if the write's before- or after-image
+// satisfies that predicate — the same MatchEither rule as the predicate
+// table. The refinement is what makes the two protocols behaviorally
+// equivalent (same blocking, same waits-for edges, same deadlock victims),
+// which the differential fuzzer verifies by running both engine families
+// over the same schedules; classic next-key locking without refinement
+// would be sound but coarser, blocking non-matching writes into covered
+// gaps.
+//
+// Range acquisition is optimistic install-then-validate: fragments are
+// installed stripe by stripe under each stripe's latch, then the conflict
+// sweep runs once more. A conflicting writer either saw an installed
+// fragment under its stripe latch (and waited) or installed its exclusive
+// lock before the validation visit (and the validation backs the range
+// out to the wait queue) — either way no conflict is missed without any
+// global quiescing. Waiting range and gap requests queue in rangeQ under
+// rangeMu, a mutex range operations share with each other but that item
+// operations only touch when range waiters exist (rangeQLen) — and then
+// only after their stripe work, never nested inside a stripe latch.
+package lock
+
+import (
+	"sort"
+
+	"isolevel/internal/data"
+	"isolevel/internal/predicate"
+)
+
+// RangeHandle identifies a granted key-range lock for later release.
+type RangeHandle int64
+
+// fragment is one stripe-local granule of a key-range lock: Shared
+// coverage of its anchor key and the gap below it, refined by the scan's
+// predicate. All fragments are Shared — scans are reads; writers never
+// install persistent range state (an insert's "exclusive gap lock" is the
+// AcquireGap conflict check itself, insert-intention style).
+type fragment struct {
+	tx     TxID
+	handle RangeHandle
+	pred   predicate.P
+}
+
+// fragLoc records where one fragment of a handle lives, for exact release.
+type fragLoc struct {
+	stripe int
+	anchor data.Key
+	sup    bool
+}
+
+// gapStripeStats counts one stripe's gap-lock activity (under rangeMu).
+type gapStripeStats struct {
+	grants int64
+	waits  int64
+}
+
+// RangeSpec describes the key range a scan locks: the predicate being
+// protected, the anchors (present keys in [Lo, Hi), ascending — from
+// sv.Store.RangeAnchors), and the ceiling (first present key at or above
+// Hi; "" anchors the above-range gap at the supremum instead). Bounded
+// false means the whole key space.
+//
+// Snapshot, when set, supersedes the static Anchors/Ceiling: the manager
+// calls it at install time, under the range mutex, so the anchor set
+// reflects the store at the serialization point of the range lock rather
+// than at some earlier moment in the caller — a key inserted and
+// committed between a caller-side snapshot and the acquisition would
+// otherwise be a permanent hole in the scan's coverage. Queued range
+// requests re-snapshot when finally granted, for the same reason.
+type RangeSpec struct {
+	Pred     predicate.P
+	Anchors  []data.Key
+	Ceiling  data.Key
+	Snapshot func() (anchors []data.Key, ceiling data.Key)
+	Lo, Hi   data.Key
+	Bounded  bool
+}
+
+// covers reports whether key lies in the spec's range.
+func (s RangeSpec) covers(key data.Key) bool {
+	return !s.Bounded || (s.Lo <= key && key < s.Hi)
+}
+
+// AcquireRange acquires a Shared key-range (next-key) lock for tx over
+// spec, blocking until no exclusive item holder anywhere has a row image
+// satisfying spec.Pred — the same admission rule as AcquirePred, decided
+// against per-stripe state instead of a gated global table. The returned
+// handle releases the lock. Returns ErrDeadlock under the standard
+// requester-is-victim rule.
+func (m *Manager) AcquireRange(tx TxID, spec RangeSpec) (RangeHandle, error) {
+	req := &request{tx: tx, mode: S, isRange: true, spec: spec, ready: make(chan error, 1), seq: m.seq.Add(1)}
+	m.gate.RLock()
+	m.rangeMu.Lock()
+	// Count the range before sweeping for conflicts: an insert's fast-path
+	// gap check that still reads zero activity is thereby ordered before
+	// this sweep, so the sweep (or the recheck an insert runs after its
+	// item lock installs — see RecheckGap) is guaranteed to see one side
+	// of the race. Every non-holder exit undoes the count.
+	m.rangeActivity.Add(1)
+	var granted []*request
+	on := m.rangeConflictHoldersLocked(req)
+	if len(on) == 0 {
+		h := m.installRangeLocked(req)
+		if again := m.rangeConflictHoldersLocked(req); len(again) != 0 {
+			// A conflicting writer latched its stripe between our install
+			// visit and the validation sweep (free-running mode only;
+			// scripted runs execute one operation at a time). Back out and
+			// wait like any other conflicted request — draining the
+			// stripes that briefly held our fragments, so an item request
+			// that queued behind one of them is re-evaluated rather than
+			// stranded.
+			touched := m.removeRangeHoldLocked(tx, h)
+			granted = m.drainRangeLocked(touched)
+			on = again
+		} else {
+			m.rangeGrants++
+			// The new fragments extend the conflict sets of queued item
+			// requests in any stripe (and of queued range requests); keep
+			// every wait edge current or a later cycle goes undetected.
+			// With no admitted waiter anywhere (empty waits-for graph, no
+			// queued range request) there is nothing to refresh and the
+			// all-stripe sweep is skipped — the common idle-scan case.
+			if m.rangeQLen.Load() != 0 || !m.wf.Empty() {
+				m.refreshAllRangeAwareLocked()
+			}
+			m.rangeMu.Unlock()
+			m.gate.RUnlock()
+			return h, nil
+		}
+	}
+	if !m.wf.AddWaiter(tx, on) {
+		m.deadlocks.Add(1)
+		m.rangeActivity.Add(-1)
+		m.rangeMu.Unlock()
+		m.gate.RUnlock()
+		m.notifyGranted(granted)
+		return 0, ErrDeadlock
+	}
+	m.rangeQ = append(m.rangeQ, req)
+	m.rangeQLen.Store(int64(len(m.rangeQ)))
+	// (The entry count from above stays: a queued range request remains
+	// counted, and keeps counting as a holder when granted.)
+	m.rangeWaits++
+	m.notifyWaiting(tx, on)
+	m.rangeMu.Unlock()
+	m.gate.RUnlock()
+	m.notifyGranted(granted)
+	if err := m.await(req); err != nil {
+		return 0, err
+	}
+	return req.rhandle, nil
+}
+
+// AcquireGap acquires the covering gap's exclusive lock for an insert of
+// key (insert-intention style): it blocks while any fragment covering key
+// — at the gap's owning anchor or the supremum — belongs to another
+// transaction and has a predicate satisfied by the insert's images, and
+// on grant inherits the covering fragments onto key so the gap's coverage
+// survives the insert. With no range activity it is one atomic load.
+func (m *Manager) AcquireGap(tx TxID, key data.Key, im Images) error {
+	return m.acquireGap(tx, key, im, true)
+}
+
+// RecheckGap re-runs the covering-gap check after the insert's exclusive
+// item lock has installed. It closes the free-running race in which a
+// scan begins between an insert's (empty) fast-path gap check and the
+// item lock install: AcquireRange counts itself before its conflict
+// sweep, so either this recheck observes the scan's activity (and waits
+// on its fragments under rangeMu), or the scan's sweep observes the
+// already-installed item lock (and yields). Scripted runs execute one
+// operation at a time, so the recheck is always a no-op there; it is not
+// counted in the gap statistics.
+func (m *Manager) RecheckGap(tx TxID, key data.Key, im Images) error {
+	return m.acquireGap(tx, key, im, false)
+}
+
+func (m *Manager) acquireGap(tx TxID, key data.Key, im Images, count bool) error {
+	if m.rangeActivity.Load() == 0 {
+		return nil
+	}
+	m.gate.RLock()
+	m.rangeMu.Lock()
+	frags, anchor, anchored := m.gapCoverLocked(key)
+	on := gapConflicts(tx, key, im, frags)
+	spIdx := m.stripeIndex(key)
+	if len(on) == 0 {
+		m.inheritLocked(key, frags, anchor, anchored)
+		if count {
+			m.gapGrants++
+			m.gapStripe[spIdx].grants++
+		}
+		m.rangeMu.Unlock()
+		m.gate.RUnlock()
+		return nil
+	}
+	req := &request{tx: tx, mode: X, isGap: true, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
+	if !m.wf.AddWaiter(tx, on) {
+		m.deadlocks.Add(1)
+		m.rangeMu.Unlock()
+		m.gate.RUnlock()
+		return ErrDeadlock
+	}
+	m.rangeQ = append(m.rangeQ, req)
+	m.rangeQLen.Store(int64(len(m.rangeQ)))
+	m.rangeActivity.Add(1)
+	m.gapWaits++
+	m.gapStripe[spIdx].waits++
+	m.notifyWaiting(tx, on)
+	m.rangeMu.Unlock()
+	m.gate.RUnlock()
+	return m.await(req)
+}
+
+// ReleaseRange releases the key-range lock identified by handle, removing
+// every fragment it installed (including inherited copies) and draining
+// the affected stripes and the range queue.
+func (m *Manager) ReleaseRange(tx TxID, h RangeHandle) {
+	m.gate.RLock()
+	m.rangeMu.Lock()
+	touched := m.removeRangeHoldLocked(tx, h)
+	m.rangeActivity.Add(-1)
+	granted := m.drainRangeLocked(touched)
+	m.rangeMu.Unlock()
+	m.gate.RUnlock()
+	m.notifyGranted(granted)
+}
+
+// releaseAllRangeAware is ReleaseAll's path while range activity exists:
+// tx's item holds, queued item requests, range holds and queued range/gap
+// requests all go, followed by one global-arrival-order drain over every
+// stripe that could have been unblocked plus the range queue. Called with
+// the gate held shared; releases it.
+func (m *Manager) releaseAllRangeAware(tx TxID) {
+	m.rangeMu.Lock()
+	m.wf.Remove(tx)
+	touched := map[int]bool{}
+	var cancelled []*request
+	for _, spIdx := range m.takeFootprintSorted(tx) {
+		sp := m.stripes[spIdx]
+		sp.mu.Lock()
+		for key := range sp.held[tx] {
+			if st := sp.items[key]; st != nil {
+				delete(st.holders, tx)
+				if len(st.holders) == 0 {
+					delete(sp.items, key)
+				}
+			}
+		}
+		delete(sp.held, tx)
+		cancelled = append(cancelled, cancelQueued(&sp.queue, tx, m.wf)...)
+		sp.mu.Unlock()
+		touched[spIdx] = true
+	}
+	rangeTouched, rangeCancelled := m.releaseAllRangesLocked(tx)
+	for i := range rangeTouched {
+		touched[i] = true
+	}
+	cancelled = append(cancelled, rangeCancelled...)
+	granted := m.drainRangeLocked(touched)
+	m.rangeMu.Unlock()
+	m.gate.RUnlock()
+	m.notifyCancelled(cancelled, tx)
+	m.notifyGranted(granted)
+}
+
+// HoldingRange reports whether tx holds any key-range lock.
+func (m *Manager) HoldingRange(tx TxID) bool {
+	m.rangeMu.Lock()
+	defer m.rangeMu.Unlock()
+	return len(m.rangeHolds[tx]) > 0
+}
+
+// rangeConflictHoldersLocked returns the transactions whose granted
+// exclusive item locks — in any stripe — have a row image satisfying the
+// range's predicate, sorted. The sweep latches one stripe at a time;
+// called with rangeMu held.
+func (m *Manager) rangeConflictHoldersLocked(req *request) []TxID {
+	seen := map[TxID]bool{}
+	for _, sp := range m.stripes {
+		sp.mu.Lock()
+		for key, st := range sp.items {
+			for htx, h := range st.holders {
+				if htx == req.tx || !conflicts(req.mode, h.mode) {
+					continue
+				}
+				if h.im.matches(req.spec.Pred, key) {
+					seen[htx] = true
+				}
+			}
+		}
+		sp.mu.Unlock()
+	}
+	return sortedTxIDs(seen)
+}
+
+// installRangeLocked installs req's fragments: one per anchor (plus the
+// ceiling anchor, plus any lock-table-resident key in range — a row
+// deleted by an uncommitted transaction has no store key but still needs
+// record coverage), and a supremum fragment when no ceiling exists.
+// Called with rangeMu held; latches one stripe at a time.
+func (m *Manager) installRangeLocked(req *request) RangeHandle {
+	m.rangeHandles++
+	h := m.rangeHandles
+	req.rhandle = h
+	anchors, ceiling := req.spec.Anchors, req.spec.Ceiling
+	if req.spec.Snapshot != nil {
+		anchors, ceiling = req.spec.Snapshot()
+	}
+	byStripe := make(map[int]map[data.Key]bool)
+	add := func(k data.Key) {
+		i := m.stripeIndex(k)
+		if byStripe[i] == nil {
+			byStripe[i] = map[data.Key]bool{}
+		}
+		byStripe[i][k] = true
+	}
+	for _, a := range anchors {
+		add(a)
+	}
+	if ceiling != "" {
+		add(ceiling)
+	}
+	var locs []fragLoc
+	for i, sp := range m.stripes {
+		sp.mu.Lock()
+		set := byStripe[i]
+		for key := range sp.items {
+			if req.spec.covers(key) {
+				if set == nil {
+					set = map[data.Key]bool{}
+					byStripe[i] = set
+				}
+				set[key] = true
+			}
+		}
+		// ... and at every in-range key that already anchors fragments,
+		// even when it has left the store (an aborted insert or committed
+		// delete leaves other scans' anchors behind). gapCoverLocked
+		// consults only the single smallest anchor at or above an insert
+		// position, so every live scan must have a fragment at every
+		// anchor inside its range — otherwise a stale anchor of one scan
+		// shadows another scan's coverage of the same gap.
+		for key := range sp.ranges {
+			if req.spec.covers(key) {
+				if set == nil {
+					set = map[data.Key]bool{}
+					byStripe[i] = set
+				}
+				set[key] = true
+			}
+		}
+		keys := make([]data.Key, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			if sp.ranges == nil {
+				sp.ranges = map[data.Key][]*fragment{}
+			}
+			sp.ranges[k] = append(sp.ranges[k], &fragment{tx: req.tx, handle: h, pred: req.spec.Pred})
+			sp.rangeIdx.Insert(k)
+			locs = append(locs, fragLoc{stripe: i, anchor: k})
+		}
+		sp.mu.Unlock()
+	}
+	if ceiling == "" {
+		m.supFrags = append(m.supFrags, &fragment{tx: req.tx, handle: h, pred: req.spec.Pred})
+		locs = append(locs, fragLoc{sup: true})
+	}
+	if m.rangeHolds == nil {
+		m.rangeHolds = map[TxID]map[RangeHandle][]fragLoc{}
+	}
+	hm := m.rangeHolds[req.tx]
+	if hm == nil {
+		hm = map[RangeHandle][]fragLoc{}
+		m.rangeHolds[req.tx] = hm
+	}
+	hm[h] = locs
+	return h
+}
+
+// removeRangeHoldLocked deletes every fragment of (tx, h) and returns the
+// set of stripe indexes that lost fragments. Called with rangeMu held.
+func (m *Manager) removeRangeHoldLocked(tx TxID, h RangeHandle) map[int]bool {
+	touched := map[int]bool{}
+	hm := m.rangeHolds[tx]
+	locs := hm[h]
+	delete(hm, h)
+	if len(hm) == 0 {
+		delete(m.rangeHolds, tx)
+	}
+	for _, loc := range locs {
+		if loc.sup {
+			m.supFrags = dropFragments(m.supFrags, tx, h)
+			continue
+		}
+		sp := m.stripes[loc.stripe]
+		sp.mu.Lock()
+		if kept := dropFragments(sp.ranges[loc.anchor], tx, h); len(kept) == 0 {
+			delete(sp.ranges, loc.anchor)
+			sp.rangeIdx.Delete(loc.anchor)
+		} else {
+			sp.ranges[loc.anchor] = kept
+		}
+		sp.mu.Unlock()
+		touched[loc.stripe] = true
+	}
+	return touched
+}
+
+// releaseAllRangesLocked removes every range hold of tx and cancels its
+// queued range/gap requests (ReleaseAll's range side). Returns the touched
+// stripes and the cancelled requests. Called with rangeMu held.
+func (m *Manager) releaseAllRangesLocked(tx TxID) (map[int]bool, []*request) {
+	touched := map[int]bool{}
+	for h := range m.rangeHolds[tx] {
+		for i := range m.removeRangeHoldLocked(tx, h) {
+			touched[i] = true
+		}
+		m.rangeActivity.Add(-1)
+	}
+	cancelled := cancelQueued(&m.rangeQ, tx, m.wf)
+	m.rangeQLen.Store(int64(len(m.rangeQ)))
+	m.rangeActivity.Add(-int64(len(cancelled)))
+	return touched, cancelled
+}
+
+func dropFragments(frags []*fragment, tx TxID, h RangeHandle) []*fragment {
+	kept := frags[:0]
+	for _, f := range frags {
+		if f.tx != tx || f.handle != h {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// gapCoverLocked returns the fragments covering an insert at key: those at
+// the smallest anchor at or above key (a fragment covers its anchor and
+// the gap below it), or the supremum fragments when key lies above every
+// anchor. Called with rangeMu held.
+func (m *Manager) gapCoverLocked(key data.Key) ([]*fragment, data.Key, bool) {
+	var best data.Key
+	found := false
+	for _, sp := range m.stripes {
+		sp.mu.Lock()
+		if c, ok := sp.rangeIdx.Ceiling(key); ok && (!found || c < best) {
+			best, found = c, true
+		}
+		sp.mu.Unlock()
+	}
+	if !found {
+		return append([]*fragment(nil), m.supFrags...), "", false
+	}
+	sp := m.stripeOf(best)
+	sp.mu.Lock()
+	frags := append([]*fragment(nil), sp.ranges[best]...)
+	sp.mu.Unlock()
+	return frags, best, true
+}
+
+// gapConflicts filters cover fragments down to the conflicting holders: a
+// fragment of another transaction whose predicate is satisfied by either
+// image of the insert.
+func gapConflicts(tx TxID, key data.Key, im Images, frags []*fragment) []TxID {
+	seen := map[TxID]bool{}
+	for _, f := range frags {
+		if f.tx == tx {
+			continue
+		}
+		if im.matches(f.pred, key) {
+			seen[f.tx] = true
+		}
+	}
+	return sortedTxIDs(seen)
+}
+
+// inheritLocked copies the covering fragments onto key (the next-key
+// inheritance of a granted insert), registering each copy under its
+// owner's handle so release stays exact. A no-op when key is already the
+// covering anchor. Called with rangeMu held.
+func (m *Manager) inheritLocked(key data.Key, frags []*fragment, anchor data.Key, anchored bool) {
+	if len(frags) == 0 || (anchored && anchor == key) {
+		return
+	}
+	spIdx := m.stripeIndex(key)
+	sp := m.stripes[spIdx]
+	sp.mu.Lock()
+	for _, f := range frags {
+		if sp.ranges == nil {
+			sp.ranges = map[data.Key][]*fragment{}
+		}
+		sp.ranges[key] = append(sp.ranges[key], &fragment{tx: f.tx, handle: f.handle, pred: f.pred})
+		sp.rangeIdx.Insert(key)
+		m.rangeHolds[f.tx][f.handle] = append(m.rangeHolds[f.tx][f.handle], fragLoc{stripe: spIdx, anchor: key})
+	}
+	sp.mu.Unlock()
+}
+
+// fragmentConflictHolders returns the holders of fragments anchored at
+// req.key that an exclusive item request conflicts with (image-refined).
+// Called with the key's stripe latched.
+func fragmentConflictHolders(sp *stripe, req *request) []TxID {
+	if req.mode != X || len(sp.ranges) == 0 {
+		return nil
+	}
+	frags := sp.ranges[req.key]
+	if len(frags) == 0 {
+		return nil
+	}
+	seen := map[TxID]bool{}
+	for _, f := range frags {
+		if f.tx == req.tx {
+			continue
+		}
+		if req.im.matches(f.pred, req.key) {
+			seen[f.tx] = true
+		}
+	}
+	return sortedTxIDs(seen)
+}
+
+// itemConflictHoldersLocked is the fragment-aware item conflict set: the
+// same-key item holders plus the holders of fragments anchored at the key.
+// Called with the key's stripe latched (or the gate exclusive).
+func (m *Manager) itemConflictHoldersLocked(sp *stripe, req *request) []TxID {
+	out := itemConflictHolders(sp.items[req.key], req)
+	fr := fragmentConflictHolders(sp, req)
+	if len(fr) == 0 {
+		return out
+	}
+	seen := map[TxID]bool{}
+	for _, tx := range out {
+		seen[tx] = true
+	}
+	for _, tx := range fr {
+		seen[tx] = true
+	}
+	return sortedTxIDs(seen)
+}
+
+// drainRangeIfWaiters runs the range-aware drain when any range or gap
+// request is queued (one atomic load otherwise). Called with the gate held
+// shared and no stripe latch held.
+func (m *Manager) drainRangeIfWaiters(touched map[int]bool) []*request {
+	if m.rangeQLen.Load() == 0 {
+		return nil
+	}
+	m.rangeMu.Lock()
+	granted := m.drainRangeLocked(touched)
+	m.rangeMu.Unlock()
+	return granted
+}
+
+// drainRangeLocked grants every grantable waiter among the touched
+// stripes' item queues and the range queue, in global upgrade-first
+// arrival order — the same grant order as the gated drainAllLocked, which
+// is what keeps the two phantom protocols' wake-up sequences identical —
+// then refreshes the wait edges of everything still blocked. Called with
+// rangeMu held and no stripe latch held.
+func (m *Manager) drainRangeLocked(touched map[int]bool) []*request {
+	if touched == nil {
+		touched = map[int]bool{}
+	}
+	var granted []*request
+	for {
+		// Recomputed each pass: a range grant backed out inside the loop
+		// adds the stripes that briefly held its fragments, whose item
+		// waiters must be re-evaluated too.
+		stripes := make([]int, 0, len(touched))
+		for i := range touched {
+			stripes = append(stripes, i)
+		}
+		sort.Ints(stripes)
+		var cands []*request
+		for _, i := range stripes {
+			sp := m.stripes[i]
+			sp.mu.Lock()
+			for _, r := range sp.queue {
+				if len(m.itemConflictHoldersLocked(sp, r)) == 0 {
+					cands = append(cands, r)
+				}
+			}
+			sp.mu.Unlock()
+		}
+		for _, r := range m.rangeQ {
+			switch {
+			case r.isRange:
+				if len(m.rangeConflictHoldersLocked(r)) == 0 {
+					cands = append(cands, r)
+				}
+			case r.isGap:
+				frags, _, _ := m.gapCoverLocked(r.key)
+				if len(gapConflicts(r.tx, r.key, r.im, frags)) == 0 {
+					cands = append(cands, r)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		best := cands[0]
+		for _, r := range cands[1:] {
+			if r.upgrade != best.upgrade {
+				if r.upgrade {
+					best = r
+				}
+				continue
+			}
+			if r.seq < best.seq {
+				best = r
+			}
+		}
+		if m.grantRangeAwareLocked(best, touched) {
+			granted = append(granted, best)
+		}
+	}
+	// Edges are refreshed across every stripe, not just the touched ones:
+	// a range grant inside the loop installs fragments wherever its
+	// anchors live, extending item waiters' conflict sets far beyond the
+	// stripes this drain released in. When the drain granted nothing and
+	// no waiter exists anywhere — no queued range request and an empty
+	// waits-for graph (a queued request with no edges would have been a
+	// grantable candidate above) — there are no edges to refresh, and
+	// skipping the all-stripe sweep keeps an idle scan from taxing every
+	// unrelated release with O(stripes) latch work.
+	if len(granted) == 0 && m.rangeQLen.Load() == 0 && m.wf.Empty() {
+		return granted
+	}
+	m.refreshAllRangeAwareLocked()
+	return granted
+}
+
+// refreshAllRangeAwareLocked recomputes the wait edges of every queued
+// request — item queues in every stripe (fragment-aware) and the range
+// queue — the range counterpart of the gated refreshAllWaitersLocked.
+// Called with rangeMu held.
+func (m *Manager) refreshAllRangeAwareLocked() {
+	for _, sp := range m.stripes {
+		sp.mu.Lock()
+		for _, r := range sp.queue {
+			m.wf.Refresh(r.tx, m.itemConflictHoldersLocked(sp, r))
+		}
+		sp.mu.Unlock()
+	}
+	m.refreshRangeWaitersLocked()
+}
+
+// grantRangeAwareLocked installs one drained request, re-verifying its
+// conflict set under the final latches (candidates were computed with
+// latches released between stripes). Reports whether the grant happened;
+// a range back-out adds the stripes that briefly held its fragments to
+// the caller's touched set so their waiters are re-evaluated. Called with
+// rangeMu held.
+func (m *Manager) grantRangeAwareLocked(r *request, touched map[int]bool) bool {
+	switch {
+	case r.isRange:
+		h := m.installRangeLocked(r)
+		if again := m.rangeConflictHoldersLocked(r); len(again) != 0 {
+			for i := range m.removeRangeHoldLocked(r.tx, h) {
+				touched[i] = true
+			}
+			return false
+		}
+		m.rangeGrants++
+		removeRequest(&m.rangeQ, r)
+		m.rangeQLen.Store(int64(len(m.rangeQ)))
+	case r.isGap:
+		frags, anchor, anchored := m.gapCoverLocked(r.key)
+		if len(gapConflicts(r.tx, r.key, r.im, frags)) != 0 {
+			return false
+		}
+		m.inheritLocked(r.key, frags, anchor, anchored)
+		spIdx := m.stripeIndex(r.key)
+		m.gapGrants++
+		m.gapStripe[spIdx].grants++
+		removeRequest(&m.rangeQ, r)
+		m.rangeQLen.Store(int64(len(m.rangeQ)))
+		m.rangeActivity.Add(-1) // gap locks are transient: intent only
+	default:
+		sp := m.stripeOf(r.key)
+		sp.mu.Lock()
+		// Re-verify the request is still queued: between the candidate
+		// scan and this grant, a concurrent striped-path drain (another
+		// release observing rangeActivity already at zero) may have
+		// granted it, and installing for an already-woken — possibly
+		// already-terminated — transaction would leak an unreleasable
+		// lock.
+		if !queuedRequest(sp.queue, r) {
+			sp.mu.Unlock()
+			return false
+		}
+		if len(m.itemConflictHoldersLocked(sp, r)) != 0 {
+			sp.mu.Unlock()
+			return false
+		}
+		m.installItemLocked(sp, r)
+		removeRequest(&sp.queue, r)
+		sp.mu.Unlock()
+	}
+	m.wf.Remove(r.tx)
+	return true
+}
+
+// refreshRangeWaitersLocked recomputes the wait edges of every queued
+// range and gap request. Called with rangeMu held.
+func (m *Manager) refreshRangeWaitersLocked() {
+	for _, r := range m.rangeQ {
+		switch {
+		case r.isRange:
+			m.wf.Refresh(r.tx, m.rangeConflictHoldersLocked(r))
+		case r.isGap:
+			frags, _, _ := m.gapCoverLocked(r.key)
+			m.wf.Refresh(r.tx, gapConflicts(r.tx, r.key, r.im, frags))
+		}
+	}
+}
+
+// queuedRequest reports whether req is still present in q. Called with
+// the queue's latch held.
+func queuedRequest(q []*request, req *request) bool {
+	for _, r := range q {
+		if r == req {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedTxIDs(seen map[TxID]bool) []TxID {
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]TxID, 0, len(seen))
+	for tx := range seen {
+		out = append(out, tx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,357 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"isolevel/internal/data"
+	"isolevel/internal/predicate"
+)
+
+// ge is the fuzzer's pool predicate shape: val >= arg.
+func ge(arg int64) predicate.P {
+	return predicate.Field{Name: data.ValField, Op: predicate.GE, Arg: arg}
+}
+
+// rangeSpec builds an unbounded whole-space spec over the given anchors.
+func rangeSpec(p predicate.P, anchors ...data.Key) RangeSpec {
+	return RangeSpec{Pred: p, Anchors: anchors}
+}
+
+func mustRange(t *testing.T, m *Manager, tx TxID, spec RangeSpec) RangeHandle {
+	t.Helper()
+	h, err := m.AcquireRange(tx, spec)
+	if err != nil {
+		t.Fatalf("AcquireRange(T%d): %v", tx, err)
+	}
+	return h
+}
+
+func TestRangeBlocksMatchingWrite(t *testing.T) {
+	m := NewManagerShards(4)
+	mustRange(t, m, 1, rangeSpec(ge(10), "x", "y"))
+	got := make(chan error, 1)
+	go func() {
+		got <- m.AcquireItem(2, "y", X, Images{Before: row(5), After: row(50)})
+	}()
+	select {
+	case <-got:
+		t.Fatal("matching write acquired under a key-range lock")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("write never granted after range release")
+	}
+}
+
+func TestRangeIgnoresNonMatchingWrite(t *testing.T) {
+	m := NewManagerShards(4)
+	mustRange(t, m, 1, rangeSpec(ge(10), "x", "y"))
+	// Neither image satisfies val >= 10: the image-refined fragment does
+	// not conflict (the same rule as the predicate table).
+	if err := m.AcquireItem(2, "y", X, Images{Before: row(1), After: row(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// And a write outside the anchors entirely.
+	if err := m.AcquireItem(2, "z", X, Images{Before: row(1), After: row(3)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeConflictsWithHeldWrite(t *testing.T) {
+	m := NewManagerShards(4)
+	if err := m.AcquireItem(1, "y", X, Images{Before: row(5), After: row(50)}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := m.AcquireRange(2, rangeSpec(ge(10), "x", "y"))
+		got <- err
+	}()
+	select {
+	case <-got:
+		t.Fatal("range lock granted over a matching exclusive holder")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("range lock never granted after the writer released")
+	}
+	if !m.HoldingRange(2) {
+		t.Fatal("HoldingRange(2) = false after grant")
+	}
+}
+
+func TestGapBlocksMatchingInsert(t *testing.T) {
+	m := NewManagerShards(4)
+	mustRange(t, m, 1, rangeSpec(ge(10), "b", "m"))
+	// Insert into the gap (b, m) with a matching after-image: blocked by
+	// the fragment anchored at m (the gap's owner).
+	got := make(chan error, 1)
+	go func() { got <- m.AcquireGap(2, "g", Images{After: row(99)}) }()
+	select {
+	case <-got:
+		t.Fatal("matching insert slipped through a locked gap")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapSupremumCoversAboveRange(t *testing.T) {
+	m := NewManagerShards(4)
+	// Unbounded scan with no ceiling: the gap above the last anchor is
+	// covered by the supremum fragment.
+	mustRange(t, m, 1, rangeSpec(ge(10), "b", "m"))
+	got := make(chan error, 1)
+	go func() { got <- m.AcquireGap(2, "zz", Images{After: row(50)}) }()
+	select {
+	case <-got:
+		t.Fatal("matching insert above every anchor not covered by the supremum")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapIgnoresNonMatchingInsert(t *testing.T) {
+	m := NewManagerShards(4)
+	mustRange(t, m, 1, rangeSpec(ge(10), "b", "m"))
+	if err := m.AcquireGap(2, "g", Images{After: row(3)}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.GapGrants != 1 || st.GapWaits != 0 {
+		t.Fatalf("gap stats = %d grants / %d waits, want 1/0", st.GapGrants, st.GapWaits)
+	}
+}
+
+// TestGapInheritance: a non-matching insert into a covered gap must leave
+// the gap below it covered — the inserted key inherits the fragments, so a
+// later matching write of that key (or insert below it) still conflicts.
+func TestGapInheritance(t *testing.T) {
+	m := NewManagerShards(4)
+	mustRange(t, m, 1, rangeSpec(ge(10), "b", "m"))
+	// Non-matching insert at g: allowed, inherits coverage onto g.
+	if err := m.AcquireGap(2, "g", Images{After: row(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AcquireItem(2, "g", X, Images{After: row(3)}); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	// The row at g now exists; updating it into the scanned predicate is a
+	// phantom for T1 and must block on the inherited fragment.
+	got := make(chan error, 1)
+	go func() { got <- m.AcquireItem(3, "g", X, Images{Before: row(3), After: row(42)}) }()
+	select {
+	case <-got:
+		t.Fatal("update into the predicate not blocked by the inherited fragment")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// And a matching insert below g is still covered (g now owns the gap).
+	got2 := make(chan error, 1)
+	go func() { got2 <- m.AcquireGap(4, "c", Images{After: row(77)}) }()
+	select {
+	case <-got2:
+		t.Fatal("matching insert below the inherited anchor not blocked")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeDeadlockRequesterVictim(t *testing.T) {
+	m := NewManagerShards(4)
+	// T1 holds a matching X on y; T2's range over {x,y} waits on T1.
+	if err := m.AcquireItem(1, "y", X, Images{After: row(50)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AcquireItem(2, "z", X, Images{After: row(60)}); err != nil {
+		t.Fatal(err)
+	}
+	waiting := make(chan error, 1)
+	go func() {
+		_, err := m.AcquireRange(2, rangeSpec(ge(10), "x", "y"))
+		waiting <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// T1 now requests T2's z: closes the cycle T1 -> T2 -> T1; T1 (the
+	// requester) is the victim, exactly as with a predicate lock.
+	err := m.AcquireItem(1, "z", X, Images{After: row(70)})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("requester got %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(1)
+	if err := <-waiting; err != nil {
+		t.Fatalf("range waiter: %v", err)
+	}
+}
+
+// TestRangeNeverTakesGate: the whole point — a keyrange workload must
+// leave the cross-stripe gate untouched while still counting its range
+// and gap activity.
+func TestRangeNeverTakesGate(t *testing.T) {
+	m := NewManagerShards(8)
+	h := mustRange(t, m, 1, rangeSpec(ge(10), "a", "b", "c", "d"))
+	done := make(chan error, 1)
+	go func() { done <- m.AcquireItem(2, "c", X, Images{Before: row(5), After: row(50)}) }()
+	time.Sleep(50 * time.Millisecond)
+	m.ReleaseRange(1, h)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AcquireGap(2, "aa", Images{After: row(99)}); err != nil {
+		t.Fatal(err) // fragments gone: nothing covers the gap
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	st := m.Stats()
+	if st.GateAcquires != 0 {
+		t.Fatalf("GateAcquires = %d on a pure keyrange workload, want 0", st.GateAcquires)
+	}
+	if st.RangeGrants != 1 || st.RangeWaits != 0 {
+		t.Fatalf("range stats = %d grants / %d waits, want 1/0", st.RangeGrants, st.RangeWaits)
+	}
+	if st.Waits != 1 {
+		t.Fatalf("Waits = %d, want 1 (the blocked writer)", st.Waits)
+	}
+	// ... whereas one predicate lock acquisition does take the gate.
+	if _, err := m.AcquirePred(3, ge(10), S); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().GateAcquires; got == 0 {
+		t.Fatal("predicate path did not count its gate acquisition")
+	}
+}
+
+// TestRangeCoversUncommittedDelete: a row deleted by an uncommitted
+// transaction has no store key, but its lock-table entry anchors a
+// fragment, so the range still conflicts with the deleter's images.
+func TestRangeCoversUncommittedDelete(t *testing.T) {
+	m := NewManagerShards(4)
+	// T1 "deletes" y (X lock with a matching before-image, nil after).
+	if err := m.AcquireItem(1, "y", X, Images{Before: row(50)}); err != nil {
+		t.Fatal(err)
+	}
+	// T2 scans; the anchor list (from the store) no longer includes y.
+	got := make(chan error, 1)
+	go func() {
+		_, err := m.AcquireRange(2, rangeSpec(ge(10), "x"))
+		got <- err
+	}()
+	select {
+	case <-got:
+		t.Fatal("range granted over an uncommitted matching delete")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	// Once the delete commits the row is gone, so a re-write of y is an
+	// insert and goes through the gap check, where the scan's coverage
+	// (here the supremum fragment above anchor x) still blocks it.
+	got2 := make(chan error, 1)
+	go func() { got2 <- m.AcquireGap(3, "y", Images{After: row(60)}) }()
+	select {
+	case <-got2:
+		t.Fatal("matching write of the deleted key not covered")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-got2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleAnchorDoesNotShadowCoverage: an anchor left behind by a key
+// that left the store (aborted insert, committed delete) must not shadow
+// a newer scan's gap coverage. gapCoverLocked consults only the smallest
+// anchor at or above the insert, so a scan installed after the stale
+// anchor appeared must anchor there too — the regression is a
+// SERIALIZABLE phantom admitted through the shadowed gap.
+func TestStaleAnchorDoesNotShadowCoverage(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		m := NewManagerShards(shards)
+		// T5 scans anchors {a, r} for val >= 50.
+		h5 := mustRange(t, m, 5, rangeSpec(ge(50), "a", "r"))
+		// T0 inserts the non-matching key m (allowed; inherits T5's
+		// fragment onto anchor m), then goes away — the store-side abort
+		// removes the row, but the anchor at m stays while T5 lives.
+		if err := m.AcquireGap(0, "m", Images{After: row(1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AcquireItem(0, "m", X, Images{After: row(1)}); err != nil {
+			t.Fatal(err)
+		}
+		m.ReleaseAll(0)
+		// T4 scans for val >= 10 — its anchor list (from the store) no
+		// longer contains m, but the manager must anchor its fragments at
+		// the stale anchor anyway.
+		mustRange(t, m, 4, rangeSpec(ge(10), "a", "r"))
+		// Insert at g (a < g < m) matching T4's predicate but not T5's:
+		// the covering anchor is m; T4's coverage must be found there.
+		got := make(chan error, 1)
+		go func() { got <- m.AcquireGap(6, "g", Images{After: row(20)}) }()
+		select {
+		case <-got:
+			t.Fatalf("shards=%d: stale anchor shadowed T4's gap coverage — matching insert admitted", shards)
+		case <-time.After(50 * time.Millisecond):
+		}
+		m.ReleaseAll(4)
+		if err := <-got; err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		m.ReleaseAll(5)
+		m.ReleaseAll(6)
+		_ = h5
+	}
+}
+
+// TestRangeStripeParity: every behavior above must be identical at any
+// stripe count (fragments land wherever their anchors hash).
+func TestRangeStripeParity(t *testing.T) {
+	for _, shards := range []int{1, 2, 16, 64} {
+		m := NewManagerShards(shards)
+		mustRange(t, m, 1, rangeSpec(ge(10), "a", "b", "c", "d", "e"))
+		if err := m.AcquireItem(2, "c", X, Images{Before: row(1), After: row(2)}); err != nil {
+			t.Fatalf("shards=%d: non-matching write blocked: %v", shards, err)
+		}
+		blocked := make(chan error, 1)
+		go func() { blocked <- m.AcquireGap(3, "bb", Images{After: row(11)}) }()
+		select {
+		case <-blocked:
+			t.Fatalf("shards=%d: matching insert not blocked", shards)
+		case <-time.After(30 * time.Millisecond):
+		}
+		m.ReleaseAll(1)
+		if err := <-blocked; err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if st := m.Stats(); st.GateAcquires != 0 {
+			t.Fatalf("shards=%d: GateAcquires = %d", shards, st.GateAcquires)
+		}
+	}
+}

@@ -41,6 +41,23 @@
 // gate's exclusive side at all, which is what lets disjoint-key workloads
 // scale with the stripe count.
 //
+// # Phantom prevention: two protocols
+//
+// The gated predicate table above is the paper's literal §2.3 mechanism.
+// The manager also implements the practical alternative real schedulers
+// use: key-range (next-key) locking (keyrange.go) — AcquireRange decomposes
+// a scan's phantom protection into per-stripe next-key fragments over the
+// existing keys and gaps of its predicate's key range, and AcquireGap gives
+// inserts the covering gap's exclusive lock. Fragment conflicts are refined
+// by the same before/after-image rule as predicate locks, which makes the
+// two protocols behaviorally equivalent (same blocking, same waits-for
+// edges, same deadlock victims — the differential fuzzer runs both engine
+// families over identical schedules to hold them to that); the difference
+// is purely structural: key-range state lives in the stripes, so no path of
+// the keyrange protocol ever takes the gate's exclusive side
+// (Stats.GateAcquires stays zero) and disjoint-key writers keep scaling
+// with the stripe count while a scan is live.
+//
 // Deadlock detection lives in a standalone waits-for graph (waitsfor.go)
 // that collects wait edges from all stripes under its own lock, preserving
 // the deterministic requester-is-victim rule across stripes.
@@ -140,14 +157,19 @@ type request struct {
 	tx      TxID
 	mode    Mode
 	isPred  bool
+	isRange bool
+	isGap   bool
 	key     data.Key
 	pred    predicate.P
+	// spec is the key range of an isRange request.
+	spec    RangeSpec
 	im      Images
 	upgrade bool
 	ready   chan error
-	// handle receives the predicate handle on grant.
-	handle PredHandle
-	seq    int64
+	// handle receives the predicate handle on grant; rhandle the range one.
+	handle  PredHandle
+	rhandle RangeHandle
+	seq     int64
 }
 
 // StripeStats counts one stripe's item-lock activity — the per-stripe
@@ -158,6 +180,11 @@ type StripeStats struct {
 	Grants int64
 	// Waits counts item requests that had to queue on this stripe.
 	Waits int64
+	// GapGrants / GapWaits count gap-lock acquisitions by inserts whose
+	// key lands in this stripe — the per-stripe contention map of
+	// key-range phantom prevention.
+	GapGrants int64
+	GapWaits  int64
 }
 
 // Stats counts manager activity for benchmarks and reports.
@@ -175,6 +202,19 @@ type Stats struct {
 	// Grants / Waits.
 	PredGrants int64
 	PredWaits  int64
+	// RangeGrants / RangeWaits break out the key-range (next-key) scan
+	// locks, and GapGrants / GapWaits the covering-gap acquisitions of
+	// inserts under range activity (see keyrange.go).
+	RangeGrants int64
+	RangeWaits  int64
+	GapGrants   int64
+	GapWaits    int64
+	// GateAcquires counts exclusive acquisitions of the cross-stripe
+	// predicate gate — the serialization events of predicate-table phantom
+	// prevention. Key-range locking never takes the exclusive gate, so on
+	// a keyrange engine this stays zero; the bench output prints it as the
+	// direct evidence.
+	GateAcquires int64
 	// PerStripe is the item-lock activity of each stripe, indexed by
 	// stripe number.
 	PerStripe []StripeStats
@@ -252,6 +292,13 @@ type stripe struct {
 	held  map[TxID]map[data.Key]struct{}
 	queue []*request // waiting item requests: upgrades first, then arrival order
 
+	// ranges holds the key-range fragments anchored in this stripe, by
+	// anchor key (keyrange.go). Lazily allocated: nil means the stripe has
+	// never seen range activity. rangeIdx mirrors its key set in order,
+	// giving gap checks an O(log n) covering-anchor lookup per stripe.
+	ranges   map[data.Key][]*fragment
+	rangeIdx data.OrderedSet
+
 	grants int64
 	waits  int64
 }
@@ -281,6 +328,28 @@ type Manager struct {
 	preds   map[PredHandle]*predState
 	predQ   []*request
 	handles PredHandle
+
+	// Key-range locking state (keyrange.go). rangeMu orders range
+	// operations against each other; item operations never take it from
+	// inside a stripe latch, and only at all while range waiters exist
+	// (rangeQLen) or fragments are live (rangeActivity — the predActivity
+	// pattern). rangeHolds, rangeQ, supFrags, gapStripe and the range/gap
+	// counters are touched only under rangeMu; fragments themselves
+	// (stripe.ranges) are guarded by their stripe's latch.
+	rangeMu       sync.Mutex
+	rangeQ        []*request
+	rangeQLen     atomic.Int64
+	rangeActivity atomic.Int64
+	rangeHolds    map[TxID]map[RangeHandle][]fragLoc
+	rangeHandles  RangeHandle
+	supFrags      []*fragment
+	gapStripe     []gapStripeStats
+	rangeGrants   int64
+	rangeWaits    int64
+	gapGrants     int64
+	gapWaits      int64
+
+	gateAcquires atomic.Int64
 
 	wf *WaitsFor
 
@@ -316,10 +385,11 @@ func NewManager() *Manager { return NewManagerShards(DefaultShards) }
 func NewManagerShards(n int) *Manager {
 	striper := data.NewStriper(n)
 	m := &Manager{
-		striper: striper,
-		stripes: make([]*stripe, striper.Count()),
-		preds:   map[PredHandle]*predState{},
-		wf:      NewWaitsFor(),
+		striper:   striper,
+		stripes:   make([]*stripe, striper.Count()),
+		preds:     map[PredHandle]*predState{},
+		gapStripe: make([]gapStripeStats, striper.Count()),
+		wf:        NewWaitsFor(),
 	}
 	for i := range m.stripes {
 		m.stripes[i] = &stripe{
@@ -349,21 +419,31 @@ func (m *Manager) Stats() Stats {
 	m.gate.RLock()
 	defer m.gate.RUnlock()
 	st := Stats{
-		Deadlocks:  m.deadlocks.Load(),
-		Upgrades:   m.upgrades.Load(),
-		PredGrants: m.predGrants,
-		PredWaits:  m.predWaits,
-		PerStripe:  make([]StripeStats, len(m.stripes)),
+		Deadlocks:    m.deadlocks.Load(),
+		Upgrades:     m.upgrades.Load(),
+		PredGrants:   m.predGrants,
+		PredWaits:    m.predWaits,
+		GateAcquires: m.gateAcquires.Load(),
+		PerStripe:    make([]StripeStats, len(m.stripes)),
 	}
+	m.rangeMu.Lock()
+	st.RangeGrants, st.RangeWaits = m.rangeGrants, m.rangeWaits
+	st.GapGrants, st.GapWaits = m.gapGrants, m.gapWaits
+	for i := range m.gapStripe {
+		st.PerStripe[i].GapGrants = m.gapStripe[i].grants
+		st.PerStripe[i].GapWaits = m.gapStripe[i].waits
+	}
+	m.rangeMu.Unlock()
 	for i, sp := range m.stripes {
 		sp.mu.Lock()
-		st.PerStripe[i] = StripeStats{Grants: sp.grants, Waits: sp.waits}
+		st.PerStripe[i].Grants = sp.grants
+		st.PerStripe[i].Waits = sp.waits
 		sp.mu.Unlock()
 		st.Grants += st.PerStripe[i].Grants
 		st.Waits += st.PerStripe[i].Waits
 	}
-	st.Grants += st.PredGrants
-	st.Waits += st.PredWaits
+	st.Grants += st.PredGrants + st.RangeGrants + st.GapGrants
+	st.Waits += st.PredWaits + st.RangeWaits + st.GapWaits
 	return st
 }
 
@@ -398,14 +478,21 @@ func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images
 		h.im = mergeImages(h.im, im)
 		sp.grants++
 		sp.mu.Unlock()
+		// Merging images can narrow a range waiter's conflict set (the
+		// after-image is replaced, not accumulated) — drain the range
+		// queue so a now-grantable waiter is not stranded. One atomic
+		// load when no range waiter exists; mirrors the gated path's full
+		// drain on covering re-acquires.
+		granted := m.drainRangeIfWaiters(nil)
 		m.gate.RUnlock()
+		m.notifyGranted(granted)
 		return nil
 	}
 	req := &request{tx: tx, mode: mode, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	if h, ok := st.holders[tx]; ok && h.mode == S && mode == X {
 		req.upgrade = true
 	}
-	on := itemConflictHolders(st, req)
+	on := m.itemConflictHoldersLocked(sp, req)
 	if len(on) == 0 {
 		m.countUpgrade(req)
 		m.installItemLocked(sp, req)
@@ -413,7 +500,14 @@ func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images
 		// already queued on this stripe; keep their wait edges current.
 		m.refreshStripeWaitersLocked(sp)
 		sp.mu.Unlock()
+		var granted []*request
+		if mode == X {
+			// ... and of queued range requests, whose conflicts span every
+			// stripe's exclusive holders.
+			granted = m.drainRangeIfWaiters(nil)
+		}
 		m.gate.RUnlock()
+		m.notifyGranted(granted)
 		return nil
 	}
 	if !m.wf.AddWaiter(tx, on) {
@@ -437,6 +531,7 @@ func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images
 // predicate table, so the request needs the stable cross-stripe view.
 func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) error {
 	m.gate.Lock()
+	m.gateAcquires.Add(1)
 	sp := m.stripeOf(key)
 	st := sp.items[key]
 	if st == nil {
@@ -489,6 +584,7 @@ func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) 
 func (m *Manager) AcquirePred(tx TxID, p predicate.P, mode Mode) (PredHandle, error) {
 	req := &request{tx: tx, mode: mode, isPred: true, pred: p, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	m.gate.Lock()
+	m.gateAcquires.Add(1)
 	on := m.conflictHoldersLocked(req)
 	if len(on) == 0 {
 		m.installPredLocked(req)
@@ -585,7 +681,7 @@ func (m *Manager) conflictHoldersLocked(req *request) []TxID {
 			}
 		}
 	} else {
-		for _, tx := range itemConflictHolders(m.stripeOf(req.key).items[req.key], req) {
+		for _, tx := range m.itemConflictHoldersLocked(m.stripeOf(req.key), req) {
 			seen[tx] = true
 		}
 		// Item request vs predicate holders.
@@ -705,6 +801,27 @@ func (m *Manager) dropItemLocked(sp *stripe, tx TxID, key data.Key) {
 func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
 	m.gate.RLock()
 	if m.predActivity.Load() == 0 {
+		if m.rangeActivity.Load() != 0 {
+			// Range activity: the release may unblock a queued range or
+			// gap request as well as this stripe's item waiters; drain
+			// both in global arrival order (see drainRangeLocked). The
+			// gate is deliberately rangeActivity, not rangeQLen: the
+			// predicate twin drains globally-by-seq exactly while a
+			// predicate lock is *held* (predActivity), so draining
+			// per-stripe here while fragments are live would reorder
+			// cross-stripe grants and break the protocols' trace
+			// equivalence.
+			m.rangeMu.Lock()
+			sp := m.stripeOf(key)
+			sp.mu.Lock()
+			m.dropItemLocked(sp, tx, key)
+			sp.mu.Unlock()
+			granted := m.drainRangeLocked(map[int]bool{sp.idx: true})
+			m.rangeMu.Unlock()
+			m.gate.RUnlock()
+			m.notifyGranted(granted)
+			return
+		}
 		sp := m.stripeOf(key)
 		sp.mu.Lock()
 		m.dropItemLocked(sp, tx, key)
@@ -718,6 +835,7 @@ func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
 	// Predicate activity: the release may unblock a predicate waiter, so
 	// the drain needs the cross-stripe view.
 	m.gate.Lock()
+	m.gateAcquires.Add(1)
 	m.dropItemLocked(m.stripeOf(key), tx, key)
 	granted := m.drainAllLocked()
 	m.gate.Unlock()
@@ -727,6 +845,7 @@ func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
 // ReleasePred releases the predicate lock identified by handle.
 func (m *Manager) ReleasePred(tx TxID, handle PredHandle) {
 	m.gate.Lock()
+	m.gateAcquires.Add(1)
 	if ps, ok := m.preds[handle]; ok && ps.tx == tx {
 		ps.refs--
 		if ps.refs <= 0 {
@@ -744,6 +863,10 @@ func (m *Manager) ReleasePred(tx TxID, handle PredHandle) {
 func (m *Manager) ReleaseAll(tx TxID) {
 	m.gate.RLock()
 	if m.predActivity.Load() == 0 {
+		if m.rangeActivity.Load() != 0 {
+			m.releaseAllRangeAware(tx)
+			return
+		}
 		// Striped path: no predicate state exists, so each touched stripe
 		// can be released and drained independently. An item waiter only
 		// ever waits on same-key holders, so per-stripe drains see every
@@ -775,6 +898,7 @@ func (m *Manager) ReleaseAll(tx TxID) {
 	m.gate.RUnlock()
 
 	m.gate.Lock()
+	m.gateAcquires.Add(1)
 	m.wf.Remove(tx)
 	var cancelled []*request
 	for _, spIdx := range m.takeFootprintSorted(tx) {
@@ -803,6 +927,18 @@ func (m *Manager) ReleaseAll(tx TxID) {
 	m.gate.Unlock()
 	m.notifyCancelled(cancelled, tx)
 	m.notifyGranted(granted)
+	if m.rangeActivity.Load() != 0 {
+		// Defensive: a manager mixing predicate and key-range protocols
+		// (no engine does) must still not leak tx's range state.
+		m.gate.RLock()
+		m.rangeMu.Lock()
+		touched, rangeCancelled := m.releaseAllRangesLocked(tx)
+		rangeGranted := m.drainRangeLocked(touched)
+		m.rangeMu.Unlock()
+		m.gate.RUnlock()
+		m.notifyCancelled(rangeCancelled, tx)
+		m.notifyGranted(rangeGranted)
+	}
 }
 
 // cancelQueued removes tx's requests from q (defensive; the engines never
@@ -836,7 +972,7 @@ func (m *Manager) drainStripeLocked(sp *stripe) []*request {
 		progress := false
 		var keep []*request
 		for _, r := range sp.queue {
-			if len(itemConflictHolders(sp.items[r.key], r)) == 0 {
+			if len(m.itemConflictHoldersLocked(sp, r)) == 0 {
 				m.installItemLocked(sp, r)
 				m.wf.Remove(r.tx)
 				granted = append(granted, r)
@@ -858,7 +994,7 @@ func (m *Manager) drainStripeLocked(sp *stripe) []*request {
 // still queued on sp. Called with sp latched under the shared gate.
 func (m *Manager) refreshStripeWaitersLocked(sp *stripe) {
 	for _, r := range sp.queue {
-		m.wf.Refresh(r.tx, itemConflictHolders(sp.items[r.key], r))
+		m.wf.Refresh(r.tx, m.itemConflictHoldersLocked(sp, r))
 	}
 }
 
@@ -1049,7 +1185,7 @@ func (m *Manager) HoldingPred(tx TxID) bool {
 func (m *Manager) QueueLen() int {
 	m.gate.RLock()
 	defer m.gate.RUnlock()
-	n := len(m.predQ)
+	n := len(m.predQ) + int(m.rangeQLen.Load())
 	for _, sp := range m.stripes {
 		sp.mu.Lock()
 		n += len(sp.queue)

@@ -75,6 +75,15 @@ func (g *WaitsFor) Remove(tx TxID) {
 	delete(g.out, tx)
 }
 
+// Empty reports whether no transaction has recorded out-edges — i.e. no
+// admitted waiter is blocked on anyone. The range-aware drain uses it to
+// skip its all-stripe edge refresh on releases that granted nothing.
+func (g *WaitsFor) Empty() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.out) == 0
+}
+
 // Waiting reports whether tx currently has recorded out-edges (tests and
 // debugging).
 func (g *WaitsFor) Waiting(tx TxID) bool {

@@ -25,29 +25,24 @@ type Cursor struct {
 
 var _ engine.Cursor = (*Cursor)(nil)
 
-// OpenCursor implements engine.Tx. The predicate lock follows the
+// OpenCursor implements engine.Tx. The scan guard — predicate lock or
+// key-range lock, per the engine's phantom protocol — follows the
 // protocol's predicate read duration (short at CS: the membership of the
-// cursor set is evaluated once, under a short predicate lock).
+// cursor set is evaluated once, under a short guard).
 func (t *Tx) OpenCursor(p predicate.P) (engine.Cursor, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
-	var ph lock.PredHandle
-	if t.proto.ReadPred != DurNone {
-		h, err := t.db.lm.AcquirePred(lock.TxID(t.id), p, lock.S)
-		if err != nil {
-			return nil, t.lockErr(err)
-		}
-		ph = h
+	g, err := t.acquireScanGuard(p)
+	if err != nil {
+		return nil, err
 	}
 	matches := t.db.store.Select(p)
 	keys := make([]data.Key, len(matches))
 	for i, m := range matches {
 		keys[i] = m.Key
 	}
-	if t.proto.ReadPred == DurShort {
-		t.db.lm.ReleasePred(lock.TxID(t.id), ph)
-	}
+	g.releaseShort()
 	return &Cursor{tx: t, pred: p, keys: keys, pos: -1}, nil
 }
 
@@ -125,7 +120,10 @@ func (c *Cursor) UpdateCurrent(row data.Row) error {
 	t := c.tx
 	after := row.Clone()
 	peek := t.db.store.Get(c.curKey)
-	if err := t.db.lm.AcquireItem(lock.TxID(t.id), c.curKey, lock.X, lock.Images{Before: peek, After: after}); err != nil {
+	// lockForWrite, not a bare item lock: if another transaction deleted
+	// the row under the cursor, this write re-creates it — an insert that
+	// the keyrange protocol must route through the covering gap lock.
+	if err := t.lockForWrite(c.curKey, peek, lock.Images{Before: peek, After: after}); err != nil {
 		return t.lockErr(err)
 	}
 	before := t.db.store.Put(c.curKey, after)

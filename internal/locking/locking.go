@@ -6,6 +6,14 @@
 // The engine writes in place against an sv.Store and rolls back with
 // before-image undo, exactly the recovery model whose interaction with
 // Dirty Writes the paper discusses in §3.
+//
+// Phantom prevention — the predicate-lock rows of Table 2 — comes in two
+// interchangeable protocols (WithPhantomProtection): the paper's literal
+// predicate table behind the lock manager's cross-stripe gate, or
+// key-range (next-key) locking, which decomposes each scan's protection
+// into striped next-key fragments and gives inserts a covering-gap lock.
+// The Table 2 durations apply identically to both, and the differential
+// fuzzer holds them behaviorally equivalent at every level.
 package locking
 
 import (
@@ -32,13 +40,48 @@ func WithShards(n int) Option {
 	return func(db *DB) { db.shards = n }
 }
 
+// Phantom selects the engine's phantom-prevention protocol: how the lock
+// scheduler implements the predicate-lock rows of Table 2.
+type Phantom uint8
+
+const (
+	// PhantomPredicate is the paper's literal mechanism: one predicate
+	// lock per Select, in the lock manager's cross-stripe table behind the
+	// shared-exclusive gate.
+	PhantomPredicate Phantom = iota
+	// PhantomKeyrange is the practical mechanism real schedulers use:
+	// key-range (next-key) locks. A Select locks the existing keys of its
+	// predicate's key range plus the gaps between them (per-stripe
+	// fragments, image-refined — see internal/lock/keyrange.go), and an
+	// insert acquires its covering gap's exclusive lock. Behaviorally
+	// equivalent to PhantomPredicate — same conflicts, same waits, same
+	// deadlock victims — but with no cross-stripe gate on any path.
+	PhantomKeyrange
+)
+
+func (p Phantom) String() string {
+	if p == PhantomKeyrange {
+		return "keyrange"
+	}
+	return "predicate"
+}
+
+// WithPhantomProtection selects the phantom-prevention protocol (default
+// PhantomPredicate, the paper's). The Table 2 lock durations are shared:
+// a keyrange engine holds its range locks exactly as long as a predicate
+// engine holds its predicate locks.
+func WithPhantomProtection(p Phantom) Option {
+	return func(db *DB) { db.phantom = p }
+}
+
 // DB is a locking-scheduler database.
 type DB struct {
-	store  *sv.Store
-	lm     *lock.Manager
-	seq    atomic.Int64
-	rec    *engine.Recorder
-	shards int
+	store   *sv.Store
+	lm      *lock.Manager
+	seq     atomic.Int64
+	rec     *engine.Recorder
+	shards  int
+	phantom Phantom
 }
 
 // NewDB returns an empty locking database.
@@ -55,6 +98,9 @@ func NewDB(opts ...Option) *DB {
 // ShardCount reports the stripe count of the lock manager (the row store
 // uses the same count).
 func (db *DB) ShardCount() int { return db.lm.ShardCount() }
+
+// PhantomProtection reports the engine's phantom-prevention protocol.
+func (db *DB) PhantomProtection() Phantom { return db.phantom }
 
 // SetObserver forwards a wait observer to the lock manager (the schedule
 // runner's deterministic block detection).
@@ -161,7 +207,7 @@ func (t *Tx) write(key data.Key, after data.Row) error {
 	}
 	peek := t.db.store.Get(key) // image for predicate-lock conflicts
 	im := lock.Images{Before: peek, After: after}
-	if err := t.db.lm.AcquireItem(lock.TxID(t.id), key, lock.X, im); err != nil {
+	if err := t.lockForWrite(key, peek, im); err != nil {
 		return t.lockErr(err)
 	}
 	var before data.Row
@@ -180,19 +226,105 @@ func (t *Tx) write(key data.Key, after data.Row) error {
 	return nil
 }
 
-// Select implements engine.Tx: a predicate Shared lock per the protocol,
-// then per-row item locks on the matching rows.
+// scanGuard is the phantom-protection lock a Select or OpenCursor holds
+// while evaluating its predicate: a predicate lock (PhantomPredicate) or a
+// key-range lock (PhantomKeyrange). The guard's lifetime follows the
+// protocol's predicate-read duration either way.
+type scanGuard struct {
+	t       *Tx
+	held    bool
+	isRange bool
+	pred    lock.PredHandle
+	rng     lock.RangeHandle
+}
+
+// acquireScanGuard takes the protocol's phantom-protection lock for p — a
+// no-op guard when the level requests none (ReadPred DurNone).
+func (t *Tx) acquireScanGuard(p predicate.P) (scanGuard, error) {
+	g := scanGuard{t: t}
+	if t.proto.ReadPred == DurNone {
+		return g, nil
+	}
+	if t.db.phantom == PhantomKeyrange {
+		lo, hi, bounded := predicate.KeyBounds(p)
+		// The anchor set is snapshotted by the lock manager at install
+		// time, under its range mutex — not here — so a key inserted and
+		// committed on the way to the acquisition still gets a fragment.
+		h, err := t.db.lm.AcquireRange(lock.TxID(t.id), lock.RangeSpec{
+			Pred: p,
+			Snapshot: func() ([]data.Key, data.Key) {
+				return t.db.store.RangeAnchors(lo, hi, bounded)
+			},
+			Lo: lo, Hi: hi, Bounded: bounded,
+		})
+		if err != nil {
+			return g, t.lockErr(err)
+		}
+		g.held, g.isRange, g.rng = true, true, h
+		return g, nil
+	}
+	h, err := t.db.lm.AcquirePred(lock.TxID(t.id), p, lock.S)
+	if err != nil {
+		return g, t.lockErr(err)
+	}
+	g.held, g.pred = true, h
+	return g, nil
+}
+
+// releaseShort releases the guard when the protocol's predicate-read locks
+// are short-duration (long guards fall to ReleaseAll at commit/abort).
+func (g scanGuard) releaseShort() {
+	if !g.held || g.t.proto.ReadPred != DurShort {
+		return
+	}
+	if g.isRange {
+		g.t.db.lm.ReleaseRange(lock.TxID(g.t.id), g.rng)
+	} else {
+		g.t.db.lm.ReleasePred(lock.TxID(g.t.id), g.pred)
+	}
+}
+
+// lockForWrite acquires the locks that guard installing im.After at key —
+// shared by Tx.write and Cursor.UpdateCurrent (which can also re-create a
+// row another transaction deleted under the cursor). Under the keyrange
+// protocol a write that creates a row must hold the covering gap's
+// exclusive lock: when the pre-lock peek saw no row, the gap lock is
+// taken before the item lock; and whenever the row is absent *under* the
+// item lock — the pre-lock peek may have raced a concurrent delete, or a
+// scan may have started between the gap check and the item install — the
+// gap is (re)verified with the item lock already visible, so either the
+// scan's conflict sweep sees this writer or this recheck sees the scan's
+// fragments. Both extra steps are no-ops on the predicate protocol and,
+// for existing rows, on scripted runs.
+func (t *Tx) lockForWrite(key data.Key, peek data.Row, im lock.Images) error {
+	tid := lock.TxID(t.id)
+	keyrange := t.db.phantom == PhantomKeyrange
+	if keyrange && peek == nil && im.After != nil {
+		if err := t.db.lm.AcquireGap(tid, key, im); err != nil {
+			return err
+		}
+	}
+	if err := t.db.lm.AcquireItem(tid, key, lock.X, im); err != nil {
+		return err
+	}
+	if keyrange && im.After != nil && !t.db.store.Exists(key) {
+		if err := t.db.lm.RecheckGap(tid, key, im); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Select implements engine.Tx: a phantom-protection lock (predicate or
+// key-range, per the engine's protocol) for the scan, then per-row item
+// locks on the matching rows.
 func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
-	var ph lock.PredHandle
-	if t.proto.ReadPred != DurNone {
-		h, err := t.db.lm.AcquirePred(lock.TxID(t.id), p, lock.S)
-		if err != nil {
-			return nil, t.lockErr(err)
-		}
-		ph = h
+	g, err := t.acquireScanGuard(p)
+	if err != nil {
+		return nil, err
 	}
 	matches := t.db.store.Select(p)
 	var out []data.Tuple
@@ -202,9 +334,7 @@ func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
 			out = append(out, m)
 		case DurShort, DurLong:
 			if err := t.db.lm.AcquireItem(lock.TxID(t.id), m.Key, lock.S, lock.Images{Before: m.Row}); err != nil {
-				if t.proto.ReadPred == DurShort {
-					t.db.lm.ReleasePred(lock.TxID(t.id), ph)
-				}
+				g.releaseShort()
 				return nil, t.lockErr(err)
 			}
 			// Re-read under the lock: the row may have changed (or vanished)
@@ -219,9 +349,7 @@ func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
 		}
 	}
 	t.db.rec.RecordPredRead(t.id, p)
-	if t.proto.ReadPred == DurShort {
-		t.db.lm.ReleasePred(lock.TxID(t.id), ph)
-	}
+	g.releaseShort()
 	return out, nil
 }
 

@@ -17,6 +17,11 @@
 // Striping matters because the store sits under the striped lock manager:
 // one store latch would re-serialize the disjoint-key traffic the lock
 // stripes just freed.
+//
+// Each stripe also maintains an ordered key index beside its hash map
+// (data.OrderedSet, under the same latch), giving the store an ordered
+// key space: RangeAnchors merges the per-stripe runs into the anchor set
+// a key-range (next-key) lock decomposes over.
 package sv
 
 import (
@@ -34,6 +39,10 @@ const DefaultShards = 16
 type shard struct {
 	mu   sync.RWMutex
 	rows map[data.Key]data.Row
+	// index is the stripe's ordered key set, maintained beside the hash
+	// map under the same latch. Key-range locking scans it (RangeAnchors)
+	// to turn a predicate into next-key anchors; the hash paths ignore it.
+	index data.OrderedSet
 }
 
 // Store is an in-place single-version row store.
@@ -69,6 +78,7 @@ func (s *Store) Load(tuples ...data.Tuple) {
 		sh := s.shardOf(t.Key)
 		sh.mu.Lock()
 		sh.rows[t.Key] = t.Row.Clone()
+		sh.index.Insert(t.Key)
 		sh.mu.Unlock()
 	}
 }
@@ -99,6 +109,7 @@ func (s *Store) Put(key data.Key, row data.Row) (before data.Row) {
 	sh.mu.Lock()
 	before = sh.rows[key]
 	sh.rows[key] = clone
+	sh.index.Insert(key)
 	sh.mu.Unlock()
 	return before
 }
@@ -110,6 +121,7 @@ func (s *Store) Delete(key data.Key) (before data.Row) {
 	sh.mu.Lock()
 	before = sh.rows[key]
 	delete(sh.rows, key)
+	sh.index.Delete(key)
 	sh.mu.Unlock()
 	return before
 }
@@ -121,8 +133,10 @@ func (s *Store) Restore(key data.Key, before data.Row) {
 	sh.mu.Lock()
 	if clone == nil {
 		delete(sh.rows, key)
+		sh.index.Delete(key)
 	} else {
 		sh.rows[key] = clone
+		sh.index.Insert(key)
 	}
 	sh.mu.Unlock()
 }
@@ -161,6 +175,36 @@ func (s *Store) Keys() []data.Key {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// RangeAnchors returns the anchor set of a key-range scan over [lo, hi)
+// (the whole key space when bounded == false): every present key in the
+// range, ascending — merged from the per-stripe ordered indexes — plus the
+// smallest present key at or above hi ("" if none), the existing key that
+// will anchor the scan's above-range gap coverage. The per-stripe runs are
+// each read under that stripe's latch; the merge itself is latch-free, so
+// a concurrent writer can slip between stripes — the lock manager's
+// conflict check against live row images is what makes that race benign.
+func (s *Store) RangeAnchors(lo, hi data.Key, bounded bool) (anchors []data.Key, ceiling data.Key) {
+	runs := make([][]data.Key, len(s.shards))
+	haveCeil := false
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		runs[i] = sh.index.Range(lo, hi, bounded)
+		if bounded {
+			// Higher is strict; hi itself is a legal ceiling (hi is the
+			// first key outside the half-open range).
+			if sh.index.Contains(hi) {
+				if !haveCeil || hi < ceiling {
+					ceiling, haveCeil = hi, true
+				}
+			} else if c, ok := sh.index.Higher(hi); ok && (!haveCeil || c < ceiling) {
+				ceiling, haveCeil = c, true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return data.MergeKeys(runs...), ceiling
 }
 
 // Len returns the number of rows.

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"isolevel/internal/engine"
+	"isolevel/internal/locking"
+)
+
+// The two phantom protocols must produce identical scenario outcomes at
+// every level and stripe count; only the lock-manager internals differ
+// (gate acquisitions vs striped range fragments).
+
+func phantomDBs(shards int) map[string]*locking.DB {
+	return map[string]*locking.DB{
+		"predicate": locking.NewDB(locking.WithShards(shards)),
+		"keyrange":  locking.NewDB(locking.WithShards(shards), locking.WithPhantomProtection(locking.PhantomKeyrange)),
+	}
+}
+
+func TestPhantomInsertStormSerializableBlocksAll(t *testing.T) {
+	const writers, rounds = 4, 3
+	for _, shards := range lockingShardCounts() {
+		for proto, db := range phantomDBs(shards) {
+			t.Run(fmt.Sprintf("%s/shards=%d", proto, shards), func(t *testing.T) {
+				res, err := PhantomInsertStorm(db, engine.Serializable, writers, rounds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.PhantomsSeen != 0 {
+					t.Fatalf("%d phantoms at SERIALIZABLE, want 0", res.PhantomsSeen)
+				}
+				if res.BlockedInserts != writers*rounds {
+					t.Fatalf("blocked %d of %d inserts", res.BlockedInserts, writers*rounds)
+				}
+				if res.Scanner.Commits != rounds || res.Writers.Commits != int64(writers*rounds) {
+					t.Fatalf("commits: scanner=%d writers=%d", res.Scanner.Commits, res.Writers.Commits)
+				}
+				st := db.LockStats()
+				if proto == "keyrange" {
+					if st.GateAcquires != 0 {
+						t.Fatalf("keyrange hot path took the gate %d times", st.GateAcquires)
+					}
+					if st.RangeGrants == 0 || st.GapWaits == 0 {
+						t.Fatalf("range stats empty: %+v", st)
+					}
+				} else if st.GateAcquires == 0 {
+					t.Fatal("predicate protocol reported zero gate acquisitions")
+				}
+			})
+		}
+	}
+}
+
+func TestPhantomInsertStormWeakLevelsAdmitAll(t *testing.T) {
+	const writers, rounds = 3, 2
+	for _, level := range []engine.Level{engine.ReadUncommitted, engine.ReadCommitted, engine.RepeatableRead} {
+		for proto, db := range phantomDBs(8) {
+			t.Run(fmt.Sprintf("%s/%s", proto, level), func(t *testing.T) {
+				res, err := PhantomInsertStorm(db, level, writers, rounds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.PhantomsSeen != writers*rounds {
+					t.Fatalf("phantoms=%d, want %d (Table 2 gives %s only short predicate locks)",
+						res.PhantomsSeen, writers*rounds, level)
+				}
+				if res.BlockedInserts != 0 {
+					t.Fatalf("blocked %d inserts at %s, want 0", res.BlockedInserts, level)
+				}
+			})
+		}
+	}
+}
+
+func TestRangeScanVsInsertFanIn(t *testing.T) {
+	const writers, rounds = 6, 3
+	for _, shards := range lockingShardCounts() {
+		for proto, db := range phantomDBs(shards) {
+			t.Run(fmt.Sprintf("%s/shards=%d", proto, shards), func(t *testing.T) {
+				res, err := RangeScanVsInsertFanIn(db, engine.Serializable, writers, rounds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.InsideBlocked != res.InsideTotal || res.InsideTotal != (writers/2)*rounds {
+					t.Fatalf("inside inserts blocked %d/%d", res.InsideBlocked, res.InsideTotal)
+				}
+				if res.OutsideBlocked != 0 {
+					t.Fatalf("outside inserts blocked %d times, want 0 (range locality)", res.OutsideBlocked)
+				}
+				if res.Scanner.Commits != rounds || res.Writers.Commits != int64(writers*rounds) {
+					t.Fatalf("commits: scanner=%d writers=%d", res.Scanner.Commits, res.Writers.Commits)
+				}
+				if proto == "keyrange" {
+					if st := db.LockStats(); st.GateAcquires != 0 {
+						t.Fatalf("keyrange fan-in took the gate %d times", st.GateAcquires)
+					}
+				}
+			})
+		}
+	}
+}

@@ -256,6 +256,178 @@ func PredicateVsItemMix(db engine.DB, level engine.Level, writers, rounds int) (
 	return out, nil
 }
 
+// PhantomStormResult reports a PhantomInsertStorm run.
+type PhantomStormResult struct {
+	Scanner Metrics
+	Writers Metrics
+	// PhantomsSeen counts rows the scanner's second SELECT saw beyond its
+	// first — phantoms that got in between the two scans. SERIALIZABLE
+	// admits none (under either phantom protocol: the gated predicate
+	// table or striped key-range locks); REPEATABLE READ and below admit
+	// every matching insert, because Table 2 gives them only short
+	// predicate-read locks.
+	PhantomsSeen int
+	// BlockedInserts counts inserts that had to wait on the scanner's
+	// phantom protection.
+	BlockedInserts int
+}
+
+// PhantomInsertStorm runs `rounds` lockstep rounds; in each, one scanner
+// SELECTs `val >= 100`, then `writers` transactions each insert a fresh
+// matching row, then the scanner re-SELECTs and everyone commits. The
+// phantom counts are exact at any GOMAXPROCS, shard count, and phantom
+// protocol — the keyrange-vs-predicate differential for the paper's P3.
+func PhantomInsertStorm(db engine.DB, level engine.Level, writers, rounds int) (PhantomStormResult, error) {
+	if writers < 1 {
+		writers = 1
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	p := predicate.MustParse(fmt.Sprintf("%s >= 100", data.ValField))
+	db.Load(data.Tuple{Key: "storm:seed", Row: data.Scalar(100)})
+
+	var out PhantomStormResult
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var steps []schedule.Step
+		const s = 1
+		var firstCount, secondCount int
+		steps = append(steps, schedule.OpStep(s, "scan1", func(ctx *schedule.Ctx) (any, error) {
+			rows, err := ctx.Tx.Select(p)
+			firstCount = len(rows)
+			return firstCount, err
+		}))
+		insertNames := map[string]bool{}
+		for w := 0; w < writers; w++ {
+			t := s + 1 + w
+			key := data.Key(fmt.Sprintf("storm:%d:%d", r, w))
+			name := fmt.Sprintf("ins%d[%s]", t, key)
+			insertNames[name] = true
+			steps = append(steps, schedule.OpStep(t, name, func(ctx *schedule.Ctx) (any, error) {
+				return nil, ctx.Tx.Put(key, data.Scalar(100+int64(w)))
+			}))
+		}
+		steps = append(steps, schedule.OpStep(s, "scan2", func(ctx *schedule.Ctx) (any, error) {
+			rows, err := ctx.Tx.Select(p)
+			secondCount = len(rows)
+			return secondCount, err
+		}))
+		steps = append(steps, schedule.CommitStep(s))
+		for w := 0; w < writers; w++ {
+			steps = append(steps, schedule.CommitStep(s+1+w))
+		}
+		res, err := schedule.Run(db, schedule.Options{Level: level}, steps)
+		if err != nil {
+			return PhantomStormResult{}, err
+		}
+		scan, write := splitMetrics(res, map[int]bool{s: true}, 0)
+		out.Scanner.Commits += scan.Commits
+		out.Scanner.Aborts += scan.Aborts
+		out.Writers.Commits += write.Commits
+		out.Writers.Aborts += write.Aborts
+		out.PhantomsSeen += secondCount - firstCount
+		for _, st := range res.Steps {
+			if insertNames[st.Name] && st.Blocked {
+				out.BlockedInserts++
+			}
+		}
+	}
+	wall := time.Since(start)
+	out.Scanner.WallClock, out.Writers.WallClock = wall, wall
+	return out, nil
+}
+
+// RangeFanInResult reports a RangeScanVsInsertFanIn run.
+type RangeFanInResult struct {
+	Scanner Metrics
+	Writers Metrics
+	// InsideBlocked counts inserts into the scanned prefix range that had
+	// to wait; OutsideTotal/OutsideBlocked the inserts landing outside it.
+	// At SERIALIZABLE every inside insert blocks and — this is the
+	// key-range locality claim — no outside insert ever does: under
+	// keyrange protection the outside writers never touch a cross-stripe
+	// gate, under the predicate table they conflict-check against the
+	// scanner's predicate and pass.
+	InsideTotal    int
+	InsideBlocked  int
+	OutsideTotal   int
+	OutsideBlocked int
+}
+
+// RangeScanVsInsertFanIn runs `rounds` lockstep rounds; in each, one
+// scanner SELECTs the key-prefix range `key ~ "acct:"` and holds it per
+// the level's protocol while `writers` transactions fan in with inserts —
+// even-numbered writers inside the prefix range, odd-numbered ones
+// outside it. The blocked counts are exact at any GOMAXPROCS and shard
+// count.
+func RangeScanVsInsertFanIn(db engine.DB, level engine.Level, writers, rounds int) (RangeFanInResult, error) {
+	if writers < 2 {
+		writers = 2
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	p := predicate.MustParse(`key ~ "acct:"`)
+	db.Load(data.Tuple{Key: "acct:seed", Row: data.Scalar(1)})
+
+	var out RangeFanInResult
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var steps []schedule.Step
+		const s = 1
+		steps = append(steps, schedule.OpStep(s, "scan", func(ctx *schedule.Ctx) (any, error) {
+			rows, err := ctx.Tx.Select(p)
+			return len(rows), err
+		}))
+		inside := map[string]bool{}
+		outside := map[string]bool{}
+		for w := 0; w < writers; w++ {
+			t := s + 1 + w
+			var key data.Key
+			name := ""
+			if w%2 == 0 {
+				key = data.Key(fmt.Sprintf("acct:%d:%d", r, w))
+				name = fmt.Sprintf("in%d[%s]", t, key)
+				inside[name] = true
+			} else {
+				key = data.Key(fmt.Sprintf("other:%d:%d", r, w))
+				name = fmt.Sprintf("out%d[%s]", t, key)
+				outside[name] = true
+			}
+			steps = append(steps, schedule.OpStep(t, name, func(ctx *schedule.Ctx) (any, error) {
+				return nil, ctx.Tx.Put(key, data.Scalar(int64(w)))
+			}))
+		}
+		steps = append(steps, schedule.CommitStep(s))
+		for w := 0; w < writers; w++ {
+			steps = append(steps, schedule.CommitStep(s+1+w))
+		}
+		res, err := schedule.Run(db, schedule.Options{Level: level}, steps)
+		if err != nil {
+			return RangeFanInResult{}, err
+		}
+		scan, write := splitMetrics(res, map[int]bool{s: true}, 0)
+		out.Scanner.Commits += scan.Commits
+		out.Scanner.Aborts += scan.Aborts
+		out.Writers.Commits += write.Commits
+		out.Writers.Aborts += write.Aborts
+		out.InsideTotal += len(inside)
+		out.OutsideTotal += len(outside)
+		for _, st := range res.Steps {
+			switch {
+			case inside[st.Name] && st.Blocked:
+				out.InsideBlocked++
+			case outside[st.Name] && st.Blocked:
+				out.OutsideBlocked++
+			}
+		}
+	}
+	wall := time.Since(start)
+	out.Scanner.WallClock, out.Writers.WallClock = wall, wall
+	return out, nil
+}
+
 // splitMetrics divides a schedule result's commit/abort counts between the
 // transactions in `in` and the rest.
 func splitMetrics(res *schedule.Result, in map[int]bool, wall time.Duration) (inM, outM Metrics) {

@@ -77,6 +77,22 @@ func NewLockingDBShards(shards int) *locking.DB {
 	return locking.NewDB(locking.WithShards(shards))
 }
 
+// NewKeyrangeDB returns the locking engine with key-range (next-key)
+// phantom prevention instead of the gated cross-stripe predicate table:
+// range scans install per-stripe next-key fragments over the existing
+// keys and gaps of their predicate's key range, inserts acquire their
+// covering gap's exclusive lock, and no path ever takes the gate's
+// exclusive side (LockStats().GateAcquires stays zero). Behaviorally
+// equivalent to NewLockingDB at every Table 2 level.
+func NewKeyrangeDB() *locking.DB {
+	return locking.NewDB(locking.WithPhantomProtection(locking.PhantomKeyrange))
+}
+
+// NewKeyrangeDBShards is NewKeyrangeDB with an explicit stripe count.
+func NewKeyrangeDBShards(shards int) *locking.DB {
+	return locking.NewDB(locking.WithPhantomProtection(locking.PhantomKeyrange), locking.WithShards(shards))
+}
+
 // NewSnapshotDB returns the §4.2 Snapshot Isolation engine
 // (first-committer-wins, snapshot reads, time travel via BeginAsOf).
 func NewSnapshotDB() *snapshot.DB { return snapshot.NewDB() }
