@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench bench-keyrange fuzz fuzz-mixed fuzz-keyrange fuzz-determinism
+.PHONY: verify build test race vet lint isolint bench bench-keyrange bench-mv bench-locking fuzz fuzz-mixed fuzz-keyrange fuzz-determinism
 
-verify: vet build race ## what CI runs: vet + build + race-enabled tests
+verify: lint build race ## what CI runs: vet + isolint + build + race-enabled tests
 
 build:
 	$(GO) build ./...
@@ -10,14 +10,30 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: go vet plus the repo's own isolint suite
+# (cmd/isolint) — determinism (map-range order, unseeded randomness) and
+# latch discipline (declared hierarchy, lock pairing, install-then-refresh)
+# across every package.
+lint: vet isolint
+
+isolint:
+	$(GO) run ./cmd/isolint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# Full bench suite. The shard-sweep lines are sliced into per-subsystem
+# perf-trajectory artifacts by benchjson -match, out of the one shared
+# run so BENCH_mv.json and BENCH_locking.json stay consistent with each
+# other (same build, same host, same run).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . > /tmp/bench-all.out
+	cat /tmp/bench-all.out
+	$(GO) run ./cmd/isolevel benchjson -match 'ShardSweepDisjointBatch|ShardSweepTransfer' < /tmp/bench-all.out > BENCH_mv.json
+	$(GO) run ./cmd/isolevel benchjson -match 'ShardSweepLockingDisjoint|LockingLockstep' < /tmp/bench-all.out > BENCH_locking.json
 
 # Key-range vs predicate phantom-prevention comparison, emitted as JSON so
 # the perf trajectory has a machine-readable data point per PR: writers
@@ -29,6 +45,14 @@ bench-keyrange:
 	$(GO) test -run '^$$' -bench 'Keyrange' -benchmem . > /tmp/bench-keyrange.out
 	cat /tmp/bench-keyrange.out
 	$(GO) run ./cmd/isolevel benchjson < /tmp/bench-keyrange.out > BENCH_keyrange.json
+
+# The two bench slices alone, without the full suite: one shorter shared
+# run, then the same -match split as `make bench`.
+bench-mv bench-locking:
+	$(GO) test -run '^$$' -bench 'ShardSweep|LockingLockstep' -benchmem . > /tmp/bench-sweeps.out
+	cat /tmp/bench-sweeps.out
+	$(GO) run ./cmd/isolevel benchjson -match 'ShardSweepDisjointBatch|ShardSweepTransfer' < /tmp/bench-sweeps.out > BENCH_mv.json
+	$(GO) run ./cmd/isolevel benchjson -match 'ShardSweepLockingDisjoint|LockingLockstep' < /tmp/bench-sweeps.out > BENCH_locking.json
 
 # Differential isolation fuzzing: 1000 seeded schedules against every
 # engine family at every level, checked against the Table 4 oracle.

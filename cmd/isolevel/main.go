@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 
@@ -128,8 +129,9 @@ commands:
         the keyrange family is the locking scheduler with key-range
         (next-key) phantom prevention; any divergence from the locking
         family is reported
-  benchjson                   convert "go test -bench" output on stdin to
-        a JSON array (make bench-keyrange writes BENCH_keyrange.json)
+  benchjson [-match RE]       convert "go test -bench" output on stdin to
+        a JSON array, keeping only names matching RE (the make bench-*
+        targets write the BENCH_*.json perf artifacts)
 `)
 }
 
@@ -754,13 +756,22 @@ func cmdFuzz(args []string) error {
 
 // cmdBenchJSON converts `go test -bench` output on stdin into a JSON
 // array, one object per benchmark line: {"name": ..., "iterations": N,
-// "metrics": {"ns/op": ..., ...}}. The Makefile's bench-keyrange target
-// pipes the keyrange benches through it to emit BENCH_keyrange.json, the
-// perf-trajectory artifact.
+// "metrics": {"ns/op": ..., ...}}. -match keeps only benchmark names
+// matching a regexp, so one `make bench` run can be sliced into several
+// per-subsystem artifacts. The Makefile's bench-* targets pipe bench
+// output through it to emit the BENCH_*.json perf-trajectory artifacts.
 func cmdBenchJSON(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	match := fs.String("match", "", "keep only benchmarks whose name matches this regexp")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var matchRE *regexp.Regexp
+	if *match != "" {
+		var err error
+		if matchRE, err = regexp.Compile(*match); err != nil {
+			return fmt.Errorf("benchjson: bad -match regexp: %v", err)
+		}
 	}
 	type benchLine struct {
 		Name       string             `json:"name"`
@@ -773,6 +784,9 @@ func cmdBenchJSON(args []string) error {
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if matchRE != nil && !matchRE.MatchString(fields[0]) {
 			continue
 		}
 		var iters int64

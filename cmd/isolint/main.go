@@ -1,0 +1,112 @@
+// Command isolint runs the repo's domain linters — detrange, seededrand,
+// latchorder, chanmerge — over module packages. It is self-contained
+// (stdlib-only loader and type-checker) so `make lint` works in hermetic
+// build environments with no module downloads.
+//
+// Usage:
+//
+//	isolint [-analyzers a,b] [package|dir ...]
+//
+// With no arguments (or "./...") every package of the enclosing module is
+// analyzed. Findings print as file:line:col: analyzer: message and any
+// finding makes the exit status 1. Waivers (//isolint:ordered,
+// //isolint:allow) must carry a justification and must still suppress
+// something — malformed, silent or stale directives are findings too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"isolevel/internal/analysis"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: isolint [-analyzers a,b] [package|dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := analysis.All
+	if *analyzers != "" {
+		suite = nil
+		for _, name := range strings.Split(*analyzers, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "isolint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pkgs []*analysis.Package
+	args := flag.Args()
+	if len(args) == 0 || (len(args) == 1 && args[0] == "./...") {
+		pkgs, err = loader.LoadAll()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, arg := range args {
+			path := arg
+			if strings.HasPrefix(arg, ".") || strings.HasPrefix(arg, "/") {
+				path, err = loader.PathFor(arg)
+				if err != nil {
+					fatal(err)
+				}
+			}
+			pkg, err := loader.Load(path)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		diags = append(diags, pkg.Annotations.Malformed...)
+		for _, a := range suite {
+			diags = append(diags, analysis.Run(a, pkg)...)
+		}
+		analysis.SortDiagnostics(diags)
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "isolint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "isolint: %v\n", err)
+	os.Exit(2)
+}

@@ -116,6 +116,16 @@
 // internal/mvcc), and `isolevel check -f` accepts "# levels: T1=RR T2=RC"
 // annotations to replay mixed findings.
 //
+// Every property above leans on the replay being deterministic, so the
+// repo lints for determinism statically: internal/analysis is a
+// self-hosted static-analysis suite (cmd/isolint, run by `make lint` and
+// CI ahead of the tests) that flags map-range iteration-order leaks and
+// unseeded randomness in the deterministic packages, checks the lock
+// manager's declared latch hierarchy, lock/unlock pairing on every
+// control-flow path, and the install-then-refresh waits-for discipline.
+// The bug classes it encodes are exactly the ones this codebase has had
+// to fix by hand in review.
+//
 // See the examples/ directory for runnable demonstrations of the paper's
 // anomalies and the cmd/isolevel CLI for table regeneration.
 package isolevel

@@ -1,0 +1,454 @@
+// Package analysis is isolint's analyzer framework: a self-contained
+// go/parser + go/types reimplementation of the golang.org/x/tools
+// go/analysis surface this repo needs, built entirely on the standard
+// library so the linter runs in hermetic build environments with no module
+// downloads.
+//
+// The repo's two hardest-won properties are enforced only at runtime:
+// byte-for-byte fuzz determinism (four real nondeterminism bugs fixed in
+// the fuzzer PR — map-order drains, a random maphash stripe seed, split
+// event channels) and the lock manager's latch ordering (the key-range PR
+// review caught an undetected-deadlock hang from a missed waits-for
+// refresh). This package mechanizes those implementation invariants as
+// compile-time-checked rules, so new engines inherit them instead of
+// re-fixing them by hand. Four domain analyzers ship:
+//
+//   - detrange (detrange.go): `for range` over a map in a deterministic
+//     package leaks map iteration order into the trace/output path unless
+//     the loop provably collects-then-sorts or is commutative.
+//   - seededrand (seededrand.go): global math/rand, maphash.MakeSeed and
+//     time.Now/Since are forbidden in deterministic packages — every
+//     random or temporal input must be an explicit seeded source.
+//   - latchorder (latchorder.go): the lock manager's declared latch
+//     hierarchy is a checkable partial order; acquisition paths, lock/
+//     unlock pairing across all control-flow paths, and the
+//     install-then-refresh waits-for discipline are verified by abstract
+//     interpretation over function bodies with interprocedural summaries.
+//   - chanmerge (chanmerge.go): completion/notification events of one
+//     causal domain must travel on one channel; split same-typed channel
+//     fields and selects merging same-typed receives are flagged.
+//
+// # Annotations
+//
+// Analyzers are configured and findings waived by //isolint: comment
+// directives. Every waiver carries a justification; a directive without
+// one is itself a diagnostic (zero silent waivers):
+//
+//	//isolint:deterministic
+//	    Package marker (any file of the package): enables detrange,
+//	    seededrand and chanmerge for the package.
+//	//isolint:ordered <why order cannot reach observable output>
+//	    On (or on the line above) a `for range` over a map: asserts the
+//	    iteration order is harmless. detrange-specific waiver.
+//	//isolint:allow <analyzer> <justification>
+//	    General waiver for one diagnostic on this (or the next) line; in a
+//	    function's doc comment it waives that analyzer's function-level
+//	    findings for the function.
+//	//isolint:latch-order A < B < C
+//	    Declares a chain of the latch acquisition partial order (latch
+//	    names are Type.field for struct latches, or a package-level var
+//	    name). Multiple chains union; the order is their transitive
+//	    closure. Lives in the lock package's docs — the single source of
+//	    truth the latchorder analyzer parses.
+//	//isolint:latch-leaf X
+//	    Declares X a leaf latch: held only while no other declared latch
+//	    is held, and no declared latch may be acquired under it.
+//	//isolint:grant-mutator
+//	//isolint:waiter-refresh
+//	    Function markers for the waits-for refresh discipline: after a
+//	    call to a grant-mutator (a function that installs granted lock
+//	    state waiters may conflict with), every path to return must pass a
+//	    waiter-refresh call, or the waits-for graph can go stale — the
+//	    exact undetected-deadlock shape the key-range PR review caught.
+//
+// Suppressed and reported diagnostics are reconciled after every run:
+// a waiver that suppressed nothing is reported as unused, so annotations
+// cannot rot into silence.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one isolint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //isolint:allow
+	// directives.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run reports the analyzer's findings on one package via pass.Report*.
+	Run func(pass *Pass)
+}
+
+// All is the isolint analyzer suite, in report order.
+var All = []*Analyzer{DetRange, SeededRand, LatchOrder, ChanMerge}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// funcDecl is non-zero for function-level findings: the position of
+	// the enclosing function declaration, where an //isolint:allow in the
+	// doc comment can waive the finding.
+	funcDecl token.Position
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass connects one analyzer run to one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFuncf records a function-level finding: it points at pos but is
+// waivable from decl's doc comment.
+func (p *Pass) ReportFuncf(decl *ast.FuncDecl, pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		funcDecl: p.Pkg.Fset.Position(decl.Pos()),
+	})
+}
+
+// Run runs one analyzer over one package and returns the surviving
+// diagnostics: the analyzer's findings minus waived ones, plus directive
+// hygiene findings (malformed or unused waivers) owned by this analyzer.
+func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{Analyzer: a, Pkg: pkg}
+	a.Run(pass)
+	return reconcile(a, pkg, pass.diags)
+}
+
+// reconcile applies waiver directives to diags and appends hygiene
+// diagnostics for this analyzer's malformed or unused waivers.
+func reconcile(a *Analyzer, pkg *Package, diags []Diagnostic) []Diagnostic {
+	waivers := pkg.Annotations.waiversFor(a.Name)
+	used := make([]bool, len(waivers))
+	var out []Diagnostic
+	for _, d := range diags {
+		waived := false
+		for i, w := range waivers {
+			if w.covers(d) {
+				used[i] = true
+				waived = true
+			}
+		}
+		if !waived {
+			out = append(out, d)
+		}
+	}
+	for i, w := range waivers {
+		if w.Reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      w.Pos,
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("//isolint:%s waiver has no justification (zero silent waivers: state why this is safe)", w.Directive),
+			})
+			continue
+		}
+		if !used[i] {
+			out = append(out, Diagnostic{
+				Pos:      w.Pos,
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("unused //isolint:%s waiver: nothing here is flagged by %s anymore — delete it", w.Directive, a.Name),
+			})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, message.
+func SortDiagnostics(ds []Diagnostic) { sortDiagnostics(ds) }
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// RunAll runs every analyzer in All over pkg and returns the merged,
+// position-sorted diagnostics.
+func RunAll(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range All {
+		out = append(out, Run(a, pkg)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// --- //isolint: directive parsing ---
+
+// A waiver is one //isolint:ordered or //isolint:allow directive.
+type waiver struct {
+	Pos       token.Position
+	Directive string // "ordered" or "allow <name>"
+	Analyzer  string
+	Reason    string
+	// Line/NextLine is the waived source region: the directive's own line
+	// and, for a directive comment standing on its own line, the next one.
+	File           string
+	Line, NextLine int
+	// FuncLine is set for directives inside a function doc comment: the
+	// line of the function declaration, waiving function-level findings.
+	FuncLine int
+}
+
+func (w waiver) covers(d Diagnostic) bool {
+	if d.Analyzer != w.Analyzer || d.Pos.Filename != w.File {
+		return false
+	}
+	if w.FuncLine != 0 && d.funcDecl.Line == w.FuncLine && d.funcDecl.Filename == w.File {
+		return true
+	}
+	return d.Pos.Line == w.Line || d.Pos.Line == w.NextLine
+}
+
+// Annotations is the parsed //isolint: directive set of one package.
+type Annotations struct {
+	// Deterministic reports whether any file carries
+	// //isolint:deterministic.
+	Deterministic bool
+	// Chains are the declared latch-order chains, in source order.
+	Chains [][]string
+	// ChainPos positions each chain (for error reporting).
+	ChainPos []token.Position
+	// Leaves are the declared leaf latches.
+	Leaves map[string]token.Position
+	// GrantMutators / WaiterRefreshers are the lines of function markers;
+	// latchorder binds them to the FuncDecl whose doc contains them.
+	GrantMutators    map[string]map[int]bool // file -> marker line set
+	WaiterRefreshers map[string]map[int]bool
+	// Malformed are directive parse errors, reported by cmd/isolint
+	// regardless of analyzer selection.
+	Malformed []Diagnostic
+
+	waivers []waiver
+}
+
+func (a *Annotations) waiversFor(analyzer string) []waiver {
+	var out []waiver
+	for _, w := range a.waivers {
+		if w.Analyzer == analyzer {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// directiveText extracts the text after "isolint:" if c is a directive
+// comment, like ast.Comment handling of //go: directives: no space after
+// //, single-line comment only.
+func directiveText(c *ast.Comment) (string, bool) {
+	if !strings.HasPrefix(c.Text, "//isolint:") {
+		return "", false
+	}
+	text := strings.TrimPrefix(c.Text, "//isolint:")
+	// A second "//" starts a nested comment (used by fixtures for // want
+	// declarations); directive arguments end there.
+	if i := strings.Index(text, "//"); i >= 0 {
+		text = text[:i]
+	}
+	return strings.TrimSpace(text), true
+}
+
+// parseAnnotations scans every comment of the package. srcs maps each
+// file's name (as in fset positions) to its raw bytes, used to decide
+// whether a directive stands on its own line.
+func parseAnnotations(fset *token.FileSet, files []*ast.File, srcs map[string][]byte) *Annotations {
+	ann := &Annotations{
+		Leaves:           map[string]token.Position{},
+		GrantMutators:    map[string]map[int]bool{},
+		WaiterRefreshers: map[string]map[int]bool{},
+	}
+	for _, f := range files {
+		src := srcs[fset.Position(f.Pos()).Filename]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					ann.malformedf(pos, "empty //isolint: directive")
+					continue
+				}
+				switch fields[0] {
+				case "deterministic":
+					ann.Deterministic = true
+				case "ordered":
+					ann.waivers = append(ann.waivers, waiver{
+						Pos: pos, Directive: "ordered", Analyzer: "detrange",
+						Reason: strings.TrimSpace(strings.TrimPrefix(text, "ordered")),
+						File:   pos.Filename, Line: pos.Line, NextLine: nextWaivedLine(fset, src, c),
+					})
+				case "allow":
+					if len(fields) < 2 || ByName(fields[1]) == nil {
+						ann.malformedf(pos, "//isolint:allow needs an analyzer name (one of %s)", analyzerNames())
+						continue
+					}
+					w := waiver{
+						Pos: pos, Directive: "allow " + fields[1], Analyzer: fields[1],
+						Reason: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.TrimPrefix(text, "allow")), fields[1])),
+						File:   pos.Filename, Line: pos.Line, NextLine: nextWaivedLine(fset, src, c),
+					}
+					if decl := docOwner(f, c); decl != nil {
+						w.FuncLine = fset.Position(decl.Pos()).Line
+					}
+					ann.waivers = append(ann.waivers, w)
+				case "latch-order":
+					chain, err := parseChain(strings.TrimSpace(strings.TrimPrefix(text, "latch-order")))
+					if err != nil {
+						ann.malformedf(pos, "bad //isolint:latch-order: %v", err)
+						continue
+					}
+					ann.Chains = append(ann.Chains, chain)
+					ann.ChainPos = append(ann.ChainPos, pos)
+				case "latch-leaf":
+					if len(fields) != 2 {
+						ann.malformedf(pos, "//isolint:latch-leaf wants exactly one latch name")
+						continue
+					}
+					ann.Leaves[fields[1]] = pos
+				case "grant-mutator":
+					addLine(ann.GrantMutators, pos)
+				case "waiter-refresh":
+					addLine(ann.WaiterRefreshers, pos)
+				default:
+					ann.malformedf(pos, "unknown //isolint: directive %q", fields[0])
+				}
+			}
+		}
+	}
+	return ann
+}
+
+func (a *Annotations) malformedf(pos token.Position, format string, args ...any) {
+	a.Malformed = append(a.Malformed, Diagnostic{
+		Pos: pos, Analyzer: "isolint", Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func addLine(m map[string]map[int]bool, pos token.Position) {
+	if m[pos.Filename] == nil {
+		m[pos.Filename] = map[int]bool{}
+	}
+	m[pos.Filename][pos.Line] = true
+}
+
+// funcMarkedAt reports whether decl's doc comment contains a marker line
+// recorded in m.
+func funcMarkedAt(fset *token.FileSet, m map[string]map[int]bool, decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		pos := fset.Position(c.Pos())
+		if m[pos.Filename][pos.Line] {
+			return true
+		}
+	}
+	return false
+}
+
+// nextWaivedLine returns the line after c when c stands on its own line
+// (so `//isolint:ordered why` above a loop waives the loop), or c's own
+// line when it trails code. The raw source decides: a directive is on its
+// own line iff only whitespace precedes it.
+func nextWaivedLine(fset *token.FileSet, src []byte, c *ast.Comment) int {
+	pos := fset.Position(c.Pos())
+	// Offset of the start of the comment's line.
+	lineStart := pos.Offset - (pos.Column - 1)
+	if lineStart < 0 || pos.Offset > len(src) {
+		return pos.Line
+	}
+	for _, b := range src[lineStart:pos.Offset] {
+		if b != ' ' && b != '\t' {
+			return pos.Line
+		}
+	}
+	return pos.Line + 1
+}
+
+// docOwner returns the FuncDecl whose doc comment group contains c, if any.
+func docOwner(f *ast.File, c *ast.Comment) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, dc := range fd.Doc.List {
+			if dc == c {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+func parseChain(s string) ([]string, error) {
+	parts := strings.Split(s, "<")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("want at least two latches separated by '<', got %q", s)
+	}
+	chain := make([]string, 0, len(parts))
+	for _, p := range parts {
+		name := strings.TrimSpace(p)
+		if name == "" {
+			return nil, fmt.Errorf("empty latch name in %q", s)
+		}
+		chain = append(chain, name)
+	}
+	return chain, nil
+}
+
+func analyzerNames() string {
+	names := make([]string, len(All))
+	for i, a := range All {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"isolevel/internal/analysis"
+)
+
+// Each fixture under testdata/src reconstructs a real bug class this repo
+// fixed by hand before isolint existed:
+//
+//   - detrange:     the schedule runner's map-order leftover drain (PR 3)
+//   - seededrand:   the striper's random maphash seed (PR 3)
+//   - chanmerge:    the controller's split completion/notify channels and
+//     same-typed select merge (PR 3)
+//   - latchrefresh: the key-range grant path's missed waits-for refresh
+//     (caught in PR 5 review)
+//   - latchorder:   one of each hierarchy violation shape
+//   - hygiene:      malformed //isolint: directives are findings
+
+func TestDetRangeFixture(t *testing.T) {
+	analysis.RunFixture(t, analysis.DetRange, ".", "detrange")
+}
+
+func TestSeededRandFixture(t *testing.T) {
+	analysis.RunFixture(t, analysis.SeededRand, ".", "seededrand")
+}
+
+func TestChanMergeFixture(t *testing.T) {
+	analysis.RunFixture(t, analysis.ChanMerge, ".", "chanmerge")
+}
+
+func TestLatchOrderFixture(t *testing.T) {
+	analysis.RunFixture(t, analysis.LatchOrder, ".", "latchorder")
+}
+
+func TestLatchRefreshFixture(t *testing.T) {
+	analysis.RunFixture(t, analysis.LatchOrder, ".", "latchrefresh")
+}
+
+func TestDirectiveHygieneFixture(t *testing.T) {
+	analysis.RunFixture(t, analysis.DetRange, ".", "hygiene")
+}

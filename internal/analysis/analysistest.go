@@ -1,0 +1,106 @@
+// Fixture harness: the analysistest idiom reimplemented for isolint's
+// self-contained framework. A fixture is a directory of Go files under
+// testdata/src/<name>; expected findings are declared inline with
+//
+//	code // want "regexp"
+//
+// comments (several per line allowed). The harness loads the fixture as a
+// package, runs one analyzer (including waiver reconciliation, so
+// fixtures can also assert on unused or unjustified //isolint: waivers)
+// and diffs actual findings against the declarations both ways.
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// TB is the subset of testing.TB the fixture harness needs (kept tiny so
+// this file doesn't import testing into the non-test build).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+var wantRE = regexp.MustCompile(`// want (".*?[^\\]")`)
+
+// RunFixture loads testdata/src/<name> relative to dir and checks a's
+// findings against the fixture's // want declarations.
+func RunFixture(t TB, a *Analyzer, dir, name string) {
+	t.Helper()
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	fixDir := dir + "/testdata/src/" + name
+	pkg, err := loader.LoadDir(fixDir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, terr)
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		used bool
+	}
+	var wants []*want
+	for file, src := range pkg.Srcs {
+		for i, lineText := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(lineText, -1) {
+				pattern, err := unquoteWant(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want %s: %v", file, i+1, m[1], err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, pattern, err)
+				}
+				wants = append(wants, &want{file: file, line: i + 1, re: re})
+			}
+		}
+	}
+
+	diags := Run(a, pkg)
+	diags = append(diags, pkg.Annotations.Malformed...)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("fixture %s: unexpected finding: %s", name, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("fixture %s: %s:%d: expected finding matching %q, got none", name, w.file, w.line, w.re)
+		}
+	}
+}
+
+// unquoteWant undoes the Go-string quoting of a want pattern without
+// mangling regexp escapes: only \" and \\ are unescaped.
+func unquoteWant(q string) (string, error) {
+	if len(q) < 2 || q[0] != '"' || q[len(q)-1] != '"' {
+		return "", fmt.Errorf("not a quoted string")
+	}
+	body := q[1 : len(q)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) && (body[i+1] == '"' || body[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(body[i])
+	}
+	return b.String(), nil
+}

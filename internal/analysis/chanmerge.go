@@ -1,0 +1,172 @@
+// chanmerge: events of one causal domain must travel on one channel.
+//
+// The fuzzer's controller once observed causally-ordered events inverted:
+// step completions and lock wait/grant notifications traveled on two
+// separate channels, and the controller's select picked whichever was
+// ready first — so a TxGranted could be observed before the TxWaiting
+// that caused it, and run output depended on scheduling. The fix merged
+// both into one event stream with emission-ordering guarantees. The
+// analyzer mechanizes that rule for deterministic packages:
+//
+//   - a struct type with two or more channel fields of the same element
+//     type, where at least two of those fields are actually sent on in
+//     the package, is a split causal domain: nothing orders the two
+//     streams at the observer;
+//   - a select statement with two or more receive cases from channels of
+//     the same element type merges streams nondeterministically — which
+//     case fires for simultaneously-ready channels is a runtime coin
+//     toss. (Receives of different element types — e.g. an event channel
+//     against a timeout timer — are fine.)
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ChanMerge is the split-event-channel analyzer.
+var ChanMerge = &Analyzer{
+	Name: "chanmerge",
+	Doc:  "flags same-typed channel pairs (struct fields both sent on; selects merging same-typed receives) whose observation order is scheduler-dependent",
+	Run:  runChanMerge,
+}
+
+func runChanMerge(pass *Pass) {
+	if !pass.Pkg.Annotations.Deterministic {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// Rule 1: struct types with multiple same-element-type channel fields
+	// that the package sends on.
+	sent := map[*types.Var]bool{} // channel fields used as send targets
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if sel, ok := send.Chan.(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+					if v, ok := s.Obj().(*types.Var); ok {
+						sent[v] = true
+					}
+				} else if obj, ok := info.Uses[sel.Sel].(*types.Var); ok && obj.IsField() {
+					sent[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Group channel fields by element type.
+			groups := map[string][]*types.Var{}
+			var order []string
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					ch, ok := v.Type().Underlying().(*types.Chan)
+					if !ok {
+						continue
+					}
+					key := ch.Elem().String()
+					if _, seen := groups[key]; !seen {
+						order = append(order, key)
+					}
+					groups[key] = append(groups[key], v)
+				}
+			}
+			for _, key := range order {
+				fields := groups[key]
+				if len(fields) < 2 {
+					continue
+				}
+				var sentNames []string
+				for _, v := range fields {
+					if sent[v] {
+						sentNames = append(sentNames, v.Name())
+					}
+				}
+				if len(sentNames) < 2 {
+					continue
+				}
+				sort.Strings(sentNames)
+				pass.Reportf(ts.Pos(), "struct %s splits one causal domain across channels %s (element type %s, all sent on): the observer's merge order is scheduler-dependent; emit on one channel", ts.Name.Name, strings.Join(sentNames, ", "), key)
+			}
+			return true
+		})
+	}
+
+	// Rule 2: selects merging same-element-type receives.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			elems := map[string][]ast.Expr{}
+			var order []string
+			for _, clause := range sel.Body.List {
+				comm, ok := clause.(*ast.CommClause)
+				if !ok || comm.Comm == nil {
+					continue
+				}
+				chExpr := receiveChan(comm.Comm)
+				if chExpr == nil {
+					continue
+				}
+				tv, ok := info.Types[chExpr]
+				if !ok {
+					continue
+				}
+				ch, ok := tv.Type.Underlying().(*types.Chan)
+				if !ok {
+					continue
+				}
+				key := ch.Elem().String()
+				if _, seen := elems[key]; !seen {
+					order = append(order, key)
+				}
+				elems[key] = append(elems[key], chExpr)
+			}
+			for _, key := range order {
+				if len(elems[key]) >= 2 {
+					pass.Reportf(sel.Pos(), "select receives from %d channels of the same element type %s: which fires for simultaneously-ready events is a scheduler coin toss; merge them into one stream", len(elems[key]), key)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// receiveChan extracts the channel expression of a receive comm clause
+// (`<-ch`, `v := <-ch`, `v, ok := <-ch`), or nil for sends.
+func receiveChan(comm ast.Stmt) ast.Expr {
+	var recv ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	if u, ok := recv.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+		return u.X
+	}
+	return nil
+}

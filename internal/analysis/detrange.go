@@ -1,0 +1,532 @@
+// detrange: deterministic packages must not leak map iteration order.
+//
+// The fuzzer's byte-for-byte reproducibility was once broken by exactly
+// this bug class: the schedule runner drained leftover transactions with
+// `for id := range m` and emitted their abort events in map order, so the
+// same seed produced different traces run to run. The analyzer flags
+// every `for range` over a map in a package marked //isolint:deterministic
+// unless the loop is provably order-insensitive:
+//
+//   - collect-then-sort: the body only accumulates into slices that a
+//     later statement of the function (same block or any enclosing one)
+//     passes to a sorting call — package sort, or any Sort*-named
+//     function, which covers slices.SortFunc and the repo's own
+//     data.SortTuples;
+//   - commutative body: every statement is an order-insensitive sink —
+//     set/map insertion, delete, +=/-=/counter updates, local temps,
+//     monotone constant flags (x = false in one arm), constant-result
+//     early returns, and calls to same-package helpers whose bodies are
+//     themselves commutative (the phenomena checker's hit/putPair set
+//     inserters) — so any iteration order computes the same final state.
+//
+// Anything else needs an //isolint:ordered waiver with a justification.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetRange is the map-iteration-order analyzer.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flags for-range over maps in deterministic packages unless provably order-insensitive",
+	Run:  runDetRange,
+}
+
+// detChecker carries the package-wide context detrange needs: type info
+// plus the same-package function index for interprocedural commutativity.
+type detChecker struct {
+	info  *types.Info
+	funcs map[*types.Func]*ast.FuncDecl
+	// commut memoizes per-function commutativity: +1 yes, -1 no or
+	// in-progress (recursion is conservatively non-commutative).
+	commut map[*types.Func]int
+}
+
+func runDetRange(pass *Pass) {
+	if !pass.Pkg.Annotations.Deterministic {
+		return
+	}
+	c := &detChecker{
+		info:   pass.Pkg.Info,
+		funcs:  map[*types.Func]*ast.FuncDecl{},
+		commut: map[*types.Func]int{},
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if fn, ok := c.info.Defs[fd.Name].(*types.Func); ok {
+					c.funcs[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := c.info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if c.clean(f, rs) {
+				return true
+			}
+			pass.Reportf(rs.For, "for-range over map %s leaks iteration order in a deterministic package; sort the keys first or waive with //isolint:ordered <why>", exprString(pass, rs.X))
+			return true
+		})
+	}
+}
+
+func exprString(pass *Pass, e ast.Expr) string {
+	file := pass.Pkg.Fset.Position(e.Pos()).Filename
+	src := pass.Pkg.Srcs[file]
+	start := pass.Pkg.Fset.Position(e.Pos()).Offset
+	end := pass.Pkg.Fset.Position(e.End()).Offset
+	if src == nil || start < 0 || end > len(src) || start >= end {
+		return "?"
+	}
+	return string(src[start:end])
+}
+
+// clean reports whether the map range is provably order-insensitive by one
+// of the two structural rules.
+func (c *detChecker) clean(f *ast.File, rs *ast.RangeStmt) bool {
+	env := c.loopEnv(rs)
+	if c.commutativeBody(rs.Body, env) {
+		return true
+	}
+	return c.collectThenSort(f, rs, env)
+}
+
+// loopEnv is the per-loop analysis environment.
+type loopEnv struct {
+	// locals are objects declared inside the loop body: plain assignment
+	// to them is harmless.
+	locals map[types.Object]bool
+	// monotone are outer variables every loop-body assignment writes the
+	// same constant to (allTerminated = false): idempotent across
+	// iterations, so order-free.
+	monotone map[types.Object]bool
+}
+
+// loopEnv precomputes the monotone-flag set: outer idents assigned exactly
+// one distinct constant throughout the body.
+func (c *detChecker) loopEnv(rs *ast.RangeStmt) *loopEnv {
+	consts := map[types.Object]map[string]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			obj := c.info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if consts[obj] == nil {
+				consts[obj] = map[string]bool{}
+			}
+			if constantResult(as.Rhs[i]) {
+				consts[obj][types.ExprString(as.Rhs[i])] = true
+			} else {
+				consts[obj]["<non-const>"] = true
+			}
+		}
+		return true
+	})
+	env := &loopEnv{locals: map[types.Object]bool{}, monotone: map[types.Object]bool{}}
+	for obj, vals := range consts {
+		if len(vals) == 1 && !vals["<non-const>"] {
+			env.monotone[obj] = true
+		}
+	}
+	return env
+}
+
+// commutativeBody reports whether every statement in the block is an
+// order-insensitive sink.
+func (c *detChecker) commutativeBody(block *ast.BlockStmt, env *loopEnv) bool {
+	for _, stmt := range block.List {
+		if !c.commutativeStmt(stmt, env) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *detChecker) commutativeStmt(stmt ast.Stmt, env *loopEnv) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		return c.commutativeAssign(s, env)
+	case *ast.IncDecStmt:
+		// counter++ / counter-- commute across iterations.
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		// The delete and close builtins: removing a set of keys, or closing
+		// each entry's own channel, is order-insensitive.
+		if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "delete" || id.Name == "close") && isBuiltin(c.info, id) {
+			return true
+		}
+		return c.commutativeCall(call)
+	case *ast.IfStmt:
+		// Conditions are treated as pure guards (a side-effecting
+		// condition would already be suspect code); both arms must be
+		// commutative.
+		if s.Init != nil && !c.commutativeStmt(s.Init, env) {
+			return false
+		}
+		if !c.commutativeBody(s.Body, env) {
+			return false
+		}
+		if s.Else != nil {
+			if eb, ok := s.Else.(*ast.BlockStmt); ok {
+				return c.commutativeBody(eb, env)
+			}
+			return c.commutativeStmt(s.Else, env)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.commutativeBody(s, env)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.ReturnStmt:
+		// Early return with constant results: an existence test —
+		// whichever iteration fires returns the same value.
+		for _, r := range s.Results {
+			if !constantResult(r) {
+				return false
+			}
+		}
+		return true
+	case *ast.DeclStmt:
+		// var declarations introduce body-locals.
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						if obj := c.info.Defs[name]; obj != nil {
+							env.locals[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	case *ast.RangeStmt:
+		// A nested range is fine when its operand needs no per-iteration
+		// side effect (no calls) and its body is itself commutative.
+		if c.hasCall(s.X) {
+			return false
+		}
+		return c.commutativeBody(s.Body, env)
+	default:
+		return false
+	}
+}
+
+// commutativeCall reports whether a discarded-result call is itself an
+// order-insensitive sink: a same-package function whose body is entirely
+// commutative (the set-insert helper idiom: hit, putPair, ...), with
+// call-free arguments so no order-sensitive value is computed en route.
+func (c *detChecker) commutativeCall(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if c.hasCall(arg) {
+			return false
+		}
+	}
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = c.info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if c.hasCall(fun.X) {
+			return false
+		}
+		fn, _ = c.info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return false
+	}
+	if v, ok := c.commut[fn]; ok {
+		return v > 0
+	}
+	decl := c.funcs[fn]
+	if decl == nil || decl.Body == nil {
+		c.commut[fn] = -1
+		return false
+	}
+	c.commut[fn] = -1 // recursion guard: conservative while analyzing
+	env := &loopEnv{locals: map[types.Object]bool{}, monotone: map[types.Object]bool{}}
+	if c.commutativeBody(decl.Body, env) {
+		c.commut[fn] = 1
+		return true
+	}
+	return false
+}
+
+func (c *detChecker) commutativeAssign(s *ast.AssignStmt, env *loopEnv) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		// New loop-local temps; remember them so later plain assignment
+		// to them stays allowed.
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := c.info.Defs[id]; obj != nil {
+					env.locals[obj] = true
+				}
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation.
+		return true
+	case token.ASSIGN:
+		for _, lhs := range s.Lhs {
+			switch l := lhs.(type) {
+			case *ast.IndexExpr:
+				// m[k] = v — a set/map insertion; the per-key final value
+				// does not depend on which iteration wrote it, as long as
+				// the loop writes each key once (the overwhelmingly common
+				// seen[k] = true shape).
+				if tv, ok := c.info.Types[l.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						continue
+					}
+				}
+				return false
+			case *ast.Ident:
+				if l.Name == "_" {
+					continue
+				}
+				if obj := c.info.Uses[l]; obj != nil && (env.locals[obj] || env.monotone[obj]) {
+					continue
+				}
+				return false
+			case *ast.SelectorExpr:
+				// st.field = v where st is a body-local: the target object
+				// was picked by this iteration (the per-entry state idiom).
+				if base, ok := l.X.(*ast.Ident); ok {
+					if obj := c.info.Uses[base]; obj != nil && env.locals[obj] {
+						continue
+					}
+				}
+				return false
+			default:
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func constantResult(e ast.Expr) bool {
+	switch r := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return r.Name == "true" || r.Name == "false" || r.Name == "nil"
+	default:
+		return false
+	}
+}
+
+// isBuiltin reports whether id resolves to the predeclared builtin of the
+// same name (and not some shadowing declaration).
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return true // unresolved: only builtins escape Uses in practice
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// hasCall reports whether e contains a real call; type conversions
+// (string(x), TxID(n)) are value-preserving and don't count.
+func (c *detChecker) hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+				return true // conversion: keep scanning its operand
+			}
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectThenSort reports whether the loop only appends to accumulators
+// (plus commutative noise) that are each sorted by a later statement of
+// the function — in the loop's own block or any enclosing one (the
+// shard-walk idiom appends inside a nested loop and sorts once at the
+// end).
+func (c *detChecker) collectThenSort(f *ast.File, rs *ast.RangeStmt, env *loopEnv) bool {
+	// Gather the append targets, keyed by printed expression so selector
+	// targets (h.Edges) work; any non-append, non-commutative statement
+	// disqualifies the loop.
+	appended := map[string]bool{}
+	if !c.collectAppends(rs.Body, env, appended) || len(appended) == 0 {
+		return false
+	}
+	for _, stmt := range followingStmts(f, rs) {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isSortCall(c.info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if e, ok := m.(ast.Expr); ok {
+						delete(appended, types.ExprString(e))
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return len(appended) == 0
+}
+
+// collectAppends walks the body accepting commutative statements and
+// `x = append(x, ...)` accumulation, recording the appended-to targets.
+func (c *detChecker) collectAppends(block *ast.BlockStmt, env *loopEnv, appended map[string]bool) bool {
+	for _, stmt := range block.List {
+		if as, ok := stmt.(*ast.AssignStmt); ok && isAppendTo(c.info, as, appended) {
+			continue
+		}
+		if ifs, ok := stmt.(*ast.IfStmt); ok {
+			if ifs.Init != nil && !c.commutativeStmt(ifs.Init, env) {
+				return false
+			}
+			if !c.collectAppends(ifs.Body, env, appended) {
+				return false
+			}
+			if ifs.Else != nil {
+				eb, ok := ifs.Else.(*ast.BlockStmt)
+				if !ok || !c.collectAppends(eb, env, appended) {
+					return false
+				}
+			}
+			continue
+		}
+		if !c.commutativeStmt(stmt, env) {
+			return false
+		}
+	}
+	return true
+}
+
+// isAppendTo matches `x = append(x, ...)` for any target expression x
+// (ident or selector), recording x's printed form.
+func isAppendTo(info *types.Info, as *ast.AssignStmt, appended map[string]bool) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || !isBuiltin(info, fn) {
+		return false
+	}
+	target := types.ExprString(as.Lhs[0])
+	if target != types.ExprString(call.Args[0]) {
+		return false
+	}
+	switch as.Lhs[0].(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return false
+	}
+	appended[target] = true
+	return true
+}
+
+// isSortCall recognizes sorting calls: anything in package sort, plus any
+// function whose name starts with Sort (slices.SortFunc, data.SortTuples —
+// the repo's domain sorters follow the stdlib naming).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if strings.HasPrefix(sel.Sel.Name, "Sort") {
+		return true
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return pn.Imported().Path() == "sort"
+}
+
+// followingStmts returns the statements after rs in its innermost
+// enclosing statement list and every enclosing list up the same function —
+// all of them run after the loop completes.
+func followingStmts(f *ast.File, rs *ast.RangeStmt) []ast.Stmt {
+	var out []ast.Stmt
+	var walk func(n ast.Node) bool
+	contains := func(s ast.Stmt) bool {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if n == ast.Node(rs) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	walk = func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for i, stmt := range list {
+			if contains(stmt) {
+				out = append(out, list[i+1:]...)
+				// Keep descending into the containing statement to collect
+				// inner-enclosing lists too.
+			}
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+	return out
+}

@@ -1,0 +1,1009 @@
+// latchorder: the lock manager's latch hierarchy as a compiler-checked
+// partial order.
+//
+// The package being analyzed declares its hierarchy in source (the lock
+// package's docs are the single source of truth):
+//
+//	//isolint:latch-order Manager.gate < Manager.rangeMu < stripe.mu < WaitsFor.mu
+//	//isolint:latch-order stripe.mu < footprintSlot.mu
+//	//isolint:latch-leaf Manager.parkMu
+//
+// Latches are named Type.field (struct latches) or by package-level var
+// name; the declared chains union into a partial order via transitive
+// closure. The analyzer abstract-interprets every function body — tracking
+// a held-latch multiset through branches, loops (to fixpoint), defers and
+// calls, with interprocedural summaries for same-package callees — and
+// reports:
+//
+//   - ordering: acquiring A while holding B when the order declares
+//     A < B, directly or through any chain of same-package calls;
+//   - nesting: re-acquiring a latch class already held (self-deadlock
+//     with sync.Mutex; two-instance acquisition breaks the one-stripe-
+//     at-a-time discipline);
+//   - leaves: holding any declared latch while taking a leaf, or vice
+//     versa;
+//   - undeclared latches: a sync.Mutex/RWMutex lock op on a latch the
+//     hierarchy does not name (the hierarchy must stay total over the
+//     package's latches or the other checks silently narrow);
+//   - pairing: return paths of one function that disagree on the net
+//     lock/unlock delta of a latch (a conditional leak), and exported
+//     functions returning with any non-zero delta. Unexported helpers
+//     may transfer latch ownership to or from their callers (the striped
+//     fast paths do); the consistent transfer delta is folded into every
+//     caller, so the balance check happens where the API boundary is.
+//   - refresh discipline: after a call to an //isolint:grant-mutator
+//     function (one that installs granted lock state), every path to
+//     return must pass an //isolint:waiter-refresh call — directly or
+//     via a callee that always refreshes — or the waits-for graph can go
+//     stale. This is the exact shape of the undetected-deadlock hang the
+//     key-range PR review caught: fragments installed without
+//     refreshing item waiters' edges.
+//
+// The analyzer is path-sensitive but bounded: per-function state sets are
+// deduplicated and capped, loops iterate to a small fixpoint, and defers
+// are applied at every exit (this repo's defers are unconditional
+// lock/unlock pairs at function top). Interface calls (the lock
+// Observer) are treated as latch-free, which the Observer contract
+// demands anyway.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LatchOrder is the latch-hierarchy analyzer.
+var LatchOrder = &Analyzer{
+	Name: "latchorder",
+	Doc:  "enforces the declared latch acquisition order, lock/unlock pairing on all paths, and the install-then-refresh waits-for discipline",
+	Run:  runLatchOrder,
+}
+
+func runLatchOrder(pass *Pass) {
+	ann := pass.Pkg.Annotations
+	hasMarkers := len(ann.GrantMutators) > 0 || len(ann.WaiterRefreshers) > 0
+	if len(ann.Chains) == 0 && len(ann.Leaves) == 0 && !hasMarkers {
+		return
+	}
+	c := &latchChecker{
+		pass:     pass,
+		info:     pass.Pkg.Info,
+		less:     map[string]map[string]bool{},
+		declared: map[string]bool{},
+		leaves:   map[string]bool{},
+		funcs:    map[*types.Func]*ast.FuncDecl{},
+		sums:     map[*types.Func]*latchSummary{},
+		litSums:  map[*ast.FuncLit]*latchSummary{},
+	}
+	for name := range ann.Leaves {
+		c.declared[name] = true
+		c.leaves[name] = true
+	}
+	for i, chain := range ann.Chains {
+		for _, name := range chain {
+			if c.leaves[name] {
+				pass.Reportf(posOf(pass, ann.ChainPos[i]), "latch %s is declared both in a chain and as a leaf", name)
+			}
+			c.declared[name] = true
+		}
+		for j := 0; j+1 < len(chain); j++ {
+			if c.less[chain[j]] == nil {
+				c.less[chain[j]] = map[string]bool{}
+			}
+			c.less[chain[j]][chain[j+1]] = true
+		}
+	}
+	// Transitive closure.
+	names := sortedKeys(c.declared)
+	for _, k := range names {
+		for _, i := range names {
+			if c.less[i][k] {
+				for _, j := range names {
+					if c.less[k][j] {
+						if c.less[i] == nil {
+							c.less[i] = map[string]bool{}
+						}
+						c.less[i][j] = true
+					}
+				}
+			}
+		}
+	}
+	for _, n := range names {
+		if c.less[n][n] {
+			pass.Reportf(pass.Pkg.Files[0].Pos(), "declared latch order contains a cycle through %s", n)
+			return
+		}
+	}
+
+	// Index function declarations and markers.
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			fn, ok := c.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.funcs[fn] = fd
+		}
+	}
+
+	// Analyze every function, in stable source order.
+	var fns []*types.Func
+	for fn := range c.funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return c.funcs[fns[i]].Pos() < c.funcs[fns[j]].Pos() })
+	for _, fn := range fns {
+		c.summary(fn)
+	}
+}
+
+// posOf converts an already-resolved Position back into a Pos-bearing
+// report (the framework wants token.Pos; we re-report at the file/line by
+// finding no better anchor, so just reuse the package's first file).
+func posOf(pass *Pass, pos token.Position) token.Pos {
+	for _, f := range pass.Pkg.Files {
+		tf := pass.Pkg.Fset.File(f.Pos())
+		if tf != nil && tf.Name() == pos.Filename && pos.Line <= tf.LineCount() {
+			return tf.LineStart(pos.Line)
+		}
+	}
+	return pass.Pkg.Files[0].Pos()
+}
+
+// latchSummary is the interprocedural summary of one function.
+type latchSummary struct {
+	// acquires maps each latch class the function may lock, transitively
+	// through same-package calls, to the latches it has already released
+	// (non-positive [r, w] deltas relative to its caller) at the
+	// acquisition point — so a callee that drops the caller's latch
+	// before taking another (release-then-park) is not misread as
+	// nesting them. A class only keeps a release entry if the release
+	// happens before every acquisition site (conservative merge).
+	acquires map[string]map[string][2]int
+	// delta is the net [r, w] lock count per class on return, when all
+	// return paths agree. Unexported functions may have non-zero deltas
+	// (ownership transfer); the caller absorbs them.
+	delta map[string][2]int
+	// leavesObligation / alwaysRefreshes summarize the waits-for refresh
+	// discipline across return paths. A function whose pending obligation
+	// was reported (or waived) propagates as neutral, so each origin is
+	// reported exactly once.
+	leavesObligation, alwaysRefreshes bool
+	// mutator / refresher are the function's own //isolint: markers.
+	mutator, refresher bool
+	done               bool
+}
+
+type latchChecker struct {
+	pass     *Pass
+	info     *types.Info
+	less     map[string]map[string]bool
+	declared map[string]bool
+	leaves   map[string]bool
+	funcs    map[*types.Func]*ast.FuncDecl
+	sums     map[*types.Func]*latchSummary
+	litSums  map[*ast.FuncLit]*latchSummary
+}
+
+// lstate is one abstract path state.
+type lstate struct {
+	kind int // flow kind: 0 next, 1 return, 2 break, 3 continue
+	held map[string][2]int
+	// pending obligation plus the position of the mutator call that
+	// opened it; refreshed marks a refresh with no later mutation.
+	pending   bool
+	refreshed bool
+	mutPos    token.Pos
+	mutName   string
+}
+
+const (
+	flowNext = iota
+	flowReturn
+	flowBreak
+	flowContinue
+)
+
+func (s lstate) clone() lstate {
+	h := make(map[string][2]int, len(s.held))
+	for k, v := range s.held {
+		h[k] = v
+	}
+	s.held = h
+	return s
+}
+
+func (s lstate) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%t|%t", s.kind, s.pending, s.refreshed)
+	for _, k := range sortedDeltaKeys(s.held) {
+		v := s.held[k]
+		if v != [2]int{} {
+			fmt.Fprintf(&b, "|%s:%d,%d", k, v[0], v[1])
+		}
+	}
+	return b.String()
+}
+
+func sortedDeltaKeys(m map[string][2]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+const maxStates = 64
+
+func dedup(states []lstate) []lstate {
+	seen := map[string]bool{}
+	out := states[:0]
+	for _, s := range states {
+		k := s.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	if len(out) > maxStates {
+		out = out[:maxStates]
+	}
+	return out
+}
+
+// funcWalk carries the per-function analysis context.
+type funcWalk struct {
+	c    *latchChecker
+	decl *ast.FuncDecl
+	sum  *latchSummary
+	// deferred effects, applied at every return (this repo defers
+	// unconditionally at function top).
+	deferred []func(*lstate)
+	// reported dedupes per-function diagnostics by key.
+	reported map[string]bool
+}
+
+// summary computes (and memoizes) fn's latch summary, reporting that
+// function's diagnostics as a side effect of the first computation.
+func (c *latchChecker) summary(fn *types.Func) *latchSummary {
+	if s, ok := c.sums[fn]; ok {
+		return s // done or in-progress (recursion: neutral partial summary)
+	}
+	s := &latchSummary{acquires: map[string]map[string][2]int{}, delta: map[string][2]int{}}
+	c.sums[fn] = s
+	decl := c.funcs[fn]
+	if decl == nil || decl.Body == nil {
+		s.done = true
+		return s
+	}
+	fset := c.pass.Pkg.Fset
+	ann := c.pass.Pkg.Annotations
+	s.mutator = funcMarkedAt(fset, ann.GrantMutators, decl)
+	s.refresher = funcMarkedAt(fset, ann.WaiterRefreshers, decl)
+	c.analyzeBody(decl, decl.Body, s)
+	s.done = true
+	return s
+}
+
+// litSummary analyzes a function literal (for when it is invoked at its
+// use site, e.g. a sort.Slice comparator running under a latch).
+func (c *latchChecker) litSummary(lit *ast.FuncLit) *latchSummary {
+	if s, ok := c.litSums[lit]; ok {
+		return s
+	}
+	s := &latchSummary{acquires: map[string]map[string][2]int{}, delta: map[string][2]int{}}
+	c.litSums[lit] = s
+	c.analyzeBody(nil, lit.Body, s)
+	s.done = true
+	return s
+}
+
+// analyzeBody runs the abstract interpretation and fills sum, reporting
+// diagnostics against decl (nil for literals: report positionally only).
+func (c *latchChecker) analyzeBody(decl *ast.FuncDecl, body *ast.BlockStmt, sum *latchSummary) {
+	w := &funcWalk{c: c, decl: decl, sum: sum, reported: map[string]bool{}}
+	init := lstate{held: map[string][2]int{}}
+	outs := w.execStmts(body.List, []lstate{init})
+	// Falling off the end is a return.
+	var rets []lstate
+	for _, s := range outs {
+		if s.kind == flowNext || s.kind == flowReturn {
+			s.kind = flowReturn
+			rets = append(rets, s)
+		}
+	}
+	if len(rets) == 0 {
+		rets = []lstate{{kind: flowReturn, held: map[string][2]int{}}}
+	}
+	// Apply deferred effects at each exit.
+	for i := range rets {
+		st := rets[i].clone()
+		for j := len(w.deferred) - 1; j >= 0; j-- {
+			w.deferred[j](&st)
+		}
+		rets[i] = st
+	}
+
+	// Pairing: return paths must agree per class; exported functions must
+	// be balanced.
+	classes := map[string]bool{}
+	for _, r := range rets {
+		for cl, v := range r.held {
+			if v != [2]int{} {
+				classes[cl] = true
+			}
+		}
+	}
+	name := "func literal"
+	exported := false
+	if decl != nil {
+		name = decl.Name.Name
+		exported = ast.IsExported(decl.Name.Name)
+	}
+	for _, cl := range sortedKeys(classes) {
+		first := rets[0].held[cl]
+		consistent := true
+		for _, r := range rets[1:] {
+			if r.held[cl] != first {
+				consistent = false
+				break
+			}
+		}
+		pos := body.Pos()
+		if decl != nil {
+			pos = decl.Pos()
+		}
+		switch {
+		case !consistent:
+			w.reportFunc(pos, "latchorder-pairing-"+cl, "%s: latch %s is held/released inconsistently across return paths (conditional leak)", name, cl)
+		case exported && first != [2]int{}:
+			w.reportFunc(pos, "latchorder-balance-"+cl, "%s: exported function returns with a net %s delta of r=%d w=%d; API entry points must be latch-balanced", name, cl, first[0], first[1])
+		default:
+			sum.delta[cl] = first
+		}
+	}
+
+	// Refresh discipline.
+	leaves, refreshedAll := false, true
+	var pendingState lstate
+	for _, r := range rets {
+		if r.pending {
+			if !leaves {
+				pendingState = r
+			}
+			leaves = true
+		}
+		if !r.refreshed || r.pending {
+			refreshedAll = false
+		}
+	}
+	if leaves {
+		pos := pendingState.mutPos
+		if pos == token.NoPos && decl != nil {
+			pos = decl.Pos()
+		}
+		w.reportFunc(pos, "latchorder-refresh", "%s: grant state mutated by %s can reach return without a waits-for refresh on some path; stale wait edges are undetected deadlocks (call a //isolint:waiter-refresh function on every path)", name, pendingState.mutName)
+		// Origin reported here; propagate as neutral so callers don't
+		// re-report the same obligation.
+		leaves = false
+	}
+	sum.leavesObligation = leaves
+	sum.alwaysRefreshes = refreshedAll
+}
+
+func (w *funcWalk) reportFunc(pos token.Pos, key, format string, args ...any) {
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	if w.decl != nil {
+		w.c.pass.ReportFuncf(w.decl, pos, format, args...)
+	} else {
+		w.c.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (w *funcWalk) reportOnce(pos token.Pos, key, format string, args ...any) {
+	w.reportFunc(pos, key, format, args...)
+}
+
+// --- statement walking ---
+
+func (w *funcWalk) execStmts(stmts []ast.Stmt, in []lstate) []lstate {
+	cur := in
+	var settled []lstate // flows that left the straight line (ret/brk/cont)
+	for _, stmt := range stmts {
+		var next []lstate
+		for _, s := range w.execStmt(stmt, cur) {
+			if s.kind == flowNext {
+				next = append(next, s)
+			} else {
+				settled = append(settled, s)
+			}
+		}
+		cur = dedup(next)
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return dedup(append(settled, cur...))
+}
+
+func (w *funcWalk) execStmt(stmt ast.Stmt, in []lstate) []lstate {
+	if len(in) == 0 {
+		return nil
+	}
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return w.exprEach(in, s.X)
+	case *ast.SendStmt:
+		return w.exprEach(in, s.Chan, s.Value)
+	case *ast.IncDecStmt:
+		return w.exprEach(in, s.X)
+	case *ast.AssignStmt:
+		exprs := append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)
+		return w.exprEach(in, exprs...)
+	case *ast.DeclStmt:
+		var out []lstate
+		for _, st := range in {
+			cp := st.clone()
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							w.execExpr(&cp, v)
+						}
+					}
+				}
+			}
+			out = append(out, cp)
+		}
+		return dedup(out)
+	case *ast.ReturnStmt:
+		var out []lstate
+		for _, st := range in {
+			cp := st.clone()
+			for _, r := range s.Results {
+				w.execExpr(&cp, r)
+			}
+			cp.kind = flowReturn
+			out = append(out, cp)
+		}
+		return dedup(out)
+	case *ast.BranchStmt:
+		var out []lstate
+		for _, st := range in {
+			cp := st.clone()
+			switch s.Tok {
+			case token.BREAK:
+				cp.kind = flowBreak
+			case token.CONTINUE:
+				cp.kind = flowContinue
+			default: // goto/fallthrough: treat as fallthrough-next
+			}
+			out = append(out, cp)
+		}
+		return out
+	case *ast.BlockStmt:
+		return w.execStmts(s.List, in)
+	case *ast.IfStmt:
+		cur := in
+		if s.Init != nil {
+			cur = keepNext(w.execStmt(s.Init, cur))
+		}
+		cur = w.exprEach(cur, s.Cond)
+		thenOut := w.execStmts(s.Body.List, cloneAll(cur))
+		var elseOut []lstate
+		if s.Else != nil {
+			elseOut = w.execStmt(s.Else, cloneAll(cur))
+		} else {
+			elseOut = cur
+		}
+		return dedup(append(thenOut, elseOut...))
+	case *ast.ForStmt:
+		cur := in
+		if s.Init != nil {
+			cur = keepNext(w.execStmt(s.Init, cur))
+		}
+		if s.Cond != nil {
+			cur = w.exprEach(cur, s.Cond)
+		}
+		return w.execLoop(s.Body, s.Post, s.Cond != nil, cur)
+	case *ast.RangeStmt:
+		cur := w.exprEach(in, s.X)
+		return w.execLoop(s.Body, nil, true, cur)
+	case *ast.SwitchStmt:
+		cur := in
+		if s.Init != nil {
+			cur = keepNext(w.execStmt(s.Init, cur))
+		}
+		if s.Tag != nil {
+			cur = w.exprEach(cur, s.Tag)
+		}
+		return w.execClauses(s.Body, cur)
+	case *ast.TypeSwitchStmt:
+		cur := in
+		if s.Init != nil {
+			cur = keepNext(w.execStmt(s.Init, cur))
+		}
+		return w.execClauses(s.Body, cur)
+	case *ast.SelectStmt:
+		return w.execClauses(s.Body, in)
+	case *ast.GoStmt:
+		// A spawned goroutine holds no relationship to this path's
+		// latches; argument expressions still evaluate here.
+		var exprs []ast.Expr
+		exprs = append(exprs, s.Call.Args...)
+		return w.exprEach(in, exprs...)
+	case *ast.DeferStmt:
+		// Evaluate arguments now; the call's effect applies at exits.
+		cur := w.exprEach(in, s.Call.Args...)
+		call := s.Call
+		w.deferred = append(w.deferred, func(st *lstate) {
+			w.applyCall(st, call, true)
+		})
+		return cur
+	case *ast.LabeledStmt:
+		return w.execStmt(s.Stmt, in)
+	case *ast.EmptyStmt:
+		return in
+	default:
+		return in
+	}
+}
+
+// execClauses runs each clause of a switch/select body as an alternative
+// branch (including the implicit no-case path when no default exists).
+func (w *funcWalk) execClauses(body *ast.BlockStmt, in []lstate) []lstate {
+	var out []lstate
+	hasDefault := false
+	for _, clause := range body.List {
+		switch cc := clause.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			cur := cloneAll(in)
+			cur = w.exprEach(cur, cc.List...)
+			out = append(out, breaksToNext(w.execStmts(cc.Body, cur))...)
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			cur := cloneAll(in)
+			if cc.Comm != nil {
+				cur = keepNext(w.execStmt(cc.Comm, cur))
+			}
+			out = append(out, breaksToNext(w.execStmts(cc.Body, cur))...)
+		}
+	}
+	if !hasDefault || len(body.List) == 0 {
+		out = append(out, in...)
+	}
+	return dedup(out)
+}
+
+// execLoop iterates body (+post) to a bounded fixpoint. mayskip states
+// whether the loop can execute zero times.
+func (w *funcWalk) execLoop(body *ast.BlockStmt, post ast.Stmt, mayskip bool, in []lstate) []lstate {
+	var out []lstate
+	if mayskip {
+		out = append(out, in...)
+	}
+	cur := cloneAll(in)
+	seen := map[string]bool{}
+	for iter := 0; iter < 8 && len(cur) > 0; iter++ {
+		res := w.execStmts(body.List, cur)
+		var back []lstate
+		for _, s := range res {
+			switch s.kind {
+			case flowNext, flowContinue:
+				s.kind = flowNext
+				back = append(back, s)
+			case flowBreak:
+				s.kind = flowNext
+				out = append(out, s)
+			case flowReturn:
+				out = append(out, s)
+			}
+		}
+		if post != nil {
+			back = keepNext(w.execStmt(post, back))
+		}
+		// Loop exit after any complete iteration.
+		out = append(out, back...)
+		var fresh []lstate
+		for _, s := range back {
+			k := s.key()
+			if !seen[k] {
+				seen[k] = true
+				fresh = append(fresh, s)
+			}
+		}
+		cur = dedup(fresh)
+	}
+	return dedup(out)
+}
+
+func keepNext(states []lstate) []lstate {
+	out := states[:0]
+	for _, s := range states {
+		if s.kind == flowNext {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func breaksToNext(states []lstate) []lstate {
+	for i := range states {
+		if states[i].kind == flowBreak {
+			states[i].kind = flowNext
+		}
+	}
+	return states
+}
+
+func cloneAll(states []lstate) []lstate {
+	out := make([]lstate, len(states))
+	for i, s := range states {
+		out[i] = s.clone()
+	}
+	return out
+}
+
+// exprEach applies the call effects of each expression to every state.
+func (w *funcWalk) exprEach(in []lstate, exprs ...ast.Expr) []lstate {
+	out := make([]lstate, 0, len(in))
+	for _, st := range in {
+		cp := st.clone()
+		for _, e := range exprs {
+			if e != nil {
+				w.execExpr(&cp, e)
+			}
+		}
+		out = append(out, cp)
+	}
+	return dedup(out)
+}
+
+// execExpr walks e in evaluation order applying call effects in place.
+func (w *funcWalk) execExpr(st *lstate, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// Children first (arguments evaluate before the call).
+			for _, arg := range x.Args {
+				w.execExpr(st, arg)
+			}
+			if fun, ok := x.Fun.(*ast.SelectorExpr); ok {
+				w.execExpr(st, fun.X)
+			}
+			w.applyCall(st, x, false)
+			return false
+		case *ast.FuncLit:
+			// Not invoked here (invocation is modeled at the enclosing
+			// call via applyCall's literal-argument handling).
+			_ = x
+			return false
+		}
+		return true
+	})
+}
+
+// applyCall applies one call's latch effects to st.
+func (w *funcWalk) applyCall(st *lstate, call *ast.CallExpr, deferred bool) {
+	c := w.c
+	if class, method, ok := c.lockOp(call); ok {
+		w.applyLockOp(st, call.Pos(), class, method)
+		return
+	}
+	// Function literal invoked directly.
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		w.applySummary(st, call.Pos(), "func literal", c.litSummary(lit))
+		return
+	}
+	// Literal arguments to unknown callees (sort.Slice and friends) run
+	// at this point, under whatever is held.
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			w.applySummary(st, call.Pos(), "func literal", c.litSummary(lit))
+		}
+	}
+	fn := c.calleeFunc(call)
+	if fn == nil || c.funcs[fn] == nil {
+		return
+	}
+	sum := c.summary(fn)
+	w.applySummary(st, call.Pos(), fn.Name(), sum)
+	_ = deferred
+}
+
+// applySummary folds a callee summary into the current state: ordering
+// checks for everything the callee may acquire, then the delta and the
+// refresh-obligation transfer.
+func (w *funcWalk) applySummary(st *lstate, pos token.Pos, name string, sum *latchSummary) {
+	for _, cl := range sortedAcqKeys(sum.acquires) {
+		rel := sum.acquires[cl]
+		eff := st.held
+		if rel != nil {
+			eff = make(map[string][2]int, len(st.held))
+			for k, v := range st.held {
+				eff[k] = v
+			}
+			for k, r := range rel {
+				cur := eff[k]
+				eff[k] = [2]int{cur[0] + r[0], cur[1] + r[1]}
+			}
+		}
+		w.checkAcquire(eff, pos, cl, "via call to "+name)
+		w.sum.recordAcquire(cl, releasedPart(st.held, rel))
+	}
+	for cl, d := range sum.delta {
+		cur := st.held[cl]
+		st.held[cl] = [2]int{cur[0] + d[0], cur[1] + d[1]}
+	}
+	switch {
+	case sum.mutator:
+		st.pending = true
+		st.refreshed = false
+		st.mutPos = pos
+		st.mutName = name
+	case sum.refresher:
+		st.pending = false
+		st.refreshed = true
+	case sum.leavesObligation:
+		st.pending = true
+		st.refreshed = false
+		st.mutPos = pos
+		st.mutName = name + " (transitively)"
+	case sum.alwaysRefreshes:
+		st.pending = false
+		st.refreshed = true
+	}
+}
+
+// applyLockOp applies a direct Lock/Unlock/RLock/RUnlock.
+func (w *funcWalk) applyLockOp(st *lstate, pos token.Pos, class, method string) {
+	acquire := method == "Lock" || method == "RLock" || method == "TryLock" || method == "TryRLock"
+	reader := method == "RLock" || method == "RUnlock" || method == "TryRLock"
+	if acquire {
+		w.checkAcquire(st.held, pos, class, "")
+		w.sum.recordAcquire(class, releasedPart(st.held, nil))
+	}
+	cur := st.held[class]
+	idx := 1
+	if reader {
+		idx = 0
+	}
+	if acquire {
+		cur[idx]++
+	} else {
+		cur[idx]--
+	}
+	st.held[class] = cur
+}
+
+// releasedPart returns the non-positive component of held folded with
+// extra (a callee's own pre-acquisition releases): the latches already
+// released, relative to the caller, at an acquisition point. Nil when
+// nothing is released.
+func releasedPart(held, extra map[string][2]int) map[string][2]int {
+	var out map[string][2]int
+	record := func(k string) {
+		v, e := held[k], extra[k]
+		r, w := v[0]+e[0], v[1]+e[1]
+		if r > 0 {
+			r = 0
+		}
+		if w > 0 {
+			w = 0
+		}
+		if r == 0 && w == 0 {
+			return
+		}
+		if out == nil {
+			out = map[string][2]int{}
+		}
+		out[k] = [2]int{r, w}
+	}
+	for k := range held {
+		record(k)
+	}
+	for k := range extra {
+		if _, dup := held[k]; !dup {
+			record(k)
+		}
+	}
+	return out
+}
+
+// recordAcquire merges one acquisition site's released-latch snapshot
+// into the summary. A latch only stays recorded as released-before-
+// acquire if it is released at every site: componentwise max toward
+// zero, so any site that still holds it wins.
+func (s *latchSummary) recordAcquire(class string, released map[string][2]int) {
+	prev, seen := s.acquires[class]
+	if !seen {
+		s.acquires[class] = released
+		return
+	}
+	if prev == nil || released == nil {
+		s.acquires[class] = nil
+		return
+	}
+	merged := map[string][2]int{}
+	for k, p := range prev {
+		r := released[k]
+		mr, mw := p[0], p[1]
+		if r[0] > mr {
+			mr = r[0]
+		}
+		if r[1] > mw {
+			mw = r[1]
+		}
+		if mr == 0 && mw == 0 {
+			continue
+		}
+		merged[k] = [2]int{mr, mw}
+	}
+	if len(merged) == 0 {
+		merged = nil
+	}
+	s.acquires[class] = merged
+}
+
+func sortedAcqKeys(m map[string]map[string][2]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkAcquire reports ordering violations for acquiring class while the
+// latches in held (the effective held set at the acquisition point) are
+// held.
+func (w *funcWalk) checkAcquire(held map[string][2]int, pos token.Pos, class, via string) {
+	c := w.c
+	suffix := ""
+	if via != "" {
+		suffix = " " + via
+	}
+	if len(c.declared) > 0 && !c.declared[class] {
+		w.reportOnce(pos, "undeclared-"+class,
+			"latch %s is not in the declared hierarchy; add it to an //isolint:latch-order chain or //isolint:latch-leaf", class)
+	}
+	for _, heldCl := range sortedDeltaKeys(held) {
+		v := held[heldCl]
+		if v[0] <= 0 && v[1] <= 0 {
+			continue
+		}
+		switch {
+		case heldCl == class:
+			w.reportOnce(pos, "nested-"+class,
+				"acquires latch %s while already holding it%s: self-deadlock for a second instance and a violation of the one-instance-at-a-time discipline", class, suffix)
+		case c.leaves[class]:
+			w.reportOnce(pos, "leaf-"+class+"-"+heldCl,
+				"acquires leaf latch %s while holding %s%s: leaves are declared to be taken with no other latch held", class, heldCl, suffix)
+		case c.leaves[heldCl]:
+			w.reportOnce(pos, "under-leaf-"+class+"-"+heldCl,
+				"acquires latch %s while holding leaf latch %s%s", class, heldCl, suffix)
+		case c.less[class][heldCl]:
+			w.reportOnce(pos, "order-"+class+"-"+heldCl,
+				"acquires latch %s while holding %s%s: the declared order is %s < %s", class, heldCl, suffix, class, heldCl)
+		}
+	}
+}
+
+// --- call and latch classification ---
+
+// calleeFunc resolves a call to a same-package *types.Func with a body.
+func (c *latchChecker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := c.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// lockOp reports whether call is a sync.Mutex / sync.RWMutex lock
+// operation, and on which latch class.
+func (c *latchChecker) lockOp(call *ast.CallExpr) (class, method string, ok bool) {
+	fun, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = fun.Sel.Name
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := c.info.Uses[fun.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	class = c.latchClass(fun.X)
+	if class == "" {
+		return "", "", false
+	}
+	return class, method, true
+}
+
+// latchClass names the latch an expression denotes: Type.field for struct
+// fields, the var name for package-level or local mutex vars, or
+// Type.<embedded> for embedded mutexes.
+func (c *latchChecker) latchClass(x ast.Expr) string {
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		// holder.field — field must be the mutex.
+		obj, _ := c.info.Uses[e.Sel].(*types.Var)
+		if obj == nil || !obj.IsField() {
+			// Could be a chain like a.b.mu handled by the same logic: the
+			// last selector is what matters.
+			return ""
+		}
+		owner := namedOf(c.info.Types[e.X].Type)
+		if owner == "" {
+			return obj.Name()
+		}
+		return owner + "." + obj.Name()
+	case *ast.Ident:
+		obj := c.info.Uses[e]
+		if obj == nil {
+			return e.Name
+		}
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			// Embedded-receiver shorthand inside methods.
+			return v.Name()
+		}
+		return e.Name
+	default:
+		// Embedded mutex: x.Lock() where x's named type embeds
+		// sync.Mutex. The selection machinery resolved the method; name
+		// the class after the holder type.
+		if owner := namedOf(c.info.Types[x].Type); owner != "" {
+			return owner + ".Mutex"
+		}
+		return ""
+	}
+}
+
+func namedOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

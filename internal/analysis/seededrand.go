@@ -1,0 +1,95 @@
+// seededrand: deterministic packages take randomness and time only from
+// explicit, seeded sources.
+//
+// The generalization of the data.Striper bug: the striper once keyed its
+// stripe hash with hash/maphash.MakeSeed, whose per-process random seed
+// re-randomized ReleaseAll's stripe visit order — and with it the lock
+// manager's grant order — on every invocation, breaking cross-process
+// byte-for-byte reproducibility of the fuzzer. The same failure mode
+// hides in the global math/rand source (seeded randomly since Go 1.20)
+// and in wall-clock reads that feed computed state.
+//
+// In packages marked //isolint:deterministic the analyzer flags:
+//
+//   - calls to math/rand (and math/rand/v2) package-level functions —
+//     they draw from the process-global, randomly-seeded source; the
+//     explicit-source constructors rand.New/NewSource (v2: NewPCG,
+//     NewChaCha8) stay allowed, which is exactly the
+//     rand.New(rand.NewSource(seed)) idiom the fuzzer uses;
+//   - hash/maphash.MakeSeed (a fresh random seed every call);
+//   - time.Now, time.Since and time.Until (wall-clock values; timers and
+//     timeouts remain allowed — they bound waiting without producing
+//     values that flow into traces).
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand is the unseeded-randomness analyzer.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids global math/rand, maphash.MakeSeed and time.Now/Since in deterministic packages",
+	Run:  runSeededRand,
+}
+
+// allowedRandFuncs are the explicit-source constructors of math/rand and
+// math/rand/v2 that remain legal in deterministic packages.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+// bannedTimeFuncs produce wall-clock values.
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runSeededRand(pass *Pass) {
+	if !pass.Pkg.Annotations.Deterministic {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pn.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[name] && exportedFunc(pn.Imported(), name) {
+					pass.Reportf(sel.Pos(), "%s.%s draws from the process-global randomly-seeded source in a deterministic package; use rand.New(rand.NewSource(seed))", id.Name, name)
+				}
+			case "hash/maphash":
+				if name == "MakeSeed" {
+					pass.Reportf(sel.Pos(), "maphash.MakeSeed returns a fresh random seed each call, re-randomizing hashed orders per process in a deterministic package; use a fixed hash (e.g. FNV-1a)")
+				}
+			case "time":
+				if bannedTimeFuncs[name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic package; plumb an explicit clock or move timing to the workload/bench layer", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exportedFunc reports whether pkg exports a function (not a type or
+// const) named name — rand.Int63 is a func, rand.Source is a type that
+// must stay referencable.
+func exportedFunc(pkg *types.Package, name string) bool {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return false
+	}
+	_, ok := obj.(*types.Func)
+	return ok
+}

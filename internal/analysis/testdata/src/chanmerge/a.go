@@ -1,0 +1,63 @@
+// Fixture for the chanmerge analyzer. Both flagged shapes reconstruct the
+// fuzzer controller's real bug: step completions and lock notifications
+// traveled on two same-typed channels, and the controller's select
+// observed them in scheduler order — TxGranted before the TxWaiting that
+// caused it.
+//
+//isolint:deterministic
+package chanmerge
+
+type stepEvent struct{ tx, seq int }
+
+// controller is the PR 3 regression: one causal domain, two channels.
+type controller struct { // want "splits one causal domain"
+	done   chan stepEvent
+	notify chan stepEvent
+	stop   chan struct{}
+}
+
+func (c *controller) emit(e stepEvent, notified bool) {
+	if notified {
+		c.notify <- e
+	} else {
+		c.done <- e
+	}
+}
+
+func (c *controller) run() {
+	for {
+		select { // want "coin toss"
+		case e := <-c.done:
+			_ = e
+		case e := <-c.notify:
+			_ = e
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// merged is the fixed shape: one ordered stream per causal domain.
+type merged struct {
+	events chan stepEvent
+	stop   chan struct{}
+}
+
+func (m *merged) emit(e stepEvent) { m.events <- e }
+
+func (m *merged) run(timeout <-chan struct{}) {
+	select { // ok: the receives have different element types
+	case e := <-m.events:
+		_ = e
+	case <-timeout:
+	}
+}
+
+// twoDomains has two channel fields of the same type but only one is ever
+// sent on in this package: not a split domain.
+type twoDomains struct {
+	in  chan stepEvent
+	out chan stepEvent
+}
+
+func (t *twoDomains) produce(e stepEvent) { t.out <- e }

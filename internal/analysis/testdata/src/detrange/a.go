@@ -1,0 +1,83 @@
+// Fixture for the detrange analyzer. The first case reconstructs the
+// schedule runner's real bug: leftover transactions drained in map order,
+// leaking iteration order into the emitted abort events.
+//
+//isolint:deterministic
+package detrange
+
+import "sort"
+
+type tx struct{ id int }
+
+// drainLeftovers is the PR 3 regression: emit runs in map order.
+func drainLeftovers(active map[int]*tx, emit func(int)) {
+	for id := range active { // want "leaks iteration order"
+		emit(id)
+		delete(active, id)
+	}
+}
+
+// drainSorted is the fixed shape: collect, sort, then emit.
+func drainSorted(active map[int]*tx, emit func(int)) {
+	ids := make([]int, 0, len(active))
+	for id := range active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		emit(id)
+		delete(active, id)
+	}
+}
+
+// tally only folds commutatively: order-insensitive.
+func tally(m map[string]int) int {
+	total := 0
+	n := 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total + n
+}
+
+// union builds a set: per-key writes commute.
+func union(dst map[string]bool, src map[string]struct{}) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// anyNil is an existence test: every iteration returns the same constant.
+func anyNil(m map[int]*tx) bool {
+	for _, v := range m {
+		if v == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// replay is order-sensitive but waived with a justification.
+func replay(active map[int]*tx, emit func(int)) {
+	//isolint:ordered the replay harness counts events and ignores order
+	for id := range active {
+		emit(id)
+	}
+}
+
+// unjustified is waived without a reason: the waiver itself is a finding.
+func unjustified(active map[int]*tx, emit func(int)) {
+	//isolint:ordered // want "no justification"
+	for id := range active {
+		emit(id)
+	}
+}
+
+// stale carries a waiver on a loop detrange no longer flags.
+func stale(ids []int, emit func(int)) {
+	//isolint:ordered ids were sorted by the caller // want "unused"
+	for _, id := range ids {
+		emit(id)
+	}
+}

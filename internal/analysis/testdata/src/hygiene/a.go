@@ -1,0 +1,13 @@
+// Fixture for directive hygiene: malformed //isolint: lines are findings
+// no matter which analyzer runs.
+package hygiene
+
+//isolint:nonsense // want "unknown //isolint: directive"
+
+//isolint:allow bogus because reasons // want "needs an analyzer name"
+
+//isolint:latch-order justone // want "bad //isolint:latch-order"
+
+//isolint:latch-leaf a b // want "exactly one latch name"
+
+var placeholder = 0

@@ -1,0 +1,132 @@
+// Fixture for the latchorder analyzer: a miniature of the lock manager's
+// latch landscape with its hierarchy declared, plus one latch of every
+// violation shape.
+//
+//isolint:latch-order Manager.gate < Manager.rangeMu < stripe.mu < WaitsFor.mu
+//isolint:latch-leaf Manager.parkMu
+package latchorder
+
+import "sync"
+
+var errFail = &failure{}
+
+type failure struct{}
+
+func (*failure) Error() string { return "fail" }
+
+type WaitsFor struct {
+	mu  sync.Mutex
+	out map[int][]int
+}
+
+type stripe struct {
+	mu    sync.Mutex
+	queue []int
+}
+
+type Manager struct {
+	gate    sync.RWMutex
+	rangeMu sync.Mutex
+	parkMu  sync.Mutex
+	other   sync.Mutex
+	wf      *WaitsFor
+}
+
+// Ordered walks the full declared chain in order, with a deferred gate
+// release: clean.
+func (m *Manager) Ordered(sp *stripe) {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	m.rangeMu.Lock()
+	sp.mu.Lock()
+	m.wf.mu.Lock()
+	m.wf.mu.Unlock()
+	sp.mu.Unlock()
+	m.rangeMu.Unlock()
+}
+
+// Inverted acquires against the declared order.
+func (m *Manager) Inverted(sp *stripe) {
+	sp.mu.Lock()
+	m.rangeMu.Lock() // want "declared order is Manager.rangeMu < stripe.mu"
+	m.rangeMu.Unlock()
+	sp.mu.Unlock()
+}
+
+// Nested takes two stripes at once: same-class self-deadlock risk.
+func (m *Manager) Nested(a, b *stripe) {
+	a.mu.Lock()
+	b.mu.Lock() // want "already holding it"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ParkUnderGate takes the declared leaf under another latch.
+func (m *Manager) ParkUnderGate() {
+	m.gate.RLock()
+	m.parkMu.Lock() // want "leaf latch"
+	m.parkMu.Unlock()
+	m.gate.RUnlock()
+}
+
+// Undeclared locks a latch the hierarchy does not name.
+func (m *Manager) Undeclared() {
+	m.other.Lock() // want "not in the declared hierarchy"
+	m.other.Unlock()
+}
+
+// condLeak releases rangeMu on one path only.
+func (m *Manager) condLeak(fail bool) error { // want "held/released inconsistently"
+	m.rangeMu.Lock()
+	if fail {
+		return errFail
+	}
+	m.rangeMu.Unlock()
+	return nil
+}
+
+// LeakGate returns holding the gate on every path: exported functions
+// must be latch-balanced.
+func (m *Manager) LeakGate() { // want "latch-balanced"
+	m.gate.RLock()
+}
+
+// Acquire hands the gate to transfer, which releases it: the ownership
+// transfer nets out at the exported boundary.
+func (m *Manager) Acquire(sp *stripe) {
+	m.gate.RLock()
+	m.transfer(sp)
+}
+
+// transfer inherits the caller's gate and releases it after its work.
+func (m *Manager) transfer(sp *stripe) {
+	sp.mu.Lock()
+	sp.queue = append(sp.queue, 1)
+	sp.mu.Unlock()
+	m.gate.RUnlock()
+}
+
+// lockRange acquires rangeMu for its caller.
+func (m *Manager) lockRange() {
+	m.rangeMu.Lock()
+}
+
+// ViaCall inverts the order through an intermediate call.
+func (m *Manager) ViaCall(sp *stripe) {
+	sp.mu.Lock()
+	m.lockRange() // want "via call to lockRange"
+	m.rangeMu.Unlock()
+	sp.mu.Unlock()
+}
+
+// WaivedInversion is condLeak's shape with a function-level waiver.
+//
+//isolint:allow latchorder the caller finishes the release on the error path, checked by its tests
+func (m *Manager) WaivedInversion(fail bool) error {
+	m.rangeMu.Lock()
+	if fail {
+		return errFail
+	}
+	m.rangeMu.Unlock()
+	return nil
+}

@@ -1,0 +1,76 @@
+// Fixture for latchorder's refresh discipline: the key-range PR's
+// undetected-deadlock shape. Installing granted lock state without
+// refreshing waiters' waits-for edges leaves the deadlock detector blind
+// to cycles through the new holder.
+package latchrefresh
+
+import "sync"
+
+type Manager struct {
+	mu      sync.Mutex
+	granted map[int][]int
+	waiters map[int][]int
+}
+
+// installLocked installs granted state that waiters may conflict with.
+//
+//isolint:grant-mutator
+func (m *Manager) installLocked(tx int) {
+	m.granted[tx] = append(m.granted[tx], tx)
+}
+
+// refreshWaitersLocked recomputes every waiter's waits-for edges.
+//
+//isolint:waiter-refresh
+func (m *Manager) refreshWaitersLocked() {
+	for w := range m.waiters {
+		_ = w
+	}
+}
+
+// GrantSkippingRefresh is the regression: the grant is installed but the
+// refresh is skipped when the queue looks empty — exactly the hang the
+// key-range review caught.
+func (m *Manager) GrantSkippingRefresh(tx int, queued bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.installLocked(tx) // want "without a waits-for refresh"
+	if queued {
+		m.refreshWaitersLocked()
+	}
+}
+
+// GrantAlways refreshes unconditionally after the install: clean.
+func (m *Manager) GrantAlways(tx int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.installLocked(tx)
+	m.refreshWaitersLocked()
+}
+
+// drainLocked installs every queued grant and refreshes once at the end;
+// its always-refreshes guarantee is its callers' to inherit.
+func (m *Manager) drainLocked() {
+	for tx := range m.granted {
+		m.installLocked(tx)
+	}
+	m.refreshWaitersLocked()
+}
+
+// GrantViaDrain discharges its obligation through drainLocked.
+func (m *Manager) GrantViaDrain(tx int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.installLocked(tx)
+	m.drainLocked()
+}
+
+// GrantDeferred installs without refreshing by contract: its only caller
+// drains a batch and refreshes once after the loop.
+//
+//isolint:allow latchorder the batch caller refreshes once after its grant loop
+func (m *Manager) GrantDeferred(tx int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.installLocked(tx)
+}

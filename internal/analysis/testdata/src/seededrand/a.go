@@ -1,0 +1,55 @@
+// Fixture for the seededrand analyzer. The first case reconstructs the
+// data.Striper regression: a maphash seed drawn fresh per process
+// re-randomized stripe visit order — and grant order — on every run.
+//
+//isolint:deterministic
+package seededrand
+
+import (
+	"hash/maphash"
+	"math/rand"
+	"time"
+)
+
+// newStriperSeed is the PR 3 regression shape.
+func newStriperSeed() maphash.Seed {
+	return maphash.MakeSeed() // want "fresh random seed"
+}
+
+// globalDraw uses the process-global, randomly-seeded source.
+func globalDraw() int {
+	return rand.Intn(64) // want "process-global"
+}
+
+// shuffleGlobal also draws from the global source.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global"
+}
+
+// wallClock reads wall time into computed state.
+func wallClock() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+// elapsed is the same leak via Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock"
+}
+
+// seeded is the sanctioned idiom: an explicit seeded source.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// timer bounds waiting without producing values that flow into traces.
+func timer(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}
+
+// sourceRef references a type, not a function: allowed.
+var sourceRef rand.Source
+
+// warmup is waived with a justification on the offending line.
+func warmup() int {
+	return rand.Int() //isolint:allow seededrand warmup only, the value never reaches a trace
+}

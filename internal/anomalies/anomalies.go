@@ -11,6 +11,8 @@
 // technique §4.1 describes for parlaying Cursor Stability into effective
 // REPEATABLE READ). A level earns "Sometimes Possible" when the plain
 // variant succeeds but the guarded variant is prevented.
+//
+//isolint:deterministic
 package anomalies
 
 import (

@@ -9,6 +9,8 @@
 // (H1–H3 slip through), and even the broad readings omit P0 and admit
 // non-serializable histories such as H5; this package makes both failures
 // checkable.
+//
+//isolint:deterministic
 package ansi
 
 import (

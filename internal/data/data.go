@@ -12,6 +12,8 @@
 // every striped component shares: Striper (the fixed key-to-stripe hash)
 // and OrderedSet (the per-stripe ordered key index that key-range locking
 // ranges over).
+//
+//isolint:deterministic
 package data
 
 import (

@@ -3,6 +3,8 @@
 // histories, and conflict-serializability, plus the multiversion-to-
 // single-version mapping the paper uses to place Snapshot Isolation in the
 // hierarchy (§4.2).
+//
+//isolint:deterministic
 package deps
 
 import (

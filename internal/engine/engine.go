@@ -3,6 +3,8 @@
 // Snapshot Isolation engine of §4.2, and the Oracle-style Read Consistency
 // engine of §4.3. The anomaly harness, the examples, and the benchmarks
 // program against these interfaces only.
+//
+//isolint:deterministic
 package engine
 
 import (

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -80,11 +81,14 @@ func (r *Recorder) RecordWrite(tx int, key data.Key, before, after data.Row) {
 	if after != nil {
 		op.Value, op.HasValue = after.Val(), true
 	}
+	var matched []string
 	for name, p := range r.preds {
 		if predicate.MatchEither(p, key, before, after) {
-			op.Preds = append(op.Preds, name)
+			matched = append(matched, name)
 		}
 	}
+	sort.Strings(matched)
+	op.Preds = matched
 	r.ops = append(r.ops, op)
 }
 

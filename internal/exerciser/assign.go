@@ -30,6 +30,7 @@ func UniformAssign(l engine.Level) Assign { return Assign{Uniform: l} }
 func PerTxAssign(perTx map[int]engine.Level) Assign {
 	a := Assign{PerTx: perTx}
 	first := -1
+	//isolint:ordered the fold keeps the minimum-keyed entry, the same for any visit order
 	for txn, l := range perTx {
 		if first < 0 || txn < first {
 			first, a.Uniform = txn, l

@@ -12,6 +12,8 @@
 // dispatches steps in script order with lock-wait observation (no sleeps),
 // and campaign aggregation is by schedule index — so the same seed
 // produces byte-for-byte identical reports regardless of worker count.
+//
+//isolint:deterministic
 package exerciser
 
 import (

@@ -7,6 +7,8 @@
 // "w1[x] r2[x] c1 a2") and the trace format produced by live engine runs,
 // so the same phenomenon matchers and dependency-graph analyses apply to
 // hand-written counterexamples and to recorded executions.
+//
+//isolint:deterministic
 package history
 
 import (

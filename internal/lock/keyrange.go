@@ -114,6 +114,8 @@ func (s RangeSpec) covers(key data.Key) bool {
 // against per-stripe state instead of a gated global table. The returned
 // handle releases the lock. Returns ErrDeadlock under the standard
 // requester-is-victim rule.
+//
+//isolint:allow latchorder the post-install refresh is guarded by rangeQLen/wf.Empty — with no admitted waiter there is no wait edge to go stale — and the back-out path reverts the install and refreshes via drainRangeLocked
 func (m *Manager) AcquireRange(tx TxID, spec RangeSpec) (RangeHandle, error) {
 	req := &request{tx: tx, mode: S, isRange: true, spec: spec, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	m.gate.RLock()
@@ -325,6 +327,8 @@ func (m *Manager) rangeConflictHoldersLocked(req *request) []TxID {
 // deleted by an uncommitted transaction has no store key but still needs
 // record coverage), and a supremum fragment when no ceiling exists.
 // Called with rangeMu held; latches one stripe at a time.
+//
+//isolint:grant-mutator
 func (m *Manager) installRangeLocked(req *request) RangeHandle {
 	m.rangeHandles++
 	h := m.rangeHandles
@@ -351,12 +355,11 @@ func (m *Manager) installRangeLocked(req *request) RangeHandle {
 	for i, sp := range m.stripes {
 		sp.mu.Lock()
 		set := byStripe[i]
+		if set == nil {
+			set = map[data.Key]bool{}
+		}
 		for key := range sp.items {
 			if req.spec.covers(key) {
-				if set == nil {
-					set = map[data.Key]bool{}
-					byStripe[i] = set
-				}
 				set[key] = true
 			}
 		}
@@ -369,10 +372,6 @@ func (m *Manager) installRangeLocked(req *request) RangeHandle {
 		// shadows another scan's coverage of the same gap.
 		for key := range sp.ranges {
 			if req.spec.covers(key) {
-				if set == nil {
-					set = map[data.Key]bool{}
-					byStripe[i] = set
-				}
 				set[key] = true
 			}
 		}
@@ -441,6 +440,7 @@ func (m *Manager) removeRangeHoldLocked(tx TxID, h RangeHandle) map[int]bool {
 // stripes and the cancelled requests. Called with rangeMu held.
 func (m *Manager) releaseAllRangesLocked(tx TxID) (map[int]bool, []*request) {
 	touched := map[int]bool{}
+	//isolint:ordered removals of tx's own distinct handles commute; grants drain afterward in queue order
 	for h := range m.rangeHolds[tx] {
 		for i := range m.removeRangeHoldLocked(tx, h) {
 			touched[i] = true
@@ -663,6 +663,8 @@ func (m *Manager) drainRangeLocked(touched map[int]bool) []*request {
 // request — item queues in every stripe (fragment-aware) and the range
 // queue — the range counterpart of the gated refreshAllWaitersLocked.
 // Called with rangeMu held.
+//
+//isolint:waiter-refresh
 func (m *Manager) refreshAllRangeAwareLocked() {
 	for _, sp := range m.stripes {
 		sp.mu.Lock()
@@ -680,6 +682,8 @@ func (m *Manager) refreshAllRangeAwareLocked() {
 // a range back-out adds the stripes that briefly held its fragments to
 // the caller's touched set so their waiters are re-evaluated. Called with
 // rangeMu held.
+//
+//isolint:allow latchorder installs are batched — the only caller, drainRangeLocked, runs refreshAllRangeAwareLocked once after the grant loop, before rangeMu is released
 func (m *Manager) grantRangeAwareLocked(r *request, touched map[int]bool) bool {
 	switch {
 	case r.isRange:
@@ -732,6 +736,8 @@ func (m *Manager) grantRangeAwareLocked(r *request, touched map[int]bool) bool {
 
 // refreshRangeWaitersLocked recomputes the wait edges of every queued
 // range and gap request. Called with rangeMu held.
+//
+//isolint:waiter-refresh
 func (m *Manager) refreshRangeWaitersLocked() {
 	for _, r := range m.rangeQ {
 		switch {

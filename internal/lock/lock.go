@@ -61,6 +61,43 @@
 // Deadlock detection lives in a standalone waits-for graph (waitsfor.go)
 // that collects wait edges from all stripes under its own lock, preserving
 // the deterministic requester-is-victim rule across stripes.
+//
+// # Latch hierarchy
+//
+// The manager's internal latches form a fixed acquisition order, declared
+// below as machine-readable //isolint:latch-order directives — the single
+// source of truth the latchorder analyzer (internal/analysis) enforces at
+// lint time. A latch may only be taken while latches earlier in a chain
+// are held, never later ones:
+//
+//   - Manager.gate, the stripe-set shared/exclusive gate, is the outermost:
+//     every item/predicate path enters through it.
+//   - Manager.rangeMu, the key-range table latch, nests inside the gate's
+//     shared side (range ops never take the gate exclusively).
+//   - stripe.mu, the per-stripe lock-table latch, nests inside both; the
+//     one-stripe-at-a-time discipline means two stripe latches are never
+//     held together.
+//   - WaitsFor.mu, the waits-for graph latch, is innermost on the main
+//     chain: wait edges are recorded while the enclosing table latch
+//     pins the queue being inspected.
+//   - footprintSlot.mu, the per-transaction footprint latch, nests inside
+//     stripe.mu on the release fast path.
+//   - Manager.parkMu, the waiter parking latch, is a leaf: parking happens
+//     strictly after the tables' latches are dropped, so it is never held
+//     together with any of the above.
+//
+// The same analyzer checks lock/unlock pairing on every control-flow path
+// and the install-then-refresh discipline: functions installing granted
+// lock state are marked //isolint:grant-mutator, functions recomputing
+// waiters' waits-for edges are marked //isolint:waiter-refresh, and every
+// path from an install to a return must pass a refresh — the missed
+// refreshAllRangeAwareLocked hang the key-range work was reviewed for
+// cannot reappear silently.
+//
+//isolint:latch-order Manager.gate < Manager.rangeMu < stripe.mu < WaitsFor.mu
+//isolint:latch-order stripe.mu < footprintSlot.mu
+//isolint:latch-leaf Manager.parkMu
+//isolint:deterministic
 package lock
 
 import (
@@ -704,6 +741,8 @@ func (m *Manager) conflictHoldersLocked(req *request) []TxID {
 
 // installItemLocked installs req's item lock in sp. Called with sp latched
 // (or the gate exclusive).
+//
+//isolint:grant-mutator
 func (m *Manager) installItemLocked(sp *stripe, req *request) {
 	sp.grants++
 	st := sp.items[req.key]
@@ -732,6 +771,8 @@ func (m *Manager) installItemLocked(sp *stripe, req *request) {
 
 // installPredLocked installs req's predicate lock and assigns its handle.
 // Called with the gate held exclusively.
+//
+//isolint:grant-mutator
 func (m *Manager) installPredLocked(req *request) {
 	m.predGrants++
 	m.handles++
@@ -914,12 +955,14 @@ func (m *Manager) ReleaseAll(tx TxID) {
 		delete(sp.held, tx)
 		cancelled = append(cancelled, cancelQueued(&sp.queue, tx, m.wf)...)
 	}
+	removedPreds := int64(0)
 	for h, ps := range m.preds {
 		if ps.tx == tx {
 			delete(m.preds, h)
-			m.predActivity.Add(-1)
+			removedPreds++
 		}
 	}
+	m.predActivity.Add(-removedPreds)
 	predCancelled := cancelQueued(&m.predQ, tx, m.wf)
 	m.predActivity.Add(-int64(len(predCancelled)))
 	cancelled = append(cancelled, predCancelled...)
@@ -992,6 +1035,8 @@ func (m *Manager) drainStripeLocked(sp *stripe) []*request {
 
 // refreshStripeWaitersLocked recomputes the wait edges of every request
 // still queued on sp. Called with sp latched under the shared gate.
+//
+//isolint:waiter-refresh
 func (m *Manager) refreshStripeWaitersLocked(sp *stripe) {
 	for _, r := range sp.queue {
 		m.wf.Refresh(r.tx, m.itemConflictHoldersLocked(sp, r))
@@ -1041,6 +1086,8 @@ func (m *Manager) drainAllLocked() []*request {
 
 // refreshAllWaitersLocked recomputes the wait edges of every queued
 // request, item and predicate. Called with the gate held exclusively.
+//
+//isolint:waiter-refresh
 func (m *Manager) refreshAllWaitersLocked() {
 	for _, sp := range m.stripes {
 		for _, r := range sp.queue {

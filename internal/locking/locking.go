@@ -14,6 +14,8 @@
 // into striped next-key fragments and gives inserts a covering-gap lock.
 // The Table 2 durations apply identically to both, and the differential
 // fuzzer holds them behaviorally equivalent at every level.
+//
+//isolint:deterministic
 package locking
 
 import (

@@ -1,6 +1,8 @@
 // Package matrix regenerates the paper's evaluation artifacts — Tables 1,
 // 2, 3, 4 and Figure 2 — from live engine runs and from the formal
 // acceptors, and diffs them against the paper's published values.
+//
+//isolint:deterministic
 package matrix
 
 import (

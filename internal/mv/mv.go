@@ -34,6 +34,8 @@
 // at Safe, never Current, so a snapshot can never observe half of a
 // concurrent commit and no version with CommitTS <= a started snapshot
 // can appear after the fact.
+//
+//isolint:deterministic
 package mv
 
 import (
@@ -239,6 +241,7 @@ func (s *Store) LatestCommitTS(key data.Key) TS {
 // The caller (the engine's commit critical section, under LockWriteSet)
 // guarantees ts exceeds every CommitTS already in the touched chains.
 func (s *Store) Install(ts TS, writer int, writes map[data.Key]data.Row) {
+	//isolint:ordered per-key chain appends at one commit timestamp; each key's chain is unaffected by visit order
 	for key, row := range writes {
 		v := Version{CommitTS: ts, Writer: writer}
 		if row == nil {

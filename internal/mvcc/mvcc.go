@@ -30,6 +30,8 @@
 // as facades restricted to their single level; their types alias the ones
 // here. The differential fuzzer's mixed mode (internal/exerciser) runs
 // this DB unrestricted as the "mv" family.
+//
+//isolint:deterministic
 package mvcc
 
 import (

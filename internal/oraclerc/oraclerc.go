@@ -9,6 +9,8 @@
 // transactions share one mv store and timestamp oracle so mixed-level
 // histories can interleave them in a single engine. This package only
 // narrows Begin to READ CONSISTENCY.
+//
+//isolint:deterministic
 package oraclerc
 
 import (

@@ -25,6 +25,8 @@
 // if T1's terminal comes after the matched prefix or does not occur at all
 // (the phenomenon has already happened; only an intervening terminal
 // between the two conflicting actions disarms it).
+//
+//isolint:deterministic
 package phenomena
 
 import (

@@ -13,6 +13,8 @@
 //
 //	active == 1 && hours < 8
 //	key ~ "task:" && (dept == 1 || dept == 2)
+//
+//isolint:deterministic
 package predicate
 
 import (

@@ -1,6 +1,8 @@
 // Package report renders the regenerated tables in the paper's layout:
 // plain-text grids with a header row, suitable for terminal output and for
 // embedding into EXPERIMENTS.md as fenced blocks.
+//
+//isolint:deterministic
 package report
 
 import (

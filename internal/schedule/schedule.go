@@ -15,6 +15,8 @@
 // cause the runner to roll the victim back automatically, mirroring what a
 // real system's transaction monitor does; detectors then classify the
 // outcome as "prevented by abort".
+//
+//isolint:deterministic
 package schedule
 
 import (

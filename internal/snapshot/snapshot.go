@@ -9,6 +9,8 @@
 // SNAPSHOT ISOLATION and READ CONSISTENCY transactions share one mv store
 // and timestamp oracle so mixed-level histories can interleave them in a
 // single engine. This package only narrows Begin to SNAPSHOT ISOLATION.
+//
+//isolint:deterministic
 package snapshot
 
 import (

@@ -22,6 +22,8 @@
 // (data.OrderedSet, under the same latch), giving the store an ordered
 // key space: RangeAnchors merges the per-stripe runs into the anchor set
 // a key-range (next-key) lock decomposes over.
+//
+//isolint:deterministic
 package sv
 
 import (
