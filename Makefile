@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race vet lint isolint bench bench-keyrange bench-mv bench-locking fuzz fuzz-mixed fuzz-keyrange fuzz-determinism
+.PHONY: verify build test race vet lint isolint bench bench-all bench-keyrange bench-mv bench-locking bench-compare fuzz fuzz-mixed fuzz-keyrange fuzz-escalation fuzz-determinism
 
 verify: lint build race ## what CI runs: vet + isolint + build + race-enabled tests
 
@@ -54,6 +54,28 @@ bench-mv bench-locking:
 	$(GO) run ./cmd/isolevel benchjson -match 'ShardSweepDisjointBatch|ShardSweepTransfer' < /tmp/bench-sweeps.out > BENCH_mv.json
 	$(GO) run ./cmd/isolevel benchjson -match 'ShardSweepLockingDisjoint|LockingLockstep' < /tmp/bench-sweeps.out > BENCH_locking.json
 
+# All four perf-trajectory artifacts out of ONE shared run (same build,
+# same host, same run): mv, locking, keyrange, escalation. This is what
+# CI runs and uploads; regenerate + commit before a perf PR lands.
+# Two steps, not a pipeline: a failed bench assertion must fail the
+# target (a pipe's exit status would be benchjson's, masking it).
+bench-all:
+	$(GO) test -run '^$$' -bench 'ShardSweep|LockingLockstep|Keyrange|Escalation' -benchmem . > /tmp/bench-all4.out
+	cat /tmp/bench-all4.out
+	$(GO) run ./cmd/isolevel benchjson -match 'ShardSweepDisjointBatch|ShardSweepTransfer' < /tmp/bench-all4.out > BENCH_mv.json
+	$(GO) run ./cmd/isolevel benchjson -match 'ShardSweepLockingDisjoint|LockingLockstep' < /tmp/bench-all4.out > BENCH_locking.json
+	$(GO) run ./cmd/isolevel benchjson -match 'Keyrange' < /tmp/bench-all4.out > BENCH_keyrange.json
+	$(GO) run ./cmd/isolevel benchjson -match 'Escalation' < /tmp/bench-all4.out > BENCH_escalation.json
+
+# Alloc-regression guard: rerun the keyrange benches and compare
+# allocs/op against the committed BENCH_keyrange.json baseline. CI runs
+# this so an accidental return to per-key staging fails the build.
+MAX_REGRESS ?= 25
+bench-compare:
+	$(GO) test -run '^$$' -bench 'Keyrange' -benchmem . > /tmp/bench-compare.out
+	$(GO) run ./cmd/isolevel benchjson < /tmp/bench-compare.out > /tmp/BENCH_keyrange.new.json
+	$(GO) run ./cmd/isolevel benchjson -compare BENCH_keyrange.json -metric allocs/op -max-regress $(MAX_REGRESS) /tmp/BENCH_keyrange.new.json
+
 # Differential isolation fuzzing: 1000 seeded schedules against every
 # engine family at every level, checked against the Table 4 oracle.
 fuzz:
@@ -70,6 +92,16 @@ fuzz-mixed:
 fuzz-keyrange:
 	$(GO) run ./cmd/isolevel fuzz -engines keyrange -seed 1 -n 1000
 	$(GO) run ./cmd/isolevel fuzz -engines keyrange -mixed -seed 1 -n 500
+
+# Escalation on (threshold 2, 2 stripes so real runs escalate): coarse
+# blocking deliberately diverges from the exact protocols, so the
+# campaign is keyrange-alone and oracle-only — zero Table 4 violations
+# is the bar, and determinism still holds byte for byte.
+fuzz-escalation:
+	$(GO) run ./cmd/isolevel fuzz -engines keyrange -escalation 2 -shards 2 -seed 1 -n 300 > /tmp/isolevel-fuzz-ea.out
+	cat /tmp/isolevel-fuzz-ea.out
+	$(GO) run ./cmd/isolevel fuzz -engines keyrange -escalation 2 -shards 2 -seed 1 -n 300 > /tmp/isolevel-fuzz-eb.out
+	diff /tmp/isolevel-fuzz-ea.out /tmp/isolevel-fuzz-eb.out
 
 # The same campaign run twice must be byte-for-byte identical — uniform
 # and mixed alike.

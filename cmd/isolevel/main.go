@@ -126,12 +126,20 @@ commands:
                -engines locking,keyrange,snapshot,oraclerc
                         (mixed: locking,keyrange,mv)
                -levels L1,L2 -workers W -shards N -start I -oracle LEVEL -v
+               -escalation N (keyrange lock escalation threshold; coarse
+                blocking is a deliberate divergence, so pair it with
+                -engines keyrange for an oracle-only campaign)
         the keyrange family is the locking scheduler with key-range
         (next-key) phantom prevention; any divergence from the locking
         family is reported
   benchjson [-match RE]       convert "go test -bench" output on stdin to
         a JSON array, keeping only names matching RE (the make bench-*
         targets write the BENCH_*.json perf artifacts)
+  benchjson -compare OLD.json NEW.json-as-positional
+        regression guard: compare two benchjson artifacts and fail when a
+        shared benchmark's metric (-metric, default allocs/op) regressed
+        by more than -max-regress percent (default 25); flags before the
+        positional NEW.json
 `)
 }
 
@@ -685,6 +693,7 @@ func cmdFuzz(args []string) error {
 	workers := fs.Int("workers", 1, "campaign worker goroutines (report is identical at any count)")
 	shards := fs.Int("shards", 0, "engine stripe count (0 = default)")
 	mixed := fs.Bool("mixed", false, "per-transaction level assignments: sample a level per transaction from each family's set and judge with the per-transaction oracle")
+	escalation := fs.Int("escalation", 0, "keyrange lock-escalation fragment threshold (0 = off; > 0 coarsens blocking, so select -engines keyrange alone and expect oracle-only checking)")
 	oracleLevel := fs.String("oracle", "", "check every trace against this level's forbidden set instead of its own (testing hook)")
 	noShrink := fs.Bool("no-shrink", false, "skip minimizing findings")
 	maxShrink := fs.Int("max-shrink", 5, "maximum findings to minimize (each minimization reruns the schedule many times)")
@@ -715,7 +724,7 @@ func cmdFuzz(args []string) error {
 	opts := exerciser.Options{
 		Seed: *seed, N: *n, Start: *start,
 		Params: params, Shards: *shards, Workers: *workers,
-		Mixed:  *mixed,
+		Mixed: *mixed, Escalation: *escalation,
 		Shrink: !*noShrink, MaxShrink: *maxShrink,
 	}
 	if *engines != "" {
@@ -763,8 +772,17 @@ func cmdFuzz(args []string) error {
 func cmdBenchJSON(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
 	match := fs.String("match", "", "keep only benchmarks whose name matches this regexp")
+	compare := fs.String("compare", "", "baseline JSON file; compare against the new JSON file given as the positional argument instead of converting stdin")
+	metric := fs.String("metric", "allocs/op", "metric to compare in -compare mode")
+	maxRegress := fs.Float64("max-regress", 25, "fail -compare when the metric regresses by more than this percentage")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("benchjson -compare OLD.json takes exactly one positional argument (the new JSON file)")
+		}
+		return benchCompare(*compare, fs.Arg(0), *metric, *match, *maxRegress)
 	}
 	var matchRE *regexp.Regexp
 	if *match != "" {
@@ -812,6 +830,89 @@ func cmdBenchJSON(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// benchCompare is the CI regression guard behind `benchjson -compare`: it
+// loads two benchjson artifacts (the committed baseline and a fresh run)
+// and fails when any shared benchmark's metric regressed by more than
+// maxRegress percent. Benchmarks present in only one file are skipped —
+// adding or retiring a bench must not wedge CI — and entries whose
+// baseline metric is zero are skipped too (no meaningful ratio). All
+// tracked metrics (ns/op, allocs/op, B/op, ...) are smaller-is-better, so
+// "regression" always means new > old.
+func benchCompare(oldPath, newPath, metric, match string, maxRegress float64) error {
+	var matchRE *regexp.Regexp
+	if match != "" {
+		var err error
+		if matchRE, err = regexp.Compile(match); err != nil {
+			return fmt.Errorf("benchjson: bad -match regexp: %v", err)
+		}
+	}
+	type benchLine struct {
+		Name       string             `json:"name"`
+		Iterations int64              `json:"iterations"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	load := func(path string) (map[string]map[string]float64, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var lines []benchLine
+		if err := json.Unmarshal(raw, &lines); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		m := map[string]map[string]float64{}
+		for _, bl := range lines {
+			m[bl.Name] = bl.Metrics
+		}
+		return m, nil
+	}
+	oldM, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newM, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	compared := 0
+	for _, name := range names {
+		if matchRE != nil && !matchRE.MatchString(name) {
+			continue
+		}
+		ov, ok := oldM[name][metric]
+		if !ok || ov == 0 {
+			continue
+		}
+		nv, ok := newM[name][metric]
+		if !ok {
+			continue
+		}
+		compared++
+		pct := (nv - ov) / ov * 100
+		status := "ok"
+		if pct > maxRegress {
+			status = "REGRESSION"
+			failures = append(failures, name)
+		}
+		fmt.Printf("%-60s %s: %g -> %g (%+.1f%%) %s\n", name, metric, ov, nv, pct, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("benchjson: no comparable benchmarks between %s and %s", oldPath, newPath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed on %s by more than %.0f%%: %s",
+			len(failures), metric, maxRegress, strings.Join(failures, ", "))
+	}
+	fmt.Printf("ok: %d benchmark(s) within %.0f%% on %s\n", compared, maxRegress, metric)
+	return nil
 }
 
 // parseMix reads "r:4,w:4,p:1,rc:1,wc:1" (any subset; omitted kinds get 0).

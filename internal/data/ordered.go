@@ -65,6 +65,21 @@ func (s *OrderedSet) Range(lo, hi Key, bounded bool) []Key {
 	return append([]Key(nil), s.keys[i:j]...)
 }
 
+// AppendRange appends the keys in the half-open interval [lo, hi) to dst,
+// ascending, and returns the extended slice; with bounded == false it
+// appends every key. The allocation-free sibling of Range: a caller that
+// recycles dst pays nothing once its capacity has grown to the working
+// set, which is what keeps a steady-state key-range lock install O(1)
+// allocations (lock.Manager feeds per-stripe runs into a reused KeyRuns).
+func (s *OrderedSet) AppendRange(dst []Key, lo, hi Key, bounded bool) []Key {
+	if !bounded {
+		return append(dst, s.keys...)
+	}
+	i, _ := s.search(lo)
+	j, _ := s.search(hi)
+	return append(dst, s.keys[i:j]...)
+}
+
 // Higher returns the smallest key strictly greater than k, and whether one
 // exists — the successor lookup of next-key locking: the existing key that
 // owns the gap an absent key falls into.
@@ -85,6 +100,44 @@ func (s *OrderedSet) Ceiling(k Key) (Key, bool) {
 		return "", false
 	}
 	return s.keys[i], true
+}
+
+// KeyRuns collects per-stripe sorted key runs in one reusable buffer: all
+// runs share a single backing slice, with Ends recording where each run
+// stops. Resetting and refilling a KeyRuns reuses both backing arrays, so
+// a producer that snapshots the same store shape repeatedly (a key-range
+// scan re-installing its anchors) allocates nothing at steady state —
+// unlike a [][]Key of per-stripe copies, which costs one allocation per
+// stripe per snapshot.
+type KeyRuns struct {
+	// Keys holds every run back to back, in run order.
+	Keys []Key
+	// Ends[i] is the end offset of run i in Keys (run i starts at
+	// Ends[i-1], or 0 for the first run).
+	Ends []int
+}
+
+// Reset empties the collection, keeping both backing arrays.
+func (r *KeyRuns) Reset() {
+	r.Keys = r.Keys[:0]
+	r.Ends = r.Ends[:0]
+}
+
+// EndRun closes the current run: everything appended to Keys since the
+// previous EndRun becomes one run.
+func (r *KeyRuns) EndRun() { r.Ends = append(r.Ends, len(r.Keys)) }
+
+// NumRuns returns the number of closed runs.
+func (r *KeyRuns) NumRuns() int { return len(r.Ends) }
+
+// Run returns run i as a view into the shared buffer (valid until the next
+// Reset or append).
+func (r *KeyRuns) Run(i int) []Key {
+	start := 0
+	if i > 0 {
+		start = r.Ends[i-1]
+	}
+	return r.Keys[start:r.Ends[i]]
 }
 
 // MergeKeys merges ascending runs (one per stripe) into one ascending key

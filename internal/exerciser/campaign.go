@@ -39,6 +39,13 @@ type Options struct {
 	Mixed bool
 	// Families restricts the engine families ran (nil/empty = all).
 	Families []string
+	// Escalation, when > 0, runs the keyrange family with lock escalation
+	// at that fragment threshold. Escalated blocking is strictly coarser
+	// than the predicate table's, so an escalated campaign should select
+	// the keyrange family alone and is judged oracle-only: zero Table 4
+	// violations are still required, cross-family trace equivalence is
+	// not expected.
+	Escalation int
 	// Levels restricts the isolation levels ran — for mixed campaigns,
 	// the set levels are sampled from (nil/empty = all).
 	Levels []engine.Level
@@ -134,6 +141,9 @@ func (o Options) configs() []config {
 			if len(famFilter) > 0 && !famFilter[fam.Name] {
 				continue
 			}
+			if o.Escalation > 0 && fam.Name == "keyrange" {
+				fam = keyrangeFamily(o.Escalation)
+			}
 			if len(lvlFilter) > 0 {
 				var kept []engine.Level
 				for _, lvl := range fam.Levels {
@@ -153,6 +163,9 @@ func (o Options) configs() []config {
 	for _, fam := range Families() {
 		if len(famFilter) > 0 && !famFilter[fam.Name] {
 			continue
+		}
+		if o.Escalation > 0 && fam.Name == "keyrange" {
+			fam = keyrangeFamily(o.Escalation)
 		}
 		for _, lvl := range fam.Levels {
 			if len(lvlFilter) > 0 && !lvlFilter[lvl] {
@@ -343,7 +356,7 @@ func Run(opts Options) (*Report, error) {
 			if f.Kind == "divergence" {
 				continue
 			}
-			fam, ok := familyByName(f.Family, opts.Mixed)
+			fam, ok := familyByName(f.Family, opts.Mixed, opts.Escalation)
 			if !ok {
 				continue
 			}
@@ -357,13 +370,19 @@ func Run(opts Options) (*Report, error) {
 	return rep, nil
 }
 
-func familyByName(name string, mixed bool) (Family, bool) {
+// familyByName resolves a finding's family for reproduction (the
+// shrinker); esc re-applies the campaign's escalation threshold so the
+// replayed engine blocks exactly like the one that produced the finding.
+func familyByName(name string, mixed bool, esc int) (Family, bool) {
 	fams := Families()
 	if mixed {
 		fams = MixedFamilies()
 	}
 	for _, fam := range fams {
 		if fam.Name == name {
+			if esc > 0 && name == "keyrange" {
+				fam = keyrangeFamily(esc)
+			}
 			return fam, true
 		}
 	}

@@ -187,6 +187,33 @@ func TestKeyrangeEquivalenceInserts(t *testing.T) {
 			op(1, OpPredRead, 0, 0, 1),
 			op(1, OpCommit, 0, 0, 0),
 		}},
+		// Two scans live at once: every anchor carries both scans'
+		// fragments, so a granted insert inherits a multi-fragment cover
+		// in one splice, and a second insert below the new anchor
+		// evaluates against the inherited pair.
+		{"dual-scan-inheritance", []SOp{
+			op(1, OpPredRead, 0, 0, 1),
+			op(2, OpPredRead, 0, 0, 2),
+			op(3, OpWrite, 3, 996, 0), // insert u: matches R, blocks on T2
+			op(2, OpCommit, 0, 0, 0),  // unblocks T3; u inherits T1's fragment
+			op(3, OpCommit, 0, 0, 0),
+			op(4, OpWrite, 4, 1800, 0), // insert v: matches Q, must find T1's coverage
+			op(1, OpCommit, 0, 0, 0),
+			op(4, OpCommit, 0, 0, 0),
+		}},
+		// Insert, commit, then a second scan starts and the row's own key
+		// becomes one of its anchors — the install path that merges
+		// lock-table-resident keys with store anchors.
+		{"insert-commit-rescan", []SOp{
+			op(1, OpPredRead, 0, 0, 1),
+			op(2, OpWrite, 3, 995, 0), // non-matching insert, admitted
+			op(2, OpCommit, 0, 0, 0),
+			op(3, OpPredRead, 0, 0, 2), // scan sees u as a store anchor
+			op(4, OpWrite, 4, 994, 0),  // matching-R insert blocks on T3
+			op(3, OpCommit, 0, 0, 0),
+			op(1, OpCommit, 0, 0, 0),
+			op(4, OpCommit, 0, 0, 0),
+		}},
 	}
 	for _, c := range cases {
 		s := &Schedule{Seed: 0, Params: DefaultParams(), Ops: c.ops}

@@ -38,7 +38,7 @@ type Family struct {
 func Families() []Family {
 	return []Family{
 		lockingFamily(),
-		keyrangeFamily(),
+		keyrangeFamily(0),
 		{Name: "snapshot", Levels: []engine.Level{engine.SnapshotIsolation}, Multiversion: true, New: func(s int) engine.DB {
 			if s > 0 {
 				return snapshot.NewDB(snapshot.WithShards(s))
@@ -63,7 +63,7 @@ func Families() []Family {
 func MixedFamilies() []Family {
 	return []Family{
 		lockingFamily(),
-		keyrangeFamily(),
+		keyrangeFamily(0),
 		{Name: "mv", Levels: []engine.Level{engine.SnapshotIsolation, engine.ReadConsistency}, Multiversion: true, New: func(s int) engine.DB {
 			if s > 0 {
 				return mvcc.NewDB(mvcc.WithShards(s))
@@ -85,12 +85,19 @@ func lockingFamily() Family {
 // keyrangeFamily is the locking scheduler with key-range (next-key)
 // phantom prevention instead of the gated predicate table. Same Table 2
 // levels, same oracle rows — any divergence from the locking family is a
-// bug in one of the two protocols.
-func keyrangeFamily() Family {
+// bug in one of the two protocols. With esc > 0 the family runs with lock
+// escalation at that threshold: blocking turns strictly coarser than the
+// predicate table's, so escalated campaigns must select this family alone
+// (oracle-only — the Table 4 guarantees still hold; trace equivalence
+// does not).
+func keyrangeFamily(esc int) Family {
 	return Family{Name: "keyrange", Levels: locking.LockingLevels, New: func(s int) engine.DB {
 		opts := []locking.Option{locking.WithPhantomProtection(locking.PhantomKeyrange)}
 		if s > 0 {
 			opts = append(opts, locking.WithShards(s))
+		}
+		if esc > 0 {
+			opts = append(opts, locking.WithEscalation(esc))
 		}
 		return locking.NewDB(opts...)
 	}}

@@ -35,6 +35,36 @@
 // would be sound but coarser, blocking non-matching writes into covered
 // gaps.
 //
+// # Storage and allocation discipline
+//
+// Each stripe keeps its fragments in one slice sorted by anchor key
+// (stripe.frags): an install merges one sorted per-stripe key run in a
+// single backward pass, the covering-anchor lookup of a gap check is one
+// binary search returning a zero-copy view, and a release filters the
+// slice in place. All install-time staging — the anchor-snapshot runs, the
+// per-stripe buckets, the merged runs, the per-handle location books — is
+// recycled through Manager-owned scratch buffers and a rangeHold
+// free-list (all under rangeMu, so no pool latch exists), making a
+// steady-state scan install O(1) allocations.
+//
+// # Escalation and fragment GC
+//
+// Two mechanisms bound the fragment population. With SetEscalation(n), a
+// handle that would hold n or more fragments in one stripe collapses them
+// into a coarse whole-stripe entry plus one global gap entry — unrefined,
+// strictly coarser blocking, the [GLPT] granularity-hierarchy move —
+// counted in Stats.Escalations (default off: coarser blocking breaks the
+// exact predicate equivalence, so the differential fuzzer runs escalation
+// configs oracle-only). With SetRowPresent, drains periodically sweep
+// *dead anchors* — anchor keys with no row, no item-lock entry and no
+// queued item request, the residue gap inheritance leaves behind under
+// insert/delete storms — migrating their fragments to the next live anchor
+// (deduplicated per handle), which preserves every covering set exactly:
+// a gap position previously owned by the dead anchor is owned by its
+// successor afterwards, with a fragment superset whose extra members
+// cannot match there (a fragment's predicate never matches outside its
+// key bounds, and a nil-row image satisfies no predicate).
+//
 // Range acquisition is optimistic install-then-validate: fragments are
 // installed stripe by stripe under each stripe's latch, then the conflict
 // sweep runs once more. A conflicting writer either saw an installed
@@ -61,18 +91,83 @@ type RangeHandle int64
 // coverage of its anchor key and the gap below it, refined by the scan's
 // predicate. All fragments are Shared — scans are reads; writers never
 // install persistent range state (an insert's "exclusive gap lock" is the
-// AcquireGap conflict check itself, insert-intention style).
+// AcquireGap conflict check itself, insert-intention style). An escalated
+// coarse entry is a fragment with a nil pred used unrefined.
 type fragment struct {
 	tx     TxID
 	handle RangeHandle
 	pred   predicate.P
 }
 
-// fragLoc records where one fragment of a handle lives, for exact release.
-type fragLoc struct {
-	stripe int
+// anchoredFrag is one entry of a stripe's sorted fragment slice: a
+// fragment tagged with the anchor key it covers. Entries are ordered by
+// anchor; entries with equal anchors are adjacent (their relative order is
+// immaterial — conflict sets are aggregated and sorted by TxID).
+type anchoredFrag struct {
 	anchor data.Key
-	sup    bool
+	f      fragment
+}
+
+// rangeHold is one handle's location book: per-stripe fragment counts
+// (parallel stripes/counts slices), the escalated stripes, and whether the
+// handle holds a supremum fragment and a global coarse gap entry. Exact
+// release needs only this — not per-fragment locations: a release filters
+// each counted stripe's slice by (tx, handle) in one pass. Holds are
+// recycled through Manager.holdFree. All access under rangeMu.
+type rangeHold struct {
+	stripes []int
+	counts  []int
+	esc     []int
+	sup     bool
+	gapC    bool
+}
+
+// slot returns the index of stripe in the hold's parallel count slices,
+// appending a zero-count entry if absent.
+func (h *rangeHold) slot(stripe int) int {
+	for i, s := range h.stripes {
+		if s == stripe {
+			return i
+		}
+	}
+	h.stripes = append(h.stripes, stripe)
+	h.counts = append(h.counts, 0)
+	return len(h.stripes) - 1
+}
+
+// escIn reports whether the handle is escalated in stripe.
+func (h *rangeHold) escIn(stripe int) bool {
+	for _, s := range h.esc {
+		if s == stripe {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *rangeHold) reset() {
+	h.stripes = h.stripes[:0]
+	h.counts = h.counts[:0]
+	h.esc = h.esc[:0]
+	h.sup = false
+	h.gapC = false
+}
+
+// newHold takes a hold from the free-list (or allocates the pool's next
+// one). Called with rangeMu held.
+func (m *Manager) newHold() *rangeHold {
+	if n := len(m.holdFree); n > 0 {
+		h := m.holdFree[n-1]
+		m.holdFree = m.holdFree[:n-1]
+		return h
+	}
+	return &rangeHold{}
+}
+
+// freeHold returns a hold to the free-list. Called with rangeMu held.
+func (m *Manager) freeHold(h *rangeHold) {
+	h.reset()
+	m.holdFree = append(m.holdFree, h)
 }
 
 // gapStripeStats counts one stripe's gap-lock activity (under rangeMu).
@@ -80,6 +175,12 @@ type gapStripeStats struct {
 	grants int64
 	waits  int64
 }
+
+// gcInheritThreshold is the number of fragment inheritances between
+// fragment-GC sweeps: deterministic (a counter, not a clock), cheap enough
+// to bound inherited-fragment growth under insert storms, rare enough not
+// to tax the drain path.
+const gcInheritThreshold = 16
 
 // RangeSpec describes the key range a scan locks: the predicate being
 // protected, the anchors (present keys in [Lo, Hi), ascending — from
@@ -94,18 +195,45 @@ type gapStripeStats struct {
 // committed between a caller-side snapshot and the acquisition would
 // otherwise be a permanent hole in the scan's coverage. Queued range
 // requests re-snapshot when finally granted, for the same reason.
+//
+// SnapshotInto, when set, supersedes both: it appends the anchor set as
+// per-stripe sorted runs into the manager's reusable buffer (see
+// sv.Store.AppendRangeAnchors) and returns only the ceiling, so the
+// snapshot itself costs no allocations at steady state.
 type RangeSpec struct {
-	Pred     predicate.P
-	Anchors  []data.Key
-	Ceiling  data.Key
-	Snapshot func() (anchors []data.Key, ceiling data.Key)
-	Lo, Hi   data.Key
-	Bounded  bool
+	Pred         predicate.P
+	Anchors      []data.Key
+	Ceiling      data.Key
+	Snapshot     func() (anchors []data.Key, ceiling data.Key)
+	SnapshotInto func(*data.KeyRuns) (ceiling data.Key)
+	Lo, Hi       data.Key
+	Bounded      bool
 }
 
 // covers reports whether key lies in the spec's range.
 func (s RangeSpec) covers(key data.Key) bool {
 	return !s.Bounded || (s.Lo <= key && key < s.Hi)
+}
+
+// anchorNeedsFragment reports whether an existing anchor key must carry a
+// fragment of the installing scan: every anchor inside the range, plus —
+// when bounded — every anchor between Hi and the snapshot ceiling (all of
+// them when no ceiling exists). gapCoverLocked consults only the single
+// smallest anchor at or above an insert position, so a stale anchor
+// between the range and its ceiling would otherwise shadow the ceiling
+// (or supremum) fragment that protects the scan's uppermost gap — the
+// above-range cousin of the in-range stale-anchor shadowing rule.
+func anchorNeedsFragment(spec RangeSpec, ceiling data.Key, k data.Key) bool {
+	if !spec.Bounded {
+		return true
+	}
+	if k < spec.Lo {
+		return false
+	}
+	if k < spec.Hi {
+		return true
+	}
+	return ceiling == "" || k <= ceiling
 }
 
 // AcquireRange acquires a Shared key-range (next-key) lock for tx over
@@ -198,7 +326,10 @@ func (m *Manager) AcquireGap(tx TxID, key data.Key, im Images) error {
 // on its fragments under rangeMu), or the scan's sweep observes the
 // already-installed item lock (and yields). Scripted runs execute one
 // operation at a time, so the recheck is always a no-op there; it is not
-// counted in the gap statistics.
+// counted in the gap statistics. The re-inherit on grant also restores
+// record coverage at the insert key if a fragment-GC sweep collected it
+// between the first gap check and the item install — the row only becomes
+// visible to other writers after this call returns.
 func (m *Manager) RecheckGap(tx TxID, key data.Key, im Images) error {
 	return m.acquireGap(tx, key, im, false)
 }
@@ -209,14 +340,22 @@ func (m *Manager) acquireGap(tx TxID, key data.Key, im Images, count bool) error
 	}
 	m.gate.RLock()
 	m.rangeMu.Lock()
-	frags, anchor, anchored := m.gapCoverLocked(key)
-	on := gapConflicts(tx, key, im, frags)
+	gc := m.gapCoverLocked(key)
+	on := gapConflicts(tx, key, im, gc)
 	spIdx := m.stripeIndex(key)
 	if len(on) == 0 {
-		m.inheritLocked(key, frags, anchor, anchored)
+		escalated := m.inheritLocked(key, gc)
 		if count {
 			m.gapGrants++
 			m.gapStripe[spIdx].grants++
+		}
+		// An escalation inside the inheritance coarsened some handle's
+		// blocking; waiters' conflict sets may have grown, so their wait
+		// edges must be recomputed before the next deadlock decision (with
+		// no admitted waiter there is nothing to refresh — same guard as
+		// the AcquireRange grant path).
+		if escalated && (m.rangeQLen.Load() != 0 || !m.wf.Empty()) {
+			m.refreshAllRangeAwareLocked()
 		}
 		m.rangeMu.Unlock()
 		m.gate.RUnlock()
@@ -325,113 +464,328 @@ func (m *Manager) rangeConflictHoldersLocked(req *request) []TxID {
 // installRangeLocked installs req's fragments: one per anchor (plus the
 // ceiling anchor, plus any lock-table-resident key in range — a row
 // deleted by an uncommitted transaction has no store key but still needs
-// record coverage), and a supremum fragment when no ceiling exists.
-// Called with rangeMu held; latches one stripe at a time.
+// record coverage — plus any stale anchor up to the ceiling, see
+// anchorNeedsFragment), and a supremum fragment when no ceiling exists.
+// Per stripe, the three sorted key sources (bucketed snapshot run,
+// in-range item keys, existing anchors) merge into one run that a single
+// backward pass splices into the stripe's fragment slice; with an
+// escalation threshold configured, a run at or over it installs one
+// coarse stripe entry instead. All staging lives in recycled Manager
+// scratch. Called with rangeMu held; latches one stripe at a time.
 //
 //isolint:grant-mutator
 func (m *Manager) installRangeLocked(req *request) RangeHandle {
 	m.rangeHandles++
 	h := m.rangeHandles
 	req.rhandle = h
-	anchors, ceiling := req.spec.Anchors, req.spec.Ceiling
-	if req.spec.Snapshot != nil {
-		anchors, ceiling = req.spec.Snapshot()
-	}
-	byStripe := make(map[int]map[data.Key]bool)
-	add := func(k data.Key) {
-		i := m.stripeIndex(k)
-		if byStripe[i] == nil {
-			byStripe[i] = map[data.Key]bool{}
-		}
-		byStripe[i][k] = true
-	}
-	for _, a := range anchors {
-		add(a)
-	}
-	if ceiling != "" {
-		add(ceiling)
-	}
-	var locs []fragLoc
+	hold := m.newHold()
+	ceiling := m.snapshotAnchorsLocked(req.spec)
+	m.bucketAnchorsLocked(ceiling)
+	f := fragment{tx: req.tx, handle: h, pred: req.spec.Pred}
 	for i, sp := range m.stripes {
 		sp.mu.Lock()
-		set := byStripe[i]
-		if set == nil {
-			set = map[data.Key]bool{}
+		run := m.stripeInstallRunLocked(sp, req.spec, ceiling, m.runBuckets[i])
+		if len(run) == 0 {
+			sp.mu.Unlock()
+			continue
 		}
-		for key := range sp.items {
-			if req.spec.covers(key) {
-				set[key] = true
-			}
+		if m.escalation > 0 && len(run) >= m.escalation {
+			sp.coarse = append(sp.coarse, f)
+			sp.mu.Unlock()
+			hold.esc = append(hold.esc, i)
+			m.noteGapCoarseLocked(hold, f)
+			m.escalations++
+			continue
 		}
-		// ... and at every in-range key that already anchors fragments,
-		// even when it has left the store (an aborted insert or committed
-		// delete leaves other scans' anchors behind). gapCoverLocked
-		// consults only the single smallest anchor at or above an insert
-		// position, so every live scan must have a fragment at every
-		// anchor inside its range — otherwise a stale anchor of one scan
-		// shadows another scan's coverage of the same gap.
-		for key := range sp.ranges {
-			if req.spec.covers(key) {
-				set[key] = true
-			}
-		}
-		keys := make([]data.Key, 0, len(set))
-		for k := range set {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-		for _, k := range keys {
-			if sp.ranges == nil {
-				sp.ranges = map[data.Key][]*fragment{}
-			}
-			sp.ranges[k] = append(sp.ranges[k], &fragment{tx: req.tx, handle: h, pred: req.spec.Pred})
-			sp.rangeIdx.Insert(k)
-			locs = append(locs, fragLoc{stripe: i, anchor: k})
-		}
+		insertFragRun(sp, run, f)
 		sp.mu.Unlock()
+		hold.counts[hold.slot(i)] += len(run)
 	}
 	if ceiling == "" {
-		m.supFrags = append(m.supFrags, &fragment{tx: req.tx, handle: h, pred: req.spec.Pred})
-		locs = append(locs, fragLoc{sup: true})
+		m.supFrags = append(m.supFrags, f)
+		hold.sup = true
 	}
 	if m.rangeHolds == nil {
-		m.rangeHolds = map[TxID]map[RangeHandle][]fragLoc{}
+		m.rangeHolds = map[TxID]map[RangeHandle]*rangeHold{}
 	}
 	hm := m.rangeHolds[req.tx]
 	if hm == nil {
-		hm = map[RangeHandle][]fragLoc{}
+		hm = map[RangeHandle]*rangeHold{}
 		m.rangeHolds[req.tx] = hm
 	}
-	hm[h] = locs
+	hm[h] = hold
 	return h
 }
 
-// removeRangeHoldLocked deletes every fragment of (tx, h) and returns the
-// set of stripe indexes that lost fragments. Called with rangeMu held.
+// snapshotAnchorsLocked fills m.snapRuns with the spec's anchor set —
+// via SnapshotInto (zero-copy), Snapshot, or the static Anchors — and
+// returns the ceiling. Called with rangeMu held.
+func (m *Manager) snapshotAnchorsLocked(spec RangeSpec) data.Key {
+	m.snapRuns.Reset()
+	switch {
+	case spec.SnapshotInto != nil:
+		return spec.SnapshotInto(&m.snapRuns)
+	case spec.Snapshot != nil:
+		anchors, ceiling := spec.Snapshot()
+		m.snapRuns.Keys = append(m.snapRuns.Keys, anchors...)
+		m.snapRuns.EndRun()
+		return ceiling
+	default:
+		m.snapRuns.Keys = append(m.snapRuns.Keys, spec.Anchors...)
+		m.snapRuns.EndRun()
+		return spec.Ceiling
+	}
+}
+
+// bucketAnchorsLocked distributes m.snapRuns (plus the ceiling) into the
+// per-stripe buckets, restoring per-bucket sort order where runs
+// interleaved — when the snapshot's striping matches the lock manager's
+// (every engine wires it that way), each run lands in exactly one bucket
+// already ascending and the sort never fires. Called with rangeMu held.
+func (m *Manager) bucketAnchorsLocked(ceiling data.Key) {
+	for i := range m.runBuckets {
+		m.runBuckets[i] = m.runBuckets[i][:0]
+	}
+	for ri := 0; ri < m.snapRuns.NumRuns(); ri++ {
+		for _, k := range m.snapRuns.Run(ri) {
+			i := m.stripeIndex(k)
+			m.runBuckets[i] = append(m.runBuckets[i], k)
+		}
+	}
+	if ceiling != "" {
+		i := m.stripeIndex(ceiling)
+		m.runBuckets[i] = append(m.runBuckets[i], ceiling)
+	}
+	for i, b := range m.runBuckets {
+		if !keysSorted(b) {
+			sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+			m.runBuckets[i] = b
+		}
+	}
+}
+
+func keysSorted(keys []data.Key) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// stripeInstallRunLocked merges the three sorted per-stripe key sources of
+// an install — the bucketed snapshot anchors (with ceiling), the stripe's
+// in-range lock-table-resident item keys, and the anchors already carrying
+// fragments (in range or shadowing the ceiling) — into one ascending
+// duplicate-free run in m.mergeRun. Called with rangeMu and sp's latch
+// held.
+func (m *Manager) stripeInstallRunLocked(sp *stripe, spec RangeSpec, ceiling data.Key, bucket []data.Key) []data.Key {
+	items := m.itemKeys[:0]
+	if len(sp.items) != 0 {
+		for key := range sp.items {
+			if spec.covers(key) {
+				items = append(items, key)
+			}
+		}
+		if len(items) > 1 {
+			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		}
+	}
+	m.itemKeys = items
+	anchors := m.anchorKeys[:0]
+	for i := 0; i < len(sp.frags); {
+		a := sp.frags[i].anchor
+		for i < len(sp.frags) && sp.frags[i].anchor == a {
+			i++
+		}
+		if anchorNeedsFragment(spec, ceiling, a) {
+			anchors = append(anchors, a)
+		}
+	}
+	m.anchorKeys = anchors
+	m.mergeRun = mergeUniqueKeys(m.mergeRun[:0], bucket, items, anchors)
+	return m.mergeRun
+}
+
+// mergeUniqueKeys merges three ascending key runs into dst, dropping
+// duplicates across (and within) runs.
+func mergeUniqueKeys(dst []data.Key, a, b, c []data.Key) []data.Key {
+	ai, bi, ci := 0, 0, 0
+	for ai < len(a) || bi < len(b) || ci < len(c) {
+		var min data.Key
+		have := false
+		if ai < len(a) {
+			min, have = a[ai], true
+		}
+		if bi < len(b) && (!have || b[bi] < min) {
+			min, have = b[bi], true
+		}
+		if ci < len(c) && (!have || c[ci] < min) {
+			min = c[ci]
+		}
+		for ai < len(a) && a[ai] == min {
+			ai++
+		}
+		for bi < len(b) && b[bi] == min {
+			bi++
+		}
+		for ci < len(c) && c[ci] == min {
+			ci++
+		}
+		dst = append(dst, min)
+	}
+	return dst
+}
+
+// insertFragRun splices one fragment per run key into sp's sorted slice in
+// a single backward merge pass. Run keys must be ascending and not already
+// carry an entry for f's handle. Called with rangeMu and sp's latch held.
+func insertFragRun(sp *stripe, run []data.Key, f fragment) {
+	need := len(run)
+	if need == 0 {
+		return
+	}
+	n := len(sp.frags)
+	if cap(sp.frags)-n < need {
+		grown := make([]anchoredFrag, n, growCap(cap(sp.frags), n+need))
+		copy(grown, sp.frags)
+		sp.frags = grown
+	}
+	sp.frags = sp.frags[:n+need]
+	i, j, w := n-1, need-1, n+need-1
+	for j >= 0 {
+		if i >= 0 && sp.frags[i].anchor > run[j] {
+			sp.frags[w] = sp.frags[i]
+			i--
+		} else {
+			sp.frags[w] = anchoredFrag{anchor: run[j], f: f}
+			j--
+		}
+		w--
+	}
+}
+
+func growCap(oldCap, need int) int {
+	if doubled := 2 * oldCap; doubled > need {
+		return doubled
+	}
+	return need
+}
+
+// insertFragsAt splices copies at one anchor key (gap inheritance and GC
+// migration). Called with rangeMu and sp's latch held.
+func insertFragsAt(sp *stripe, key data.Key, frags []fragment) {
+	need := len(frags)
+	if need == 0 {
+		return
+	}
+	pos := sort.Search(len(sp.frags), func(i int) bool { return sp.frags[i].anchor >= key })
+	n := len(sp.frags)
+	if cap(sp.frags)-n < need {
+		grown := make([]anchoredFrag, n, growCap(cap(sp.frags), n+need))
+		copy(grown, sp.frags)
+		sp.frags = grown
+	}
+	sp.frags = sp.frags[:n+need]
+	copy(sp.frags[pos+need:], sp.frags[pos:n])
+	for k, f := range frags {
+		sp.frags[pos+k] = anchoredFrag{anchor: key, f: f}
+	}
+}
+
+// fragWindow returns the half-open index window of entries anchored at key.
+func fragWindow(frags []anchoredFrag, key data.Key) (int, int) {
+	i := sort.Search(len(frags), func(x int) bool { return frags[x].anchor >= key })
+	j := i
+	for j < len(frags) && frags[j].anchor == key {
+		j++
+	}
+	return i, j
+}
+
+// removeHandleFrags filters (tx, h)'s entries out of sp's slice in place,
+// zeroing the vacated tail so predicate references are dropped. Returns
+// the number removed. Called with rangeMu and sp's latch held.
+func removeHandleFrags(sp *stripe, tx TxID, h RangeHandle) int {
+	kept := sp.frags[:0]
+	for _, e := range sp.frags {
+		if e.f.tx != tx || e.f.handle != h {
+			kept = append(kept, e)
+		}
+	}
+	removed := len(sp.frags) - len(kept)
+	for i := len(kept); i < len(sp.frags); i++ {
+		sp.frags[i] = anchoredFrag{}
+	}
+	sp.frags = kept
+	return removed
+}
+
+// dropCoarse filters (tx, h)'s entries out of a coarse/supremum fragment
+// slice in place.
+func dropCoarse(frags []fragment, tx TxID, h RangeHandle) []fragment {
+	kept := frags[:0]
+	for _, f := range frags {
+		if f.tx != tx || f.handle != h {
+			kept = append(kept, f)
+		}
+	}
+	for i := len(kept); i < len(frags); i++ {
+		frags[i] = fragment{}
+	}
+	return kept
+}
+
+// noteGapCoarseLocked installs the handle's global coarse gap entry (once
+// per handle): it conflicts, unrefined, with every other transaction's
+// insert anywhere — the gap side of escalating to the coarser granule.
+// Called with rangeMu held.
+func (m *Manager) noteGapCoarseLocked(hold *rangeHold, f fragment) {
+	if hold.gapC {
+		return
+	}
+	hold.gapC = true
+	m.gapCoarse = append(m.gapCoarse, fragment{tx: f.tx, handle: f.handle})
+}
+
+// removeRangeHoldLocked deletes every fragment of (tx, h) — per-anchor,
+// coarse, supremum and gap-coarse — and returns the set of stripe indexes
+// that lost entries. Called with rangeMu held.
 func (m *Manager) removeRangeHoldLocked(tx TxID, h RangeHandle) map[int]bool {
 	touched := map[int]bool{}
 	hm := m.rangeHolds[tx]
-	locs := hm[h]
+	hold := hm[h]
 	delete(hm, h)
 	if len(hm) == 0 {
 		delete(m.rangeHolds, tx)
 	}
-	for _, loc := range locs {
-		if loc.sup {
-			m.supFrags = dropFragments(m.supFrags, tx, h)
+	if hold == nil {
+		return touched
+	}
+	for idx, spIdx := range hold.stripes {
+		if hold.counts[idx] == 0 {
 			continue
 		}
-		sp := m.stripes[loc.stripe]
+		sp := m.stripes[spIdx]
 		sp.mu.Lock()
-		if kept := dropFragments(sp.ranges[loc.anchor], tx, h); len(kept) == 0 {
-			delete(sp.ranges, loc.anchor)
-			sp.rangeIdx.Delete(loc.anchor)
-		} else {
-			sp.ranges[loc.anchor] = kept
-		}
+		removeHandleFrags(sp, tx, h)
 		sp.mu.Unlock()
-		touched[loc.stripe] = true
+		touched[spIdx] = true
 	}
+	for _, spIdx := range hold.esc {
+		sp := m.stripes[spIdx]
+		sp.mu.Lock()
+		sp.coarse = dropCoarse(sp.coarse, tx, h)
+		sp.mu.Unlock()
+		touched[spIdx] = true
+	}
+	if hold.sup {
+		m.supFrags = dropCoarse(m.supFrags, tx, h)
+	}
+	if hold.gapC {
+		m.gapCoarse = dropCoarse(m.gapCoarse, tx, h)
+	}
+	m.freeHold(hold)
 	return touched
 }
 
@@ -453,96 +807,171 @@ func (m *Manager) releaseAllRangesLocked(tx TxID) (map[int]bool, []*request) {
 	return touched, cancelled
 }
 
-func dropFragments(frags []*fragment, tx TxID, h RangeHandle) []*fragment {
-	kept := frags[:0]
-	for _, f := range frags {
-		if f.tx != tx || f.handle != h {
-			kept = append(kept, f)
-		}
-	}
-	return kept
+// gapCover is the read-only view a gap check evaluates against: the
+// entries at the covering anchor (the smallest anchor at or above the
+// insert position) or the supremum fragments when none exists, plus the
+// escalated gap entries, which cover every position. Views alias the live
+// slices — valid only while rangeMu is held, and callers that mutate
+// fragment state (inheritance) must copy before inserting.
+type gapCover struct {
+	frags    []anchoredFrag
+	sup      []fragment
+	coarse   []fragment
+	anchor   data.Key
+	anchored bool
 }
 
-// gapCoverLocked returns the fragments covering an insert at key: those at
-// the smallest anchor at or above key (a fragment covers its anchor and
-// the gap below it), or the supremum fragments when key lies above every
-// anchor. Called with rangeMu held.
-func (m *Manager) gapCoverLocked(key data.Key) ([]*fragment, data.Key, bool) {
-	var best data.Key
+// gapCoverLocked returns the cover of an insert at key. Reading stripe
+// fragment slices here takes no stripe latch: writers hold rangeMu (held
+// by us) alongside the stripe latch, so no mutation can be concurrent —
+// this is what lets the view be zero-copy. Called with rangeMu held.
+func (m *Manager) gapCoverLocked(key data.Key) gapCover {
+	gc := gapCover{coarse: m.gapCoarse}
 	found := false
+	var best data.Key
+	var bestSp *stripe
 	for _, sp := range m.stripes {
-		sp.mu.Lock()
-		if c, ok := sp.rangeIdx.Ceiling(key); ok && (!found || c < best) {
-			best, found = c, true
-		}
-		sp.mu.Unlock()
-	}
-	if !found {
-		return append([]*fragment(nil), m.supFrags...), "", false
-	}
-	sp := m.stripeOf(best)
-	sp.mu.Lock()
-	frags := append([]*fragment(nil), sp.ranges[best]...)
-	sp.mu.Unlock()
-	return frags, best, true
-}
-
-// gapConflicts filters cover fragments down to the conflicting holders: a
-// fragment of another transaction whose predicate is satisfied by either
-// image of the insert.
-func gapConflicts(tx TxID, key data.Key, im Images, frags []*fragment) []TxID {
-	seen := map[TxID]bool{}
-	for _, f := range frags {
-		if f.tx == tx {
+		if len(sp.frags) == 0 {
 			continue
 		}
-		if im.matches(f.pred, key) {
-			seen[f.tx] = true
+		i := sort.Search(len(sp.frags), func(x int) bool { return sp.frags[x].anchor >= key })
+		if i == len(sp.frags) {
+			continue
+		}
+		if a := sp.frags[i].anchor; !found || a < best {
+			best, bestSp, found = a, sp, true
+		}
+	}
+	if !found {
+		gc.sup = m.supFrags
+		return gc
+	}
+	i, j := fragWindow(bestSp.frags, best)
+	gc.frags = bestSp.frags[i:j]
+	gc.anchor, gc.anchored = best, true
+	return gc
+}
+
+// gapConflicts filters the cover down to the conflicting holders: a
+// refined fragment of another transaction whose predicate is satisfied by
+// either image of the insert, or any other transaction's escalated gap
+// entry (unrefined — conservative by construction).
+func gapConflicts(tx TxID, key data.Key, im Images, gc gapCover) []TxID {
+	var seen map[TxID]bool
+	add := func(owner TxID) {
+		if seen == nil {
+			seen = map[TxID]bool{}
+		}
+		seen[owner] = true
+	}
+	for _, e := range gc.frags {
+		if e.f.tx != tx && im.matches(e.f.pred, key) {
+			add(e.f.tx)
+		}
+	}
+	for _, f := range gc.sup {
+		if f.tx != tx && im.matches(f.pred, key) {
+			add(f.tx)
+		}
+	}
+	for _, f := range gc.coarse {
+		if f.tx != tx {
+			add(f.tx)
 		}
 	}
 	return sortedTxIDs(seen)
 }
 
 // inheritLocked copies the covering fragments onto key (the next-key
-// inheritance of a granted insert), registering each copy under its
-// owner's handle so release stays exact. A no-op when key is already the
-// covering anchor. Called with rangeMu held.
-func (m *Manager) inheritLocked(key data.Key, frags []*fragment, anchor data.Key, anchored bool) {
-	if len(frags) == 0 || (anchored && anchor == key) {
-		return
+// inheritance of a granted insert), registering each copy in its owner's
+// hold so release stays exact, and escalating any handle whose per-stripe
+// count crosses the threshold. The cover is copied into scratch before the
+// splice — the view may alias the very slice the splice shifts. Handles
+// already escalated in key's stripe are skipped: their coarse entry covers
+// the whole stripe. A no-op when key is already the covering anchor.
+// Reports whether any escalation happened. Called with rangeMu held.
+func (m *Manager) inheritLocked(key data.Key, gc gapCover) bool {
+	if (len(gc.frags) == 0 && len(gc.sup) == 0) || (gc.anchored && gc.anchor == key) {
+		return false
 	}
 	spIdx := m.stripeIndex(key)
 	sp := m.stripes[spIdx]
-	sp.mu.Lock()
-	for _, f := range frags {
-		if sp.ranges == nil {
-			sp.ranges = map[data.Key][]*fragment{}
+	copies := m.fragCopy[:0]
+	for _, e := range gc.frags {
+		if hold := m.rangeHolds[e.f.tx][e.f.handle]; hold != nil && hold.escIn(spIdx) {
+			continue
 		}
-		sp.ranges[key] = append(sp.ranges[key], &fragment{tx: f.tx, handle: f.handle, pred: f.pred})
-		sp.rangeIdx.Insert(key)
-		m.rangeHolds[f.tx][f.handle] = append(m.rangeHolds[f.tx][f.handle], fragLoc{stripe: spIdx, anchor: key})
+		copies = append(copies, e.f)
 	}
+	for _, f := range gc.sup {
+		if hold := m.rangeHolds[f.tx][f.handle]; hold != nil && hold.escIn(spIdx) {
+			continue
+		}
+		copies = append(copies, f)
+	}
+	m.fragCopy = copies
+	if len(copies) == 0 {
+		return false
+	}
+	sp.mu.Lock()
+	insertFragsAt(sp, key, copies)
 	sp.mu.Unlock()
+	escalated := false
+	for _, f := range copies {
+		hold := m.rangeHolds[f.tx][f.handle]
+		if hold == nil {
+			continue
+		}
+		idx := hold.slot(spIdx)
+		hold.counts[idx]++
+		if m.escalation > 0 && hold.counts[idx] >= m.escalation {
+			m.escalateLocked(f, hold, spIdx)
+			escalated = true
+		}
+	}
+	m.inheritsSinceGC += len(copies)
+	return escalated
+}
+
+// escalateLocked collapses (f.tx, f.handle)'s per-anchor fragments in
+// stripe spIdx into one coarse whole-stripe entry plus the handle's global
+// gap entry, and counts the escalation. Called with rangeMu held.
+func (m *Manager) escalateLocked(f fragment, hold *rangeHold, spIdx int) {
+	sp := m.stripes[spIdx]
+	sp.mu.Lock()
+	removeHandleFrags(sp, f.tx, f.handle)
+	sp.coarse = append(sp.coarse, fragment{tx: f.tx, handle: f.handle})
+	sp.mu.Unlock()
+	hold.counts[hold.slot(spIdx)] = 0
+	hold.esc = append(hold.esc, spIdx)
+	m.noteGapCoarseLocked(hold, f)
+	m.escalations++
 }
 
 // fragmentConflictHolders returns the holders of fragments anchored at
-// req.key that an exclusive item request conflicts with (image-refined).
-// Called with the key's stripe latched.
+// req.key — plus the stripe's escalated coarse entries, which conflict
+// unrefined — that an exclusive item request conflicts with. Called with
+// the key's stripe latched.
 func fragmentConflictHolders(sp *stripe, req *request) []TxID {
-	if req.mode != X || len(sp.ranges) == 0 {
+	if req.mode != X || (len(sp.frags) == 0 && len(sp.coarse) == 0) {
 		return nil
 	}
-	frags := sp.ranges[req.key]
-	if len(frags) == 0 {
-		return nil
-	}
-	seen := map[TxID]bool{}
-	for _, f := range frags {
-		if f.tx == req.tx {
-			continue
+	var seen map[TxID]bool
+	add := func(owner TxID) {
+		if seen == nil {
+			seen = map[TxID]bool{}
 		}
-		if req.im.matches(f.pred, req.key) {
-			seen[f.tx] = true
+		seen[owner] = true
+	}
+	i, j := fragWindow(sp.frags, req.key)
+	for _, e := range sp.frags[i:j] {
+		if e.f.tx != req.tx && req.im.matches(e.f.pred, req.key) {
+			add(e.f.tx)
+		}
+	}
+	for _, f := range sp.coarse {
+		if f.tx != req.tx {
+			add(f.tx)
 		}
 	}
 	return sortedTxIDs(seen)
@@ -584,8 +1013,10 @@ func (m *Manager) drainRangeIfWaiters(touched map[int]bool) []*request {
 // stripes' item queues and the range queue, in global upgrade-first
 // arrival order — the same grant order as the gated drainAllLocked, which
 // is what keeps the two phantom protocols' wake-up sequences identical —
-// then refreshes the wait edges of everything still blocked. Called with
-// rangeMu held and no stripe latch held.
+// then runs the fragment-GC sweep when due (it preserves every covering
+// set exactly, so it cannot grant or block anything) and refreshes the
+// wait edges of everything still blocked. Called with rangeMu held and no
+// stripe latch held.
 func (m *Manager) drainRangeLocked(touched map[int]bool) []*request {
 	if touched == nil {
 		touched = map[int]bool{}
@@ -618,8 +1049,7 @@ func (m *Manager) drainRangeLocked(touched map[int]bool) []*request {
 					cands = append(cands, r)
 				}
 			case r.isGap:
-				frags, _, _ := m.gapCoverLocked(r.key)
-				if len(gapConflicts(r.tx, r.key, r.im, frags)) == 0 {
+				if len(gapConflicts(r.tx, r.key, r.im, m.gapCoverLocked(r.key))) == 0 {
 					cands = append(cands, r)
 				}
 			}
@@ -643,6 +1073,10 @@ func (m *Manager) drainRangeLocked(touched map[int]bool) []*request {
 			granted = append(granted, best)
 		}
 	}
+	if m.rowPresent != nil && m.inheritsSinceGC >= gcInheritThreshold {
+		m.inheritsSinceGC = 0
+		m.sweepDeadAnchorsLocked()
+	}
 	// Edges are refreshed across every stripe, not just the touched ones:
 	// a range grant inside the loop installs fragments wherever its
 	// anchors live, extending item waiters' conflict sets far beyond the
@@ -657,6 +1091,150 @@ func (m *Manager) drainRangeLocked(touched map[int]bool) []*request {
 	}
 	m.refreshAllRangeAwareLocked()
 	return granted
+}
+
+// sweepDeadAnchorsLocked migrates the fragments of every dead anchor — an
+// anchor key with no row, no item-lock entry and no queued item request —
+// to the smallest live anchor above it (or the supremum), deduplicating
+// per handle. Blocking is preserved exactly: a gap position the dead
+// anchor owned is owned by the successor afterwards, whose fragment set
+// becomes a superset of the migrated one, and any extra member either
+// already applied there or cannot match there (a fragment's predicate
+// never matches a key outside its bounds, and the only write possible at
+// a rowless, lockless key — a delete of an absent row — carries nil
+// images, which satisfy no predicate). Called with rangeMu held; latches
+// one stripe at a time.
+func (m *Manager) sweepDeadAnchorsLocked() {
+	m.fragGCs++
+	for _, sp := range m.stripes {
+		if len(sp.frags) == 0 {
+			continue
+		}
+		cand := m.gcKeys[:0]
+		sp.mu.Lock()
+		for i := 0; i < len(sp.frags); {
+			a := sp.frags[i].anchor
+			for i < len(sp.frags) && sp.frags[i].anchor == a {
+				i++
+			}
+			if sp.items[a] == nil && !queuedAt(sp.queue, a) {
+				cand = append(cand, a)
+			}
+		}
+		sp.mu.Unlock()
+		m.gcKeys = cand
+		for _, a := range cand {
+			// The row check runs outside the stripe latch (the store has
+			// its own latches); liveness is re-validated under the latch in
+			// collectAnchorLocked. A row appearing concurrently is only
+			// possible for an insert already past its gap check — whose
+			// RecheckGap, ordered behind our rangeMu, re-inherits coverage
+			// at the key before the row becomes visible to other writers.
+			if m.rowPresent(a) {
+				continue
+			}
+			m.collectAnchorLocked(sp, a)
+		}
+	}
+}
+
+// collectAnchorLocked removes one dead anchor's fragments and migrates
+// them to the successor anchor (or the supremum), updating each owner's
+// hold. Re-validates deadness under the stripe latch. Called with rangeMu
+// held.
+func (m *Manager) collectAnchorLocked(sp *stripe, a data.Key) {
+	sp.mu.Lock()
+	i, j := fragWindow(sp.frags, a)
+	if i == j || sp.items[a] != nil || queuedAt(sp.queue, a) {
+		sp.mu.Unlock()
+		return
+	}
+	moved := m.fragCopy[:0]
+	for _, e := range sp.frags[i:j] {
+		moved = append(moved, e.f)
+	}
+	m.fragCopy = moved
+	kept := append(sp.frags[:i], sp.frags[j:]...)
+	for x := len(kept); x < len(sp.frags); x++ {
+		sp.frags[x] = anchoredFrag{}
+	}
+	sp.frags = kept
+	sp.mu.Unlock()
+
+	// The migration target: the smallest anchor strictly above a across
+	// every stripe (a's own entries are already gone), or the supremum.
+	found := false
+	var succ data.Key
+	var succSp *stripe
+	for _, osp := range m.stripes {
+		idx := sort.Search(len(osp.frags), func(x int) bool { return osp.frags[x].anchor > a })
+		if idx == len(osp.frags) {
+			continue
+		}
+		if k := osp.frags[idx].anchor; !found || k < succ {
+			succ, succSp, found = k, osp, true
+		}
+	}
+	if !found {
+		for _, f := range moved {
+			hold := m.rangeHolds[f.tx][f.handle]
+			if hold == nil {
+				continue
+			}
+			hold.counts[hold.slot(sp.idx)]--
+			if hold.sup {
+				m.fragsReclaimed++
+				continue
+			}
+			m.supFrags = append(m.supFrags, f)
+			hold.sup = true
+		}
+		return
+	}
+	// Deduplicate against the handles already anchored at the successor,
+	// then splice the rest in one pass.
+	succSp.mu.Lock()
+	si, sj := fragWindow(succSp.frags, succ)
+	migrate := moved[:0]
+	for _, f := range moved {
+		dup := false
+		for _, e := range succSp.frags[si:sj] {
+			if e.f.tx == f.tx && e.f.handle == f.handle {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			m.fragsReclaimed++
+			if hold := m.rangeHolds[f.tx][f.handle]; hold != nil {
+				hold.counts[hold.slot(sp.idx)]--
+			}
+			continue
+		}
+		migrate = append(migrate, f)
+	}
+	insertFragsAt(succSp, succ, migrate)
+	succSp.mu.Unlock()
+	for _, f := range migrate {
+		hold := m.rangeHolds[f.tx][f.handle]
+		if hold == nil {
+			continue
+		}
+		hold.counts[hold.slot(sp.idx)]--
+		hold.counts[hold.slot(succSp.idx)]++
+	}
+	m.fragCopy = migrate
+}
+
+// queuedAt reports whether any queued item request targets key. Called
+// with the queue's stripe latched.
+func queuedAt(q []*request, key data.Key) bool {
+	for _, r := range q {
+		if r.key == key {
+			return true
+		}
+	}
+	return false
 }
 
 // refreshAllRangeAwareLocked recomputes the wait edges of every queued
@@ -698,11 +1276,11 @@ func (m *Manager) grantRangeAwareLocked(r *request, touched map[int]bool) bool {
 		removeRequest(&m.rangeQ, r)
 		m.rangeQLen.Store(int64(len(m.rangeQ)))
 	case r.isGap:
-		frags, anchor, anchored := m.gapCoverLocked(r.key)
-		if len(gapConflicts(r.tx, r.key, r.im, frags)) != 0 {
+		gc := m.gapCoverLocked(r.key)
+		if len(gapConflicts(r.tx, r.key, r.im, gc)) != 0 {
 			return false
 		}
-		m.inheritLocked(r.key, frags, anchor, anchored)
+		m.inheritLocked(r.key, gc)
 		spIdx := m.stripeIndex(r.key)
 		m.gapGrants++
 		m.gapStripe[spIdx].grants++
@@ -744,8 +1322,7 @@ func (m *Manager) refreshRangeWaitersLocked() {
 		case r.isRange:
 			m.wf.Refresh(r.tx, m.rangeConflictHoldersLocked(r))
 		case r.isGap:
-			frags, _, _ := m.gapCoverLocked(r.key)
-			m.wf.Refresh(r.tx, gapConflicts(r.tx, r.key, r.im, frags))
+			m.wf.Refresh(r.tx, gapConflicts(r.tx, r.key, r.im, m.gapCoverLocked(r.key)))
 		}
 	}
 }

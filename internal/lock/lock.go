@@ -246,6 +246,14 @@ type Stats struct {
 	RangeWaits  int64
 	GapGrants   int64
 	GapWaits    int64
+	// Escalations counts handle×stripe lock escalations: fragment sets
+	// collapsed into a coarse whole-stripe entry (zero unless the manager
+	// was configured with SetEscalation).
+	Escalations int64
+	// FragGCs counts fragment-GC sweeps; FragsReclaimed counts fragments
+	// the sweeps deduplicated away while migrating dead anchors.
+	FragGCs        int64
+	FragsReclaimed int64
 	// GateAcquires counts exclusive acquisitions of the cross-stripe
 	// predicate gate — the serialization events of predicate-table phantom
 	// prevention. Key-range locking never takes the exclusive gate, so on
@@ -329,12 +337,28 @@ type stripe struct {
 	held  map[TxID]map[data.Key]struct{}
 	queue []*request // waiting item requests: upgrades first, then arrival order
 
-	// ranges holds the key-range fragments anchored in this stripe, by
-	// anchor key (keyrange.go). Lazily allocated: nil means the stripe has
-	// never seen range activity. rangeIdx mirrors its key set in order,
-	// giving gap checks an O(log n) covering-anchor lookup per stripe.
-	ranges   map[data.Key][]*fragment
-	rangeIdx data.OrderedSet
+	// frags holds the key-range fragments anchored in this stripe as one
+	// slice sorted by anchor key, entries with equal anchors adjacent
+	// (keyrange.go). One ordered structure replaces the old
+	// map[anchor][]*fragment + mirror index pair: installs merge a sorted
+	// per-stripe key run in a single pass, the covering-anchor lookup of a
+	// gap check is one binary search, and releases filter in place — no
+	// per-anchor map churn, no per-fragment heap nodes.
+	//
+	// Guard discipline: frags (and coarse) are written only while BOTH
+	// rangeMu and this stripe's latch are held, so a reader holding either
+	// one sees consistent state — item paths read under the stripe latch
+	// they already hold, range paths under rangeMu alone (gapCoverLocked
+	// returns zero-copy views on that basis).
+	frags []anchoredFrag
+
+	// coarse holds whole-stripe escalated range entries (keyrange.go): when
+	// a handle's fragment count in this stripe crosses the escalation
+	// threshold, its per-anchor fragments collapse into one entry here that
+	// conflicts with every other transaction's exclusive item request in
+	// the stripe, unrefined — the [GLPT]-style coarser granule. Same guard
+	// discipline as frags.
+	coarse []fragment
 
 	grants int64
 	waits  int64
@@ -370,21 +394,60 @@ type Manager struct {
 	// operations against each other; item operations never take it from
 	// inside a stripe latch, and only at all while range waiters exist
 	// (rangeQLen) or fragments are live (rangeActivity — the predActivity
-	// pattern). rangeHolds, rangeQ, supFrags, gapStripe and the range/gap
-	// counters are touched only under rangeMu; fragments themselves
-	// (stripe.ranges) are guarded by their stripe's latch.
+	// pattern). rangeHolds, rangeQ, supFrags, gapCoarse, gapStripe, the
+	// range/gap counters and every scratch buffer below are touched only
+	// under rangeMu; fragments themselves (stripe.frags/coarse) are written
+	// under rangeMu plus the stripe's latch and readable under either (see
+	// the stripe fields).
 	rangeMu       sync.Mutex
 	rangeQ        []*request
 	rangeQLen     atomic.Int64
 	rangeActivity atomic.Int64
-	rangeHolds    map[TxID]map[RangeHandle][]fragLoc
+	rangeHolds    map[TxID]map[RangeHandle]*rangeHold
 	rangeHandles  RangeHandle
-	supFrags      []*fragment
+	supFrags      []fragment
 	gapStripe     []gapStripeStats
 	rangeGrants   int64
 	rangeWaits    int64
 	gapGrants     int64
 	gapWaits      int64
+
+	// escalation is the lock-escalation threshold: a handle whose fragment
+	// count in one stripe reaches it collapses to a coarse entry
+	// (stripe.coarse + gapCoarse). Zero disables escalation — the default,
+	// preserving exact predicate↔keyrange equivalence. Set before use.
+	escalation  int
+	escalations int64 // under rangeMu
+
+	// gapCoarse holds one unrefined entry per escalated handle: it
+	// conflicts with every other transaction's gap (insert) check anywhere
+	// in the key space — the gap side of the coarser granule. Under rangeMu.
+	gapCoarse []fragment
+
+	// rowPresent, when set (SetRowPresent), lets the fragment GC decide
+	// whether an anchor key still has a row in the store. Nil disables the
+	// sweep. inheritsSinceGC counts fragment inheritances since the last
+	// sweep; fragGCs / fragsReclaimed count sweeps and deduplicated-away
+	// fragments. All under rangeMu.
+	rowPresent      func(data.Key) bool
+	inheritsSinceGC int
+	fragGCs         int64
+	fragsReclaimed  int64
+
+	// Install/release scratch, reused across range operations so a
+	// steady-state scan install allocates nothing: per-stripe anchor
+	// buckets, the per-stripe merged run, in-range item keys, existing
+	// in-range anchors, fragment copy buffers (inheritance and GC), the
+	// anchor-snapshot run buffer, GC candidate keys, and the rangeHold
+	// free-list. All under rangeMu — no latch of their own.
+	runBuckets [][]data.Key
+	mergeRun   []data.Key
+	itemKeys   []data.Key
+	anchorKeys []data.Key
+	fragCopy   []fragment
+	snapRuns   data.KeyRuns
+	gcKeys     []data.Key
+	holdFree   []*rangeHold
 
 	gateAcquires atomic.Int64
 
@@ -422,11 +485,12 @@ func NewManager() *Manager { return NewManagerShards(DefaultShards) }
 func NewManagerShards(n int) *Manager {
 	striper := data.NewStriper(n)
 	m := &Manager{
-		striper:   striper,
-		stripes:   make([]*stripe, striper.Count()),
-		preds:     map[PredHandle]*predState{},
-		gapStripe: make([]gapStripeStats, striper.Count()),
-		wf:        NewWaitsFor(),
+		striper:    striper,
+		stripes:    make([]*stripe, striper.Count()),
+		preds:      map[PredHandle]*predState{},
+		gapStripe:  make([]gapStripeStats, striper.Count()),
+		runBuckets: make([][]data.Key, striper.Count()),
+		wf:         NewWaitsFor(),
 	}
 	for i := range m.stripes {
 		m.stripes[i] = &stripe{
@@ -451,6 +515,25 @@ func (m *Manager) stripeOf(key data.Key) *stripe {
 // use.
 func (m *Manager) SetObserver(o Observer) { m.observer = o }
 
+// SetEscalation sets the lock-escalation threshold: when one range
+// handle's fragment count in a single stripe reaches threshold — at
+// install, or later through gap inheritance — the fragments collapse into
+// one coarse whole-stripe entry plus one global gap entry, both unrefined
+// ([GLPT]-style: the coarser granule keeps the lock's mode but drops the
+// predicate refinement, so blocking is strictly coarser and every conflict
+// the fine granules would have found is still found). Zero (the default)
+// disables escalation. Must be called before concurrent use.
+func (m *Manager) SetEscalation(threshold int) { m.escalation = threshold }
+
+// SetRowPresent gives the fragment GC its liveness oracle: f reports
+// whether a row currently exists at a key. With it set, drains
+// periodically sweep dead anchors — anchor keys with no row, no item-lock
+// entry and no queued item request — migrating their fragments to the next
+// live anchor (or the supremum), so inherited fragments from insert storms
+// under a long scan don't accumulate until ReleaseAll. Nil (the default)
+// disables the sweep. Must be called before concurrent use.
+func (m *Manager) SetRowPresent(f func(data.Key) bool) { m.rowPresent = f }
+
 // Stats returns a snapshot of manager counters.
 func (m *Manager) Stats() Stats {
 	m.gate.RLock()
@@ -466,6 +549,8 @@ func (m *Manager) Stats() Stats {
 	m.rangeMu.Lock()
 	st.RangeGrants, st.RangeWaits = m.rangeGrants, m.rangeWaits
 	st.GapGrants, st.GapWaits = m.gapGrants, m.gapWaits
+	st.Escalations = m.escalations
+	st.FragGCs, st.FragsReclaimed = m.fragGCs, m.fragsReclaimed
 	for i := range m.gapStripe {
 		st.PerStripe[i].GapGrants = m.gapStripe[i].grants
 		st.PerStripe[i].GapWaits = m.gapStripe[i].waits

@@ -42,6 +42,19 @@ func WithShards(n int) Option {
 	return func(db *DB) { db.shards = n }
 }
 
+// WithEscalation sets the keyrange protocol's lock-escalation threshold
+// (default 0, off): a scan handle holding that many next-key fragments in
+// one lock stripe collapses them into a single coarse whole-stripe entry —
+// the [GLPT] granularity move, trading precision for fragment population.
+// Escalated entries block unrefined (any other transaction's write in the
+// stripe, any insert anywhere), so blocking is strictly coarser than the
+// exact protocol: behavioral equivalence with the predicate engine no
+// longer holds, but every Table-4 guarantee still does. No effect on the
+// predicate protocol.
+func WithEscalation(threshold int) Option {
+	return func(db *DB) { db.escalation = threshold }
+}
+
 // Phantom selects the engine's phantom-prevention protocol: how the lock
 // scheduler implements the predicate-lock rows of Table 2.
 type Phantom uint8
@@ -81,9 +94,10 @@ type DB struct {
 	store   *sv.Store
 	lm      *lock.Manager
 	seq     atomic.Int64
-	rec     *engine.Recorder
-	shards  int
-	phantom Phantom
+	rec        *engine.Recorder
+	shards     int
+	phantom    Phantom
+	escalation int
 }
 
 // NewDB returns an empty locking database.
@@ -94,6 +108,13 @@ func NewDB(opts ...Option) *DB {
 	}
 	db.store = sv.NewStoreShards(db.shards)
 	db.lm = lock.NewManagerShards(db.shards)
+	// Row presence feeds the lock manager's fragment GC (dead-anchor
+	// sweeps); harmless on the predicate protocol, which never installs
+	// fragments.
+	db.lm.SetRowPresent(db.store.Exists)
+	if db.escalation > 0 {
+		db.lm.SetEscalation(db.escalation)
+	}
 	return db
 }
 
@@ -252,10 +273,12 @@ func (t *Tx) acquireScanGuard(p predicate.P) (scanGuard, error) {
 		// The anchor set is snapshotted by the lock manager at install
 		// time, under its range mutex — not here — so a key inserted and
 		// committed on the way to the acquisition still gets a fragment.
+		// SnapshotInto appends the per-stripe runs into the manager's
+		// reusable buffer: the snapshot allocates nothing at steady state.
 		h, err := t.db.lm.AcquireRange(lock.TxID(t.id), lock.RangeSpec{
 			Pred: p,
-			Snapshot: func() ([]data.Key, data.Key) {
-				return t.db.store.RangeAnchors(lo, hi, bounded)
+			SnapshotInto: func(r *data.KeyRuns) data.Key {
+				return t.db.store.AppendRangeAnchors(r, lo, hi, bounded)
 			},
 			Lo: lo, Hi: hi, Bounded: bounded,
 		})

@@ -209,6 +209,32 @@ func (s *Store) RangeAnchors(lo, hi data.Key, bounded bool) (anchors []data.Key,
 	return data.MergeKeys(runs...), ceiling
 }
 
+// AppendRangeAnchors is RangeAnchors without the copies: each stripe's
+// in-range run is appended to r (one closed run per stripe, in stripe
+// order), and only the ceiling is returned. A lock manager that recycles r
+// across acquisitions installs a scan's anchors with zero snapshot
+// allocations at steady state; the same between-stripes race as
+// RangeAnchors applies and is benign for the same reason.
+func (s *Store) AppendRangeAnchors(r *data.KeyRuns, lo, hi data.Key, bounded bool) (ceiling data.Key) {
+	haveCeil := false
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		r.Keys = sh.index.AppendRange(r.Keys, lo, hi, bounded)
+		r.EndRun()
+		if bounded {
+			if sh.index.Contains(hi) {
+				if !haveCeil || hi < ceiling {
+					ceiling, haveCeil = hi, true
+				}
+			} else if c, ok := sh.index.Higher(hi); ok && (!haveCeil || c < ceiling) {
+				ceiling, haveCeil = c, true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return ceiling
+}
+
 // Len returns the number of rows.
 func (s *Store) Len() int {
 	n := 0

@@ -1,0 +1,152 @@
+// EscalationStorm: the lockstep demonstration of key-range lock
+// escalation's coarsened blocking.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+	"isolevel/internal/lock"
+	"isolevel/internal/predicate"
+	"isolevel/internal/schedule"
+)
+
+func escKey(i int) data.Key { return data.Key(fmt.Sprintf("esc:%03d", i)) }
+
+// EscalationStormResult reports an EscalationStorm run. All counts are
+// exact at any GOMAXPROCS — the scenario is schedule-driven — and depend
+// only on the DB's shard count and escalation threshold.
+type EscalationStormResult struct {
+	Scanner Metrics
+	Writers Metrics
+	// Escalations is the lock manager's escalation-counter delta over the
+	// run: with threshold t > 0, exactly one per lock stripe holding >= t
+	// of the table's keys, per round (the scanner's whole-space scan
+	// installs its fragments fresh each round and escalates at install).
+	Escalations int64
+	// GateAcquires is the manager's exclusive-gate counter after the run:
+	// 0 on the keyrange protocol, escalated or not — escalation coarsens
+	// within the striped structures, it never reintroduces the gate.
+	GateAcquires int64
+	// BlockedWrites counts writer updates that had to wait for the
+	// scanner. The writers' values never satisfy the scanner's predicate,
+	// so the exact (escalation-off) protocol blocks none of them; a
+	// coarse escalated stripe entry blocks every other-transaction write
+	// in its stripe, so with escalation on exactly the writers whose keys
+	// hash into escalated stripes block — precision traded for fragment
+	// population, measured.
+	BlockedWrites int
+}
+
+// lockStatser is the corner of *locking.DB the scenario needs for its
+// exact counter assertions.
+type lockStatser interface {
+	LockStats() lock.Stats
+}
+
+// EscalatedStripes returns how many of `shards` lock stripes hold at
+// least `threshold` of the first `keys` EscalationStorm keys — the
+// per-round escalation count a storm over a DB with that geometry must
+// produce (0 when escalation is off). Exported so tests and benchmarks
+// derive their expected counts from the same striping the managers use.
+func EscalatedStripes(keys, shards, threshold int) (stripes, coveredKeys int) {
+	if threshold <= 0 {
+		return 0, 0
+	}
+	striper := data.NewStriper(shards)
+	perStripe := make(map[int]int, shards)
+	for i := 0; i < keys; i++ {
+		perStripe[striper.Index(escKey(i))]++
+	}
+	for _, n := range perStripe {
+		if n >= threshold {
+			stripes++
+			coveredKeys += n
+		}
+	}
+	return stripes, coveredKeys
+}
+
+// EscalationStorm runs `rounds` lockstep rounds against a pre-configured
+// DB (shards and escalation threshold are the DB's): `keys` rows are
+// loaded up front; in each round one scanner SELECTs `val >= 100` — which
+// matches nothing, but at SERIALIZABLE installs whole-space key-range
+// protection — and then `writers` transactions each update one fixed
+// existing key to a value that also never matches. The scanner then
+// commits and the writers drain. Under the exact keyrange protocol the
+// image-refined fragments admit every update concurrently; under
+// escalation the coarse stripe entries block exactly the writers in
+// escalated stripes.
+func EscalationStorm(db engine.DB, level engine.Level, keys, writers, rounds int) (EscalationStormResult, error) {
+	if keys < 1 {
+		keys = 1
+	}
+	if writers < 1 {
+		writers = 1
+	}
+	if writers > keys {
+		writers = keys
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	p := predicate.MustParse(fmt.Sprintf("%s >= 100", data.ValField))
+	for i := 0; i < keys; i++ {
+		db.Load(data.Tuple{Key: escKey(i), Row: data.Scalar(1)})
+	}
+	var startStats lock.Stats
+	statser, hasStats := db.(lockStatser)
+	if hasStats {
+		startStats = statser.LockStats()
+	}
+
+	var out EscalationStormResult
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var steps []schedule.Step
+		const s = 1
+		steps = append(steps, schedule.OpStep(s, "scan", func(ctx *schedule.Ctx) (any, error) {
+			rows, err := ctx.Tx.Select(p)
+			return len(rows), err
+		}))
+		writeNames := map[string]bool{}
+		for w := 0; w < writers; w++ {
+			t := s + 1 + w
+			key := escKey(w)
+			name := fmt.Sprintf("upd%d[%s]", t, key)
+			writeNames[name] = true
+			val := int64(2 + r)
+			steps = append(steps, schedule.OpStep(t, name, func(ctx *schedule.Ctx) (any, error) {
+				return nil, ctx.Tx.Put(key, data.Scalar(val))
+			}))
+		}
+		steps = append(steps, schedule.CommitStep(s))
+		for w := 0; w < writers; w++ {
+			steps = append(steps, schedule.CommitStep(s+1+w))
+		}
+		res, err := schedule.Run(db, schedule.Options{Level: level}, steps)
+		if err != nil {
+			return EscalationStormResult{}, err
+		}
+		scan, write := splitMetrics(res, map[int]bool{s: true}, 0)
+		out.Scanner.Commits += scan.Commits
+		out.Scanner.Aborts += scan.Aborts
+		out.Writers.Commits += write.Commits
+		out.Writers.Aborts += write.Aborts
+		for _, st := range res.Steps {
+			if writeNames[st.Name] && st.Blocked {
+				out.BlockedWrites++
+			}
+		}
+	}
+	wall := time.Since(start)
+	out.Scanner.WallClock, out.Writers.WallClock = wall, wall
+	if hasStats {
+		end := statser.LockStats()
+		out.Escalations = end.Escalations - startStats.Escalations
+		out.GateAcquires = end.GateAcquires
+	}
+	return out, nil
+}

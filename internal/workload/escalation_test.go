@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+	"isolevel/internal/locking"
+)
+
+// EscalationStorm's counts must be exact functions of the DB's geometry:
+// per round, one escalation per stripe holding >= threshold keys, one
+// blocked write per writer whose key hashes into an escalated stripe, and
+// zero of both with escalation off — at every shard count, with the gate
+// never taken.
+func TestEscalationStormExactCounts(t *testing.T) {
+	const keys, writers, rounds = 24, 8, 3
+	for _, shards := range lockingShardCounts() {
+		for _, threshold := range []int{0, 2, 4} {
+			t.Run(fmt.Sprintf("shards=%d/threshold=%d", shards, threshold), func(t *testing.T) {
+				opts := []locking.Option{
+					locking.WithShards(shards),
+					locking.WithPhantomProtection(locking.PhantomKeyrange),
+				}
+				if threshold > 0 {
+					opts = append(opts, locking.WithEscalation(threshold))
+				}
+				db := locking.NewDB(opts...)
+				res, err := EscalationStorm(db, engine.Serializable, keys, writers, rounds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				striper := data.NewStriper(db.ShardCount())
+				perStripe := map[int]int{}
+				for i := 0; i < keys; i++ {
+					perStripe[striper.Index(escKey(i))]++
+				}
+				escalated := map[int]bool{}
+				if threshold > 0 {
+					for sp, n := range perStripe {
+						if n >= threshold {
+							escalated[sp] = true
+						}
+					}
+				}
+				wantEsc := int64(rounds * len(escalated))
+				wantBlocked := 0
+				for w := 0; w < writers; w++ {
+					if escalated[striper.Index(escKey(w))] {
+						wantBlocked += rounds
+					}
+				}
+				gotStripes, _ := EscalatedStripes(keys, db.ShardCount(), threshold)
+				if gotStripes != len(escalated) {
+					t.Fatalf("EscalatedStripes = %d, want %d", gotStripes, len(escalated))
+				}
+				if res.Escalations != wantEsc {
+					t.Fatalf("Escalations = %d, want %d", res.Escalations, wantEsc)
+				}
+				if res.BlockedWrites != wantBlocked {
+					t.Fatalf("BlockedWrites = %d, want %d", res.BlockedWrites, wantBlocked)
+				}
+				if res.GateAcquires != 0 {
+					t.Fatalf("GateAcquires = %d, want 0", res.GateAcquires)
+				}
+				if res.Scanner.Commits != rounds || res.Writers.Commits != int64(writers*rounds) {
+					t.Fatalf("commits: scanner=%d writers=%d", res.Scanner.Commits, res.Writers.Commits)
+				}
+			})
+		}
+	}
+}

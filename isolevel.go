@@ -93,6 +93,21 @@ func NewKeyrangeDBShards(shards int) *locking.DB {
 	return locking.NewDB(locking.WithPhantomProtection(locking.PhantomKeyrange), locking.WithShards(shards))
 }
 
+// NewKeyrangeDBEscalated is NewKeyrangeDBShards with lock escalation: a
+// scan handle reaching threshold next-key fragments in one lock stripe
+// collapses them into a single coarse whole-stripe entry ([GLPT]-style
+// granularity coarsening, counted in LockStats().Escalations). Blocking
+// becomes strictly coarser than the exact keyrange protocol — behavioral
+// equivalence with the predicate engine is traded for a bounded fragment
+// population — but every Table 2 guarantee still holds.
+func NewKeyrangeDBEscalated(shards, threshold int) *locking.DB {
+	return locking.NewDB(
+		locking.WithPhantomProtection(locking.PhantomKeyrange),
+		locking.WithShards(shards),
+		locking.WithEscalation(threshold),
+	)
+}
+
 // NewSnapshotDB returns the §4.2 Snapshot Isolation engine
 // (first-committer-wins, snapshot reads, time travel via BeginAsOf).
 func NewSnapshotDB() *snapshot.DB { return snapshot.NewDB() }
