@@ -76,6 +76,26 @@ bench-compare:
 	$(GO) run ./cmd/isolevel benchjson < /tmp/bench-compare.out > /tmp/BENCH_keyrange.new.json
 	$(GO) run ./cmd/isolevel benchjson -compare BENCH_keyrange.json -metric allocs/op -max-regress $(MAX_REGRESS) /tmp/BENCH_keyrange.new.json
 
+# Observability endpoint smoke: a bench run with -http must serve live
+# /metrics (Prometheus text with the isolevel_* families), /debug/pprof/
+# and /debug/vars while it blocks after the report. Background the
+# bench, poll until the socket answers, probe all three, always kill.
+HTTP_SMOKE_ADDR ?= 127.0.0.1:8723
+http-smoke:
+	$(GO) build -o /tmp/isolevel-http ./cmd/isolevel
+	sh -c '/tmp/isolevel-http bench -scenario hotspot-lockstep -level "READ COMMITTED" -workers 4 -rounds 10 -obs -http $(HTTP_SMOKE_ADDR) > /tmp/isolevel-http.log 2>&1 & \
+	pid=$$!; trap "kill $$pid 2>/dev/null" EXIT; ok=; \
+	for i in $$(seq 1 50); do \
+	  curl -fsS http://$(HTTP_SMOKE_ADDR)/metrics > /tmp/isolevel-metrics.out 2>/dev/null && ok=1 && break; \
+	  sleep 0.2; \
+	done; \
+	test -n "$$ok" || { echo "http-smoke: endpoint never answered"; cat /tmp/isolevel-http.log; exit 1; }; \
+	curl -fsS -o /dev/null http://$(HTTP_SMOKE_ADDR)/debug/pprof/ && \
+	curl -fsS -o /dev/null http://$(HTTP_SMOKE_ADDR)/debug/vars && \
+	grep -q "^isolevel_op_latency" /tmp/isolevel-metrics.out && \
+	grep -q "^isolevel_lock_grants_total" /tmp/isolevel-metrics.out && \
+	echo "http-smoke: ok"'
+
 # Differential isolation fuzzing: 1000 seeded schedules against every
 # engine family at every level, checked against the Table 4 oracle.
 fuzz:

@@ -27,6 +27,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 
 	"isolevel/internal/anomalies"
 	"isolevel/internal/ansi"
@@ -37,7 +38,11 @@ import (
 	"isolevel/internal/lock"
 	"isolevel/internal/locking"
 	"isolevel/internal/matrix"
+	"isolevel/internal/obs"
+	"isolevel/internal/obs/obshttp"
+	"isolevel/internal/obs/wallclock"
 	"isolevel/internal/phenomena"
+	"isolevel/internal/report"
 	"isolevel/internal/workload"
 )
 
@@ -108,6 +113,11 @@ commands:
                    range-fanin
         knobs: -level L -shards N -workers W -iters I -accounts A
                -batch B -hot-bias F -rounds R
+        -obs: attach the observability sink and print latency histograms
+        -flight N: keep the last N engine events; a deadlock victim dumps
+               the flight ring (who waited on whom, who was chosen)
+        -http ADDR: serve /metrics (Prometheus text), /debug/pprof/ and
+               /debug/vars during and after the run
         -shards stripes every engine family: multiversion store stripes
         and locking-engine lock-table stripes alike
         -phantom predicate|keyrange selects the locking engine's phantom
@@ -129,6 +139,10 @@ commands:
                -escalation N (keyrange lock escalation threshold; coarse
                 blocking is a deliberate divergence, so pair it with
                 -engines keyrange for an oracle-only campaign)
+               -http ADDR (live pprof/expvar/metrics while the campaign runs)
+        findings carry a flight-recorder timeline: the engine-level event
+        sequence (begins, waits, grants, upgrades, commits) behind the
+        violating history, in deterministic virtual-clock ticks
         the keyrange family is the locking scheduler with key-range
         (next-key) phantom prevention; any divergence from the locking
         family is reported
@@ -139,7 +153,8 @@ commands:
         regression guard: compare two benchjson artifacts and fail when a
         shared benchmark's metric (-metric, default allocs/op) regressed
         by more than -max-regress percent (default 25); flags before the
-        positional NEW.json
+        positional NEW.json; -metric p50|p90|p99|max compare the latency
+        summaries the benches report as p50-ns etc.
 `)
 }
 
@@ -474,7 +489,11 @@ func cmdRemarks() error {
 	return nil
 }
 
-func cmdBench(args []string) error {
+func cmdBench(args []string) error { return runBench(os.Stdout, args) }
+
+// runBench is cmdBench behind an explicit writer, so tests can capture a
+// run's full text and assert the stats sections render byte-stably.
+func runBench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	scenario := fs.String("scenario", "transfer", "workload scenario (transfer, skewed, batch, batch-disjoint, hotspot, hotspot-lockstep, scan, readers, longrunner, fanin, upgrade-storm, pred-mix, phantom-storm, range-fanin)")
 	levelName := fs.String("level", "SNAPSHOT ISOLATION", "isolation level")
@@ -486,6 +505,9 @@ func cmdBench(args []string) error {
 	batch := fs.Int("batch", 4, "keys written per transaction (batch scenarios)")
 	hotBias := fs.Float64("hot-bias", 0.8, "probability a skewed-transfer source is drawn from the hot set")
 	rounds := fs.Int("rounds", 50, "lockstep rounds (hotspot-lockstep, scan, fanin, upgrade-storm, pred-mix)")
+	obsOn := fs.Bool("obs", false, "attach the observability sink (wall-clock) and print latency histograms after the run")
+	flight := fs.Int("flight", 0, "flight-recorder depth: keep the last N engine events and print a dump when a deadlock victim is selected (implies -obs)")
+	httpAddr := fs.String("http", "", "serve /metrics, /debug/pprof/ and /debug/vars on this address during and after the run (implies -obs; blocks after printing — Ctrl-C to exit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -511,29 +533,57 @@ func cmdBench(args []string) error {
 	default:
 		return fmt.Errorf("unknown phantom protocol %q (predicate, keyrange)", *phantom)
 	}
+	// Observability: a wall-clock sink, attached only on request so the
+	// default bench path keeps its nil-sink zero-cost hooks.
+	var sink *obs.Sink
+	var deadlockDump string
+	var dumpOnce sync.Once
+	if *obsOn || *flight > 0 || *httpAddr != "" {
+		sink = obs.NewSink(wallclock.New())
+		if *flight > 0 {
+			sink = sink.WithFlight(*flight)
+			// Keep the first victim's dump: later deadlocks in the same
+			// storm overwrite the ring but the first cycle is the story.
+			sink.OnDeadlock(func(dump string) {
+				dumpOnce.Do(func() { deadlockDump = dump })
+			})
+		}
+		if so, ok := db.(interface{ SetObs(*obs.Sink) }); ok {
+			so.SetObs(sink)
+		} else {
+			return fmt.Errorf("engine for %s does not support observability", level)
+		}
+	}
+	if *httpAddr != "" {
+		ln, err := obshttp.Serve(*httpAddr, obshttp.Source{Sink: sink, Counters: func() map[string]int64 { return lockCounters(db) }})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "obs: serving /metrics, /debug/pprof/ and /debug/vars on http://%s\n", ln.Addr())
+	}
 	header := func() {
-		fmt.Printf("scenario %s at %s (workers=%d", *scenario, level, *workers)
+		fmt.Fprintf(w, "scenario %s at %s (workers=%d", *scenario, level, *workers)
 		if s, ok := db.(interface{ ShardCount() int }); ok {
-			fmt.Printf(", shards=%d", s.ShardCount())
+			fmt.Fprintf(w, ", shards=%d", s.ShardCount())
 		}
 		if l, ok := db.(*locking.DB); ok {
-			fmt.Printf(", phantom=%s", l.PhantomProtection())
+			fmt.Fprintf(w, ", phantom=%s", l.PhantomProtection())
 		}
-		fmt.Println(")")
+		fmt.Fprintln(w, ")")
 	}
 	switch *scenario {
 	case "transfer":
 		workload.LoadAccounts(db, *accounts, 100)
 		m := workload.Transfer(db, level, *accounts, *workers, *iters)
 		header()
-		fmt.Printf("  %s  throughput=%.0f tx/s\n", m, m.Throughput())
-		fmt.Printf("  total balance drift: %+d\n", workload.TotalBalance(db, *accounts)-int64(*accounts)*100)
+		fmt.Fprintf(w, "  %s  throughput=%.0f tx/s\n", m, m.Throughput())
+		fmt.Fprintf(w, "  total balance drift: %+d\n", workload.TotalBalance(db, *accounts)-int64(*accounts)*100)
 	case "skewed":
 		workload.LoadAccounts(db, *accounts, 100)
 		m := workload.SkewedTransfer(db, level, *accounts, max(1, *accounts/8), *workers, *iters, *hotBias)
 		header()
-		fmt.Printf("  %s  throughput=%.0f tx/s\n", m, m.Throughput())
-		fmt.Printf("  total balance drift: %+d\n", workload.TotalBalance(db, *accounts)-int64(*accounts)*100)
+		fmt.Fprintf(w, "  %s  throughput=%.0f tx/s\n", m, m.Throughput())
+		fmt.Fprintf(w, "  total balance drift: %+d\n", workload.TotalBalance(db, *accounts)-int64(*accounts)*100)
 	case "batch", "batch-disjoint":
 		disjoint := *scenario == "batch-disjoint"
 		n := *batch
@@ -546,21 +596,21 @@ func cmdBench(args []string) error {
 		workload.LoadAccounts(db, *accounts, 0)
 		m := workload.BatchIncrement(db, level, *workers, *iters, *batch, disjoint)
 		header()
-		fmt.Printf("  %s  throughput=%.0f tx/s\n", m, m.Throughput())
+		fmt.Fprintf(w, "  %s  throughput=%.0f tx/s\n", m, m.Throughput())
 	case "hotspot":
 		m := workload.HotspotCounter(db, level, *workers, *iters)
 		header()
-		fmt.Printf("  %s  throughput=%.0f tx/s\n", m, m.Throughput())
-		fmt.Printf("  counter=%d (must equal commits)\n", db.ReadCommittedRow("hot").Val())
+		fmt.Fprintf(w, "  %s  throughput=%.0f tx/s\n", m, m.Throughput())
+		fmt.Fprintf(w, "  counter=%d (must equal commits)\n", db.ReadCommittedRow("hot").Val())
 	case "hotspot-lockstep":
 		m := workload.HotspotCounterLockstep(db, level, *workers, *rounds)
 		header()
-		fmt.Printf("  %s\n", m)
+		fmt.Fprintf(w, "  %s\n", m)
 		if level == engine.SnapshotIsolation {
-			fmt.Printf("  counter=%d over %d rounds (deterministic: one winner per round)\n",
+			fmt.Fprintf(w, "  counter=%d over %d rounds (deterministic: one winner per round)\n",
 				db.ReadCommittedRow("hot").Val(), *rounds)
 		} else {
-			fmt.Printf("  counter=%d over %d rounds (%d committed increments lost)\n",
+			fmt.Fprintf(w, "  counter=%d over %d rounds (%d committed increments lost)\n",
 				db.ReadCommittedRow("hot").Val(), *rounds, m.Commits-db.ReadCommittedRow("hot").Val())
 		}
 	case "scan":
@@ -573,21 +623,21 @@ func cmdBench(args []string) error {
 		workload.LoadAccounts(db, *accounts, 100)
 		res := workload.SnapshotScanVsHotWriters(db, level, *accounts, max(1, *workers/2), max(1, *workers/2), *rounds)
 		header()
-		fmt.Printf("  scanners: %s\n", res.Scanners)
-		fmt.Printf("  writers:  %s\n", res.Writers)
-		fmt.Printf("  unstable scans: %d/%d\n", res.UnstableScans, res.TotalScans)
+		fmt.Fprintf(w, "  scanners: %s\n", res.Scanners)
+		fmt.Fprintf(w, "  writers:  %s\n", res.Writers)
+		fmt.Fprintf(w, "  unstable scans: %d/%d\n", res.UnstableScans, res.TotalScans)
 	case "readers":
 		workload.LoadAccounts(db, *accounts, 100)
-		r, w := workload.ReadersVsWriters(db, level, *accounts, *workers, *workers, *iters)
+		rm, wm := workload.ReadersVsWriters(db, level, *accounts, *workers, *workers, *iters)
 		header()
-		fmt.Printf("  readers: %s\n", r)
-		fmt.Printf("  writers: %s\n", w)
+		fmt.Fprintf(w, "  readers: %s\n", rm)
+		fmt.Fprintf(w, "  writers: %s\n", wm)
 	case "longrunner":
 		workload.LoadAccounts(db, *accounts, 0)
 		committed, longErr, short := workload.LongRunningUpdater(db, level, *accounts, *workers, *iters)
 		header()
-		fmt.Printf("  long txn committed: %v (err: %v)\n", committed, longErr)
-		fmt.Printf("  short writers: %s\n", short)
+		fmt.Fprintf(w, "  long txn committed: %v (err: %v)\n", committed, longErr)
+		fmt.Fprintf(w, "  short writers: %s\n", short)
 	case "fanin":
 		rds := max(1, *rounds) // the workloads clamp rounds the same way
 		res, err := workload.ReadLockFanIn(db, level, *workers, rds)
@@ -595,9 +645,9 @@ func cmdBench(args []string) error {
 			return err
 		}
 		header()
-		fmt.Printf("  readers: %s\n", res.Readers)
-		fmt.Printf("  writer:  %s\n", res.Writer)
-		fmt.Printf("  writer blocked in %d/%d rounds\n", res.WriterBlocked, rds)
+		fmt.Fprintf(w, "  readers: %s\n", res.Readers)
+		fmt.Fprintf(w, "  writer:  %s\n", res.Writer)
+		fmt.Fprintf(w, "  writer blocked in %d/%d rounds\n", res.WriterBlocked, rds)
 	case "upgrade-storm":
 		rds := max(1, *rounds)
 		m, err := workload.UpgradeDeadlockStorm(db, level, *workers, rds)
@@ -605,47 +655,103 @@ func cmdBench(args []string) error {
 			return err
 		}
 		header()
-		fmt.Printf("  %s\n", m)
-		fmt.Printf("  one survivor per round: %d commits over %d rounds\n", m.Commits, rds)
+		fmt.Fprintf(w, "  %s\n", m)
+		fmt.Fprintf(w, "  one survivor per round: %d commits over %d rounds\n", m.Commits, rds)
 	case "pred-mix":
 		res, err := workload.PredicateVsItemMix(db, level, *workers, max(1, *rounds))
 		if err != nil {
 			return err
 		}
 		header()
-		fmt.Printf("  scanner: %s\n", res.Scanner)
-		fmt.Printf("  writers: %s\n", res.Writers)
-		fmt.Printf("  phantom inserts blocked: %d/%d\n", res.BlockedInserts, res.MatchingInserts)
+		fmt.Fprintf(w, "  scanner: %s\n", res.Scanner)
+		fmt.Fprintf(w, "  writers: %s\n", res.Writers)
+		fmt.Fprintf(w, "  phantom inserts blocked: %d/%d\n", res.BlockedInserts, res.MatchingInserts)
 	case "phantom-storm":
 		res, err := workload.PhantomInsertStorm(db, level, *workers, max(1, *rounds))
 		if err != nil {
 			return err
 		}
 		header()
-		fmt.Printf("  scanner: %s\n", res.Scanner)
-		fmt.Printf("  writers: %s\n", res.Writers)
-		fmt.Printf("  phantoms seen: %d; inserts blocked: %d\n", res.PhantomsSeen, res.BlockedInserts)
+		fmt.Fprintf(w, "  scanner: %s\n", res.Scanner)
+		fmt.Fprintf(w, "  writers: %s\n", res.Writers)
+		fmt.Fprintf(w, "  phantoms seen: %d; inserts blocked: %d\n", res.PhantomsSeen, res.BlockedInserts)
 	case "range-fanin":
 		res, err := workload.RangeScanVsInsertFanIn(db, level, *workers, max(1, *rounds))
 		if err != nil {
 			return err
 		}
 		header()
-		fmt.Printf("  scanner: %s\n", res.Scanner)
-		fmt.Printf("  writers: %s\n", res.Writers)
-		fmt.Printf("  in-range inserts blocked: %d/%d; out-of-range blocked: %d/%d\n",
+		fmt.Fprintf(w, "  scanner: %s\n", res.Scanner)
+		fmt.Fprintf(w, "  writers: %s\n", res.Writers)
+		fmt.Fprintf(w, "  in-range inserts blocked: %d/%d; out-of-range blocked: %d/%d\n",
 			res.InsideBlocked, res.InsideTotal, res.OutsideBlocked, res.OutsideTotal)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
-	printLockStats(db)
+	printLockStats(w, db)
+	if sink != nil {
+		printObs(w, sink, deadlockDump)
+	}
+	if *httpAddr != "" {
+		fmt.Fprintln(w, "obs: run finished; endpoint still serving (Ctrl-C to exit)")
+		select {}
+	}
 	return nil
+}
+
+// printObs prints the sink's latency histograms (nanoseconds, wall clock)
+// and, when a deadlock victim was selected under -flight, the captured
+// flight-recorder dump.
+func printObs(w io.Writer, sink *obs.Sink, deadlockDump string) {
+	fmt.Fprintln(w, "  latency histograms (ns):")
+	for _, nh := range sink.Histograms() {
+		s := nh.H.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "    %-14s %s\n", nh.Name, s.Summary())
+	}
+	if deadlockDump != "" {
+		fmt.Fprintln(w, "  first deadlock flight dump:")
+		for _, line := range strings.Split(strings.TrimRight(deadlockDump, "\n"), "\n") {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
+}
+
+// lockCounters flattens a lock-based engine's Stats into the counter map
+// behind /metrics (empty for engines without a lock manager). Keys are the
+// metric names; report.SortedCounters orders them everywhere they print.
+func lockCounters(db engine.DB) map[string]int64 {
+	ls, ok := db.(interface{ LockStats() lock.Stats })
+	if !ok {
+		return nil
+	}
+	st := ls.LockStats()
+	return map[string]int64{
+		"lock_grants":     st.Grants,
+		"lock_waits":      st.Waits,
+		"deadlocks":       st.Deadlocks,
+		"upgrades":        st.Upgrades,
+		"pred_grants":     st.PredGrants,
+		"pred_waits":      st.PredWaits,
+		"range_grants":    st.RangeGrants,
+		"range_waits":     st.RangeWaits,
+		"gap_grants":      st.GapGrants,
+		"gap_waits":       st.GapWaits,
+		"escalations":     st.Escalations,
+		"frag_gcs":        st.FragGCs,
+		"frags_reclaimed": st.FragsReclaimed,
+		"gate_acquires":   st.GateAcquires,
+	}
 }
 
 // printLockStats prints the lock manager counters of lock-based engines —
 // the locking scheduler and Read Consistency's write-lock side — including
-// the per-stripe contention map.
-func printLockStats(db engine.DB) {
+// the per-stripe contention map. Both summary lines render through the
+// shared name-sorted counter renderer (report.CountersLine), so the text is
+// byte-stable for a given set of counter values.
+func printLockStats(w io.Writer, db engine.DB) {
 	ls, ok := db.(interface{ LockStats() lock.Stats })
 	if !ok {
 		return
@@ -654,10 +760,14 @@ func printLockStats(db engine.DB) {
 	if st.Grants == 0 && st.Waits == 0 {
 		return
 	}
-	fmt.Printf("  lock stats: grants=%d waits=%d deadlocks=%d upgrades=%d pred-grants=%d pred-waits=%d\n",
-		st.Grants, st.Waits, st.Deadlocks, st.Upgrades, st.PredGrants, st.PredWaits)
-	fmt.Printf("  range stats: range-grants=%d range-waits=%d gap-grants=%d gap-waits=%d gate-acquires=%d\n",
-		st.RangeGrants, st.RangeWaits, st.GapGrants, st.GapWaits, st.GateAcquires)
+	fmt.Fprintf(w, "  lock stats: %s\n", report.CountersLine(map[string]int64{
+		"grants": st.Grants, "waits": st.Waits, "deadlocks": st.Deadlocks,
+		"upgrades": st.Upgrades, "pred-grants": st.PredGrants, "pred-waits": st.PredWaits,
+	}))
+	fmt.Fprintf(w, "  range stats: %s\n", report.CountersLine(map[string]int64{
+		"range-grants": st.RangeGrants, "range-waits": st.RangeWaits,
+		"gap-grants": st.GapGrants, "gap-waits": st.GapWaits, "gate-acquires": st.GateAcquires,
+	}))
 	var parts []string
 	for i, ss := range st.PerStripe {
 		if ss.Grants == 0 && ss.Waits == 0 {
@@ -665,7 +775,7 @@ func printLockStats(db engine.DB) {
 		}
 		parts = append(parts, fmt.Sprintf("%d:%d/%d", i, ss.Grants, ss.Waits))
 	}
-	fmt.Printf("  stripe contention (stripe:grants/waits): %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(w, "  stripe contention (stripe:grants/waits): %s\n", strings.Join(parts, " "))
 	parts = parts[:0]
 	for i, ss := range st.PerStripe {
 		if ss.GapGrants == 0 && ss.GapWaits == 0 {
@@ -674,7 +784,7 @@ func printLockStats(db engine.DB) {
 		parts = append(parts, fmt.Sprintf("%d:%d/%d", i, ss.GapGrants, ss.GapWaits))
 	}
 	if len(parts) > 0 {
-		fmt.Printf("  gap contention (stripe:grants/waits): %s\n", strings.Join(parts, " "))
+		fmt.Fprintf(w, "  gap contention (stripe:grants/waits): %s\n", strings.Join(parts, " "))
 	}
 }
 
@@ -698,8 +808,19 @@ func cmdFuzz(args []string) error {
 	noShrink := fs.Bool("no-shrink", false, "skip minimizing findings")
 	maxShrink := fs.Int("max-shrink", 5, "maximum findings to minimize (each minimization reruns the schedule many times)")
 	verbose := fs.Bool("v", false, "print every finding in full")
+	httpAddr := fs.String("http", "", "serve /debug/pprof/, /debug/vars and /metrics on this address during the campaign (blocks after the report — Ctrl-C to exit)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *httpAddr != "" {
+		// The campaign's engines carry per-run virtual-clock sinks, so the
+		// endpoint serves the process views (pprof, expvar) plus an empty
+		// /metrics; its value here is live profiling of the fuzzer itself.
+		ln, err := obshttp.Serve(*httpAddr, obshttp.Source{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("obs: serving /metrics, /debug/pprof/ and /debug/vars on http://%s\n", ln.Addr())
 	}
 	params := exerciser.DefaultParams()
 	if *txs > 0 {
@@ -760,6 +881,10 @@ func cmdFuzz(args []string) error {
 		return fmt.Errorf("%d oracle violation(s)", rep.Violations())
 	}
 	fmt.Println("ok: no Table 4 oracle violations")
+	if *httpAddr != "" {
+		fmt.Println("obs: campaign finished; endpoint still serving (Ctrl-C to exit)")
+		select {}
+	}
 	return nil
 }
 
@@ -773,7 +898,7 @@ func cmdBenchJSON(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
 	match := fs.String("match", "", "keep only benchmarks whose name matches this regexp")
 	compare := fs.String("compare", "", "baseline JSON file; compare against the new JSON file given as the positional argument instead of converting stdin")
-	metric := fs.String("metric", "allocs/op", "metric to compare in -compare mode")
+	metric := fs.String("metric", "allocs/op", "metric to compare in -compare mode (short aliases: p50, p90, p99, max for the *-ns latency summaries)")
 	maxRegress := fs.Float64("max-regress", 25, "fail -compare when the metric regresses by more than this percentage")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -781,6 +906,11 @@ func cmdBenchJSON(args []string) error {
 	if *compare != "" {
 		if fs.NArg() != 1 {
 			return fmt.Errorf("benchjson -compare OLD.json takes exactly one positional argument (the new JSON file)")
+		}
+		// Short aliases for the latency summary metrics the benches report
+		// via b.ReportMetric (`-metric p99` reads better than `p99-ns`).
+		if full, ok := map[string]string{"p50": "p50-ns", "p90": "p90-ns", "p99": "p99-ns", "max": "max-ns"}[*metric]; ok {
+			*metric = full
 		}
 		return benchCompare(*compare, fs.Arg(0), *metric, *match, *maxRegress)
 	}

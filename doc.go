@@ -102,6 +102,15 @@
 //	   shrink ─▶ drop transactions, then ops, to a fixpoint: minimal
 //	             replayable history in the paper's notation
 //
+// An observability sink (internal/obs) rides alongside every stage: the
+// replay wires a per-run virtual-clock flight recorder into the engine
+// under test, so a finding carries a deterministic event timeline
+// (begin/wait/grant/upgrade/escalate/commit/abort/deadlock) next to its
+// minimized history, and the bench CLI wires the same hooks to wall-clock
+// latency histograms, a deadlock flight dump, and a /metrics + pprof
+// endpoint (-http). Hooks are nil-safe: with no sink attached the hot
+// paths pay one pointer check and zero allocations.
+//
 // Isolation level is a per-transaction property throughout that pipeline,
 // the way the paper's Table 2 defines each *transaction's* lock protocol:
 // schedule.Options assigns a level per script transaction, the streaming

@@ -17,6 +17,10 @@ import (
 //     (caught in PR 5 review)
 //   - latchorder:   one of each hierarchy violation shape
 //   - hygiene:      malformed //isolint: directives are findings
+//   - obslatch:     the flight-recorder hook contract (ring mutex
+//     strictly innermost) and the two ways it breaks (PR 8)
+//   - obsclock:     obs timing through an injected Clock passes the
+//     deterministic-package wall-clock ban; direct time.Now does not
 
 func TestDetRangeFixture(t *testing.T) {
 	analysis.RunFixture(t, analysis.DetRange, ".", "detrange")
@@ -40,4 +44,12 @@ func TestLatchRefreshFixture(t *testing.T) {
 
 func TestDirectiveHygieneFixture(t *testing.T) {
 	analysis.RunFixture(t, analysis.DetRange, ".", "hygiene")
+}
+
+func TestObsLatchFixture(t *testing.T) {
+	analysis.RunFixture(t, analysis.LatchOrder, ".", "obslatch")
+}
+
+func TestObsClockFixture(t *testing.T) {
+	analysis.RunFixture(t, analysis.SeededRand, ".", "obsclock")
 }

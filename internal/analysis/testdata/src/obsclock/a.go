@@ -1,0 +1,53 @@
+// Fixture for the obs clock discipline under the seededrand analyzer:
+// latency instrumentation inside //isolint:deterministic packages must
+// read time through an injected Clock — the fuzzer wires a virtual
+// clock whose Now is an atomic tick counter — never the wall clock.
+// The clean shapes mirror internal/obs.Sink; the findings are what the
+// hooks would look like without the Clock seam.
+//
+//isolint:deterministic
+package obsclock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the seam: real time in the bench CLI, virtual ticks in the
+// fuzzer, so instrumented packages never touch package time.
+type Clock interface {
+	Now() int64
+}
+
+// VirtualClock advances one tick per reading — deterministic under the
+// lockstep schedule runner.
+type VirtualClock struct {
+	ticks atomic.Int64
+}
+
+func (c *VirtualClock) Now() int64 { return c.ticks.Add(1) }
+
+// Sink is the miniature obs sink: all timing flows through its clock.
+type Sink struct {
+	clock Clock
+}
+
+// RecordOp is the sanctioned hook shape: latency measured on the
+// injected clock. Clean.
+func (s *Sink) RecordOp(start int64) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.clock.Now() - start
+}
+
+// recordWall is RecordOp without the seam: wall-clock durations leak
+// nondeterminism into anything that renders them.
+func recordWall(start time.Time) time.Duration {
+	return time.Since(start) // want "wall clock"
+}
+
+// stampWall timestamps events off the wall clock directly.
+func stampWall() int64 {
+	return time.Now().UnixNano() // want "wall clock"
+}

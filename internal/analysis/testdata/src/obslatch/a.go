@@ -1,0 +1,91 @@
+// Fixture for the obs instrumentation pattern under the latchorder
+// analyzer: flight-recorder hooks run while engine latches are held, so
+// the recorder's ring mutex must sit strictly innermost — recorded
+// under a stripe latch, never the other way around. The clean shapes
+// here mirror internal/obs.FlightRecorder and the lock-manager call
+// sites; the findings are the two ways the contract breaks (re-entering
+// the engine while holding the ring, and dumping under the ring).
+//
+//isolint:latch-order stripe.mu < Ring.mu
+package obslatch
+
+import "sync"
+
+// Ring is the miniature flight recorder: a bounded event buffer behind
+// one internal mutex.
+type Ring struct {
+	mu  sync.Mutex
+	buf []int
+}
+
+// add records one event. Nil-safe, like every obs hook: a disabled sink
+// costs one pointer check.
+func (r *Ring) add(ev int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf = append(r.buf, ev)
+	r.mu.Unlock()
+}
+
+// snapshot copies the retained events out under the ring mutex and
+// releases before the caller does anything else with them.
+func (r *Ring) snapshot() []int {
+	r.mu.Lock()
+	out := append([]int(nil), r.buf...)
+	r.mu.Unlock()
+	return out
+}
+
+type stripe struct {
+	mu    sync.Mutex
+	queue []int
+	ring  *Ring
+}
+
+// Grant is the sanctioned hook shape: the grant decision happens under
+// the stripe latch and the event is recorded right there, ring mutex
+// strictly innermost (via the add call). Clean.
+func (s *stripe) Grant(tx int) {
+	s.mu.Lock()
+	s.queue = append(s.queue, tx)
+	s.ring.add(tx)
+	s.mu.Unlock()
+}
+
+// Dump is the sanctioned dump shape: copy the events out first, then
+// consult engine state with no ring mutex held. Clean.
+func (s *stripe) Dump() int {
+	evs := s.ring.snapshot()
+	s.mu.Lock()
+	n := len(s.queue) + len(evs)
+	s.mu.Unlock()
+	return n
+}
+
+// DumpUnderRing re-enters the engine while holding the ring mutex:
+// a grant hook on another goroutine holds stripe.mu and wants Ring.mu.
+func (s *stripe) DumpUnderRing() int {
+	s.ring.mu.Lock()
+	s.mu.Lock() // want "declared order is stripe.mu < Ring.mu"
+	n := len(s.queue)
+	s.mu.Unlock()
+	s.ring.mu.Unlock()
+	return n
+}
+
+// notifyLocked models a deadlock-dump callback fired while the ring
+// mutex is still held; the callback walks the stripe queue.
+func (s *stripe) notifyLocked() {
+	s.ring.mu.Lock()
+	s.countQueue() // want "via call to countQueue"
+	s.ring.mu.Unlock()
+}
+
+// countQueue takes the stripe latch for its caller.
+func (s *stripe) countQueue() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

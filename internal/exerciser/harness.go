@@ -11,6 +11,7 @@ import (
 	"isolevel/internal/history"
 	"isolevel/internal/locking"
 	"isolevel/internal/mvcc"
+	"isolevel/internal/obs"
 	"isolevel/internal/oraclerc"
 	"isolevel/internal/phenomena"
 	"isolevel/internal/schedule"
@@ -138,6 +139,13 @@ type RunResult struct {
 	// Committed / Aborted index script transaction outcomes.
 	Committed map[int]bool
 	Aborted   map[int]bool
+	// Sink is the run's observability sink: a virtual-clock flight
+	// recorder attached to engines that support it (nil otherwise). The
+	// virtual clock ticks once per recorded instant and the lockstep
+	// runner executes at most one engine op at a time, so the event
+	// stream — ticks included — is deterministic across reruns, worker
+	// counts, and the race detector.
+	Sink *obs.Sink
 }
 
 // mvRead is one exported read with the snapshot slot it executed at.
@@ -169,8 +177,18 @@ type svExporter interface {
 // RunOne replays the schedule on a fresh engine of the family under the
 // given per-transaction level assignment through the deterministic
 // lockstep runner, then normalizes the recorded trace for checking.
+// flightDepth is the per-run flight-recorder capacity: deep enough to
+// hold every event a default-sized schedule emits, so finding timelines
+// show the whole run rather than a truncated tail.
+const flightDepth = 512
+
 func RunOne(s *Schedule, fam Family, assign Assign, shards int) (*RunResult, error) {
 	db := fam.New(shards)
+	var sink *obs.Sink
+	if so, ok := db.(interface{ SetObs(*obs.Sink) }); ok {
+		sink = obs.NewSink(obs.NewVirtualClock()).WithFlight(flightDepth)
+		so.SetObs(sink)
+	}
 	db.Load(s.Setup()...)
 	steps, cap := s.Steps()
 	// Every engine that can block reports waits through the lock
@@ -193,6 +211,7 @@ func RunOne(s *Schedule, fam Family, assign Assign, shards int) (*RunResult, err
 		Raw:       res.History,
 		Committed: res.Committed,
 		Aborted:   res.Aborted,
+		Sink:      sink,
 	}
 	if fam.Multiversion {
 		rr.Normalized = mvNormalize(s, cap, rr)
@@ -311,6 +330,11 @@ type Finding struct {
 	// still reproduces the finding, rendered as its intended history. Nil
 	// when shrinking was not requested.
 	Minimized history.History
+	// Timeline is the run's flight-recorder tail (virtual-clock ticks, so
+	// identical across reruns and worker counts): the engine-level event
+	// sequence — begins, lock waits, grants, upgrades, escalations,
+	// commits, aborts — that led to the finding.
+	Timeline []string
 }
 
 func (f Finding) String() string {
@@ -329,6 +353,12 @@ func (f Finding) String() string {
 	fmt.Fprintf(&b, "\n  history: %s", f.History)
 	if f.Minimized != nil {
 		fmt.Fprintf(&b, "\n  minimized: %s", f.Minimized)
+	}
+	if len(f.Timeline) > 0 {
+		fmt.Fprintf(&b, "\n  timeline (%d events):", len(f.Timeline))
+		for _, ev := range f.Timeline {
+			fmt.Fprintf(&b, "\n    %s", ev)
+		}
 	}
 	if f.Assign.Mixed() {
 		// The replay annotation: paste above either history in a file and
@@ -352,6 +382,12 @@ func Check(s *Schedule, rr *RunResult, o *Oracle, judge Assign) []Finding {
 		Family:    rr.Family,
 		Assign:    rr.Assign,
 		History:   canonPreds(rr.Normalized),
+	}
+	if rr.Sink != nil {
+		// timelineTail bounds the events a finding reprints; the full ring
+		// stays on rr.Sink for callers that want more.
+		const timelineTail = 24
+		base.Timeline = rr.Sink.Flight.TailStrings(timelineTail)
 	}
 
 	// Per-transaction Table 4 oracle: no witnessed phenomenon may be

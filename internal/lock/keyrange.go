@@ -248,6 +248,7 @@ func (m *Manager) AcquireRange(tx TxID, spec RangeSpec) (RangeHandle, error) {
 	req := &request{tx: tx, mode: S, isRange: true, spec: spec, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	m.gate.RLock()
 	m.rangeMu.Lock()
+	rs := m.obs.Now()
 	// Count the range before sweeping for conflicts: an insert's fast-path
 	// gap check that still reads zero activity is thereby ordered before
 	// this sweep, so the sweep (or the recheck an insert runs after its
@@ -281,14 +282,17 @@ func (m *Manager) AcquireRange(tx TxID, spec RangeSpec) (RangeHandle, error) {
 				m.refreshAllRangeAwareLocked()
 			}
 			m.rangeMu.Unlock()
+			m.obs.RecordRangeMuHold(rs)
 			m.gate.RUnlock()
 			return h, nil
 		}
 	}
 	if !m.wf.AddWaiter(tx, on) {
 		m.deadlocks.Add(1)
+		m.obsDeadlock(tx, on)
 		m.rangeActivity.Add(-1)
 		m.rangeMu.Unlock()
+		m.obs.RecordRangeMuHold(rs)
 		m.gate.RUnlock()
 		m.notifyGranted(granted)
 		return 0, ErrDeadlock
@@ -299,7 +303,9 @@ func (m *Manager) AcquireRange(tx TxID, spec RangeSpec) (RangeHandle, error) {
 	// counted, and keeps counting as a holder when granted.)
 	m.rangeWaits++
 	m.notifyWaiting(tx, on)
+	m.obsWait(req, on, -1)
 	m.rangeMu.Unlock()
+	m.obs.RecordRangeMuHold(rs)
 	m.gate.RUnlock()
 	m.notifyGranted(granted)
 	if err := m.await(req); err != nil {
@@ -340,6 +346,7 @@ func (m *Manager) acquireGap(tx TxID, key data.Key, im Images, count bool) error
 	}
 	m.gate.RLock()
 	m.rangeMu.Lock()
+	rs := m.obs.Now()
 	gc := m.gapCoverLocked(key)
 	on := gapConflicts(tx, key, im, gc)
 	spIdx := m.stripeIndex(key)
@@ -358,13 +365,16 @@ func (m *Manager) acquireGap(tx TxID, key data.Key, im Images, count bool) error
 			m.refreshAllRangeAwareLocked()
 		}
 		m.rangeMu.Unlock()
+		m.obs.RecordRangeMuHold(rs)
 		m.gate.RUnlock()
 		return nil
 	}
 	req := &request{tx: tx, mode: X, isGap: true, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	if !m.wf.AddWaiter(tx, on) {
 		m.deadlocks.Add(1)
+		m.obsDeadlock(tx, on)
 		m.rangeMu.Unlock()
+		m.obs.RecordRangeMuHold(rs)
 		m.gate.RUnlock()
 		return ErrDeadlock
 	}
@@ -374,7 +384,9 @@ func (m *Manager) acquireGap(tx TxID, key data.Key, im Images, count bool) error
 	m.gapWaits++
 	m.gapStripe[spIdx].waits++
 	m.notifyWaiting(tx, on)
+	m.obsWait(req, on, spIdx)
 	m.rangeMu.Unlock()
+	m.obs.RecordRangeMuHold(rs)
 	m.gate.RUnlock()
 	return m.await(req)
 }
@@ -385,10 +397,12 @@ func (m *Manager) acquireGap(tx TxID, key data.Key, im Images, count bool) error
 func (m *Manager) ReleaseRange(tx TxID, h RangeHandle) {
 	m.gate.RLock()
 	m.rangeMu.Lock()
+	rs := m.obs.Now()
 	touched := m.removeRangeHoldLocked(tx, h)
 	m.rangeActivity.Add(-1)
 	granted := m.drainRangeLocked(touched)
 	m.rangeMu.Unlock()
+	m.obs.RecordRangeMuHold(rs)
 	m.gate.RUnlock()
 	m.notifyGranted(granted)
 }
@@ -495,6 +509,9 @@ func (m *Manager) installRangeLocked(req *request) RangeHandle {
 			hold.esc = append(hold.esc, i)
 			m.noteGapCoarseLocked(hold, f)
 			m.escalations++
+			if m.obs != nil {
+				m.obs.Escalate(int(req.tx), i)
+			}
 			continue
 		}
 		insertFragRun(sp, run, f)
@@ -946,6 +963,9 @@ func (m *Manager) escalateLocked(f fragment, hold *rangeHold, spIdx int) {
 	hold.esc = append(hold.esc, spIdx)
 	m.noteGapCoarseLocked(hold, f)
 	m.escalations++
+	if m.obs != nil {
+		m.obs.Escalate(int(f.tx), spIdx)
+	}
 }
 
 // fragmentConflictHolders returns the holders of fragments anchored at
@@ -1106,6 +1126,12 @@ func (m *Manager) drainRangeLocked(touched map[int]bool) []*request {
 // one stripe at a time.
 func (m *Manager) sweepDeadAnchorsLocked() {
 	m.fragGCs++
+	reclaimedBefore := m.fragsReclaimed
+	defer func() {
+		if m.obs != nil {
+			m.obs.GCSweep(-1, int(m.fragsReclaimed-reclaimedBefore))
+		}
+	}()
 	for _, sp := range m.stripes {
 		if len(sp.frags) == 0 {
 			continue

@@ -108,6 +108,7 @@ import (
 	"sync/atomic"
 
 	"isolevel/internal/data"
+	"isolevel/internal/obs"
 	"isolevel/internal/predicate"
 )
 
@@ -207,6 +208,9 @@ type request struct {
 	handle  PredHandle
 	rhandle RangeHandle
 	seq     int64
+	// obsStart is the sink-clock instant this request started waiting
+	// (set only when a sink is attached; 0 means never waited).
+	obsStart int64
 }
 
 // StripeStats counts one stripe's item-lock activity — the per-stripe
@@ -464,6 +468,11 @@ type Manager struct {
 	seq      atomic.Int64
 	observer Observer
 
+	// obs is the optional observability sink (SetObs). Nil — the default —
+	// keeps every hook a single pointer check: no clock reads, no events,
+	// no histogram traffic on the hot paths.
+	obs *obs.Sink
+
 	// Grant parking (ParkGrants/DeliverNextGrant): withheld waiter
 	// wake-ups, FIFO in grant-decision order.
 	parkMu  sync.Mutex
@@ -514,6 +523,73 @@ func (m *Manager) stripeOf(key data.Key) *stripe {
 // SetObserver installs the wait observer. Must be called before concurrent
 // use.
 func (m *Manager) SetObserver(o Observer) { m.observer = o }
+
+// SetObs attaches an observability sink: wait/grant/upgrade/escalate/
+// GC-sweep/deadlock events for its flight recorder, wait-latency and
+// gate/rangeMu-hold histograms. Nil detaches. Must be called before
+// concurrent use, like SetObserver.
+func (m *Manager) SetObs(s *obs.Sink) { m.obs = s }
+
+// obsClass maps a request to its event lock class.
+func obsClass(req *request) string {
+	switch {
+	case req.isPred:
+		return obs.ClassPred
+	case req.isRange:
+		return obs.ClassRange
+	case req.isGap:
+		return obs.ClassGap
+	}
+	return obs.ClassItem
+}
+
+// obsWait stamps req's wait start on the sink clock and records the wait
+// event. Called with the enqueue latch still held, right after
+// notifyWaiting, so flight-recorder order matches the observer's causal
+// order (the sink's internal lock is strictly innermost — it never calls
+// back into the manager).
+func (m *Manager) obsWait(req *request, on []TxID, stripe int) {
+	if m.obs == nil {
+		return
+	}
+	req.obsStart = m.obs.Now()
+	first := TxID(0)
+	if len(on) > 0 {
+		first = on[0]
+	}
+	m.obs.Wait(obsClass(req), int(req.tx), string(req.key), stripe, int(first))
+}
+
+// obsGranted records a formerly waiting request's grant event and its
+// wait latency. Called from the grant-notification paths, outside all
+// manager latches.
+func (m *Manager) obsGranted(req *request) {
+	if m.obs == nil || req.obsStart == 0 {
+		return
+	}
+	stripe := -1
+	if !req.isPred && !req.isRange {
+		stripe = m.stripeIndex(req.key)
+	}
+	m.obs.Granted(obsClass(req), int(req.tx), string(req.key), stripe, req.obsStart)
+}
+
+// obsDeadlock records tx's selection as deadlock victim, recovering the
+// waits-for cycle that refusing its request avoided. Called at the
+// AddWaiter-refusal sites with the enclosing table latch still held (the
+// graph still holds the refusing state there, so the recovered cycle is
+// exact).
+func (m *Manager) obsDeadlock(tx TxID, on []TxID) {
+	if m.obs == nil {
+		return
+	}
+	cycle := m.wf.CycleFrom(tx, on)
+	out := make([]int, len(cycle))
+	for i, t := range cycle {
+		out[i] = int(t)
+	}
+	m.obs.Deadlock(int(tx), out)
+}
 
 // SetEscalation sets the lock-escalation threshold: when one range
 // handle's fragment count in a single stripe reaches threshold — at
@@ -634,6 +710,7 @@ func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images
 	}
 	if !m.wf.AddWaiter(tx, on) {
 		m.deadlocks.Add(1)
+		m.obsDeadlock(tx, on)
 		sp.mu.Unlock()
 		m.gate.RUnlock()
 		return ErrDeadlock
@@ -643,6 +720,7 @@ func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images
 	m.noteFootprint(tx, sp.idx)
 	sp.waits++
 	m.notifyWaiting(tx, on)
+	m.obsWait(req, on, sp.idx)
 	sp.mu.Unlock()
 	m.gate.RUnlock()
 	return m.await(req)
@@ -654,6 +732,7 @@ func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images
 func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) error {
 	m.gate.Lock()
 	m.gateAcquires.Add(1)
+	gs := m.obs.Now()
 	sp := m.stripeOf(key)
 	st := sp.items[key]
 	if st == nil {
@@ -670,6 +749,7 @@ func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) 
 		// waiter from stranding in the queue.
 		granted := m.drainAllLocked()
 		m.gate.Unlock()
+		m.obs.RecordGateHold(gs)
 		m.notifyGranted(granted)
 		return nil
 	}
@@ -683,12 +763,15 @@ func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) 
 		m.installItemLocked(sp, req)
 		granted := m.drainAllLocked() // see the covering-path comment above
 		m.gate.Unlock()
+		m.obs.RecordGateHold(gs)
 		m.notifyGranted(granted)
 		return nil
 	}
 	if !m.wf.AddWaiter(tx, on) {
 		m.deadlocks.Add(1)
+		m.obsDeadlock(tx, on)
 		m.gate.Unlock()
+		m.obs.RecordGateHold(gs)
 		return ErrDeadlock
 	}
 	m.countUpgrade(req)
@@ -696,7 +779,9 @@ func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) 
 	m.noteFootprint(tx, sp.idx)
 	sp.waits++
 	m.notifyWaiting(tx, on)
+	m.obsWait(req, on, sp.idx)
 	m.gate.Unlock()
+	m.obs.RecordGateHold(gs)
 	return m.await(req)
 }
 
@@ -707,24 +792,30 @@ func (m *Manager) AcquirePred(tx TxID, p predicate.P, mode Mode) (PredHandle, er
 	req := &request{tx: tx, mode: mode, isPred: true, pred: p, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	m.gate.Lock()
 	m.gateAcquires.Add(1)
+	gs := m.obs.Now()
 	on := m.conflictHoldersLocked(req)
 	if len(on) == 0 {
 		m.installPredLocked(req)
 		m.predActivity.Add(1) // new holder
 		m.refreshAllWaitersLocked()
 		m.gate.Unlock()
+		m.obs.RecordGateHold(gs)
 		return req.handle, nil
 	}
 	if !m.wf.AddWaiter(tx, on) {
 		m.deadlocks.Add(1)
+		m.obsDeadlock(tx, on)
 		m.gate.Unlock()
+		m.obs.RecordGateHold(gs)
 		return 0, ErrDeadlock
 	}
 	m.predQ = append(m.predQ, req)
 	m.predActivity.Add(1) // new waiter (stays counted when it becomes a holder)
 	m.predWaits++
 	m.notifyWaiting(tx, on)
+	m.obsWait(req, on, -1)
 	m.gate.Unlock()
+	m.obs.RecordGateHold(gs)
 	if err := m.await(req); err != nil {
 		return 0, err
 	}
@@ -736,6 +827,9 @@ func (m *Manager) AcquirePred(tx TxID, p predicate.P, mode Mode) (PredHandle, er
 func (m *Manager) countUpgrade(req *request) {
 	if req.upgrade {
 		m.upgrades.Add(1)
+		if m.obs != nil {
+			m.obs.Upgrade(int(req.tx), string(req.key), m.stripeIndex(req.key))
+		}
 	}
 }
 
@@ -962,9 +1056,11 @@ func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
 	// the drain needs the cross-stripe view.
 	m.gate.Lock()
 	m.gateAcquires.Add(1)
+	gs := m.obs.Now()
 	m.dropItemLocked(m.stripeOf(key), tx, key)
 	granted := m.drainAllLocked()
 	m.gate.Unlock()
+	m.obs.RecordGateHold(gs)
 	m.notifyGranted(granted)
 }
 
@@ -972,6 +1068,7 @@ func (m *Manager) ReleaseItem(tx TxID, key data.Key) {
 func (m *Manager) ReleasePred(tx TxID, handle PredHandle) {
 	m.gate.Lock()
 	m.gateAcquires.Add(1)
+	gs := m.obs.Now()
 	if ps, ok := m.preds[handle]; ok && ps.tx == tx {
 		ps.refs--
 		if ps.refs <= 0 {
@@ -981,6 +1078,7 @@ func (m *Manager) ReleasePred(tx TxID, handle PredHandle) {
 	}
 	granted := m.drainAllLocked()
 	m.gate.Unlock()
+	m.obs.RecordGateHold(gs)
 	m.notifyGranted(granted)
 }
 
@@ -1025,6 +1123,7 @@ func (m *Manager) ReleaseAll(tx TxID) {
 
 	m.gate.Lock()
 	m.gateAcquires.Add(1)
+	gs := m.obs.Now()
 	m.wf.Remove(tx)
 	var cancelled []*request
 	for _, spIdx := range m.takeFootprintSorted(tx) {
@@ -1053,6 +1152,7 @@ func (m *Manager) ReleaseAll(tx TxID) {
 	cancelled = append(cancelled, predCancelled...)
 	granted := m.drainAllLocked()
 	m.gate.Unlock()
+	m.obs.RecordGateHold(gs)
 	m.notifyCancelled(cancelled, tx)
 	m.notifyGranted(granted)
 	if m.rangeActivity.Load() != 0 {
@@ -1203,6 +1303,10 @@ func removeRequest(q *[]*request, req *request) {
 // all latches.
 func (m *Manager) notifyGranted(granted []*request) {
 	for _, r := range granted {
+		// Grant events are recorded at grant decision, not delivery: in
+		// parked mode the lock state is already installed here, only the
+		// wake-up is withheld.
+		m.obsGranted(r)
 		if m.park(parkedSend{req: r}) {
 			continue
 		}

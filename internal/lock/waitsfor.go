@@ -93,6 +93,47 @@ func (g *WaitsFor) Waiting(tx TxID) bool {
 	return ok
 }
 
+// CycleFrom returns the waits-for cycle that refusing tx's request
+// avoided: the path tx -> on... -> tx, as a transaction list starting and
+// ending with tx. It exists for the flight recorder's deadlock dump —
+// AddWaiter only reports *that* a cycle would close; this recovers *which*
+// transactions close it. Called right after a failed AddWaiter, before
+// any latch is dropped, so the graph still holds the refusing state.
+// Returns nil if no cycle is found (the caller raced a refresh; the dump
+// then just names the victim).
+func (g *WaitsFor) CycleFrom(tx TxID, on []TxID) []TxID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// DFS from each direct blocker back to tx, keeping the path. Blockers
+	// are sorted (conflict sets are), so the recovered cycle is
+	// deterministic.
+	visited := map[TxID]bool{}
+	var path []TxID
+	var dfs func(n TxID) bool
+	dfs = func(n TxID) bool {
+		path = append(path, n)
+		if n == tx {
+			return true
+		}
+		if !visited[n] {
+			visited[n] = true
+			for _, next := range g.out[n] {
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	for _, first := range on {
+		if dfs(first) {
+			return append([]TxID{tx}, path...)
+		}
+	}
+	return nil
+}
+
 // cycleLocked reports whether adding tx -> on would create a path back to
 // tx. Called with mu held.
 func (g *WaitsFor) cycleLocked(tx TxID, on []TxID) bool {

@@ -26,6 +26,7 @@ import (
 	"isolevel/internal/data"
 	"isolevel/internal/engine"
 	"isolevel/internal/lock"
+	"isolevel/internal/obs"
 	"isolevel/internal/predicate"
 	"isolevel/internal/sv"
 )
@@ -98,6 +99,7 @@ type DB struct {
 	shards     int
 	phantom    Phantom
 	escalation int
+	obs        *obs.Sink
 }
 
 // NewDB returns an empty locking database.
@@ -136,6 +138,20 @@ func (db *DB) ParkGrants(on bool) { db.lm.ParkGrants(on) }
 // DeliverNextGrant wakes the oldest parked waiter, if any.
 func (db *DB) DeliverNextGrant() (lock.TxID, bool) { return db.lm.DeliverNextGrant() }
 
+// SetObs attaches an observability sink to the engine, its lock manager
+// and its store: engine-level op/commit latency here, lock events and
+// wait/hold latencies in the manager, scan latency in the store. Nil
+// detaches. Must be called before concurrent use, like SetObserver.
+func (db *DB) SetObs(s *obs.Sink) {
+	db.obs = s
+	db.lm.SetObs(s)
+	db.store.SetObs(s)
+}
+
+// Obs returns the attached observability sink (nil when detached) —
+// drivers use it to time whole transactions against the same clock.
+func (db *DB) Obs() *obs.Sink { return db.obs }
+
 // Recorder exposes the execution recorder.
 func (db *DB) Recorder() *engine.Recorder { return db.rec }
 
@@ -160,6 +176,7 @@ func (db *DB) Begin(level engine.Level) (engine.Tx, error) {
 		return nil, fmt.Errorf("%w: locking engine does not implement %s", engine.ErrUnsupported, level)
 	}
 	id := int(db.seq.Add(1))
+	db.obs.Begin(id, level.Code())
 	return &Tx{db: db, id: id, proto: proto}, nil
 }
 
@@ -194,11 +211,13 @@ func (t *Tx) Get(key data.Key) (data.Row, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	switch t.proto.ReadItem {
 	case DurNone:
 		// No read locks: sees in-place uncommitted data.
 	case DurShort, DurLong:
 		if err := t.db.lm.AcquireItem(lock.TxID(t.id), key, lock.S, lock.Images{Before: t.db.store.Get(key)}); err != nil {
+			t.db.obs.RecordOp(start)
 			return nil, t.lockErr(err)
 		}
 	}
@@ -207,6 +226,7 @@ func (t *Tx) Get(key data.Key) (data.Row, error) {
 	if t.proto.ReadItem == DurShort {
 		t.db.lm.ReleaseItem(lock.TxID(t.id), key)
 	}
+	t.db.obs.RecordOp(start)
 	if row == nil {
 		return nil, engine.ErrNotFound
 	}
@@ -228,9 +248,11 @@ func (t *Tx) write(key data.Key, after data.Row) error {
 	if t.done {
 		return engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	peek := t.db.store.Get(key) // image for predicate-lock conflicts
 	im := lock.Images{Before: peek, After: after}
 	if err := t.lockForWrite(key, peek, im); err != nil {
+		t.db.obs.RecordOp(start)
 		return t.lockErr(err)
 	}
 	var before data.Row
@@ -246,6 +268,7 @@ func (t *Tx) write(key data.Key, after data.Row) error {
 		// action, so dirty writes become possible.
 		t.db.lm.ReleaseItem(lock.TxID(t.id), key)
 	}
+	t.db.obs.RecordOp(start)
 	return nil
 }
 
@@ -347,8 +370,10 @@ func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	g, err := t.acquireScanGuard(p)
 	if err != nil {
+		t.db.obs.RecordOp(start)
 		return nil, err
 	}
 	matches := t.db.store.Select(p)
@@ -360,6 +385,7 @@ func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
 		case DurShort, DurLong:
 			if err := t.db.lm.AcquireItem(lock.TxID(t.id), m.Key, lock.S, lock.Images{Before: m.Row}); err != nil {
 				g.releaseShort()
+				t.db.obs.RecordOp(start)
 				return nil, t.lockErr(err)
 			}
 			// Re-read under the lock: the row may have changed (or vanished)
@@ -375,6 +401,7 @@ func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
 	}
 	t.db.rec.RecordPredRead(t.id, p)
 	g.releaseShort()
+	t.db.obs.RecordOp(start)
 	return out, nil
 }
 
@@ -385,8 +412,13 @@ func (t *Tx) Commit() error {
 		return engine.ErrTxDone
 	}
 	t.done = true
+	start := t.db.obs.Now()
 	t.db.rec.Record(historyOp(t.id, true))
+	// The commit event marks the commit point; the lock releases (and the
+	// grants they cause) follow it in the flight recorder.
+	t.db.obs.Commit(t.id)
 	t.db.lm.ReleaseAll(lock.TxID(t.id))
+	t.db.obs.RecordCommitLatency(start)
 	return nil
 }
 
@@ -401,6 +433,7 @@ func (t *Tx) Abort() error {
 	t.done = true
 	t.undo.Rollback(t.db.store)
 	t.db.rec.Record(historyOp(t.id, false))
+	t.db.obs.Abort(t.id)
 	t.db.lm.ReleaseAll(lock.TxID(t.id))
 	return nil
 }

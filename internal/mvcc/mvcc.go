@@ -42,6 +42,7 @@ import (
 	"isolevel/internal/engine"
 	"isolevel/internal/lock"
 	"isolevel/internal/mv"
+	"isolevel/internal/obs"
 )
 
 // Option configures a DB.
@@ -80,7 +81,19 @@ type DB struct {
 
 	allowed          []engine.Level
 	firstUpdaterWins bool
+	obs              *obs.Sink
 }
+
+// SetObs attaches an observability sink to the engine and its write-lock
+// manager. Nil (the default) keeps every hot path free of clock reads and
+// event appends. Must be set before concurrent use.
+func (db *DB) SetObs(s *obs.Sink) {
+	db.obs = s
+	db.lm.SetObs(s)
+}
+
+// Obs returns the attached observability sink (nil when disabled).
+func (db *DB) Obs() *obs.Sink { return db.obs }
 
 // NewDB returns an empty multiversion database.
 func NewDB(opts ...Option) *DB {
@@ -165,7 +178,9 @@ func (db *DB) Begin(level engine.Level) (engine.Tx, error) {
 		// first-committer-wins validation).
 		return db.beginSI(db.oracle.Safe()), nil
 	case engine.ReadConsistency:
-		return &RCTx{db: db, id: int(db.seq.Add(1)), writes: map[data.Key]data.Row{}}, nil
+		id := int(db.seq.Add(1))
+		db.obs.Begin(id, level.Code())
+		return &RCTx{db: db, id: id, writes: map[data.Key]data.Row{}}, nil
 	}
 	return nil, fmt.Errorf("%w: %s is not a multiversion level", engine.ErrUnsupported, level)
 }
@@ -185,6 +200,7 @@ func (db *DB) CurrentTS() mv.TS { return db.oracle.Safe() }
 
 func (db *DB) beginSI(start mv.TS) *SITx {
 	id := int(db.seq.Add(1))
+	db.obs.Begin(id, engine.SnapshotIsolation.Code())
 	return &SITx{db: db, id: id, start: start, writes: map[data.Key]data.Row{}}
 }
 

@@ -78,11 +78,14 @@ func (t *RCTx) Get(key data.Key) (data.Row, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	if row, ok := t.writes[key]; ok {
 		if row == nil {
+			t.db.obs.RecordOp(start)
 			return nil, engine.ErrNotFound
 		}
 		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(row.Val()))
+		t.db.obs.RecordOp(start)
 		return row.Clone(), nil
 	}
 	ts := t.statementTS()
@@ -91,11 +94,13 @@ func (t *RCTx) Get(key data.Key) (data.Row, error) {
 		op := history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}
 		t.reads = append(t.reads, TimedRead{TS: ts, Op: op})
 		t.db.rec.Record(op)
+		t.db.obs.RecordOp(start)
 		return nil, engine.ErrNotFound
 	}
 	op := history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(v.Row.Val())
 	t.reads = append(t.reads, TimedRead{TS: ts, Op: op})
 	t.db.rec.Record(op)
+	t.db.obs.RecordOp(start)
 	return v.Row, nil
 }
 
@@ -112,11 +117,13 @@ func (t *RCTx) write(key data.Key, row data.Row) error {
 	if t.done {
 		return engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	var before data.Row
 	if v, ok := t.db.store.ReadAt(key, t.statementTS()); ok {
 		before = v.Row
 	}
 	if err := t.db.lm.AcquireItem(lock.TxID(t.id), key, lock.X, lock.Images{Before: before, After: row}); err != nil {
+		t.db.obs.RecordOp(start)
 		return t.lockErr(err)
 	}
 	if _, ok := t.writes[key]; !ok {
@@ -124,6 +131,7 @@ func (t *RCTx) write(key data.Key, row data.Row) error {
 	}
 	t.writes[key] = row
 	t.db.rec.RecordWrite(t.id, key, before, row)
+	t.db.obs.RecordOp(start)
 	return nil
 }
 
@@ -134,7 +142,10 @@ func (t *RCTx) Select(p predicate.P) ([]data.Tuple, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
-	return t.selectAt(p, t.statementTS())
+	start := t.db.obs.Now()
+	out, err := t.selectAt(p, t.statementTS())
+	t.db.obs.RecordOp(start)
+	return out, err
 }
 
 func (t *RCTx) selectAt(p predicate.P, ts mv.TS) ([]data.Tuple, error) {
@@ -256,6 +267,7 @@ func (t *RCTx) Commit() error {
 	if t.done {
 		return engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	t.done = true
 	if len(t.writes) > 0 {
 		release := t.db.store.LockWriteSet(t.order)
@@ -269,7 +281,9 @@ func (t *RCTx) Commit() error {
 	}
 	t.committed = true
 	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Commit, Version: -1})
+	t.db.obs.Commit(t.id)
 	t.db.lm.ReleaseAll(lock.TxID(t.id))
+	t.db.obs.RecordCommitLatency(start)
 	return nil
 }
 
@@ -316,6 +330,7 @@ func (t *RCTx) Abort() error {
 	t.done = true
 	t.writes = nil
 	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Abort, Version: -1})
+	t.db.obs.Abort(t.id)
 	t.db.lm.ReleaseAll(lock.TxID(t.id))
 	return nil
 }

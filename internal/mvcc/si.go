@@ -69,21 +69,26 @@ func (t *SITx) Get(key data.Key) (data.Row, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	if row, ok := t.writes[key]; ok {
 		if row == nil {
+			t.db.obs.RecordOp(start)
 			return nil, engine.ErrNotFound
 		}
 		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(row.Val()))
+		t.db.obs.RecordOp(start)
 		return row.Clone(), nil
 	}
 	v, ok := t.db.store.ReadAt(key, t.start)
 	if !ok {
 		t.reads = append(t.reads, readRecord{key: key})
 		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1})
+		t.db.obs.RecordOp(start)
 		return nil, engine.ErrNotFound
 	}
 	t.reads = append(t.reads, readRecord{key: key, val: v.Row.Val(), found: true})
 	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Read, Item: key, Version: -1}.WithValue(v.Row.Val()))
+	t.db.obs.RecordOp(start)
 	return v.Row, nil
 }
 
@@ -102,8 +107,10 @@ func (t *SITx) write(key data.Key, row data.Row) error {
 	if t.done {
 		return engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	if t.db.firstUpdaterWins {
 		if ts := t.db.store.LatestCommitTS(key); ts > t.start {
+			t.db.obs.RecordOp(start)
 			return fmt.Errorf("%w: %s updated at ts %d after start %d (first-updater-wins)",
 				engine.ErrWriteConflict, key, ts, t.start)
 		}
@@ -117,6 +124,7 @@ func (t *SITx) write(key data.Key, row data.Row) error {
 		before = v.Row
 	}
 	t.db.rec.RecordWrite(t.id, key, before, row)
+	t.db.obs.RecordOp(start)
 	return nil
 }
 
@@ -128,6 +136,7 @@ func (t *SITx) Select(p predicate.P) ([]data.Tuple, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	base := t.db.store.SelectAt(p, t.start)
 	merged := make(map[data.Key]data.Row, len(base))
 	for _, b := range base {
@@ -150,6 +159,7 @@ func (t *SITx) Select(p predicate.P) ([]data.Tuple, error) {
 	}
 	data.SortTuples(out)
 	t.db.rec.RecordPredRead(t.id, p)
+	t.db.obs.RecordOp(start)
 	return out, nil
 }
 
@@ -207,11 +217,14 @@ func (t *SITx) Commit() error {
 	if t.done {
 		return engine.ErrTxDone
 	}
+	start := t.db.obs.Now()
 	if len(t.writes) == 0 {
 		// Read-only transactions always commit, at their snapshot.
 		t.done, t.committed = true, true
 		t.commitTS = t.start
 		t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Commit, Version: -1})
+		t.db.obs.Commit(t.id)
+		t.db.obs.RecordCommitLatency(start)
 		return nil
 	}
 	// Latch only the stripes the write set covers: disjoint-stripe
@@ -227,6 +240,8 @@ func (t *SITx) Commit() error {
 			release()
 			t.done = true
 			t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Abort, Version: -1})
+			t.db.obs.Abort(t.id)
+			t.db.obs.RecordCommitLatency(start)
 			return fmt.Errorf("%w: %s committed at ts %d inside execution interval (start %d)",
 				engine.ErrWriteConflict, key, ts, t.start)
 		}
@@ -238,6 +253,8 @@ func (t *SITx) Commit() error {
 	t.done, t.committed = true, true
 	t.commitTS = ts
 	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Commit, Version: -1})
+	t.db.obs.Commit(t.id)
+	t.db.obs.RecordCommitLatency(start)
 	return nil
 }
 
@@ -249,6 +266,7 @@ func (t *SITx) Abort() error {
 	t.done = true
 	t.writes = nil
 	t.db.rec.Record(history.Op{Tx: t.id, Kind: history.Abort, Version: -1})
+	t.db.obs.Abort(t.id)
 	return nil
 }
 

@@ -1,0 +1,35 @@
+package obs
+
+import "sync/atomic"
+
+// Clock is the time source behind every histogram and flight-recorder
+// timestamp. Two implementations exist on purpose:
+//
+//   - VirtualClock (this package): a deterministic event-tick counter for
+//     the fuzzer and scripted runs, where isolint's seededrand rule bans
+//     the wall clock and byte-identical output is a hard requirement.
+//   - wallclock.Real (internal/obs/wallclock): monotonic real time for
+//     bench mode, kept in a separate non-deterministic package so this
+//     one stays //isolint:deterministic without waivers.
+//
+// A Clock's unit is therefore either "ticks" or "nanoseconds"; consumers
+// must not assume one or the other when rendering.
+type Clock interface {
+	// Now returns the current instant. VirtualClock advances one tick
+	// per call, so Now doubles as the event sequencer in scripted runs.
+	Now() int64
+}
+
+// VirtualClock is a deterministic Clock: each Now() call returns the next
+// integer tick. Because the schedule runner executes at most one engine
+// op at a time, tick order is a pure function of the schedule — identical
+// across reruns, worker counts, GOMAXPROCS, and -race.
+type VirtualClock struct {
+	ticks atomic.Int64
+}
+
+// NewVirtualClock returns a VirtualClock starting at tick 1.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now advances and returns the tick counter.
+func (c *VirtualClock) Now() int64 { return c.ticks.Add(1) }

@@ -1,0 +1,15 @@
+// Package obs is the engine observability layer: latency histograms,
+// a flight recorder, and Prometheus text rendering, built to be safe in
+// the repo's deterministic core.
+//
+// The package is split along the determinism boundary. Everything here
+// is pure data + a Clock interface, so the fuzzer can run with a
+// VirtualClock (event ticks) and stay byte-for-byte reproducible; the
+// wall clock lives in internal/obs/wallclock and the HTTP endpoint in
+// internal/obs/obshttp, both outside the deterministic set. Every hook
+// on Sink is nil-safe, so engines instrument unconditionally and a
+// disabled sink costs one nil check — no allocation, no lock, no time
+// read.
+//
+//isolint:deterministic
+package obs

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-linear HDR-style histogram: below histSub the buckets are exact
+// (one value per bucket); above, each power-of-two octave is split into
+// histSub linear sub-buckets, so relative error is bounded by 1/histSub
+// at any magnitude. Bucket boundaries are fixed at compile time — no
+// rescaling, no allocation after construction — and every counter is an
+// atomic, so Record is safe from any number of writers and never takes a
+// lock. 488 buckets cover all of [0, 1<<63) at 8 sub-buckets per octave;
+// the last bucket's bound saturates at MaxInt64.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	histBuckets = 488
+)
+
+// Histogram is a fixed-boundary latency histogram. The zero value is
+// ready to use; a nil *Histogram is a no-op sink (Record returns
+// immediately), which is what keeps instrumented-but-disabled hot paths
+// allocation- and branch-cheap.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	e := 63 - bits.LeadingZeros64(uint64(v)) // floor(log2 v) >= histSubBits
+	idx := (e-histSubBits+1)*histSub + int(v>>uint(e-histSubBits)) - histSub
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketBound returns the inclusive upper bound of bucket i.
+func bucketBound(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	if i >= histBuckets-1 {
+		// (16)<<59 would overflow; the top bucket holds [2^62·15/8, 2^63).
+		return math.MaxInt64
+	}
+	g := i / histSub // octave group, >= 1
+	m := i % histSub
+	return (int64(m)+histSub+1)<<uint(g-1) - 1
+}
+
+// Record adds one observation. Negative values clamp to zero. Safe for
+// concurrent use; nil-safe.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, safe to merge and
+// query without synchronization. Count is derived from the bucket counts
+// so a snapshot is always internally consistent; taken concurrently with
+// writers it may trail Sum/Max by in-flight records, which is fine — the
+// exactness guarantee is at quiescence.
+type HistSnapshot struct {
+	Count  int64
+	Sum    int64
+	Max    int64
+	counts [histBuckets]int64
+}
+
+// Snapshot copies the histogram's counters. Nil-safe: a nil histogram
+// yields an empty snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Merge adds another snapshot into this one.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.counts {
+		s.counts[i] += o.counts[i]
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// inclusive bound of the bucket holding the ceil(q*Count)-th observation,
+// capped at the true observed Max so Quantile(1) == Max exactly.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q*float64(s.Count) + 0.999999)
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	var cum int64
+	for i := range s.counts {
+		cum += s.counts[i]
+		if cum >= target {
+			b := bucketBound(i)
+			if b > s.Max {
+				b = s.Max
+			}
+			return b
+		}
+	}
+	return s.Max
+}
+
+// P50, P90, P99 are the conventional percentile shorthands.
+func (s HistSnapshot) P50() int64 { return s.Quantile(0.50) }
+func (s HistSnapshot) P90() int64 { return s.Quantile(0.90) }
+func (s HistSnapshot) P99() int64 { return s.Quantile(0.99) }
+
+// Summary renders the snapshot as one stable line of k=v pairs.
+func (s HistSnapshot) Summary() string {
+	return fmt.Sprintf("count=%d p50=%d p90=%d p99=%d max=%d",
+		s.Count, s.P50(), s.P90(), s.P99(), s.Max)
+}

@@ -1,0 +1,68 @@
+// Package obshttp serves the runtime observability endpoint: /metrics in
+// Prometheus text format fed from histogram + engine counter snapshots,
+// net/http/pprof under /debug/pprof/, and expvar under /debug/vars. It
+// is stdlib-only and lives outside the deterministic set (net/http and
+// pprof are free to read the wall clock).
+package obshttp
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"isolevel/internal/obs"
+)
+
+// Source supplies the data behind /metrics. Sink may be nil (no
+// histograms); Counters may be nil (no counters). Counters is called
+// per scrape so the page tracks live engine state.
+type Source struct {
+	Sink     *obs.Sink
+	Counters func() map[string]int64
+}
+
+// Handler returns the endpoint's mux: /metrics, /debug/pprof/*,
+// /debug/vars.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var counters map[string]int64
+		if src.Counters != nil {
+			counters = src.Counters()
+		}
+		obs.WriteMetrics(w, src.Sink, counters)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "isolevel observability endpoint\n/metrics\n/debug/pprof/\n/debug/vars\n")
+	})
+	return mux
+}
+
+// Serve listens on addr and serves Handler(src) until the process
+// exits. It returns the bound listener (so callers can report the
+// actual port when addr ends in ":0"); serving happens on a background
+// goroutine.
+func Serve(addr string, src Source) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		srv := &http.Server{Handler: Handler(src)}
+		_ = srv.Serve(ln)
+	}()
+	return ln, nil
+}

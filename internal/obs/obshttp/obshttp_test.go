@@ -1,0 +1,67 @@
+package obshttp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"isolevel/internal/obs"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoint(t *testing.T) {
+	sink := obs.NewSink(obs.NewVirtualClock())
+	sink.Op.Record(5)
+	srv := httptest.NewServer(Handler(Source{
+		Sink:     sink,
+		Counters: func() map[string]int64 { return map[string]int64{"lock_grants": 7} },
+	}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"isolevel_op_latency_count 1", "isolevel_lock_grants_total 7"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, body := get(t, srv, "/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars status %d", code)
+	}
+	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestMetricsNilSource(t *testing.T) {
+	srv := httptest.NewServer(Handler(Source{}))
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if strings.Contains(body, "isolevel_") {
+		t.Errorf("nil source should render an empty page, got:\n%s", body)
+	}
+}

@@ -1,0 +1,21 @@
+// Package wallclock is the non-deterministic half of internal/obs: a
+// real monotonic Clock for bench mode. It is deliberately a separate
+// package so internal/obs itself stays //isolint:deterministic — the
+// only time.Now in the observability layer lives here, outside the
+// deterministic set, where seededrand permits it.
+package wallclock
+
+import (
+	"time"
+
+	"isolevel/internal/obs"
+)
+
+type realClock struct{ base time.Time }
+
+// Now returns nanoseconds since the clock was constructed, read off
+// go's monotonic clock.
+func (c realClock) Now() int64 { return int64(time.Since(c.base)) }
+
+// New returns a Clock reporting monotonic nanoseconds.
+func New() obs.Clock { return realClock{base: time.Now()} }

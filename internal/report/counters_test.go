@@ -1,0 +1,27 @@
+package report
+
+import "testing"
+
+func TestSortedCounters(t *testing.T) {
+	m := map[string]int64{"waits": 3, "grants": 10, "deadlocks": 0}
+	kvs := SortedCounters(m)
+	want := []KV{{"deadlocks", 0}, {"grants", 10}, {"waits", 3}}
+	if len(kvs) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(kvs), len(want))
+	}
+	for i := range want {
+		if kvs[i] != want[i] {
+			t.Errorf("pair %d: got %+v, want %+v", i, kvs[i], want[i])
+		}
+	}
+}
+
+func TestCountersLine(t *testing.T) {
+	got := CountersLine(map[string]int64{"b": 2, "a": 1, "c": 0})
+	if got != "a=1 b=2 c=0" {
+		t.Errorf("CountersLine = %q, want %q", got, "a=1 b=2 c=0")
+	}
+	if CountersLine(nil) != "" {
+		t.Errorf("CountersLine(nil) = %q, want empty", CountersLine(nil))
+	}
+}

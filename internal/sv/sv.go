@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"isolevel/internal/data"
+	"isolevel/internal/obs"
 	"isolevel/internal/predicate"
 )
 
@@ -51,7 +52,13 @@ type shard struct {
 type Store struct {
 	striper data.Striper
 	shards  []*shard
+	obs     *obs.Sink
 }
+
+// SetObs attaches an observability sink; Select records its scan latency
+// there. Nil (the default) keeps the scan path free of clock reads. Must
+// be set before concurrent use.
+func (s *Store) SetObs(sink *obs.Sink) { s.obs = sink }
 
 // NewStore returns an empty store with DefaultShards stripes.
 func NewStore() *Store { return NewStoreShards(DefaultShards) }
@@ -145,6 +152,7 @@ func (s *Store) Restore(key data.Key, before data.Row) {
 
 // Select returns copies of all tuples satisfying p, sorted by key.
 func (s *Store) Select(p predicate.P) []data.Tuple {
+	start := s.obs.Now()
 	var out []data.Tuple
 	for _, sh := range s.shards {
 		sh.mu.RLock()
@@ -157,6 +165,7 @@ func (s *Store) Select(p predicate.P) []data.Tuple {
 		sh.mu.RUnlock()
 	}
 	data.SortTuples(out)
+	s.obs.RecordScan(start)
 	return out
 }
 

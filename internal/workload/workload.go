@@ -24,6 +24,7 @@ import (
 
 	"isolevel/internal/data"
 	"isolevel/internal/engine"
+	"isolevel/internal/obs"
 )
 
 // Metrics aggregates the outcome of a workload run.
@@ -98,7 +99,21 @@ func LoadAccounts(db engine.DB, n int, balance int64) {
 }
 
 // runTxn executes one transaction attempt with automatic rollback on error.
+// Engines that expose an observability sink (Obs() *obs.Sink) get the whole
+// attempt's latency recorded into the sink's txn_latency histogram; the
+// interface assertion keeps workload decoupled from the concrete engines.
 func runTxn(db engine.DB, level engine.Level, body func(tx engine.Tx) error) error {
+	var sink *obs.Sink
+	if o, ok := db.(interface{ Obs() *obs.Sink }); ok {
+		sink = o.Obs()
+	}
+	start := sink.Now()
+	err := runTxnBody(db, level, body)
+	sink.RecordTxn(start)
+	return err
+}
+
+func runTxnBody(db engine.DB, level engine.Level, body func(tx engine.Tx) error) error {
 	tx, err := db.Begin(level)
 	if err != nil {
 		return err
