@@ -15,6 +15,10 @@
 //	isolevel paper             replay the paper's H1-H5 analyses
 //	isolevel bench -scenario transfer -level "SNAPSHOT ISOLATION" -shards 16
 //	                           run one workload scenario and print its metrics
+//	isolevel serve -family keyrange -addr 127.0.0.1:7401
+//	                           serve the wire protocol over one engine
+//	isolevel load -addr 127.0.0.1:7401 -clients 8 -levels SER,SI
+//	                           drive a running server with generated traffic
 package main
 
 import (
@@ -24,10 +28,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"regexp"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"isolevel/internal/anomalies"
 	"isolevel/internal/ansi"
@@ -73,6 +79,10 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "fuzz":
 		err = cmdFuzz(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
 	case "benchjson":
 		err = cmdBenchJSON(os.Args[2:])
 	case "help", "-h", "--help":
@@ -146,6 +156,25 @@ commands:
         the keyrange family is the locking scheduler with key-range
         (next-key) phantom prevention; any divergence from the locking
         family is reported
+  serve -addr A               serve the wire protocol over one engine:
+        connection-per-session, BEGIN [ISOLATION LEVEL L] / SET
+        TRANSACTION ISOLATION LEVEL, GET/SET/DEL/SCAN, COMMIT/ABORT;
+        scheduler aborts surface as typed -RETRY errors (see README
+        "Serving traffic" for the grammar and retry contract)
+        knobs: -family locking|keyrange|mv -shards N -level L
+               -max-sessions N (admission control; excess sessions
+                are greeted -BUSY and closed)
+               -max-inflight N -max-queue N (backpressure; statements
+                past the queue are shed with -BUSY)
+               -preload N (warm acct:NNNNNN rows for load runs)
+               -http ADDR (live /metrics with server counters and the
+                statement-latency histogram)
+  load -addr A                drive a running server: closed loop
+        (-clients N -txns T) or open loop (-rate R arrivals/sec), hot-key
+        skew (-keys -hot-keys -hot-bias), op mix (-ops -read-frac
+        -scan-frac), mixed levels (-levels SER,SI,RC sampled per
+        transaction), retry loop (-retries), seeded (-seed); reports
+        commits/retries/shed/busy and p50/p90/p99 latency
   benchjson [-match RE]       convert "go test -bench" output on stdin to
         a JSON array, keeping only names matching RE (the make bench-*
         targets write the BENCH_*.json perf artifacts)
@@ -392,10 +421,11 @@ func fmtOrder(order []int) string {
 }
 
 func parseLevel(name string) (engine.Level, error) {
-	for _, lvl := range engine.Levels {
-		if strings.EqualFold(lvl.String(), name) {
-			return lvl, nil
-		}
+	// engine.ParseLevel accepts the paper's full names, the short codes
+	// (SER, RR, SI, ...) and underscore forms — the same grammar the wire
+	// protocol's BEGIN/SET TRANSACTION use.
+	if lvl, ok := engine.ParseLevel(name); ok {
+		return lvl, nil
 	}
 	return 0, fmt.Errorf("unknown level %q (try one of: %s)", name, levelNames())
 }
@@ -554,12 +584,15 @@ func runBench(w io.Writer, args []string) error {
 			return fmt.Errorf("engine for %s does not support observability", level)
 		}
 	}
+	var ep *obshttp.Endpoint
 	if *httpAddr != "" {
-		ln, err := obshttp.Serve(*httpAddr, obshttp.Source{Sink: sink, Counters: func() map[string]int64 { return lockCounters(db) }})
+		var err error
+		ep, err = obshttp.Serve(*httpAddr, obshttp.Source{Sink: sink, Counters: func() map[string]int64 { return lockCounters(db) }})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "obs: serving /metrics, /debug/pprof/ and /debug/vars on http://%s\n", ln.Addr())
+		defer func() { _ = ep.Close() }()
+		fmt.Fprintf(w, "obs: serving /metrics, /debug/pprof/ and /debug/vars on http://%s\n", ep.Addr())
 	}
 	header := func() {
 		fmt.Fprintf(w, "scenario %s at %s (workers=%d", *scenario, level, *workers)
@@ -692,9 +725,10 @@ func runBench(w io.Writer, args []string) error {
 	if sink != nil {
 		printObs(w, sink, deadlockDump)
 	}
-	if *httpAddr != "" {
+	if ep != nil {
 		fmt.Fprintln(w, "obs: run finished; endpoint still serving (Ctrl-C to exit)")
-		select {}
+		waitForInterrupt()
+		return ep.Close()
 	}
 	return nil
 }
@@ -812,15 +846,18 @@ func cmdFuzz(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var ep *obshttp.Endpoint
 	if *httpAddr != "" {
 		// The campaign's engines carry per-run virtual-clock sinks, so the
 		// endpoint serves the process views (pprof, expvar) plus an empty
 		// /metrics; its value here is live profiling of the fuzzer itself.
-		ln, err := obshttp.Serve(*httpAddr, obshttp.Source{})
+		var err error
+		ep, err = obshttp.Serve(*httpAddr, obshttp.Source{})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("obs: serving /metrics, /debug/pprof/ and /debug/vars on http://%s\n", ln.Addr())
+		defer func() { _ = ep.Close() }()
+		fmt.Printf("obs: serving /metrics, /debug/pprof/ and /debug/vars on http://%s\n", ep.Addr())
 	}
 	params := exerciser.DefaultParams()
 	if *txs > 0 {
@@ -881,11 +918,22 @@ func cmdFuzz(args []string) error {
 		return fmt.Errorf("%d oracle violation(s)", rep.Violations())
 	}
 	fmt.Println("ok: no Table 4 oracle violations")
-	if *httpAddr != "" {
+	if ep != nil {
 		fmt.Println("obs: campaign finished; endpoint still serving (Ctrl-C to exit)")
-		select {}
+		waitForInterrupt()
+		return ep.Close()
 	}
 	return nil
+}
+
+// waitForInterrupt blocks until SIGINT or SIGTERM: the graceful shutdown
+// point for commands that keep their observability endpoint (or server)
+// alive after the work finishes, replacing the old unreachable select{}.
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	signal.Stop(ch)
 }
 
 // cmdBenchJSON converts `go test -bench` output on stdin into a JSON

@@ -219,5 +219,24 @@ func PutVal(tx Tx, key data.Key, v int64) error {
 // IsPrevention reports whether err is one of the errors by which an engine
 // prevents an anomaly (deadlock victim, FCW conflict, row-changed).
 func IsPrevention(err error) bool {
+	return IsRetryable(err)
+}
+
+// IsRetryable reports whether err means the transaction was aborted by the
+// scheduler rather than by application logic — a deadlock victim, a failed
+// First-Committer-Wins check, or a Read Consistency row-changed detection.
+// Retrying the whole transaction from the top is the correct client
+// response; the error set is exactly IsPrevention's, but the two names keep
+// the detectors' question ("was this anomaly prevented?") separate from the
+// traffic tier's ("should the client retry?"). Matches wrapped errors via
+// errors.Is.
+func IsRetryable(err error) bool {
 	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrRowChanged)
+}
+
+// SelectRange is a convenience wrapper for the half-open key-range scan
+// [lo, hi): Select with a predicate.KeyRange, which key-range locking maps
+// onto gap fragments covering exactly the scanned interval.
+func SelectRange(tx Tx, lo, hi data.Key) ([]data.Tuple, error) {
+	return tx.Select(predicate.KeyRange{Lo: lo, Hi: hi})
 }

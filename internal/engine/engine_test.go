@@ -47,6 +47,25 @@ func TestIsPrevention(t *testing.T) {
 	}
 }
 
+// TestIsRetryable: the retryable set is exactly the prevention set —
+// scheduler-initiated aborts a client should retry — matched through
+// wrapping, and nothing else (nil included).
+func TestIsRetryable(t *testing.T) {
+	for _, err := range []error{ErrDeadlock, ErrWriteConflict, ErrRowChanged} {
+		if !IsRetryable(err) {
+			t.Errorf("%v should be retryable", err)
+		}
+		if !IsRetryable(fmt.Errorf("T7: %w", err)) {
+			t.Errorf("wrapped %v should be retryable", err)
+		}
+	}
+	for _, err := range []error{nil, ErrNotFound, ErrTxDone, ErrNoCursor, ErrUnsupported, errors.New("other")} {
+		if IsRetryable(err) {
+			t.Errorf("%v should not be retryable", err)
+		}
+	}
+}
+
 func TestRecorderDisabledByDefault(t *testing.T) {
 	r := NewRecorder()
 	r.Record(history.Op{Tx: 1, Kind: history.Read, Item: "x", Version: -1})

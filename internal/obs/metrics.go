@@ -6,17 +6,18 @@ import (
 	"sort"
 )
 
-// WriteMetrics renders the sink's histograms and an optional flat
-// counter map in Prometheus text exposition format. Histograms come out
-// as summaries (quantile-labelled gauges plus _sum/_count); counters as
-// isolevel_<name>_total. Counter names are emitted in sorted order so
+// WriteMetrics renders the sink's histograms, any extra named histograms
+// (server-side statement latency, load-generator latency), and an optional
+// flat counter map in Prometheus text exposition format. Histograms come
+// out as summaries (quantile-labelled gauges plus _sum/_count); counters
+// as isolevel_<name>_total. Counter names are emitted in sorted order so
 // the page is byte-stable for a given state.
 //
 // The value unit is the sink clock's unit: nanoseconds under the real
 // clock, virtual ticks under VirtualClock. The endpoint is only wired
-// up in bench mode (real clock), so scrapers see nanoseconds.
-func WriteMetrics(w io.Writer, s *Sink, counters map[string]int64) {
-	for _, nh := range s.Histograms() {
+// up in serving paths (real clock), so scrapers see nanoseconds.
+func WriteMetrics(w io.Writer, s *Sink, counters map[string]int64, extra ...NamedHist) {
+	for _, nh := range append(s.Histograms(), extra...) {
 		snap := nh.H.Snapshot()
 		name := "isolevel_" + nh.Name
 		fmt.Fprintf(w, "# HELP %s %s (clock units)\n", name, nh.Name)

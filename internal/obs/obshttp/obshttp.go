@@ -6,21 +6,28 @@
 package obshttp
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
+	"time"
 
 	"isolevel/internal/obs"
 )
 
 // Source supplies the data behind /metrics. Sink may be nil (no
-// histograms); Counters may be nil (no counters). Counters is called
-// per scrape so the page tracks live engine state.
+// histograms); Counters may be nil (no counters); Hists may be nil (no
+// extra histograms). Counters and Hists are called per scrape so the
+// page tracks live state — Hists carries histograms that live outside a
+// Sink, like the server's statement-latency histogram.
 type Source struct {
 	Sink     *obs.Sink
 	Counters func() map[string]int64
+	Hists    func() []obs.NamedHist
 }
 
 // Handler returns the endpoint's mux: /metrics, /debug/pprof/*,
@@ -33,7 +40,11 @@ func Handler(src Source) http.Handler {
 		if src.Counters != nil {
 			counters = src.Counters()
 		}
-		obs.WriteMetrics(w, src.Sink, counters)
+		var extra []obs.NamedHist
+		if src.Hists != nil {
+			extra = src.Hists()
+		}
+		obs.WriteMetrics(w, src.Sink, counters, extra...)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -51,18 +62,57 @@ func Handler(src Source) http.Handler {
 	return mux
 }
 
-// Serve listens on addr and serves Handler(src) until the process
-// exits. It returns the bound listener (so callers can report the
-// actual port when addr ends in ":0"); serving happens on a background
-// goroutine.
-func Serve(addr string, src Source) (net.Listener, error) {
+// Endpoint is a live observability endpoint: an http.Server serving
+// Handler(src) on its own goroutine, with a graceful shutdown path.
+type Endpoint struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan error // the serve goroutine's exit error, exactly one send
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve listens on addr and serves Handler(src) on a background
+// goroutine until Close. The returned Endpoint reports the bound
+// address (so callers can print the actual port when addr ends in ":0")
+// and owns the shutdown path; callers must Close it when the command
+// finishes.
+func Serve(addr string, src Source) (*Endpoint, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	go func() {
-		srv := &http.Server{Handler: Handler(src)}
-		_ = srv.Serve(ln)
-	}()
-	return ln, nil
+	ep := &Endpoint{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(src)},
+		done: make(chan error, 1),
+	}
+	go func() { ep.done <- ep.srv.Serve(ln) }()
+	return ep, nil
+}
+
+// Addr returns the endpoint's bound address.
+func (e *Endpoint) Addr() net.Addr { return e.ln.Addr() }
+
+// Close gracefully shuts the endpoint down: the listener stops
+// accepting, in-flight scrapes drain (bounded by a short timeout,
+// after which remaining connections are closed), and any error the
+// serve goroutine died with before shutdown is surfaced. Idempotent:
+// later calls return the first call's result.
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutErr := e.srv.Shutdown(ctx)
+		serveErr := <-e.done
+		if errors.Is(serveErr, http.ErrServerClosed) {
+			serveErr = nil
+		}
+		e.closeErr = serveErr
+		if e.closeErr == nil {
+			e.closeErr = shutErr
+		}
+	})
+	return e.closeErr
 }

@@ -65,3 +65,42 @@ func TestMetricsNilSource(t *testing.T) {
 		t.Errorf("nil source should render an empty page, got:\n%s", body)
 	}
 }
+
+// TestServeCloseLifecycle: Serve returns a closeable handle — scrapes work
+// while it is up, Close drains and stops accepting, and a second Close is
+// an idempotent no-op returning the first result.
+func TestServeCloseLifecycle(t *testing.T) {
+	stmt := new(obs.Histogram)
+	stmt.Record(42)
+	ep, err := Serve("127.0.0.1:0", Source{
+		Counters: func() map[string]int64 { return map[string]int64{"server_commits": 3} },
+		Hists:    func() []obs.NamedHist { return []obs.NamedHist{{Name: "server_stmt_latency", H: stmt}} },
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	url := "http://" + ep.Addr().String() + "/metrics"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	for _, want := range []string{"isolevel_server_commits_total 3", "isolevel_server_stmt_latency_count 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Error("GET after Close succeeded, want connection error")
+	}
+}

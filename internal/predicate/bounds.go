@@ -13,6 +13,7 @@ import "isolevel/internal/data"
 // Bounds come from the key-addressing predicate forms:
 //
 //   - KeyEq k:        [k, successor(k))      — one key
+//   - KeyRange:       [Lo, Hi)               — exactly the scanned interval
 //   - KeyPrefix "t:": ["t:", prefixEnd("t:")) — the prefix block
 //   - And: the intersection of its operands' bounds
 //   - Or: the hull of its operands' bounds (unbounded if either side is)
@@ -22,6 +23,11 @@ func KeyBounds(p P) (lo, hi data.Key, bounded bool) {
 	switch x := p.(type) {
 	case KeyEq:
 		return x.Key, x.Key + "\x00", true
+	case KeyRange:
+		if x.Hi < x.Lo {
+			return x.Lo, x.Lo, true // empty interval, kept well-formed
+		}
+		return x.Lo, x.Hi, true
 	case KeyPrefix:
 		if end, ok := prefixEnd(x.Prefix); ok {
 			return data.Key(x.Prefix), end, true

@@ -14,6 +14,9 @@ func TestKeyBounds(t *testing.T) {
 		bounded bool
 	}{
 		{"keyeq", KeyEq{Key: "x"}, "x", "x\x00", true},
+		{"keyrange", KeyRange{Lo: "a", Hi: "m"}, "a", "m", true},
+		{"keyrange-empty", KeyRange{Lo: "m", Hi: "a"}, "m", "m", true},
+		{"and-range-intersect", And{L: KeyRange{Lo: "a", Hi: "m"}, R: KeyRange{Lo: "c", Hi: "z"}}, "c", "m", true},
 		{"prefix", KeyPrefix{Prefix: "task:"}, "task:", "task;", true},
 		{"prefix-ff", KeyPrefix{Prefix: "\xff\xff"}, "", "", false},
 		{"field", Field{Name: "val", Op: GE, Arg: 3}, "", "", false},
@@ -40,6 +43,7 @@ func TestKeyBoundsCover(t *testing.T) {
 	preds := []P{
 		KeyEq{Key: "t:3"},
 		KeyPrefix{Prefix: "t:"},
+		KeyRange{Lo: "t:1", Hi: "t:5"},
 		And{L: KeyPrefix{Prefix: "t:"}, R: Field{Name: "v", Op: GT, Arg: 0}},
 		Or{L: KeyEq{Key: "a"}, R: KeyPrefix{Prefix: "t:"}},
 	}

@@ -18,6 +18,8 @@ import (
 //	        | ident cmp int            (field comparison)
 //	        | "key" "~" string         (key prefix)
 //	        | "key" "==" string        (exact key)
+//	        | "key" "in" "[" string "," string ")"
+//	                                   (half-open key range)
 //	cmp    := "==" | "!=" | "<" | "<=" | ">" | ">="
 //
 // Integer literals may be negative. Strings are double-quoted Go strings.
@@ -53,7 +55,7 @@ const (
 	tokIdent tokKind = iota
 	tokInt
 	tokString
-	tokOp // == != < <= > >= && || ! ( ) ~
+	tokOp // == != < <= > >= && || ! ( ) ~ [ ,
 	tokEOF
 )
 
@@ -71,7 +73,7 @@ func lex(src string) ([]token, error) {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
-		case c == '(' || c == ')' || c == '~':
+		case c == '(' || c == ')' || c == '~' || c == '[' || c == ',':
 			toks = append(toks, token{tokOp, string(c), i})
 			i++
 		case c == '!':
@@ -225,6 +227,9 @@ func (p *parser) parseAtom() (P, error) {
 		return True{}, nil
 	}
 	op := p.next()
+	if t.text == "key" && op.kind == tokIdent && op.text == "in" {
+		return p.parseKeyRange()
+	}
 	if op.kind != tokOp {
 		return nil, fmt.Errorf("predicate: expected operator after %q, got %q", t.text, op.text)
 	}
@@ -243,7 +248,7 @@ func (p *parser) parseAtom() (P, error) {
 			}
 			return KeyEq{Key: data.Key(s.text)}, nil
 		default:
-			return nil, fmt.Errorf("predicate: key supports only ~ and ==, got %q", op.text)
+			return nil, fmt.Errorf("predicate: key supports only ~, == and in, got %q", op.text)
 		}
 	}
 	cmp, ok := cmpOps[op.text]
@@ -259,4 +264,27 @@ func (p *parser) parseAtom() (P, error) {
 		return nil, fmt.Errorf("predicate: bad integer %q: %v", v.text, err)
 	}
 	return Field{Name: t.text, Op: cmp, Arg: n}, nil
+}
+
+// parseKeyRange parses the tail of `key in [ "lo" , "hi" )` — the "key in"
+// prefix has already been consumed.
+func (p *parser) parseKeyRange() (P, error) {
+	if !p.acceptOp("[") {
+		return nil, fmt.Errorf("predicate: key in needs '[', got %q", p.peek().text)
+	}
+	lo := p.next()
+	if lo.kind != tokString {
+		return nil, fmt.Errorf("predicate: key in needs a string lower bound, got %q", lo.text)
+	}
+	if !p.acceptOp(",") {
+		return nil, fmt.Errorf("predicate: key in needs ',', got %q", p.peek().text)
+	}
+	hi := p.next()
+	if hi.kind != tokString {
+		return nil, fmt.Errorf("predicate: key in needs a string upper bound, got %q", hi.text)
+	}
+	if !p.acceptOp(")") {
+		return nil, fmt.Errorf("predicate: key in needs ')', got %q", p.peek().text)
+	}
+	return KeyRange{Lo: data.Key(lo.text), Hi: data.Key(hi.text)}, nil
 }

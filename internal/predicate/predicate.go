@@ -138,6 +138,24 @@ func (k KeyEq) Match(t data.Tuple) bool { return t.Row != nil && t.Key == k.Key 
 
 func (k KeyEq) String() string { return fmt.Sprintf("key == %q", string(k.Key)) }
 
+// KeyRange matches rows in the half-open key interval [Lo, Hi). It is the
+// predicate behind range scans ("SCAN lo hi"): key-range locking extracts
+// exactly this interval via KeyBounds, so the scan's gap fragments cover
+// the scanned keys and nothing more. An empty interval (Lo >= Hi) matches
+// nothing.
+type KeyRange struct {
+	Lo, Hi data.Key
+}
+
+// Match implements P.
+func (k KeyRange) Match(t data.Tuple) bool {
+	return t.Row != nil && t.Key >= k.Lo && t.Key < k.Hi
+}
+
+func (k KeyRange) String() string {
+	return fmt.Sprintf("key in [%q, %q)", string(k.Lo), string(k.Hi))
+}
+
 // And is the conjunction of its operands.
 type And struct{ L, R P }
 
@@ -191,6 +209,7 @@ func Filter(p P, ts []data.Tuple) []data.Tuple {
 //   - different KeyEq keys are disjoint;
 //   - KeyEq vs KeyPrefix that does not cover the key;
 //   - two KeyPrefix with incompatible prefixes;
+//   - KeyRange vs KeyEq/KeyRange/KeyPrefix with non-overlapping intervals;
 //   - Field comparisons on the same field with incompatible ranges
 //     (e.g. dept == 1 vs dept == 2, hours < 3 vs hours > 5).
 func DisjointWith(a, b P) bool {
@@ -209,6 +228,19 @@ func DisjointWith(a, b P) bool {
 		case KeyPrefix:
 			return !strings.HasPrefix(x.Prefix, y.Prefix) && !strings.HasPrefix(y.Prefix, x.Prefix)
 		}
+	case KeyRange:
+		switch y := b.(type) {
+		case KeyEq:
+			return y.Key < x.Lo || y.Key >= x.Hi
+		case KeyRange:
+			return x.Hi <= y.Lo || y.Hi <= x.Lo
+		case KeyPrefix:
+			// The prefix block is [prefix, prefixEnd(prefix)).
+			if end, ok := prefixEnd(y.Prefix); ok {
+				return end <= x.Lo || x.Hi <= data.Key(y.Prefix)
+			}
+			return x.Hi <= data.Key(y.Prefix)
+		}
 	case Field:
 		if y, ok := b.(Field); ok && x.Name == y.Name {
 			return fieldRangesDisjoint(x, y)
@@ -224,6 +256,9 @@ func DisjointWith(a, b P) bool {
 		return DisjointWith(b, a)
 	}
 	if _, ok := b.(KeyPrefix); ok {
+		return DisjointWith(b, a)
+	}
+	if _, ok := b.(KeyRange); ok {
 		return DisjointWith(b, a)
 	}
 	return false

@@ -205,6 +205,8 @@ func TestStringParseRoundTrip(t *testing.T) {
 		Field{Name: "hours", Op: LE, Arg: -3},
 		KeyPrefix{Prefix: "emp:"},
 		KeyEq{Key: "x"},
+		KeyRange{Lo: "acct:03", Hi: "acct:17"},
+		And{L: KeyRange{Lo: "a", Hi: "m"}, R: Field{Name: "dept", Op: EQ, Arg: 1}},
 		And{L: Field{Name: "a", Op: GT, Arg: 0}, R: Not{X: Field{Name: "b", Op: NE, Arg: 2}}},
 		Or{L: KeyPrefix{Prefix: "t:"}, R: And{L: True{}, R: Field{Name: "z", Op: GE, Arg: 100}}},
 	}
@@ -222,15 +224,18 @@ func TestStringParseRoundTrip(t *testing.T) {
 // randomPred builds a random predicate of bounded depth for property tests.
 func randomPred(r *rand.Rand, depth int) P {
 	if depth <= 0 || r.Intn(3) == 0 {
-		switch r.Intn(4) {
+		switch r.Intn(5) {
 		case 0:
 			return True{}
 		case 1:
 			return Field{Name: string(rune('a' + r.Intn(4))), Op: CmpOp(r.Intn(6)), Arg: int64(r.Intn(21) - 10)}
 		case 2:
 			return KeyPrefix{Prefix: string(rune('k'+r.Intn(3))) + ":"}
-		default:
+		case 3:
 			return KeyEq{Key: data.Key(string(rune('x' + r.Intn(3))))}
+		default:
+			lo := data.Key(string(rune('k' + r.Intn(3))))
+			return KeyRange{Lo: lo, Hi: lo + data.Key(string(rune(':'+r.Intn(3))))}
 		}
 	}
 	switch r.Intn(3) {

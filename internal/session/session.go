@@ -1,0 +1,323 @@
+// Package session implements the statement lifecycle of one client
+// connection: a line-oriented, RESP-flavored text protocol executed
+// against any engine.DB. A session owns at most one open transaction
+// (the engine's one-transaction-per-goroutine contract is preserved by
+// the server driving each session from its connection goroutine) and
+// maps the engine's sentinel errors onto typed wire errors:
+//
+//	BEGIN [ISOLATION LEVEL <level>]     -> +OK T<id> <code>
+//	SET TRANSACTION ISOLATION LEVEL <l> -> +OK         (session default)
+//	GET <key>                           -> :<val> | $-1
+//	SET <key> <int>                     -> +OK
+//	DEL <key>                           -> +OK | $-1
+//	SCAN <lo> <hi>                      -> *<n> then n "+<key> <val>" lines
+//	COMMIT / ABORT / ROLLBACK           -> +OK
+//	LEVEL / PING / QUIT                 -> +<level> / +PONG / +BYE
+//
+// Error replies carry the retry contract: "-RETRY <KIND> <msg>" means the
+// scheduler aborted the transaction (deadlock victim, First-Committer-Wins
+// conflict, row-changed) and the client should rerun it from BEGIN — the
+// session has already rolled the transaction back, so no ABORT is needed.
+// "-ERR <msg>" is a non-retryable failure. Level names are the paper's §3
+// names or codes, resolved by engine.ParseLevel ("REPEATABLE READ", "RR",
+// "SNAPSHOT_ISOLATION", ...).
+//
+// Data statements outside an open transaction autocommit: a one-statement
+// transaction at the session's default level.
+//
+// This package deliberately lives outside the //isolint:deterministic set:
+// sessions are driven by network peers at wall-clock pace, unlike the
+// fuzzer's scripted schedules.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+	"isolevel/internal/predicate"
+)
+
+// Stats aggregates statement outcomes across all sessions of a server.
+// All fields are atomics; one Stats is shared by every session.
+type Stats struct {
+	Statements atomic.Int64 // statements executed (non-empty lines)
+	Begins     atomic.Int64 // transactions opened (BEGIN + autocommit)
+	Commits    atomic.Int64 // successful commits (COMMIT + autocommit)
+	Aborts     atomic.Int64 // explicit ABORT/ROLLBACK statements
+	Retryable  atomic.Int64 // -RETRY replies (scheduler-initiated aborts)
+	Errors     atomic.Int64 // -ERR replies
+}
+
+// Session is the per-connection statement executor. Not safe for
+// concurrent use: the owning connection goroutine calls Exec serially.
+type Session struct {
+	db    engine.DB
+	level engine.Level // session default level (SET TRANSACTION changes it)
+	tx    engine.Tx
+	stats *Stats
+}
+
+// New returns a session over db whose transactions default to level.
+// stats may be nil (a private Stats is allocated).
+func New(db engine.DB, level engine.Level, stats *Stats) *Session {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Session{db: db, level: level, stats: stats}
+}
+
+// InTx reports whether the session has an open transaction.
+func (s *Session) InTx() bool { return s.tx != nil }
+
+// Close aborts any open transaction. Tolerates transactions the
+// scheduler already terminated (the Abort's ErrTxDone is discarded) —
+// teardown after a dropped connection must never fail.
+func (s *Session) Close() {
+	if s.tx != nil {
+		_ = s.tx.Abort()
+		s.tx = nil
+	}
+}
+
+// Exec executes one statement line and returns the wire reply (no
+// trailing line terminator; multi-line replies embed "\r\n") plus
+// whether the session asked to quit. An empty line yields an empty
+// reply: nothing to write.
+func (s *Session) Exec(line string) (reply string, quit bool) {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return "", false
+	}
+	s.stats.Statements.Add(1)
+	switch verb := strings.ToUpper(f[0]); verb {
+	case "PING":
+		return "+PONG", false
+	case "QUIT":
+		s.Close()
+		return "+BYE", true
+	case "LEVEL":
+		return "+" + s.level.String(), false
+	case "BEGIN":
+		return s.begin(f), false
+	case "SET":
+		if len(f) >= 2 && strings.EqualFold(f[1], "TRANSACTION") {
+			return s.setTransaction(f), false
+		}
+		return s.put(f), false
+	case "GET":
+		return s.get(f), false
+	case "DEL":
+		return s.del(f), false
+	case "SCAN":
+		return s.scan(f), false
+	case "COMMIT":
+		return s.commit(), false
+	case "ABORT", "ROLLBACK":
+		return s.abort(), false
+	default:
+		return s.errf("unknown statement %q", verb), false
+	}
+}
+
+func (s *Session) begin(f []string) string {
+	if s.tx != nil {
+		return s.errf("transaction already open (T%d)", s.tx.ID())
+	}
+	lvl := s.level
+	if len(f) > 1 {
+		if len(f) < 4 || !strings.EqualFold(f[1], "ISOLATION") || !strings.EqualFold(f[2], "LEVEL") {
+			return s.errf("syntax: BEGIN [ISOLATION LEVEL <level>]")
+		}
+		l, ok := engine.ParseLevel(strings.Join(f[3:], " "))
+		if !ok {
+			return s.errf("unknown isolation level %q", strings.Join(f[3:], " "))
+		}
+		lvl = l
+	}
+	tx, err := s.db.Begin(lvl)
+	if err != nil {
+		return s.errf("BEGIN at %s: %v", lvl, err)
+	}
+	s.tx = tx
+	s.stats.Begins.Add(1)
+	return fmt.Sprintf("+OK T%d %s", tx.ID(), lvl.Code())
+}
+
+func (s *Session) setTransaction(f []string) string {
+	if s.tx != nil {
+		return s.errf("SET TRANSACTION inside an open transaction")
+	}
+	if len(f) < 5 || !strings.EqualFold(f[2], "ISOLATION") || !strings.EqualFold(f[3], "LEVEL") {
+		return s.errf("syntax: SET TRANSACTION ISOLATION LEVEL <level>")
+	}
+	lvl, ok := engine.ParseLevel(strings.Join(f[4:], " "))
+	if !ok {
+		return s.errf("unknown isolation level %q", strings.Join(f[4:], " "))
+	}
+	s.level = lvl
+	return "+OK"
+}
+
+func (s *Session) commit() string {
+	if s.tx == nil {
+		return s.errf("COMMIT without a transaction")
+	}
+	tx := s.tx
+	s.tx = nil
+	if err := tx.Commit(); err != nil {
+		// A failed commit (e.g. First-Committer-Wins) may or may not have
+		// terminated the transaction; the cleanup Abort tolerates both.
+		_ = tx.Abort()
+		return s.fail(err)
+	}
+	s.stats.Commits.Add(1)
+	return "+OK"
+}
+
+func (s *Session) abort() string {
+	if s.tx == nil {
+		return s.errf("ABORT without a transaction")
+	}
+	tx := s.tx
+	s.tx = nil
+	if err := tx.Abort(); err != nil && !errors.Is(err, engine.ErrTxDone) {
+		return s.fail(err)
+	}
+	s.stats.Aborts.Add(1)
+	return "+OK"
+}
+
+func (s *Session) get(f []string) string {
+	if len(f) != 2 {
+		return s.errf("syntax: GET <key>")
+	}
+	return s.data(func(tx engine.Tx) (string, error) {
+		v, err := engine.GetVal(tx, data.Key(f[1]))
+		if errors.Is(err, engine.ErrNotFound) {
+			return "$-1", nil
+		}
+		if err != nil {
+			return "", err
+		}
+		return ":" + strconv.FormatInt(v, 10), nil
+	})
+}
+
+func (s *Session) put(f []string) string {
+	if len(f) != 3 {
+		return s.errf("syntax: SET <key> <int>")
+	}
+	v, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return s.errf("SET value %q is not an integer", f[2])
+	}
+	return s.data(func(tx engine.Tx) (string, error) {
+		if err := engine.PutVal(tx, data.Key(f[1]), v); err != nil {
+			return "", err
+		}
+		return "+OK", nil
+	})
+}
+
+func (s *Session) del(f []string) string {
+	if len(f) != 2 {
+		return s.errf("syntax: DEL <key>")
+	}
+	return s.data(func(tx engine.Tx) (string, error) {
+		err := tx.Delete(data.Key(f[1]))
+		if errors.Is(err, engine.ErrNotFound) {
+			return "$-1", nil
+		}
+		if err != nil {
+			return "", err
+		}
+		return "+OK", nil
+	})
+}
+
+func (s *Session) scan(f []string) string {
+	if len(f) != 3 {
+		return s.errf("syntax: SCAN <lo> <hi>")
+	}
+	return s.data(func(tx engine.Tx) (string, error) {
+		tuples, err := tx.Select(predicate.KeyRange{Lo: data.Key(f[1]), Hi: data.Key(f[2])})
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "*%d", len(tuples))
+		for _, t := range tuples {
+			fmt.Fprintf(&b, "\r\n+%s %d", t.Key, t.Row.Val())
+		}
+		return b.String(), nil
+	})
+}
+
+// data runs one data statement, opening and committing an autocommit
+// transaction when none is open. On any engine error the transaction is
+// rolled back (the engine contract: errors other than ErrNotFound leave
+// the transaction abort-only) and the error is classified retryable or
+// not.
+func (s *Session) data(op func(tx engine.Tx) (string, error)) string {
+	tx := s.tx
+	autocommit := tx == nil
+	if autocommit {
+		var err error
+		tx, err = s.db.Begin(s.level)
+		if err != nil {
+			return s.errf("autocommit BEGIN at %s: %v", s.level, err)
+		}
+		s.stats.Begins.Add(1)
+	}
+	reply, err := op(tx)
+	if err != nil {
+		_ = tx.Abort()
+		s.tx = nil
+		return s.fail(err)
+	}
+	if autocommit {
+		if err := tx.Commit(); err != nil {
+			_ = tx.Abort()
+			return s.fail(err)
+		}
+		s.stats.Commits.Add(1)
+	}
+	return reply
+}
+
+// fail renders an engine error as a wire error. Retryable errors
+// (engine.IsRetryable: deadlock victim, FCW conflict, row-changed) become
+// "-RETRY <KIND> <msg>"; the session's transaction is already rolled back
+// by the callers, so the client's contract is simply to rerun from BEGIN.
+func (s *Session) fail(err error) string {
+	if engine.IsRetryable(err) {
+		s.stats.Retryable.Add(1)
+		return "-RETRY " + retryKind(err) + " " + err.Error()
+	}
+	s.stats.Errors.Add(1)
+	return "-ERR " + err.Error()
+}
+
+func (s *Session) errf(format string, args ...any) string {
+	s.stats.Errors.Add(1)
+	return "-ERR " + fmt.Sprintf(format, args...)
+}
+
+// retryKind names the retryable class for the wire: DEADLOCK,
+// WRITECONFLICT or ROWCHANGED.
+func retryKind(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrDeadlock):
+		return "DEADLOCK"
+	case errors.Is(err, engine.ErrWriteConflict):
+		return "WRITECONFLICT"
+	case errors.Is(err, engine.ErrRowChanged):
+		return "ROWCHANGED"
+	}
+	return "RETRYABLE"
+}

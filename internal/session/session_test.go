@@ -1,0 +1,228 @@
+package session_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"isolevel/internal/data"
+	"isolevel/internal/engine"
+	"isolevel/internal/locking"
+	"isolevel/internal/mvcc"
+	"isolevel/internal/session"
+)
+
+// exec runs one statement and fails the test on an unexpected reply.
+func exec(t *testing.T, s *session.Session, line, want string) {
+	t.Helper()
+	got, quit := s.Exec(line)
+	if got != want {
+		t.Fatalf("Exec(%q) = %q, want %q", line, got, want)
+	}
+	if quit {
+		t.Fatalf("Exec(%q) asked to quit", line)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	db := mvcc.NewDB()
+	var stats session.Stats
+	s := session.New(db, engine.SnapshotIsolation, &stats)
+
+	exec(t, s, "PING", "+PONG")
+	exec(t, s, "LEVEL", "+SNAPSHOT ISOLATION")
+
+	reply, _ := s.Exec("BEGIN")
+	if !strings.HasPrefix(reply, "+OK T") || !strings.HasSuffix(reply, " SI") {
+		t.Fatalf("BEGIN = %q, want +OK T<id> SI", reply)
+	}
+	if !s.InTx() {
+		t.Fatal("InTx() = false after BEGIN")
+	}
+	exec(t, s, "SET x 41", "+OK")
+	exec(t, s, "GET x", ":41")
+	exec(t, s, "GET missing", "$-1")
+	exec(t, s, "COMMIT", "+OK")
+	if s.InTx() {
+		t.Fatal("InTx() = true after COMMIT")
+	}
+
+	// Autocommit statements: one transaction each.
+	exec(t, s, "GET x", ":41")
+	exec(t, s, "SET x 42", "+OK")
+	exec(t, s, "DEL x", "+OK")
+	exec(t, s, "GET x", "$-1")
+
+	// Explicit abort discards the write.
+	exec(t, s, "BEGIN", "+OK T6 SI")
+	exec(t, s, "SET y 7", "+OK")
+	exec(t, s, "ABORT", "+OK")
+	exec(t, s, "GET y", "$-1")
+
+	if got := stats.Errors.Load(); got != 0 {
+		t.Fatalf("Errors = %d, want 0", got)
+	}
+	// Begins: 1 explicit + 4 autocommit + 1 explicit + 1 autocommit = 7.
+	if got := stats.Begins.Load(); got != 7 {
+		t.Fatalf("Begins = %d, want 7", got)
+	}
+	// Commits: 1 explicit + 4 autocommit (the aborted tx and the final
+	// autocommit GET) ... recount: explicit COMMIT (1) + autocommit
+	// GET/SET/DEL/DEL (4) + final GET (1) = 6.
+	if got := stats.Commits.Load(); got != 6 {
+		t.Fatalf("Commits = %d, want 6", got)
+	}
+	if got := stats.Aborts.Load(); got != 1 {
+		t.Fatalf("Aborts = %d, want 1", got)
+	}
+}
+
+func TestSessionScanReply(t *testing.T) {
+	db := locking.NewDB(locking.WithPhantomProtection(locking.PhantomKeyrange))
+	db.Load(
+		data.Tuple{Key: "acct:01", Row: data.Scalar(10)},
+		data.Tuple{Key: "acct:02", Row: data.Scalar(20)},
+		data.Tuple{Key: "acct:03", Row: data.Scalar(30)},
+		data.Tuple{Key: "other:x", Row: data.Scalar(99)},
+	)
+	s := session.New(db, engine.Serializable, nil)
+	defer s.Close()
+
+	exec(t, s, "SCAN acct:01 acct:03", "*2\r\n+acct:01 10\r\n+acct:02 20")
+	exec(t, s, "SCAN acct: acct:~", "*3\r\n+acct:01 10\r\n+acct:02 20\r\n+acct:03 30")
+	exec(t, s, "SCAN zz zz", "*0")
+}
+
+func TestSessionSetTransaction(t *testing.T) {
+	db := mvcc.NewDB()
+	s := session.New(db, engine.SnapshotIsolation, nil)
+	defer s.Close()
+
+	exec(t, s, "SET TRANSACTION ISOLATION LEVEL READ CONSISTENCY", "+OK")
+	exec(t, s, "LEVEL", "+READ CONSISTENCY")
+	reply, _ := s.Exec("BEGIN")
+	if !strings.HasSuffix(reply, " ORC") {
+		t.Fatalf("BEGIN after SET TRANSACTION = %q, want ... ORC", reply)
+	}
+	// Rejected inside an open transaction.
+	reply, _ = s.Exec("SET TRANSACTION ISOLATION LEVEL SNAPSHOT ISOLATION")
+	if !strings.HasPrefix(reply, "-ERR") {
+		t.Fatalf("SET TRANSACTION in tx = %q, want -ERR", reply)
+	}
+	exec(t, s, "COMMIT", "+OK")
+
+	// BEGIN's one-shot level override does not change the session default.
+	reply, _ = s.Exec("BEGIN ISOLATION LEVEL SNAPSHOT ISOLATION")
+	if !strings.HasSuffix(reply, " SI") {
+		t.Fatalf("BEGIN ISOLATION LEVEL = %q, want ... SI", reply)
+	}
+	exec(t, s, "COMMIT", "+OK")
+	exec(t, s, "LEVEL", "+READ CONSISTENCY")
+}
+
+func TestSessionErrors(t *testing.T) {
+	db := mvcc.NewDB()
+	var stats session.Stats
+	s := session.New(db, engine.SnapshotIsolation, &stats)
+	defer s.Close()
+
+	for _, line := range []string{
+		"FROB x",
+		"COMMIT",
+		"ABORT",
+		"GET",
+		"SET x notanint",
+		"SCAN lo",
+		"BEGIN ISOLATION LEVEL NONSENSE",
+		"SET TRANSACTION ISOLATION LEVEL",
+	} {
+		reply, _ := s.Exec(line)
+		if !strings.HasPrefix(reply, "-ERR") {
+			t.Errorf("Exec(%q) = %q, want -ERR ...", line, reply)
+		}
+	}
+	exec(t, s, "BEGIN", "+OK T1 SI")
+	reply, _ := s.Exec("BEGIN")
+	if !strings.HasPrefix(reply, "-ERR") {
+		t.Fatalf("nested BEGIN = %q, want -ERR", reply)
+	}
+	if got := stats.Errors.Load(); got != 9 {
+		t.Fatalf("Errors = %d, want 9", got)
+	}
+	if got := stats.Retryable.Load(); got != 0 {
+		t.Fatalf("Retryable = %d, want 0", got)
+	}
+}
+
+// TestSessionRetryWriteConflict pins the retry contract: a
+// First-Committer-Wins loser's COMMIT replies -RETRY WRITECONFLICT, the
+// transaction is already rolled back, and the session can BEGIN again
+// immediately.
+func TestSessionRetryWriteConflict(t *testing.T) {
+	db := mvcc.NewDB()
+	db.Load(data.Tuple{Key: "x", Row: data.Scalar(0)})
+	var stats session.Stats
+	s1 := session.New(db, engine.SnapshotIsolation, &stats)
+	s2 := session.New(db, engine.SnapshotIsolation, &stats)
+	defer s1.Close()
+	defer s2.Close()
+
+	exec(t, s1, "BEGIN", "+OK T1 SI")
+	exec(t, s2, "BEGIN", "+OK T2 SI")
+	exec(t, s1, "SET x 1", "+OK")
+	exec(t, s2, "SET x 2", "+OK")
+	exec(t, s1, "COMMIT", "+OK")
+
+	reply, _ := s2.Exec("COMMIT")
+	if !strings.HasPrefix(reply, "-RETRY WRITECONFLICT ") {
+		t.Fatalf("losing COMMIT = %q, want -RETRY WRITECONFLICT ...", reply)
+	}
+	if s2.InTx() {
+		t.Fatal("InTx() = true after -RETRY; session must be rolled back")
+	}
+	if got := stats.Retryable.Load(); got != 1 {
+		t.Fatalf("Retryable = %d, want 1", got)
+	}
+	if got := stats.Errors.Load(); got != 0 {
+		t.Fatalf("Errors = %d, want 0", got)
+	}
+	// The rerun-from-BEGIN contract: the same session retries and wins.
+	exec(t, s2, "BEGIN", "+OK T3 SI")
+	exec(t, s2, "SET x 2", "+OK")
+	exec(t, s2, "COMMIT", "+OK")
+	exec(t, s2, "GET x", ":2")
+}
+
+func TestSessionQuitAbortsOpenTx(t *testing.T) {
+	db := mvcc.NewDB()
+	s := session.New(db, engine.SnapshotIsolation, nil)
+	exec(t, s, "BEGIN", "+OK T1 SI")
+	exec(t, s, "SET q 1", "+OK")
+	reply, quit := s.Exec("QUIT")
+	if reply != "+BYE" || !quit {
+		t.Fatalf("QUIT = (%q, %v), want (+BYE, true)", reply, quit)
+	}
+	s2 := session.New(db, engine.SnapshotIsolation, nil)
+	defer s2.Close()
+	exec(t, s2, "GET q", "$-1")
+}
+
+func TestSessionDefaultLevelPerFamily(t *testing.T) {
+	// The serve default levels: SER for locking families, SI for mv.
+	for _, tc := range []struct {
+		db    engine.DB
+		level engine.Level
+		code  string
+	}{
+		{locking.NewDB(), engine.Serializable, "SER"},
+		{mvcc.NewDB(), engine.SnapshotIsolation, "SI"},
+	} {
+		s := session.New(tc.db, tc.level, nil)
+		reply, _ := s.Exec("BEGIN")
+		if want := fmt.Sprintf("+OK T1 %s", tc.code); reply != want {
+			t.Errorf("BEGIN at %s = %q, want %q", tc.level, reply, want)
+		}
+		exec(t, s, "COMMIT", "+OK")
+		s.Close()
+	}
+}
