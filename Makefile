@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test race vet lint isolint bench bench-all bench-keyrange bench-mv bench-locking bench-compare fuzz fuzz-mixed fuzz-keyrange fuzz-escalation fuzz-determinism serve-smoke
+.PHONY: verify build test race vet lint isolint bench bench-all bench-keyrange bench-mv bench-locking bench-compare fuzz fuzz-mixed fuzz-keyrange fuzz-escalation fuzz-dml fuzz-determinism serve-smoke
 
 verify: lint build race ## what CI runs: vet + isolint + build + race-enabled tests
 
@@ -148,6 +148,21 @@ fuzz-escalation:
 	cat /tmp/isolevel-fuzz-ea.out
 	$(GO) run ./cmd/isolevel fuzz -engines keyrange -escalation 2 -shards 2 -seed 1 -n 300 > /tmp/isolevel-fuzz-eb.out
 	diff /tmp/isolevel-fuzz-ea.out /tmp/isolevel-fuzz-eb.out
+
+# DML grammar: inserts, deletes, and range reads join the classic op
+# mix, so every family replays schedules that create and destroy rows
+# mid-history and range reads certify against the resulting phantoms.
+# Keyrange campaigns exercise the gap-lock path continuously (the gaps
+# column goes nonzero). Zero oracle violations AND zero predicate vs
+# keyrange divergences, byte-for-byte identical across reruns and under
+# the race detector with parallel campaign workers.
+fuzz-dml:
+	$(GO) run ./cmd/isolevel fuzz -seed 1 -n 500 -mix r:4,w:4,p:1,rc:1,wc:1,i:2,d:2,s:2 > /tmp/isolevel-fuzz-da.out
+	cat /tmp/isolevel-fuzz-da.out
+	$(GO) run ./cmd/isolevel fuzz -seed 1 -n 500 -mix r:4,w:4,p:1,rc:1,wc:1,i:2,d:2,s:2 > /tmp/isolevel-fuzz-db.out
+	diff /tmp/isolevel-fuzz-da.out /tmp/isolevel-fuzz-db.out
+	$(GO) run -race ./cmd/isolevel fuzz -seed 1 -n 500 -mix r:4,w:4,p:1,rc:1,wc:1,i:2,d:2,s:2 -workers 4 > /tmp/isolevel-fuzz-dc.out
+	diff /tmp/isolevel-fuzz-da.out /tmp/isolevel-fuzz-dc.out
 
 # The same campaign run twice must be byte-for-byte identical — uniform
 # and mixed alike.

@@ -142,7 +142,7 @@ commands:
         manager; SI + RC interleaved on the unified mv engine), judged by
         the per-transaction oracle (a phenomenon is a violation only when
         charged to a transaction whose own level forbids it)
-        knobs: -txs -items -ops -abort -mix r:W,w:W,p:W,rc:W,wc:W
+        knobs: -txs -items -ops -abort -mix r:W,w:W,p:W,rc:W,wc:W,i:W,d:W,s:W
                -engines locking,keyrange,snapshot,oraclerc
                         (mixed: locking,keyrange,mv)
                -levels L1,L2 -workers W -shards N -start I -oracle LEVEL -v
@@ -172,7 +172,7 @@ commands:
   load -addr A                drive a running server: closed loop
         (-clients N -txns T) or open loop (-rate R arrivals/sec), hot-key
         skew (-keys -hot-keys -hot-bias), op mix (-ops -read-frac
-        -scan-frac), mixed levels (-levels SER,SI,RC sampled per
+        -scan-frac -del-frac), mixed levels (-levels SER,SI,RC sampled per
         transaction), retry loop (-retries), seeded (-seed); reports
         commits/retries/shed/busy and p50/p90/p99 latency
   benchjson [-match RE]       convert "go test -bench" output on stdin to
@@ -831,7 +831,7 @@ func cmdFuzz(args []string) error {
 	items := fs.Int("items", 0, "distinct data items (0 = default)")
 	ops := fs.Int("ops", 0, "transaction size: each draws 1..2*ops non-terminal ops (0 = default)")
 	abortFrac := fs.Float64("abort", -1, "scripted abort probability (negative = default)")
-	mix := fs.String("mix", "", "op-kind weights, e.g. r:4,w:4,p:1,rc:1,wc:1")
+	mix := fs.String("mix", "", "op-kind weights, e.g. r:4,w:4,p:1,rc:1,wc:1,i:2,d:2,s:2 (i=insert, d=delete, s=range scan)")
 	engines := fs.String("engines", "", "comma list of engine families (default all: locking,snapshot,oraclerc)")
 	levels := fs.String("levels", "", "comma list of isolation levels (default: every level each family implements)")
 	workers := fs.Int("workers", 1, "campaign worker goroutines (report is identical at any count)")
@@ -1093,7 +1093,9 @@ func benchCompare(oldPath, newPath, metric, match string, maxRegress float64) er
 	return nil
 }
 
-// parseMix reads "r:4,w:4,p:1,rc:1,wc:1" (any subset; omitted kinds get 0).
+// parseMix reads "r:4,w:4,p:1,rc:1,wc:1,i:2,d:2,s:2" (any subset;
+// omitted kinds get 0). i/d/s are the DML kinds: inserts of fresh keys,
+// deletes of live keys, and key-range scans.
 func parseMix(src string) (exerciser.Mix, error) {
 	var m exerciser.Mix
 	for _, part := range strings.Split(src, ",") {
@@ -1116,8 +1118,14 @@ func parseMix(src string) (exerciser.Mix, error) {
 			m.CurRead = w
 		case "wc":
 			m.CurWrite = w
+		case "i":
+			m.Insert = w
+		case "d":
+			m.Delete = w
+		case "s":
+			m.RangeRead = w
 		default:
-			return m, fmt.Errorf("unknown mix kind %q (r, w, p, rc, wc)", kv[0])
+			return m, fmt.Errorf("unknown mix kind %q (r, w, p, rc, wc, i, d, s)", kv[0])
 		}
 	}
 	return m, nil

@@ -148,6 +148,7 @@ func cmdLoad(args []string) error {
 	ops := fs.Int("ops", 4, "data statements per transaction")
 	readFrac := fs.Float64("read-frac", 0.5, "fraction of ops that GET")
 	scanFrac := fs.Float64("scan-frac", 0, "fraction of ops that SCAN")
+	delFrac := fs.Float64("del-frac", 0, "fraction of ops that DEL")
 	levelsFlag := fs.String("levels", "", "comma list of isolation levels sampled per transaction (empty = server default)")
 	retries := fs.Int("retries", 10, "max retries per transaction on -RETRY")
 	seed := fs.Int64("seed", 1, "rng seed")
@@ -157,7 +158,7 @@ func cmdLoad(args []string) error {
 	cfg := loadgen.Config{
 		Addr: *addr, Clients: *clients, Txns: *txns, Rate: *rate,
 		Keys: *keys, HotKeys: *hotKeys, HotBias: *hotBias,
-		OpsPerTxn: *ops, ReadFrac: *readFrac, ScanFrac: *scanFrac,
+		OpsPerTxn: *ops, ReadFrac: *readFrac, ScanFrac: *scanFrac, DelFrac: *delFrac,
 		Retries: *retries, Seed: *seed,
 	}
 	if *levelsFlag != "" {

@@ -78,7 +78,9 @@
 // paper's notation. The pipeline:
 //
 //	     seed ─▶ generate (exerciser.Generate: grammar over items,
-//	     │       predicates, cursors, per-tx op lists, seeded merge)
+//	     │       predicates, cursors, inserts/deletes/range reads
+//	     │       (the -mix i/d/s weights; rows appear and vanish
+//	     │       mid-history), per-tx op lists, seeded merge)
 //	     ▼
 //	   replay ─▶ schedule.Run: lockstep runner, one engine op at a
 //	     │       time (lock-wait observer + grant parking), per-tx

@@ -70,7 +70,9 @@ func (r *Recorder) RecordPredRead(tx int, p predicate.P) {
 
 // RecordWrite appends a write annotated with every previously read
 // predicate that covers either image (this is what makes recorded
-// histories carry the paper's "w2[y in P]" information).
+// histories carry the paper's "w2[y in P]" information). A nil after
+// image is a delete and records as the Delete kind ("d1[x]"), so the
+// trace distinguishes removing a row from writing one.
 func (r *Recorder) RecordWrite(tx int, key data.Key, before, after data.Row) {
 	if !r.on.Load() {
 		return
@@ -80,6 +82,8 @@ func (r *Recorder) RecordWrite(tx int, key data.Key, before, after data.Row) {
 	op := history.Op{Tx: tx, Kind: history.Write, Item: key, Version: -1}
 	if after != nil {
 		op.Value, op.HasValue = after.Val(), true
+	} else {
+		op.Kind = history.Delete
 	}
 	var matched []string
 	for name, p := range r.preds {

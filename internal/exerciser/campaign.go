@@ -85,6 +85,11 @@ type LevelStats struct {
 	Aborts    int
 	Phenomena map[phenomena.ID]bool // union of observed profiles
 	Findings  int
+	// GapGrants sums the cell's lock-manager gap-lock grants across the
+	// campaign: nonzero proves generated inserts ran under range activity
+	// and reached the key-range phantom path (always zero for families
+	// without a lock manager).
+	GapGrants int64
 }
 
 func (st LevelStats) levelLabel() string {
@@ -183,8 +188,30 @@ type indexResult struct {
 	commits  []int // per config
 	aborts   []int
 	profiles []map[phenomena.ID]bool
+	outcomes []string // canonical committed/aborted sets, per config
+	gaps     []int64
 	findings []Finding
 	err      error
+}
+
+// outcomeKey renders a run's committed/aborted transaction sets in a
+// canonical form, so two runs of the same schedule can be tested for
+// identical outcomes before their phenomenon profiles are compared.
+func outcomeKey(rr *RunResult) string {
+	var c, a []int
+	for txn, ok := range rr.Committed {
+		if ok {
+			c = append(c, txn)
+		}
+	}
+	for txn, ok := range rr.Aborted {
+		if ok {
+			a = append(a, txn)
+		}
+	}
+	sort.Ints(c)
+	sort.Ints(a)
+	return fmt.Sprintf("c%va%v", c, a)
 }
 
 // Run executes the campaign: N schedules, each replayed on every selected
@@ -223,6 +250,8 @@ func Run(opts Options) (*Report, error) {
 			commits:  make([]int, len(configs)),
 			aborts:   make([]int, len(configs)),
 			profiles: make([]map[phenomena.ID]bool, len(configs)),
+			outcomes: make([]string, len(configs)),
+			gaps:     make([]int64, len(configs)),
 		}
 		for ci, cfg := range configs {
 			assign := UniformAssign(cfg.level)
@@ -245,19 +274,30 @@ func Run(opts Options) (*Report, error) {
 				}
 			}
 			res.profiles[ci] = rr.Profile
+			res.outcomes[ci] = outcomeKey(rr)
+			res.gaps[ci] = rr.Locks.GapGrants
 			for _, f := range Check(sched, rr, oracle, judgeFor(assign)) {
 				f.Index = opts.Start + i
 				res.findings = append(res.findings, f)
 			}
 		}
 		// Cross-family differential: families running the same uniform
-		// level must agree on the phenomenon profile of the same schedule.
-		// (Mixed cells sample different level sets per family, so their
-		// profiles legitimately differ.)
+		// level must agree on the phenomenon profile of the same schedule —
+		// provided they reached the same outcome. Deadlock-victim selection
+		// legitimately differs between phantom protocols (a predicate-table
+		// cycle need not exist under key-range locks and vice versa); when
+		// the families abort different transactions the surviving histories
+		// differ and their profiles are incomparable, so the equivalence
+		// claim is conditional on matching committed/aborted sets. (Mixed
+		// cells sample different level sets per family, so their profiles
+		// legitimately differ.)
 		if !opts.Mixed {
 			byLevel := map[engine.Level]int{}
 			for ci, cfg := range configs {
 				if prev, ok := byLevel[cfg.level]; ok {
+					if res.outcomes[prev] != res.outcomes[ci] {
+						continue
+					}
 					if !sameProfile(res.profiles[prev], res.profiles[ci]) {
 						res.findings = append(res.findings, Finding{
 							Index:     opts.Start + i,
@@ -324,6 +364,7 @@ func Run(opts Options) (*Report, error) {
 			st.Runs++
 			st.Commits += res.commits[ci]
 			st.Aborts += res.aborts[ci]
+			st.GapGrants += res.gaps[ci]
 			for id := range res.profiles[ci] {
 				st.Phenomena[id] = true
 			}
@@ -401,6 +442,16 @@ func sameProfile(a, b map[phenomena.ID]bool) bool {
 	return true
 }
 
+// GapGrants totals the aggregated gap-lock grants across every cell —
+// the campaign-level proof that generated DML reached the gap path.
+func (r *Report) GapGrants() int64 {
+	var n int64
+	for _, st := range r.Stats {
+		n += st.GapGrants
+	}
+	return n
+}
+
 // Violations counts the non-divergence findings.
 func (r *Report) Violations() int {
 	n := 0
@@ -425,10 +476,10 @@ func (r *Report) String() string {
 	if r.Opts.OracleLevel != nil {
 		fmt.Fprintf(&b, "oracle override: checking every trace against %s\n", *r.Opts.OracleLevel)
 	}
-	fmt.Fprintf(&b, "%-9s %-19s %6s %8s %8s %4s  %s\n", "family", "level", "runs", "commits", "aborts", "viol", "phenomena observed")
+	fmt.Fprintf(&b, "%-9s %-19s %6s %8s %8s %6s %4s  %s\n", "family", "level", "runs", "commits", "aborts", "gaps", "viol", "phenomena observed")
 	for _, st := range r.Stats {
-		fmt.Fprintf(&b, "%-9s %-19s %6d %8d %8d %4d  %s\n",
-			st.Family, st.levelLabel(), st.Runs, st.Commits, st.Aborts, st.Findings, idsString(st.Phenomena))
+		fmt.Fprintf(&b, "%-9s %-19s %6d %8d %8d %6d %4d  %s\n",
+			st.Family, st.levelLabel(), st.Runs, st.Commits, st.Aborts, st.GapGrants, st.Findings, idsString(st.Phenomena))
 	}
 	sort.SliceStable(r.Findings, func(i, j int) bool { return r.Findings[i].Index < r.Findings[j].Index })
 	fmt.Fprintf(&b, "runs=%d findings=%d divergences=%d\n", r.Runs, r.Violations(), r.Divergences)

@@ -133,6 +133,25 @@ func TestKeyrangeEquivalenceMixed(t *testing.T) {
 	}
 }
 
+// TestKeyrangeEquivalenceDML: 200 schedules generated under the DML
+// grammar — inserts, deletes, and range reads racing the classic ops —
+// replayed at every locking level on both engines. This is the gap path
+// under generated load: schedules that create and destroy rows inside
+// scanned intervals must yield identical traces, profiles, and charges
+// on the predicate-locking and keyrange engines.
+func TestKeyrangeEquivalenceDML(t *testing.T) {
+	pred, keyrange := keyrangeTestFamilies(t)
+	params := DefaultParams()
+	params.Mix = DMLMix()
+	for i := 0; i < 200; i++ {
+		s := Generate(ScheduleSeed(19950601, i), params)
+		for _, lvl := range pred.Levels {
+			assertEquivalent(t, s, pred, keyrange, UniformAssign(lvl),
+				fmt.Sprintf("dml schedule %d at %s", i, lvl))
+		}
+	}
+}
+
 // TestKeyrangeEquivalenceInserts covers the half of the keyrange protocol
 // the generator cannot reach: the grammar writes only preloaded items, so
 // campaign schedules never take the insert/gap-lock path (AcquireGap,
@@ -274,7 +293,7 @@ func corpusSchedule(t *testing.T, file string) (*Schedule, bool) {
 
 	itemIdx := map[data.Key]int{}
 	maxItem := -1
-	itemOf := func(k data.Key) (data.Key, bool) {
+	itemOf := func(k data.Key) (int, bool) {
 		if _, ok := itemIdx[k]; !ok {
 			// Invert the generator's naming so Setup() loads the item.
 			found := false
@@ -286,17 +305,18 @@ func corpusSchedule(t *testing.T, file string) (*Schedule, bool) {
 				}
 			}
 			if !found {
-				return "", false
+				return 0, false
 			}
 		}
-		if itemIdx[k] > maxItem {
-			maxItem = itemIdx[k]
-		}
-		return k, true
+		return itemIdx[k], true
 	}
 	predIdx := map[string]int{}
 	for i, name := range predCanonNames {
 		predIdx[name] = i
+	}
+	rangeIdx := map[string]int{}
+	for i, name := range rangeCanonNames {
+		rangeIdx[name] = i
 	}
 
 	s := &Schedule{Seed: 0}
@@ -316,13 +336,17 @@ func corpusSchedule(t *testing.T, file string) (*Schedule, bool) {
 			sop.Kind = OpCurRead
 		case history.WriteCursor:
 			sop.Kind = OpCurWrite
+		case history.Delete:
+			sop.Kind = OpDelete
 		case history.PredRead:
-			idx, ok := predIdx[op.Preds[0]]
-			if !ok {
-				t.Logf("%s: predicate %q outside the pool, skipping file", file, op.Preds[0])
+			if idx, ok := predIdx[op.Preds[0]]; ok {
+				sop.Kind, sop.Pred = OpPredRead, idx
+			} else if idx, ok := rangeIdx[op.Preds[0]]; ok {
+				sop.Kind, sop.Pred = OpRangeRead, idx
+			} else {
+				t.Logf("%s: predicate %q outside the pools, skipping file", file, op.Preds[0])
 				return nil, false
 			}
-			sop.Kind, sop.Pred = OpPredRead, idx
 		case history.Commit:
 			sop.Kind = OpCommit
 		case history.Abort:
@@ -332,12 +356,23 @@ func corpusSchedule(t *testing.T, file string) (*Schedule, bool) {
 			return nil, false
 		}
 		if op.Item != "" && op.Kind != history.Commit && op.Kind != history.Abort {
-			item, ok := itemOf(op.Item)
+			idx, ok := itemOf(op.Item)
 			if !ok {
 				t.Logf("%s: item %q outside the generator naming, skipping file", file, op.Item)
 				return nil, false
 			}
-			sop.Item = item
+			sop.Item = op.Item
+			// Indices at or beyond the default preload are the insert
+			// namespace: a write there is an insert, and neither it nor a
+			// delete bumps Params.Items — Setup() must leave the row
+			// absent so the gap path actually fires on replay.
+			if idx >= DefaultParams().Items && op.Kind.IsWrite() {
+				if sop.Kind == OpWrite {
+					sop.Kind = OpInsert
+				}
+			} else if idx > maxItem {
+				maxItem = idx
+			}
 		}
 		if op.Kind.IsWrite() {
 			if op.HasValue {

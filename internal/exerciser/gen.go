@@ -34,12 +34,24 @@ type OpKind int
 // recently opened cursor (wc), degrading to a plain write if the
 // transaction has no cursor open (the generator only emits it after an
 // OpCurRead, but the shrinker may remove that read).
+//
+// The DML kinds create and destroy rows mid-history, which is what makes
+// generated schedules reach the gap-locking path: OpInsert writes a key
+// the setup never loaded (at the engine a plain Put of an absent key — an
+// insert), OpDelete removes a key that was live at generation time (a
+// delete of a key another transaction already removed is a tolerated
+// no-op, so shrinking stays well-formed), and OpRangeRead scans a
+// key-range predicate from RangePool, whose intervals straddle the
+// preloaded and inserted key names.
 const (
 	OpRead OpKind = iota
 	OpWrite
 	OpPredRead
 	OpCurRead
 	OpCurWrite
+	OpInsert
+	OpDelete
+	OpRangeRead
 	OpCommit
 	OpAbort
 )
@@ -49,18 +61,30 @@ type SOp struct {
 	Txn   int
 	Kind  OpKind
 	Item  data.Key
-	Pred  int   // predicate pool index, for OpPredRead
-	Value int64 // for OpWrite / OpCurWrite; unique per schedule
+	Pred  int   // predicate pool index (OpPredRead) / range pool index (OpRangeRead)
+	Value int64 // for OpWrite / OpCurWrite / OpInsert; unique per schedule
 }
 
 // Mix is the op-kind weighting of the generator's grammar.
 type Mix struct {
 	Read, Write, PredRead, CurRead, CurWrite int
+	Insert, Delete, RangeRead                int
 }
 
 // DefaultMix weights plain reads and writes heavily, with a sprinkle of
 // predicate reads and cursor traffic so P3/P4C-shaped interleavings occur.
+// DML weights default to zero: the classic campaigns stay byte-identical.
 func DefaultMix() Mix { return Mix{Read: 4, Write: 4, PredRead: 1, CurRead: 1, CurWrite: 1} }
+
+// DMLMix adds inserts, deletes, and range reads on top of the default
+// weights — the `make fuzz-dml` grammar. Every range read races rows
+// being created and destroyed inside its interval, so keyrange campaigns
+// exercise gap acquisition, fragment inheritance, and GC continuously.
+func DMLMix() Mix {
+	m := DefaultMix()
+	m.Insert, m.Delete, m.RangeRead = 2, 2, 2
+	return m
+}
 
 // Params parameterize schedule generation.
 type Params struct {
@@ -108,6 +132,25 @@ func PredPool() []predicate.P {
 // the pool's predicates.
 var predCanonNames = []string{"P", "Q", "R"}
 
+// RangePool is the fixed pool of key-range predicates OpRangeRead draws
+// from. Item names sort k6,k7,... < u < v < w < x < y < z, and inserts
+// take the first free itemName index (u,v,w for the default 3-item
+// schedules, then k6,k7,...), so every interval below straddles keys the
+// setup loaded and keys DML creates mid-history — a generated range read
+// can watch rows appear (insert phantoms) and vanish (delete phantoms)
+// inside its interval.
+func RangePool() []predicate.KeyRange {
+	return []predicate.KeyRange{
+		{Lo: "a", Hi: "{"}, // everything: all base items and all inserts
+		{Lo: "k", Hi: "x"}, // the insert band k6..w, excluding the base tail
+		{Lo: "u", Hi: "{"}, // letter-named items only, preloaded or inserted
+	}
+}
+
+// rangeCanonNames are the paper-style names the intended history uses for
+// the range pool (continuing predCanonNames' P, Q, R).
+var rangeCanonNames = []string{"S", "T", "U"}
+
 // Schedule is one generated interleaving, fully determined by (Seed,
 // Params).
 type Schedule struct {
@@ -141,13 +184,16 @@ func Generate(seed int64, p Params) *Schedule {
 		p.OpsPerTx = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	weights := []int{p.Mix.Read, p.Mix.Write, p.Mix.PredRead, p.Mix.CurRead, p.Mix.CurWrite}
+	weights := []int{
+		p.Mix.Read, p.Mix.Write, p.Mix.PredRead, p.Mix.CurRead, p.Mix.CurWrite,
+		p.Mix.Insert, p.Mix.Delete, p.Mix.RangeRead,
+	}
 	total := 0
 	for _, w := range weights {
 		total += w
 	}
 	if total == 0 {
-		weights = []int{1, 1, 0, 0, 0}
+		weights = []int{1, 1, 0, 0, 0, 0, 0, 0}
 		total = 2
 	}
 	pick := func() OpKind {
@@ -162,6 +208,17 @@ func Generate(seed int64, p Params) *Schedule {
 	}
 
 	nextVal := int64(writeBase)
+	// The key pool: deletes target keys live at generation time (preloaded
+	// items plus inserts emitted so far, across transactions), inserts
+	// always pick the next fresh itemName index. Runtime state can differ —
+	// an insert may abort, a concurrent delete may win — so the replay
+	// treats deleting an absent key as a no-op rather than relying on the
+	// pool being exact.
+	liveKeys := make([]data.Key, 0, p.Items)
+	for i := 0; i < p.Items; i++ {
+		liveKeys = append(liveKeys, itemName(i))
+	}
+	nextInsert := p.Items
 	perTx := make([][]SOp, p.Txs)
 	for t := 0; t < p.Txs; t++ {
 		txn := t + 1
@@ -172,6 +229,9 @@ func Generate(seed int64, p Params) *Schedule {
 			kind := pick()
 			if kind == OpCurWrite && cursorItem == "" {
 				kind = OpWrite
+			}
+			if kind == OpDelete && len(liveKeys) == 0 {
+				kind = OpRead // everything deleted: degrade deterministically
 			}
 			op := SOp{Txn: txn, Kind: kind}
 			switch kind {
@@ -193,6 +253,18 @@ func Generate(seed int64, p Params) *Schedule {
 				op.Value = nextVal
 			case OpPredRead:
 				op.Pred = rng.Intn(len(PredPool()))
+			case OpInsert:
+				op.Item = itemName(nextInsert)
+				nextInsert++
+				liveKeys = append(liveKeys, op.Item)
+				nextVal++
+				op.Value = nextVal
+			case OpDelete:
+				i := rng.Intn(len(liveKeys))
+				op.Item = liveKeys[i]
+				liveKeys = append(liveKeys[:i], liveKeys[i+1:]...)
+			case OpRangeRead:
+				op.Pred = rng.Intn(len(RangePool()))
 			}
 			ops = append(ops, op)
 		}
@@ -287,11 +359,18 @@ func (s *Schedule) History() history.History {
 		switch op.Kind {
 		case OpRead:
 			h = append(h, history.NewOp(op.Txn, history.Read, op.Item))
-		case OpWrite:
+		case OpWrite, OpInsert:
+			// An insert IS a write of a never-loaded key; the notation does
+			// not distinguish them.
 			h = append(h, history.NewOp(op.Txn, history.Write, op.Item).WithValue(op.Value))
+		case OpDelete:
+			h = append(h, history.NewOp(op.Txn, history.Delete, op.Item))
 		case OpPredRead:
 			h = append(h, history.Op{Tx: op.Txn, Kind: history.PredRead,
 				Preds: []string{predCanonNames[op.Pred]}, Version: -1})
+		case OpRangeRead:
+			h = append(h, history.Op{Tx: op.Txn, Kind: history.PredRead,
+				Preds: []string{rangeCanonNames[op.Pred]}, Version: -1})
 		case OpCurRead:
 			open[curKey{op.Txn, op.Item}] = true
 			h = append(h, history.NewOp(op.Txn, history.ReadCursor, op.Item))

@@ -2,6 +2,7 @@ package exerciser
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"isolevel/internal/deps"
 	"isolevel/internal/engine"
 	"isolevel/internal/history"
+	"isolevel/internal/lock"
 	"isolevel/internal/locking"
 	"isolevel/internal/mvcc"
 	"isolevel/internal/obs"
@@ -136,9 +138,17 @@ type RunResult struct {
 	// snapshot-read value certification.
 	mvReads   []mvRead
 	mvCommits []mvCommit
+	// rangeReads are the multiversion families' timestamped range-scan
+	// result sets, for the range-read (phantom) certification.
+	rangeReads []rangeRead
 	// Committed / Aborted index script transaction outcomes.
 	Committed map[int]bool
 	Aborted   map[int]bool
+	// Locks snapshots the engine's lock-manager counters after the run
+	// (zero value for engines without a lock manager). Campaigns aggregate
+	// these; GapGrants > 0 is the proof generated DML reached the
+	// key-range gap path.
+	Locks lock.Stats
 	// Sink is the run's observability sink: a virtual-clock flight
 	// recorder attached to engines that support it (nil otherwise). The
 	// virtual clock ticks once per recorded instant and the lockstep
@@ -157,11 +167,28 @@ type mvRead struct {
 	hasVal bool
 }
 
-// mvCommit is one committed transaction's final write values at its
-// commit slot.
+// mvVersion is one key's state after a committed write set applies:
+// either a value or a tombstone (the row was deleted).
+type mvVersion struct {
+	val     int64
+	deleted bool
+}
+
+// mvCommit is one committed transaction's final write values (or
+// tombstones) at its commit slot.
 type mvCommit struct {
 	slot   int64
-	writes map[data.Key]int64
+	writes map[data.Key]mvVersion
+}
+
+// rangeRead is one exported range scan: the snapshot slot it executed
+// at, the scanned interval, and the result set it returned.
+type rangeRead struct {
+	slot   int64
+	tx     int
+	lo, hi data.Key
+	keys   []data.Key
+	vals   []int64
 }
 
 // mvExporter is implemented by mvcc.SITx.
@@ -172,6 +199,11 @@ type mvExporter interface {
 // svExporter is implemented by mvcc.RCTx.
 type svExporter interface {
 	SVTrace() (committed bool, commitSlot int64, reads []mvcc.TimedRead, writes history.History)
+}
+
+// rangeExporter is implemented by mvcc.SITx and mvcc.RCTx.
+type rangeExporter interface {
+	RangeReads() []mvcc.RangeRead
 }
 
 // RunOne replays the schedule on a fresh engine of the family under the
@@ -213,6 +245,9 @@ func RunOne(s *Schedule, fam Family, assign Assign, shards int) (*RunResult, err
 		Aborted:   res.Aborted,
 		Sink:      sink,
 	}
+	if ls, ok := db.(interface{ LockStats() lock.Stats }); ok {
+		rr.Locks = ls.LockStats()
+	}
 	if fam.Multiversion {
 		rr.Normalized = mvNormalize(s, cap, rr)
 	} else {
@@ -238,6 +273,13 @@ func mvNormalize(s *Schedule, cap *capture, rr *RunResult) history.History {
 	var events []deps.SVEvent
 	seq := 0
 	for _, txn := range s.Txns() {
+		if rx, ok := cap.tx(txn).(rangeExporter); ok {
+			for _, x := range rx.RangeReads() {
+				rr.rangeReads = append(rr.rangeReads, rangeRead{
+					slot: x.Slot, tx: txn, lo: x.Lo, hi: x.Hi, keys: x.Keys, vals: x.Vals,
+				})
+			}
+		}
 		switch tx := cap.tx(txn).(type) {
 		case svExporter:
 			committed, commitSlot, reads, writes := tx.SVTrace()
@@ -260,9 +302,9 @@ func mvNormalize(s *Schedule, cap *capture, rr *RunResult) history.History {
 				tail = append(tail, history.Op{Tx: txn, Kind: history.Commit, Version: -1})
 				ts = commitSlot
 				if len(writes) > 0 {
-					c := mvCommit{slot: commitSlot, writes: map[data.Key]int64{}}
+					c := mvCommit{slot: commitSlot, writes: map[data.Key]mvVersion{}}
 					for _, op := range writes {
-						c.writes[op.Item] = op.Value
+						c.writes[op.Item] = commitVersion(op)
 					}
 					rr.mvCommits = append(rr.mvCommits, c)
 				}
@@ -290,15 +332,25 @@ func mvNormalize(s *Schedule, cap *capture, rr *RunResult) history.History {
 				rr.mvReads = append(rr.mvReads, mvRead{slot: t.Start, tx: txn, key: op.Item, val: op.Value, hasVal: op.HasValue})
 			}
 			if committed && len(t.Writes) > 0 {
-				c := mvCommit{slot: t.Commit, writes: map[data.Key]int64{}}
+				c := mvCommit{slot: t.Commit, writes: map[data.Key]mvVersion{}}
 				for _, op := range t.Writes {
-					c.writes[op.Item] = op.Value
+					c.writes[op.Item] = commitVersion(op)
 				}
 				rr.mvCommits = append(rr.mvCommits, c)
 			}
 		}
 	}
 	return deps.MapEventsToSV(events)
+}
+
+// commitVersion maps an exported write op to the post-commit state of
+// its key: Delete kind (no after-image) becomes a tombstone, everything
+// else the written value.
+func commitVersion(op history.Op) mvVersion {
+	if op.Kind == history.Delete || !op.HasValue {
+		return mvVersion{deleted: true}
+	}
+	return mvVersion{val: op.Value}
 }
 
 // Finding is one oracle violation (or divergence) discovered by a
@@ -316,10 +368,12 @@ type Finding struct {
 	// transaction whose level forbids it), "serializability" (cyclic
 	// dependency graph with every transaction at SERIALIZABLE), "fcw"
 	// (overlapping committed write sets under Snapshot Isolation),
-	// "provenance" (a read observed a value nobody wrote), "mv-read" (a
-	// snapshot read returning the wrong version's value), or "divergence"
-	// (two families at the same level disagree on the phenomenon profile;
-	// informational).
+	// "provenance" (a read observed a value nobody wrote, or missed a row
+	// that was loaded and never deleted), "mv-read" (a snapshot read
+	// returning the wrong version's value or presence), "range-read" (a
+	// range scan's result set disagrees with the newest committed state of
+	// its interval below its snapshot slot), or "divergence" (two families
+	// at the same level disagree on the phenomenon profile; informational).
 	Kind   string
 	IDs    []phenomena.ID
 	Detail string
@@ -470,59 +524,177 @@ func Check(s *Schedule, rr *RunResult, o *Oracle, judge Assign) []Finding {
 		f.Detail = msg
 		out = append(out, f)
 	}
+
+	// Range-read certification (multiversion families): every exported
+	// range scan's result set must equal the newest committed state of its
+	// interval below its snapshot slot — inserted rows visible once their
+	// inserter committed in-snapshot, deleted rows gone, and nothing from
+	// the future. This is the phantom check at the value level: a gap bug
+	// that lets a scan miss a committed insert or resurrect a deleted row
+	// shows up here even when the mapped trace happens to look clean.
+	if msg := checkRangeReads(s, rr); msg != "" {
+		f := base
+		f.Kind = "range-read"
+		f.Detail = msg
+		out = append(out, f)
+	}
 	return out
 }
 
 // checkSnapshotReads verifies every timestamped read of a multiversion
-// run against the run's committed write sets. Own-write overlays (a
-// cursor fetching a row its transaction already rewrote) are excused via
-// the raw trace's per-transaction write values.
+// run against the run's committed write sets, presence included: a read
+// below a row's creation or at-or-above its deletion must see no row,
+// and a read of a live row must see the newest in-snapshot value.
+// Own-write overlays (a cursor fetching a row its transaction already
+// rewrote, a read after the transaction's own delete) are excused via
+// the raw trace's per-transaction write and delete sets.
 func checkSnapshotReads(s *Schedule, rr *RunResult) string {
 	if len(rr.mvReads) == 0 {
 		return ""
 	}
 	own := map[int]map[data.Key]map[int64]bool{}
+	ownDel := map[int]map[data.Key]bool{}
 	for _, op := range rr.Raw {
-		if op.Kind.IsWrite() && op.Item != "" && op.HasValue {
-			byKey := own[op.Tx]
-			if byKey == nil {
-				byKey = map[data.Key]map[int64]bool{}
-				own[op.Tx] = byKey
-			}
-			vals := byKey[op.Item]
-			if vals == nil {
-				vals = map[int64]bool{}
-				byKey[op.Item] = vals
-			}
-			vals[op.Value] = true
+		if !op.Kind.IsWrite() || op.Item == "" {
+			continue
 		}
+		if !op.HasValue {
+			byKey := ownDel[op.Tx]
+			if byKey == nil {
+				byKey = map[data.Key]bool{}
+				ownDel[op.Tx] = byKey
+			}
+			byKey[op.Item] = true
+			continue
+		}
+		byKey := own[op.Tx]
+		if byKey == nil {
+			byKey = map[data.Key]map[int64]bool{}
+			own[op.Tx] = byKey
+		}
+		vals := byKey[op.Item]
+		if vals == nil {
+			vals = map[int64]bool{}
+			byKey[op.Item] = vals
+		}
+		vals[op.Value] = true
 	}
 	initial := map[data.Key]int64{}
 	for i := 0; i < s.Params.Items; i++ {
 		initial[itemName(i)] = InitialValue(i)
 	}
 	for _, r := range rr.mvReads {
-		want, found := initial[r.key], true
+		want, present := initial[r.key]
 		bestSlot := int64(-1)
 		for _, c := range rr.mvCommits {
 			if c.slot >= r.slot || c.slot <= bestSlot {
 				continue
 			}
 			if v, ok := c.writes[r.key]; ok {
-				want, found, bestSlot = v, true, c.slot
+				bestSlot = c.slot
+				want, present = v.val, !v.deleted
 			}
 		}
-		if own[r.tx][r.key][r.val] {
+		if r.hasVal && own[r.tx][r.key][r.val] {
 			continue // own uncommitted write overlaid the snapshot
 		}
 		if !r.hasVal {
-			if found {
+			if present && !ownDel[r.tx][r.key] {
 				return fmt.Sprintf("T%d read %s at slot %d and saw no row; the snapshot holds %d", r.tx, r.key, r.slot, want)
 			}
 			continue
 		}
-		if !found || r.val != want {
+		if !present {
+			return fmt.Sprintf("T%d read %s=%d at slot %d; the snapshot holds no row", r.tx, r.key, r.val, r.slot)
+		}
+		if r.val != want {
 			return fmt.Sprintf("T%d read %s=%d at slot %d; the snapshot holds %d", r.tx, r.key, r.val, r.slot, want)
+		}
+	}
+	return ""
+}
+
+// checkRangeReads certifies every exported range scan's result set
+// against the newest committed state of its interval below its snapshot
+// slot. Keys the scanning transaction itself wrote or deleted are
+// excused (its own uncommitted overlay legally perturbs its view of
+// those keys); every other key of the interval must appear exactly when
+// the snapshot holds it, with the snapshot's value.
+func checkRangeReads(s *Schedule, rr *RunResult) string {
+	if len(rr.rangeReads) == 0 {
+		return ""
+	}
+	ownKeys := map[int]map[data.Key]bool{}
+	for _, op := range rr.Raw {
+		if op.Kind.IsWrite() && op.Item != "" {
+			byKey := ownKeys[op.Tx]
+			if byKey == nil {
+				byKey = map[data.Key]bool{}
+				ownKeys[op.Tx] = byKey
+			}
+			byKey[op.Item] = true
+		}
+	}
+	for _, r := range rr.rangeReads {
+		// Expected: initial rows of the interval, then every committed
+		// write set below the scan's slot applied in commit order.
+		expect := map[data.Key]int64{}
+		for i := 0; i < s.Params.Items; i++ {
+			if k := itemName(i); k >= r.lo && k < r.hi {
+				expect[k] = InitialValue(i)
+			}
+		}
+		var below []mvCommit
+		for _, c := range rr.mvCommits {
+			if c.slot < r.slot {
+				below = append(below, c)
+			}
+		}
+		sort.Slice(below, func(i, j int) bool { return below[i].slot < below[j].slot })
+		for _, c := range below {
+			for k, v := range c.writes {
+				if k < r.lo || k >= r.hi {
+					continue
+				}
+				if v.deleted {
+					delete(expect, k)
+				} else {
+					expect[k] = v.val
+				}
+			}
+		}
+		actual := map[data.Key]int64{}
+		for i, k := range r.keys {
+			actual[k] = r.vals[i]
+		}
+		// Compare both directions in key order so a violation message is
+		// deterministic across reruns.
+		var keys []data.Key
+		seen := map[data.Key]bool{}
+		//isolint:ordered keys are sorted below before any comparison is reported
+		for k := range expect {
+			keys, seen[k] = append(keys, k), true
+		}
+		for k := range actual {
+			if !seen[k] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			if ownKeys[r.tx][k] {
+				continue // scanning tx's own overlay governs this key
+			}
+			want, inSnap := expect[k]
+			got, inScan := actual[k]
+			switch {
+			case inSnap && !inScan:
+				return fmt.Sprintf("T%d scanned [%s, %s) at slot %d and missed %s; the snapshot holds %s=%d", r.tx, r.lo, r.hi, r.slot, k, k, want)
+			case !inSnap && inScan:
+				return fmt.Sprintf("T%d scanned [%s, %s) at slot %d and saw %s=%d; the snapshot holds no such row", r.tx, r.lo, r.hi, r.slot, k, got)
+			case inSnap && inScan && got != want:
+				return fmt.Sprintf("T%d scanned [%s, %s) at slot %d and saw %s=%d; the snapshot holds %d", r.tx, r.lo, r.hi, r.slot, k, got, want)
+			}
 		}
 	}
 	return ""
@@ -552,25 +724,39 @@ func checkFCW(txns []deps.MVTxn) string {
 
 func checkProvenance(s *Schedule, raw history.History) string {
 	legal := map[data.Key]map[int64]bool{}
+	preloaded := map[data.Key]bool{}
 	for i := 0; i < s.Params.Items; i++ {
 		legal[itemName(i)] = map[int64]bool{InitialValue(i): true}
+		preloaded[itemName(i)] = true
 	}
+	deleted := map[data.Key]bool{}
 	for _, op := range raw {
-		if op.Kind.IsWrite() && op.Item != "" && op.HasValue {
-			set := legal[op.Item]
-			if set == nil {
-				set = map[int64]bool{}
-				legal[op.Item] = set
-			}
-			set[op.Value] = true
+		if !op.Kind.IsWrite() || op.Item == "" {
+			continue
 		}
+		if !op.HasValue {
+			deleted[op.Item] = true // a delete: the row can legally vanish
+			continue
+		}
+		set := legal[op.Item]
+		if set == nil {
+			set = map[int64]bool{}
+			legal[op.Item] = set
+		}
+		set[op.Value] = true
 	}
 	for _, op := range raw {
 		if !op.Kind.IsRead() || op.Item == "" {
 			continue
 		}
 		if !op.HasValue {
-			return fmt.Sprintf("T%d read %s and found no row (every item is loaded)", op.Tx, op.Item)
+			// A valueless read is legal only for a row that may be absent:
+			// never loaded (an insert target) or deleted somewhere in the
+			// trace. A preloaded, never-deleted row must always be found.
+			if preloaded[op.Item] && !deleted[op.Item] {
+				return fmt.Sprintf("T%d read %s and found no row (the item is loaded and never deleted)", op.Tx, op.Item)
+			}
+			continue
 		}
 		if !legal[op.Item][op.Value] {
 			return fmt.Sprintf("T%d read %s=%d, a value nobody wrote", op.Tx, op.Item, op.Value)
@@ -589,6 +775,9 @@ func canonPreds(h history.History) history.History {
 	names := map[string]string{}
 	for i, p := range PredPool() {
 		names[p.String()] = predCanonNames[i]
+	}
+	for i, kr := range RangePool() {
+		names[kr.String()] = rangeCanonNames[i]
 	}
 	next := len(PredPool())
 	canon := func(name string) string {

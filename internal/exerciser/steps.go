@@ -40,6 +40,7 @@ func (c *capture) tx(txn int) engine.Tx {
 func (s *Schedule) Steps() ([]schedule.Step, *capture) {
 	cap := &capture{txs: map[int]engine.Tx{}}
 	pool := PredPool()
+	ranges := RangePool()
 	var steps []schedule.Step
 	for _, op := range s.Ops {
 		op := op
@@ -54,11 +55,38 @@ func (s *Schedule) Steps() ([]schedule.Step, *capture) {
 				}
 				return v, err
 			}))
-		case OpWrite:
+		case OpWrite, OpInsert:
+			// An insert is a plain Put of a key the setup never loaded; the
+			// engines' write paths make it an insert (and, under keyrange
+			// locking, a gap acquisition).
 			name := fmt.Sprintf("w%d[%s=%d]", op.Txn, op.Item, op.Value)
 			steps = append(steps, schedule.OpStep(op.Txn, name, func(c *schedule.Ctx) (any, error) {
 				cap.note(op.Txn, c.Tx)
 				return nil, engine.PutVal(c.Tx, op.Item, op.Value)
+			}))
+		case OpDelete:
+			name := fmt.Sprintf("d%d[%s]", op.Txn, op.Item)
+			steps = append(steps, schedule.OpStep(op.Txn, name, func(c *schedule.Ctx) (any, error) {
+				cap.note(op.Txn, c.Tx)
+				// Deleting an already-absent key is a no-op, not an error:
+				// generation-time liveness is only a heuristic (a concurrent
+				// delete may have won, an insert may have aborted), and the
+				// tolerance keeps shrunk schedules well-formed.
+				if err := c.Tx.Delete(op.Item); err != nil && !errors.Is(err, engine.ErrNotFound) {
+					return nil, err
+				}
+				return nil, nil
+			}))
+		case OpRangeRead:
+			kr := ranges[op.Pred]
+			name := fmt.Sprintf("r%d[%s]", op.Txn, rangeCanonNames[op.Pred])
+			steps = append(steps, schedule.OpStep(op.Txn, name, func(c *schedule.Ctx) (any, error) {
+				cap.note(op.Txn, c.Tx)
+				rows, err := c.Tx.Select(kr)
+				if err != nil {
+					return nil, err
+				}
+				return int64(len(rows)), nil
 			}))
 		case OpPredRead:
 			p := pool[op.Pred]

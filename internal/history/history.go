@@ -33,6 +33,7 @@ const (
 	Abort                   // a1
 	ReadCursor              // rc1[x]   read through a cursor, lock held while current
 	WriteCursor             // wc1[x]   write the current item of the cursor
+	Delete                  // d1[x]    delete of a data item (a write that removes the row)
 )
 
 func (k Kind) String() string {
@@ -53,6 +54,8 @@ func (k Kind) String() string {
 		return "rc"
 	case WriteCursor:
 		return "wc"
+	case Delete:
+		return "d"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -63,8 +66,12 @@ func (k Kind) IsTerminal() bool { return k == Commit || k == Abort }
 // IsRead reports whether the kind observes data (r, rP, rc).
 func (k Kind) IsRead() bool { return k == Read || k == PredRead || k == ReadCursor }
 
-// IsWrite reports whether the kind mutates data (w, wP, wc).
-func (k Kind) IsWrite() bool { return k == Write || k == PredWrite || k == WriteCursor }
+// IsWrite reports whether the kind mutates data (w, wP, wc, d). A delete
+// is a write in every conflict sense — it changes what any later read or
+// predicate evaluation sees — it just leaves no row behind.
+func (k Kind) IsWrite() bool {
+	return k == Write || k == PredWrite || k == WriteCursor || k == Delete
+}
 
 // Op is a single action in a history.
 type Op struct {
@@ -273,7 +280,7 @@ func (h History) Validate() error {
 		switch op.Kind {
 		case Commit, Abort:
 			done[op.Tx] = true
-		case Read, Write, ReadCursor, WriteCursor:
+		case Read, Write, ReadCursor, WriteCursor, Delete:
 			if op.Item == "" {
 				return &WellFormedError{i, op, "item action without item"}
 			}

@@ -50,6 +50,16 @@ func TestParsePredicateOps(t *testing.T) {
 	}
 }
 
+func TestParseDeleteOps(t *testing.T) {
+	h := MustParse("d1[x] d2[y in P] c1 c2")
+	if h[0].Kind != Delete || h[0].Tx != 1 || h[0].Item != "x" || h[0].HasValue {
+		t.Fatalf("op0 = %+v", h[0])
+	}
+	if h[1].Kind != Delete || h[1].Item != "y" || !h[1].InPred("P") {
+		t.Fatalf("op1 = %+v", h[1])
+	}
+}
+
 func TestParseMultiPredAnnotation(t *testing.T) {
 	h := MustParse("w1[y in P,Q2]")
 	if !h[0].InPred("P") || !h[0].InPred("Q2") || h[0].InPred("R") {
@@ -86,6 +96,7 @@ func TestParseErrors(t *testing.T) {
 		"r1[]",      // empty operand
 		"w1[x=abc]", // bad value
 		"rc1[P]",    // cursor op on predicate
+		"d1[P]",     // delete of a predicate operand
 		"w1[y in lowercase]",
 		"r1[x] r1[x] c1 r1[x]", // op after terminal
 		"c1 c1",                // double terminal
@@ -104,6 +115,7 @@ func TestStringRoundTrip(t *testing.T) {
 		"r1[P] w2[y in P] c2 c1",
 		"rc1[x=100] wc1[x=130] c1",
 		"r1[x.0=50] w1[x.1=10] c1",
+		"r1[P] d2[y in P] c2 d1[x] c1",
 	}
 	for _, src := range srcs {
 		h := MustParse(src)
@@ -242,10 +254,10 @@ func TestKindPredicates(t *testing.T) {
 	if !Read.IsRead() || !PredRead.IsRead() || !ReadCursor.IsRead() {
 		t.Fatal("IsRead wrong")
 	}
-	if !Write.IsWrite() || !PredWrite.IsWrite() || !WriteCursor.IsWrite() {
+	if !Write.IsWrite() || !PredWrite.IsWrite() || !WriteCursor.IsWrite() || !Delete.IsWrite() {
 		t.Fatal("IsWrite wrong")
 	}
-	if Read.IsWrite() || Write.IsRead() || Commit.IsRead() || Commit.IsWrite() {
+	if Read.IsWrite() || Write.IsRead() || Commit.IsRead() || Commit.IsWrite() || Delete.IsRead() {
 		t.Fatal("kind predicate cross-talk")
 	}
 	if !Commit.IsTerminal() || !Abort.IsTerminal() || Read.IsTerminal() {

@@ -18,6 +18,8 @@ import (
 //	w1[x=10]      write of value 10
 //	w2[y in P]    write of item y noted to fall in predicate P
 //	w2[y in P,Q]  ... in several predicates
+//	d1[x]         delete of item x (a write leaving no row)
+//	d2[y in P]    delete noted to fall in predicate P
 //	r1[P]         predicate read of P (single uppercase identifier)
 //	w1[P]         predicate write of P
 //	rc1[x]        cursor read  (§4.1)
@@ -103,6 +105,8 @@ func parseOp(f string) (Op, error) {
 		kind, rest = Read, f[1:]
 	case strings.HasPrefix(f, "w"):
 		kind, rest = Write, f[1:]
+	case strings.HasPrefix(f, "d"):
+		kind, rest = Delete, f[1:]
 	case strings.HasPrefix(f, "c"):
 		kind, rest = Commit, f[1:]
 	case strings.HasPrefix(f, "a"):
@@ -188,9 +192,9 @@ func parseOp(f string) (Op, error) {
 		}
 		return op, nil
 	}
-	if kind == ReadCursor || kind == WriteCursor {
+	if kind == ReadCursor || kind == WriteCursor || kind == Delete {
 		if isPredName(body) && len(op.Preds) == 0 {
-			return Op{}, fmt.Errorf("history: cursor op %q cannot take a predicate operand", f)
+			return Op{}, fmt.Errorf("history: op %q cannot take a predicate operand", f)
 		}
 	}
 	op.Item = data.Key(body)

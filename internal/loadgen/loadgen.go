@@ -55,6 +55,7 @@ type Config struct {
 	OpsPerTxn int                      // data statements per transaction (default 4)
 	ReadFrac  float64                  // fraction of ops that GET (default 0.5)
 	ScanFrac  float64                  // fraction of ops that SCAN (default 0)
+	DelFrac   float64                  // fraction of ops that DEL (default 0)
 	Levels    []engine.Level           // per-txn level mix; empty = server default
 	Retries   int                      // max retries per transaction (default 10)
 	Seed      int64                    // rng seed (default 1)
@@ -108,7 +109,7 @@ type Result struct {
 	ProtoErrs int64 // -ERR replies, malformed replies, dead connections
 	Dropped   int64 // open-loop arrivals dropped (all clients busy)
 
-	Reads, Writes, Scans int64
+	Reads, Writes, Scans, Dels int64
 
 	Elapsed time.Duration
 	Txn     obs.HistSnapshot
@@ -128,8 +129,8 @@ func (r Result) Throughput() float64 {
 func (r Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "loadgen: clients=%d admitted=%d shed=%d\n", r.Clients, r.Admitted, r.Shed)
-	fmt.Fprintf(&b, "  commits=%d retries=%d gave-up=%d busy=%d dropped=%d proto-errors=%d reads=%d writes=%d scans=%d\n",
-		r.Commits, r.Retries, r.GaveUp, r.Busy, r.Dropped, r.ProtoErrs, r.Reads, r.Writes, r.Scans)
+	fmt.Fprintf(&b, "  commits=%d retries=%d gave-up=%d busy=%d dropped=%d proto-errors=%d reads=%d writes=%d scans=%d dels=%d\n",
+		r.Commits, r.Retries, r.GaveUp, r.Busy, r.Dropped, r.ProtoErrs, r.Reads, r.Writes, r.Scans, r.Dels)
 	fmt.Fprintf(&b, "  throughput=%.0f tx/s over %v\n", r.Throughput(), r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  txn latency (ns):  %s\n", r.Txn.Summary())
 	fmt.Fprintf(&b, "  stmt latency (ns): %s\n", r.Stmt.Summary())
@@ -141,9 +142,9 @@ func Run(cfg Config) (Result, error) {
 	cfg.fill()
 	res := Result{Clients: cfg.Clients}
 	var (
-		admitted, shed, commits, retries, gaveUp       atomic.Int64
-		busy, protoErrs, dropped, reads, writes, scans atomic.Int64
-		txnHist, stmtHist                              obs.Histogram
+		admitted, shed, commits, retries, gaveUp             atomic.Int64
+		busy, protoErrs, dropped, reads, writes, scans, dels atomic.Int64
+		txnHist, stmtHist                                    obs.Histogram
 	)
 
 	// Connect the whole fleet first: admission decisions land before any
@@ -219,7 +220,7 @@ func Run(cfg Config) (Result, error) {
 					return
 				}
 				t0 := time.Now()
-				switch c.runTxn(&retries, &busy, &reads, &writes, &scans) {
+				switch c.runTxn(&retries, &busy, &reads, &writes, &scans, &dels) {
 				case txnCommitted:
 					commits.Add(1)
 					txnHist.Record(time.Since(t0).Nanoseconds())
@@ -238,7 +239,7 @@ func Run(cfg Config) (Result, error) {
 	res.Admitted, res.Shed = admitted.Load(), shed.Load()
 	res.Commits, res.Retries, res.GaveUp = commits.Load(), retries.Load(), gaveUp.Load()
 	res.Busy, res.ProtoErrs, res.Dropped = busy.Load(), protoErrs.Load(), dropped.Load()
-	res.Reads, res.Writes, res.Scans = reads.Load(), writes.Load(), scans.Load()
+	res.Reads, res.Writes, res.Scans, res.Dels = reads.Load(), writes.Load(), scans.Load(), dels.Load()
 	res.Txn, res.Stmt = txnHist.Snapshot(), stmtHist.Snapshot()
 	return res, nil
 }
@@ -263,7 +264,7 @@ type client struct {
 func (c *client) close() { c.conn.Close() }
 
 type op struct {
-	verb string // GET, SET, SCAN
+	verb string // GET, SET, DEL, SCAN
 	key  string
 	val  int64
 	hi   string // SCAN upper bound
@@ -298,6 +299,8 @@ func (c *client) genTxn() (level string, ops []op) {
 			lo := c.rng.Intn(c.cfg.Keys)
 			span := 1 + c.rng.Intn(8)
 			ops[i] = op{verb: "SCAN", key: fmt.Sprintf("acct:%06d", lo), hi: fmt.Sprintf("acct:%06d", lo+span)}
+		case r < c.cfg.ReadFrac+c.cfg.ScanFrac+c.cfg.DelFrac:
+			ops[i] = op{verb: "DEL", key: c.key()}
 		default:
 			ops[i] = op{verb: "SET", key: c.key(), val: c.rng.Int63n(1000)}
 		}
@@ -306,10 +309,10 @@ func (c *client) genTxn() (level string, ops []op) {
 }
 
 // runTxn runs one transaction including its retry loop.
-func (c *client) runTxn(retries, busy, reads, writes, scans *atomic.Int64) txnOutcome {
+func (c *client) runTxn(retries, busy, reads, writes, scans, dels *atomic.Int64) txnOutcome {
 	level, ops := c.genTxn()
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
-		switch res := c.attempt(level, ops, reads, writes, scans); res {
+		switch res := c.attempt(level, ops, reads, writes, scans, dels); res {
 		case attemptOK:
 			return txnCommitted
 		case attemptRetry:
@@ -334,7 +337,7 @@ const (
 
 // attempt runs BEGIN, the ops, COMMIT once. On -RETRY the server has
 // already aborted; on -BUSY this client aborts before retrying.
-func (c *client) attempt(level string, ops []op, reads, writes, scans *atomic.Int64) attemptResult {
+func (c *client) attempt(level string, ops []op, reads, writes, scans, dels *atomic.Int64) attemptResult {
 	begin := "BEGIN"
 	if level != "" {
 		begin = "BEGIN ISOLATION LEVEL " + level
@@ -350,6 +353,8 @@ func (c *client) attempt(level string, ops []op, reads, writes, scans *atomic.In
 			cmd = "GET " + o.key
 		case "SET":
 			cmd = "SET " + o.key + " " + strconv.FormatInt(o.val, 10)
+		case "DEL":
+			cmd = "DEL " + o.key
 		case "SCAN":
 			cmd = "SCAN " + o.key + " " + o.hi
 		}
@@ -375,6 +380,8 @@ func (c *client) attempt(level string, ops []op, reads, writes, scans *atomic.In
 			reads.Add(1)
 		case "SET":
 			writes.Add(1)
+		case "DEL":
+			dels.Add(1)
 		case "SCAN":
 			scans.Add(1)
 		}

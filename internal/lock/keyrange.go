@@ -319,7 +319,13 @@ func (m *Manager) AcquireRange(tx TxID, spec RangeSpec) (RangeHandle, error) {
 // — at the gap's owning anchor or the supremum — belongs to another
 // transaction and has a predicate satisfied by the insert's images, and
 // on grant inherits the covering fragments onto key so the gap's coverage
-// survives the insert. With no range activity it is one atomic load.
+// survives the insert. A request that had to queue also blocks on the
+// item holders at key, and its grant installs the insert's item hold
+// atomically (consumed by the follow-up AcquireItem) — the predicate
+// twin's insert is one item acquisition, and without the atomic install
+// another writer could take the item while the granted insert was still
+// in flight, manufacturing a deadlock the twin cannot produce. With no
+// range activity it is one atomic load.
 func (m *Manager) AcquireGap(tx TxID, key data.Key, im Images) error {
 	return m.acquireGap(tx, key, im, true)
 }
@@ -348,7 +354,17 @@ func (m *Manager) acquireGap(tx TxID, key data.Key, im Images, count bool) error
 	m.rangeMu.Lock()
 	rs := m.obs.Now()
 	gc := m.gapCoverLocked(key)
-	on := gapConflicts(tx, key, im, gc)
+	// The gap stage is the insert's single blocking point, mirroring the
+	// predicate twin's one item acquisition: its conflict set spans the
+	// covering fragment owners and the item holders at key alike.
+	// Checking fragments only here and item holders in the follow-up
+	// AcquireItem would let a drain grant the item while freshly granted
+	// scans cover the gap — the twin keeps the whole insert queued behind
+	// those scans' predicate locks, so the grant orders would diverge. A
+	// self-held Shared lock makes the request the twin's upgrade, with
+	// the same drain priority.
+	holders, selfS := m.gapItemHoldersLocked(tx, key)
+	on := unionTxIDs(gapConflicts(tx, key, im, gc), holders)
 	spIdx := m.stripeIndex(key)
 	if len(on) == 0 {
 		escalated := m.inheritLocked(key, gc)
@@ -369,7 +385,7 @@ func (m *Manager) acquireGap(tx TxID, key data.Key, im Images, count bool) error
 		m.gate.RUnlock()
 		return nil
 	}
-	req := &request{tx: tx, mode: X, isGap: true, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
+	req := &request{tx: tx, mode: X, isGap: true, upgrade: selfS, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	if !m.wf.AddWaiter(tx, on) {
 		m.deadlocks.Add(1)
 		m.obsDeadlock(tx, on)
@@ -495,6 +511,7 @@ func (m *Manager) installRangeLocked(req *request) RangeHandle {
 	hold := m.newHold()
 	ceiling := m.snapshotAnchorsLocked(req.spec)
 	m.bucketAnchorsLocked(ceiling)
+	m.densifyAnchorsLocked(req.spec, ceiling)
 	f := fragment{tx: req.tx, handle: h, pred: req.spec.Pred}
 	for i, sp := range m.stripes {
 		sp.mu.Lock()
@@ -532,6 +549,50 @@ func (m *Manager) installRangeLocked(req *request) RangeHandle {
 	}
 	hm[h] = hold
 	return h
+}
+
+// densifyAnchorsLocked preserves gap coverage across the anchor
+// densification an install is about to perform. gapCoverLocked consults
+// only the single smallest fragment-bearing anchor at or above an insert
+// position, so a fragment anchored at a key that carried none before — a
+// lock-table-resident key with no row, or a fresh snapshot key inside a
+// gap an older scan already covers — would shadow the covering fragments
+// (or the supremum fragments) above it: an insert below the new anchor
+// would consult only the new scan's fragment and sail past the older
+// scan's. Before any of this install's fragments land, every such new
+// anchor inherits its pre-install cover, exactly as a granted insert
+// inherits its gap's cover onto the inserted key. Ascending key order
+// keeps each cover a pre-install one: an inherited copy at a lower key
+// never shadows a higher one. A no-op — one length sweep — while no
+// fragment exists anywhere. Called with rangeMu held and no stripe latch
+// held; latches one stripe at a time.
+func (m *Manager) densifyAnchorsLocked(spec RangeSpec, ceiling data.Key) {
+	shadowable := len(m.supFrags) != 0
+	for _, sp := range m.stripes {
+		if len(sp.frags) != 0 {
+			shadowable = true
+			break
+		}
+	}
+	if !shadowable {
+		return
+	}
+	newKeys := m.newAnchors[:0]
+	for i, sp := range m.stripes {
+		sp.mu.Lock()
+		run := m.stripeInstallRunLocked(sp, spec, ceiling, m.runBuckets[i])
+		for _, k := range run {
+			if lo, hi := fragWindow(sp.frags, k); lo == hi {
+				newKeys = append(newKeys, k)
+			}
+		}
+		sp.mu.Unlock()
+	}
+	m.newAnchors = newKeys
+	sort.Slice(newKeys, func(a, b int) bool { return newKeys[a] < newKeys[b] })
+	for _, k := range newKeys {
+		m.inheritLocked(k, m.gapCoverLocked(k))
+	}
 }
 
 // snapshotAnchorsLocked fills m.snapRuns with the spec's anchor set —
@@ -899,6 +960,63 @@ func gapConflicts(tx TxID, key data.Key, im Images, gc gapCover) []TxID {
 	return sortedTxIDs(seen)
 }
 
+// gapItemHoldersLocked collects the transactions other than tx holding an
+// item lock on key, ascending, and reports whether tx itself holds the
+// key in Shared mode (the insert is then the twin's upgrade). The holders
+// join a gap request's conflict set: the predicate twin's insert takes
+// one item lock whose sweep spans item holders and predicate owners
+// alike, and the gap grant installs the item hold atomically to match.
+// Called with rangeMu held and no stripe latch held; latches key's
+// stripe briefly.
+func (m *Manager) gapItemHoldersLocked(tx TxID, key data.Key) ([]TxID, bool) {
+	sp := m.stripeOf(key)
+	sp.mu.Lock()
+	var on []TxID
+	selfS := false
+	if st := sp.items[key]; st != nil {
+		//isolint:ordered the collected holders are sorted below; selfS is a single flag
+		for owner, h := range st.holders {
+			if owner != tx {
+				on = append(on, owner)
+			} else if h.mode == S {
+				selfS = true
+			}
+		}
+	}
+	sp.mu.Unlock()
+	sort.Slice(on, func(i, j int) bool { return on[i] < on[j] })
+	return on, selfS
+}
+
+// unionTxIDs merges two ascending TxID slices into one ascending,
+// deduplicated slice.
+func unionTxIDs(a, b []TxID) []TxID {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]TxID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
 // inheritLocked copies the covering fragments onto key (the next-key
 // inheritance of a granted insert), registering each copy in its owner's
 // hold so release stays exact, and escalating any handle whose per-stripe
@@ -1069,7 +1187,9 @@ func (m *Manager) drainRangeLocked(touched map[int]bool) []*request {
 					cands = append(cands, r)
 				}
 			case r.isGap:
-				if len(gapConflicts(r.tx, r.key, r.im, m.gapCoverLocked(r.key))) == 0 {
+				holders, _ := m.gapItemHoldersLocked(r.tx, r.key)
+				if len(holders) == 0 &&
+					len(gapConflicts(r.tx, r.key, r.im, m.gapCoverLocked(r.key))) == 0 {
 					cands = append(cands, r)
 				}
 			}
@@ -1306,6 +1426,31 @@ func (m *Manager) grantRangeAwareLocked(r *request, touched map[int]bool) bool {
 		if len(gapConflicts(r.tx, r.key, r.im, gc)) != 0 {
 			return false
 		}
+		// The gap grant is this protocol's atomic acquisition point: the
+		// predicate twin's insert takes a single item lock, so no other
+		// writer can slip an item lock in between a granted gap and the
+		// insert's item acquisition. Mirror that by re-verifying the item
+		// is free and installing the requester's hold here, under the
+		// stripe latch, marked reserved; the insert's follow-up
+		// AcquireItem consumes the reservation refs-neutrally. A recheck
+		// request (RecheckGap) already holds the item exclusively, so the
+		// install collapses to a no-op for it.
+		sp := m.stripeOf(r.key)
+		sp.mu.Lock()
+		if st := sp.items[r.key]; st != nil {
+			//isolint:ordered existence check only — any foreign holder vetoes the grant
+			for owner := range st.holders {
+				if owner != r.tx {
+					sp.mu.Unlock()
+					return false
+				}
+			}
+		}
+		if st := sp.items[r.key]; st == nil || st.holders[r.tx] == nil {
+			m.installItemLocked(sp, r)
+			sp.items[r.key].holders[r.tx].reserved = true
+		}
+		sp.mu.Unlock()
 		m.inheritLocked(r.key, gc)
 		spIdx := m.stripeIndex(r.key)
 		m.gapGrants++
@@ -1348,7 +1493,9 @@ func (m *Manager) refreshRangeWaitersLocked() {
 		case r.isRange:
 			m.wf.Refresh(r.tx, m.rangeConflictHoldersLocked(r))
 		case r.isGap:
-			m.wf.Refresh(r.tx, gapConflicts(r.tx, r.key, r.im, m.gapCoverLocked(r.key)))
+			holders, _ := m.gapItemHoldersLocked(r.tx, r.key)
+			m.wf.Refresh(r.tx, unionTxIDs(
+				gapConflicts(r.tx, r.key, r.im, m.gapCoverLocked(r.key)), holders))
 		}
 	}
 }

@@ -172,6 +172,16 @@ type holder struct {
 	mode Mode
 	refs int
 	im   Images
+	// reserved marks a hold installed by the holder's own granted gap
+	// request (grantRangeAwareLocked): the gap grant is the key-range
+	// protocol's atomic acquisition point, mirroring the predicate twin's
+	// single item acquisition, so the item hold is installed together with
+	// the gap inheritance — otherwise another writer could take the item
+	// between the gap grant and the insert's item acquisition,
+	// manufacturing a deadlock cycle the predicate protocol cannot
+	// produce. The insert's follow-up AcquireItem consumes the
+	// reservation refs-neutrally.
+	reserved bool
 }
 
 // itemState is the lock table entry for one data item.
@@ -448,6 +458,7 @@ type Manager struct {
 	mergeRun   []data.Key
 	itemKeys   []data.Key
 	anchorKeys []data.Key
+	newAnchors []data.Key
 	fragCopy   []fragment
 	snapRuns   data.KeyRuns
 	gcKeys     []data.Key
@@ -670,22 +681,29 @@ func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images
 		st = &itemState{holders: map[TxID]*holder{}}
 		sp.items[key] = st
 	}
-	if h, ok := st.holders[tx]; ok && (h.mode == X || mode == S) {
-		// Already held at a covering mode.
-		h.refs++
+	if h, ok := st.holders[tx]; ok && h.reserved {
+		// Consume the reservation the transaction's own gap grant
+		// installed: the hold already exists and was counted as one
+		// grant, so this follow-up acquisition only merges the images
+		// and finalizes the mode — refs-neutral, and no drain: the
+		// images equal the ones the grant already refreshed with.
+		h.reserved = false
+		if mode == X {
+			h.mode = X
+		}
 		h.im = mergeImages(h.im, im)
-		sp.grants++
 		sp.mu.Unlock()
-		// Merging images can narrow a range waiter's conflict set (the
-		// after-image is replaced, not accumulated) — drain the range
-		// queue so a now-grantable waiter is not stranded. One atomic
-		// load when no range waiter exists; mirrors the gated path's full
-		// drain on covering re-acquires.
-		granted := m.drainRangeIfWaiters(nil)
 		m.gate.RUnlock()
-		m.notifyGranted(granted)
 		return nil
 	}
+	// Covering re-acquires (the holder's mode already covers the request)
+	// deliberately take the full conflict path: the new images may extend
+	// the holder's fragment-conflict surface — a delete whose images
+	// matched no scanned range grants the X lock, and the same
+	// transaction's re-insert of the key can land inside one — so every
+	// acquisition sweeps conflicts with its own images before the install
+	// merges them (installItemLocked turns the covering case into a
+	// refs++ merge).
 	req := &request{tx: tx, mode: mode, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	if h, ok := st.holders[tx]; ok && h.mode == S && mode == X {
 		req.upgrade = true
@@ -698,12 +716,15 @@ func (m *Manager) acquireItemStriped(tx TxID, key data.Key, mode Mode, im Images
 		// already queued on this stripe; keep their wait edges current.
 		m.refreshStripeWaitersLocked(sp)
 		sp.mu.Unlock()
-		var granted []*request
-		if mode == X {
-			// ... and of queued range requests, whose conflicts span every
-			// stripe's exclusive holders.
-			granted = m.drainRangeIfWaiters(nil)
-		}
+		// ... and of queued range and gap requests: range conflicts span
+		// every stripe's exclusive holders, and a queued gap request
+		// blocks on the item holders at its key in any mode — so even an
+		// S grant can extend a gap waiter's conflict set, and its wait
+		// edges must be recomputed before the next deadlock decision. A
+		// re-acquire's image merge can also narrow a range waiter's
+		// conflict set (the after-image is replaced, not accumulated).
+		// One atomic load when no range waiter exists.
+		granted := m.drainRangeIfWaiters(nil)
 		m.gate.RUnlock()
 		m.notifyGranted(granted)
 		return nil
@@ -739,20 +760,25 @@ func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) 
 		st = &itemState{holders: map[TxID]*holder{}}
 		sp.items[key] = st
 	}
-	if h, ok := st.holders[tx]; ok && (h.mode == X || mode == S) {
-		h.refs++
+	if h, ok := st.holders[tx]; ok && h.reserved {
+		// Reservations are installed only by gap grants, which exist only
+		// while the striped (range) protocol is active — but consume one
+		// here too rather than let the flag leak into a refs miscount.
+		h.reserved = false
+		if mode == X {
+			h.mode = X
+		}
 		h.im = mergeImages(h.im, im)
-		sp.grants++
-		// Merging images can narrow as well as widen a predicate waiter's
-		// conflict set (the after-image is replaced, not accumulated), so
-		// a full drain — not just an edge refresh — keeps a now-grantable
-		// waiter from stranding in the queue.
-		granted := m.drainAllLocked()
 		m.gate.Unlock()
 		m.obs.RecordGateHold(gs)
-		m.notifyGranted(granted)
 		return nil
 	}
+	// Covering re-acquires flow through the full conflict sweep with the
+	// request's own images: a transaction that deleted a row (images
+	// matching no held predicate) and then re-creates it must have the
+	// new after-image checked against the predicate table — the earlier
+	// grant proved nothing about this write. installItemLocked merges the
+	// covering case into a refs++ re-acquire on grant.
 	req := &request{tx: tx, mode: mode, key: key, im: im, ready: make(chan error, 1), seq: m.seq.Add(1)}
 	if h, ok := st.holders[tx]; ok && h.mode == S && mode == X {
 		req.upgrade = true
@@ -761,7 +787,11 @@ func (m *Manager) acquireItemGated(tx TxID, key data.Key, mode Mode, im Images) 
 	if len(on) == 0 {
 		m.countUpgrade(req)
 		m.installItemLocked(sp, req)
-		granted := m.drainAllLocked() // see the covering-path comment above
+		// A re-acquire's image merge can narrow as well as widen a
+		// predicate waiter's conflict set (the after-image is replaced,
+		// not accumulated), so a full drain — not just an edge refresh —
+		// keeps a now-grantable waiter from stranding in the queue.
+		granted := m.drainAllLocked()
 		m.gate.Unlock()
 		m.obs.RecordGateHold(gs)
 		m.notifyGranted(granted)

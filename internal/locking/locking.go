@@ -187,6 +187,13 @@ type Tx struct {
 	proto Protocol
 	undo  sv.UndoLog
 	done  bool
+	// doomed is set when the lock manager refuses this transaction as a
+	// deadlock victim. A victim must roll back: every later op fails fast
+	// with the same deadlock error and Commit refuses and rolls back
+	// instead. Without this, a caller that queued a commit behind a
+	// refused op would commit a transaction with some of its effects
+	// silently missing.
+	doomed bool
 }
 
 var _ engine.Tx = (*Tx)(nil)
@@ -199,9 +206,17 @@ func (t *Tx) Level() engine.Level { return t.proto.Level }
 
 func (t *Tx) lockErr(err error) error {
 	if errors.Is(err, lock.ErrDeadlock) {
-		return fmt.Errorf("%w (T%d)", engine.ErrDeadlock, t.id)
+		t.doomed = true
+		return t.doomErr()
 	}
 	return err
+}
+
+// doomErr is the error every op (and the commit) of a deadlock victim
+// returns; the format matches the original refusal so repeated failures
+// read identically.
+func (t *Tx) doomErr() error {
+	return fmt.Errorf("%w (T%d)", engine.ErrDeadlock, t.id)
 }
 
 // Get implements engine.Tx. The read lock duration follows the protocol:
@@ -210,6 +225,9 @@ func (t *Tx) lockErr(err error) error {
 func (t *Tx) Get(key data.Key) (data.Row, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
+	}
+	if t.doomed {
+		return nil, t.doomErr()
 	}
 	start := t.db.obs.Now()
 	switch t.proto.ReadItem {
@@ -247,6 +265,9 @@ func (t *Tx) Delete(key data.Key) error {
 func (t *Tx) write(key data.Key, after data.Row) error {
 	if t.done {
 		return engine.ErrTxDone
+	}
+	if t.doomed {
+		return t.doomErr()
 	}
 	start := t.db.obs.Now()
 	peek := t.db.store.Get(key) // image for predicate-lock conflicts
@@ -370,6 +391,9 @@ func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
 	if t.done {
 		return nil, engine.ErrTxDone
 	}
+	if t.doomed {
+		return nil, t.doomErr()
+	}
 	start := t.db.obs.Now()
 	g, err := t.acquireScanGuard(p)
 	if err != nil {
@@ -410,6 +434,17 @@ func (t *Tx) Select(p predicate.P) ([]data.Tuple, error) {
 func (t *Tx) Commit() error {
 	if t.done {
 		return engine.ErrTxDone
+	}
+	if t.doomed {
+		// A deadlock victim cannot commit: some of its ops were refused,
+		// so committing would publish a transaction with effects missing.
+		// Roll back instead and report the refusal to the caller.
+		t.done = true
+		t.undo.Rollback(t.db.store)
+		t.db.rec.Record(historyOp(t.id, false))
+		t.db.obs.Abort(t.id)
+		t.db.lm.ReleaseAll(lock.TxID(t.id))
+		return t.doomErr()
 	}
 	t.done = true
 	start := t.db.obs.Now()

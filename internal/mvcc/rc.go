@@ -43,6 +43,10 @@ type RCTx struct {
 	reads     []TimedRead
 	commitTS  mv.TS
 	committed bool
+
+	// rangeReads records each key-range scan's result set with its
+	// statement-snapshot slot for the harness's range-read certification.
+	rangeReads []RangeRead
 }
 
 // TimedRead is one recorded read together with the statement-snapshot
@@ -171,8 +175,19 @@ func (t *RCTx) selectAt(p predicate.P, ts mv.TS) ([]data.Tuple, error) {
 	}
 	data.SortTuples(out)
 	t.db.rec.RecordPredRead(t.id, p)
+	if kr, ok := p.(predicate.KeyRange); ok && t.db.rec.Enabled() {
+		rr := RangeRead{Slot: 2*int64(ts) + 1, Lo: kr.Lo, Hi: kr.Hi}
+		for _, tp := range out {
+			rr.Keys = append(rr.Keys, tp.Key)
+			rr.Vals = append(rr.Vals, tp.Row.Val())
+		}
+		t.rangeReads = append(t.rangeReads, rr)
+	}
 	return out, nil
 }
+
+// RangeReads exports the recorded key-range scans for certification.
+func (t *RCTx) RangeReads() []RangeRead { return t.rangeReads }
 
 // OpenCursor implements engine.Tx: "The members of a cursor set are as of
 // the time of the Open Cursor" — the cursor pins the statement snapshot of
@@ -315,6 +330,8 @@ func (t *RCTx) SVTrace() (committed bool, commitSlot int64, reads []TimedRead, w
 		op := history.Op{Tx: t.id, Kind: history.Write, Item: key, Version: -1}
 		if row := t.writes[key]; row != nil {
 			op = op.WithValue(row.Val())
+		} else {
+			op.Kind = history.Delete
 		}
 		writes = append(writes, op)
 	}

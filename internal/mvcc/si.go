@@ -40,6 +40,9 @@ type SITx struct {
 
 	// reads records each snapshot read for the MV-history export (MVTxn).
 	reads []readRecord
+	// rangeReads records each key-range scan's result set for the
+	// harness's range-read certification (RangeReads).
+	rangeReads []RangeRead
 	// commitTS is set on successful commit (for MV-history export).
 	commitTS  mv.TS
 	committed bool
@@ -50,6 +53,20 @@ type readRecord struct {
 	val    int64
 	found  bool
 	cursor bool // read through a cursor Fetch (rc in the MV export)
+}
+
+// RangeRead is one recorded key-range scan: the scanned interval, the
+// result set (own-write overlay included), and the single-valued slot of
+// the snapshot it evaluated against — 2*snapshotTS+1, the same odd-slot
+// convention the MV→SV mapping uses for item reads. The fuzz harness
+// certifies each result set against the newest committed state below the
+// slot across the whole interval, which is the absent-row generalization
+// of the per-item snapshot-read check.
+type RangeRead struct {
+	Slot   int64
+	Lo, Hi data.Key
+	Keys   []data.Key
+	Vals   []int64
 }
 
 var _ engine.Tx = (*SITx)(nil)
@@ -159,9 +176,20 @@ func (t *SITx) Select(p predicate.P) ([]data.Tuple, error) {
 	}
 	data.SortTuples(out)
 	t.db.rec.RecordPredRead(t.id, p)
+	if kr, ok := p.(predicate.KeyRange); ok && t.db.rec.Enabled() {
+		rr := RangeRead{Slot: 2*int64(t.start) + 1, Lo: kr.Lo, Hi: kr.Hi}
+		for _, tp := range out {
+			rr.Keys = append(rr.Keys, tp.Key)
+			rr.Vals = append(rr.Vals, tp.Row.Val())
+		}
+		t.rangeReads = append(t.rangeReads, rr)
+	}
 	t.db.obs.RecordOp(start)
 	return out, nil
 }
+
+// RangeReads exports the recorded key-range scans for certification.
+func (t *SITx) RangeReads() []RangeRead { return t.rangeReads }
 
 // OpenCursor implements engine.Tx. Snapshot cursors are trivially stable
 // (the snapshot never moves), so the cursor is a simple iterator over the
@@ -303,6 +331,8 @@ func (t *SITx) MVTxn() (start, commit int64, committed bool, reads, writes histo
 		op := history.Op{Tx: t.id, Kind: history.Write, Item: key, Version: -1}
 		if row := t.writes[key]; row != nil {
 			op = op.WithValue(row.Val())
+		} else {
+			op.Kind = history.Delete
 		}
 		writes = append(writes, op)
 	}

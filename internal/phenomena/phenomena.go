@@ -199,9 +199,10 @@ func terminalBetween(h history.History, tx, i, j int) bool {
 	return false
 }
 
-// isItemWrite reports whether the op writes the specific item (w or wc).
+// isItemWrite reports whether the op writes the specific item (w, wc, or d
+// — a delete conflicts with reads and writes of its item like any write).
 func isItemWrite(op history.Op) bool {
-	return op.Kind == history.Write || op.Kind == history.WriteCursor
+	return op.Kind == history.Write || op.Kind == history.WriteCursor || op.Kind == history.Delete
 }
 
 // isItemRead reports whether the op reads the specific item (r or rc).

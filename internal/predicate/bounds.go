@@ -24,7 +24,7 @@ func KeyBounds(p P) (lo, hi data.Key, bounded bool) {
 	case KeyEq:
 		return x.Key, x.Key + "\x00", true
 	case KeyRange:
-		if x.Hi < x.Lo {
+		if x.Empty() {
 			return x.Lo, x.Lo, true // empty interval, kept well-formed
 		}
 		return x.Lo, x.Hi, true

@@ -141,11 +141,19 @@ func (k KeyEq) String() string { return fmt.Sprintf("key == %q", string(k.Key)) 
 // KeyRange matches rows in the half-open key interval [Lo, Hi). It is the
 // predicate behind range scans ("SCAN lo hi"): key-range locking extracts
 // exactly this interval via KeyBounds, so the scan's gap fragments cover
-// the scanned keys and nothing more. An empty interval (Lo >= Hi) matches
-// nothing.
+// the scanned keys and nothing more.
+//
+// Empty intervals (Lo >= Hi) are legal and denote the empty set,
+// uniformly: Match matches nothing, KeyBounds collapses to the
+// well-formed empty interval [Lo, Lo), DisjointWith proves the range
+// disjoint from every predicate, and String/Parse round-trip the
+// original bounds unchanged.
 type KeyRange struct {
 	Lo, Hi data.Key
 }
+
+// Empty reports whether the interval denotes the empty set (Lo >= Hi).
+func (k KeyRange) Empty() bool { return k.Lo >= k.Hi }
 
 // Match implements P.
 func (k KeyRange) Match(t data.Tuple) bool {
@@ -229,11 +237,14 @@ func DisjointWith(a, b P) bool {
 			return !strings.HasPrefix(x.Prefix, y.Prefix) && !strings.HasPrefix(y.Prefix, x.Prefix)
 		}
 	case KeyRange:
+		if x.Empty() {
+			return true // the empty set is disjoint from everything
+		}
 		switch y := b.(type) {
 		case KeyEq:
 			return y.Key < x.Lo || y.Key >= x.Hi
 		case KeyRange:
-			return x.Hi <= y.Lo || y.Hi <= x.Lo
+			return y.Empty() || x.Hi <= y.Lo || y.Hi <= x.Lo
 		case KeyPrefix:
 			// The prefix block is [prefix, prefixEnd(prefix)).
 			if end, ok := prefixEnd(y.Prefix); ok {

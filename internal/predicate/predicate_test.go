@@ -221,6 +221,66 @@ func TestStringParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestKeyRangeEmptySemantics pins the contract for lo >= hi intervals:
+// they denote the empty set uniformly across Match, KeyBounds,
+// DisjointWith, and the parse/String round-trip.
+func TestKeyRangeEmptySemantics(t *testing.T) {
+	empties := []KeyRange{
+		{Lo: "m", Hi: "m"}, // degenerate
+		{Lo: "z", Hi: "a"}, // inverted
+		{Lo: "", Hi: ""},   // fully degenerate
+	}
+	tuples := []data.Tuple{
+		tup("a", map[string]int64{}), tup("m", map[string]int64{}),
+		tup("z", map[string]int64{}), tup("", map[string]int64{}),
+	}
+	others := []P{
+		True{},
+		KeyEq{Key: "m"},
+		KeyPrefix{Prefix: "m"},
+		KeyRange{Lo: "a", Hi: "z"},
+		KeyRange{Lo: "z", Hi: "a"},
+		Field{Name: "dept", Op: EQ, Arg: 1},
+	}
+	for _, kr := range empties {
+		if !kr.Empty() {
+			t.Errorf("%s: Empty() = false", kr)
+		}
+		for _, tpl := range tuples {
+			if kr.Match(tpl) {
+				t.Errorf("%s matched %q", kr, tpl.Key)
+			}
+		}
+		lo, hi, bounded := KeyBounds(kr)
+		if !bounded || lo != hi || lo != kr.Lo {
+			t.Errorf("KeyBounds(%s) = (%q, %q, %v), want (%q, %q, true)", kr, lo, hi, bounded, kr.Lo, kr.Lo)
+		}
+		// Disjoint from everything, in both argument orders.
+		for _, other := range others {
+			if !DisjointWith(kr, other) {
+				t.Errorf("DisjointWith(%s, %s) = false", kr, other)
+			}
+			if !DisjointWith(other, kr) {
+				t.Errorf("DisjointWith(%s, %s) = false", other, kr)
+			}
+		}
+		// String/Parse round-trips the original bounds unchanged.
+		q, err := Parse(kr.String())
+		if err != nil {
+			t.Fatalf("round trip %q: %v", kr.String(), err)
+		}
+		if q.String() != kr.String() {
+			t.Errorf("round trip changed %q -> %q", kr.String(), q.String())
+		}
+		if qr, ok := q.(KeyRange); !ok || qr != kr {
+			t.Errorf("round trip of %s produced %v", kr, q)
+		}
+	}
+	if (KeyRange{Lo: "a", Hi: "z"}).Empty() {
+		t.Error("non-empty range reported Empty")
+	}
+}
+
 // randomPred builds a random predicate of bounded depth for property tests.
 func randomPred(r *rand.Rand, depth int) P {
 	if depth <= 0 || r.Intn(3) == 0 {
